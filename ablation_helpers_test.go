@@ -1,0 +1,48 @@
+package vtjoin
+
+import (
+	"math/rand"
+
+	"vtjoin/internal/cost"
+	"vtjoin/internal/partition"
+)
+
+// ablationReplication partitions r's backing relation both ways and
+// returns the page totals.
+func ablationReplication(r *Relation) (lastOverlap, replicated int, err error) {
+	plan, _, err := partition.DeterminePartIntervals(r.internal(), partition.PlanConfig{
+		BuffSize: 16,
+		Weights:  cost.Ratio(5),
+		Rng:      rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	a, err := partition.DoPartitioning(r.internal(), plan.Partitioning)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer a.Drop()
+	b, err := partition.DoPartitioningReplicated(r.internal(), plan.Partitioning)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer b.Drop()
+	return a.TotalPages(), b.TotalPages(), nil
+}
+
+// ablationPlanCost plans a partitioning with the given candidate step
+// and sampling strategy, returning the chosen plan's estimated cost.
+func ablationPlanCost(r *Relation, step int, disableScan bool) (float64, error) {
+	plan, _, err := partition.DeterminePartIntervals(r.internal(), partition.PlanConfig{
+		BuffSize:                61,
+		Weights:                 cost.Ratio(5),
+		Rng:                     rand.New(rand.NewSource(2)),
+		CandidateStep:           step,
+		DisableScanOptimization: disableScan,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return plan.EstimatedCost(), nil
+}

@@ -1,0 +1,301 @@
+package vtjoin
+
+// Benchmarks that regenerate each figure of the paper's evaluation
+// (Section 4) plus micro-benchmarks of the core operations. The figure
+// benches run at scale 64 (tuple counts and memory divided together,
+// preserving the ratios the experiments depend on) so `go test
+// -bench=.` completes in minutes; use cmd/vtbench for full-scale runs
+// and pretty tables. Reported metrics are the paper's weighted I/O
+// costs, surfaced via b.ReportMetric so regressions in *cost* (not
+// just wall time) are visible.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/experiments"
+)
+
+func benchParams(b *testing.B) experiments.Params {
+	b.Helper()
+	p, err := experiments.Scaled(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkFigure5ParameterTable regenerates the global parameter
+// table (Figure 5).
+func BenchmarkFigure5ParameterTable(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		if got := experiments.RenderParameterTable(p.ParameterTable()); len(got) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure4PartSizeTradeoff regenerates the sampling-versus-
+// cache-paging trade-off curves (Figure 4) and reports the chosen
+// candidate's estimated cost.
+func BenchmarkFigure4PartSizeTradeoff(b *testing.B) {
+	p := benchParams(b)
+	var chosen float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunFigure4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range points {
+			if pt.Chosen {
+				chosen = pt.Total
+			}
+		}
+	}
+	b.ReportMetric(chosen, "est-cost")
+}
+
+// BenchmarkFigure6MemorySweep regenerates the cost-versus-memory sweep
+// (Figure 6) and reports each algorithm's cost at 8 MiB, 5:1 — the
+// configuration Figure 7 calls the closest contest.
+func BenchmarkFigure6MemorySweep(b *testing.B) {
+	p := benchParams(b)
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFigure6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.MemoryMB == 8 && r.Ratio == 5 {
+			b.ReportMetric(r.Cost, r.Algorithm+"-io")
+		}
+	}
+}
+
+// BenchmarkFigure7LongLived regenerates the long-lived-tuple sweep
+// (Figure 7) and reports each algorithm's cost at the densest point.
+func BenchmarkFigure7LongLived(b *testing.B) {
+	p := benchParams(b)
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFigure7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	lls := experiments.Figure7LongLived()
+	densest := lls[len(lls)-1]
+	for _, r := range rows {
+		if r.LongLived == densest {
+			b.ReportMetric(r.Cost, r.Algorithm+"-io")
+		}
+	}
+}
+
+// BenchmarkFigure8MemoryVsCaching regenerates the memory-versus-
+// caching matrix (Figure 8) and reports the partition join's cost
+// range at 1 MiB (where tuple caching hurts most).
+func BenchmarkFigure8MemoryVsCaching(b *testing.B) {
+	p := benchParams(b)
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFigure8(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	lo, hi := 1e18, 0.0
+	for _, r := range rows {
+		if r.MemoryMB == 1 {
+			if r.Cost < lo {
+				lo = r.Cost
+			}
+			if r.Cost > hi {
+				hi = r.Cost
+			}
+		}
+	}
+	b.ReportMetric(lo, "min-io@1MB")
+	b.ReportMetric(hi, "max-io@1MB")
+}
+
+// benchRelations builds a matched pair of relations through the public
+// API for the algorithm micro-benchmarks.
+func benchRelations(b *testing.B, tuples int, longEvery int) (*DB, *Relation, *Relation) {
+	b.Helper()
+	db := Open()
+	mk := func(col string, seed int64) *Relation {
+		rng := rand.New(rand.NewSource(seed))
+		r := db.MustCreateRelation(NewSchema(Col("k", KindInt), Col(col, KindInt)))
+		l := r.Loader()
+		for i := 0; i < tuples; i++ {
+			start := Chronon(rng.Intn(100000))
+			end := start
+			if longEvery > 0 && i%longEvery == 0 {
+				start = Chronon(rng.Intn(50000))
+				end = start + 50000
+			}
+			l.MustAppend(Span(start, end), Int(rng.Int63n(64)), Int(int64(i)))
+		}
+		l.MustClose()
+		return r
+	}
+	return db, mk("a", 1), mk("b", 2)
+}
+
+func benchJoin(b *testing.B, algo Algorithm, tuples, longEvery, memory int) {
+	db, r, s := benchRelations(b, tuples, longEvery)
+	db.ResetIOCounters()
+	b.ResetTimer()
+	var lastCost float64
+	for i := 0; i < b.N; i++ {
+		n := int64(0)
+		phases, err := JoinInto(r, s, Options{Algorithm: algo, MemoryPages: memory},
+			func(Tuple) error { n++; return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastCost = 0
+		for _, ph := range phases {
+			lastCost += ph.Cost
+		}
+		if n == 0 {
+			b.Fatal("join produced nothing")
+		}
+	}
+	b.ReportMetric(lastCost, "weighted-io")
+	b.ReportMetric(float64(tuples)*2/float64(b.Elapsed().Seconds()/float64(b.N)), "tuples/s")
+}
+
+func BenchmarkPartitionJoin(b *testing.B) {
+	for _, cfg := range []struct{ tuples, longEvery, memory int }{
+		{5000, 0, 16},
+		{5000, 4, 16},
+		{20000, 4, 64},
+	} {
+		name := fmt.Sprintf("tuples=%d/longEvery=%d/mem=%d", cfg.tuples, cfg.longEvery, cfg.memory)
+		b.Run(name, func(b *testing.B) {
+			benchJoin(b, AlgorithmPartition, cfg.tuples, cfg.longEvery, cfg.memory)
+		})
+	}
+}
+
+func BenchmarkSortMergeJoin(b *testing.B) {
+	for _, cfg := range []struct{ tuples, longEvery, memory int }{
+		{5000, 0, 16},
+		{5000, 4, 16},
+	} {
+		name := fmt.Sprintf("tuples=%d/longEvery=%d/mem=%d", cfg.tuples, cfg.longEvery, cfg.memory)
+		b.Run(name, func(b *testing.B) {
+			benchJoin(b, AlgorithmSortMerge, cfg.tuples, cfg.longEvery, cfg.memory)
+		})
+	}
+}
+
+func BenchmarkNestedLoopJoin(b *testing.B) {
+	b.Run("tuples=5000/mem=16", func(b *testing.B) {
+		benchJoin(b, AlgorithmNestedLoop, 5000, 0, 16)
+	})
+}
+
+func BenchmarkIncrementalViewInsert(b *testing.B) {
+	db, r, s := benchRelations(b, 10000, 8)
+	v, err := NewView(r, s, ViewOptions{Partitions: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	db.ResetIOCounters()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := Chronon(rng.Intn(100000))
+		t := NewTuple(Span(start, start+Chronon(rng.Intn(100))),
+			Int(rng.Int63n(64)), Int(int64(1000000+i)))
+		if err := v.InsertLeft(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := db.IOCounters()
+	pages := c.RandomReads + c.SequentialReads + c.RandomWrites + c.SequentialWrites
+	b.ReportMetric(float64(pages)/float64(b.N), "pages/insert")
+}
+
+// --- Ablation benches: the design choices DESIGN.md §3a calls out. ---
+
+// BenchmarkAblationReplication quantifies the paper's Section 3.2
+// argument against the replication strategy of Leung & Muntz: it
+// partitions the same long-lived-heavy relation with last-overlap
+// placement and with replication, reporting the storage blowup.
+func BenchmarkAblationReplication(b *testing.B) {
+	db, r, _ := benchRelations(b, 10000, 3) // 33% long-lived
+	_ = db
+	var lastPages, replPages float64
+	for i := 0; i < b.N; i++ {
+		lp, rp, err := ablationReplication(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastPages, replPages = float64(lp), float64(rp)
+	}
+	b.ReportMetric(lastPages, "last-overlap-pages")
+	b.ReportMetric(replPages, "replicated-pages")
+	b.ReportMetric(replPages/lastPages, "blowup")
+}
+
+// BenchmarkAblationCandidateStep measures how much plan quality the
+// coarse candidate grid gives up versus the paper's exhaustive loop:
+// the chosen plan's estimated cost at step 1 (exhaustive) vs the
+// default grid vs a very coarse grid.
+func BenchmarkAblationCandidateStep(b *testing.B) {
+	for _, step := range []int{1, 0, 16} { // 0 = auto (~buffSize/64)
+		name := "step=auto"
+		if step != 0 {
+			name = fmt.Sprintf("step=%d", step)
+		}
+		b.Run(name, func(b *testing.B) {
+			db, r, _ := benchRelations(b, 10000, 4)
+			_ = db
+			var est float64
+			for i := 0; i < b.N; i++ {
+				cost, err := ablationPlanCost(r, step, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				est = cost
+			}
+			b.ReportMetric(est, "est-cost")
+		})
+	}
+}
+
+// BenchmarkAblationScanOptimization measures the Section 4.2 sampling
+// optimization: actual planning I/O with and without the switch to
+// sequential-scan sampling.
+func BenchmarkAblationScanOptimization(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "scan-optimized"
+		if disable {
+			name = "random-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			db, r, _ := benchRelations(b, 4000, 4)
+			var io float64
+			for i := 0; i < b.N; i++ {
+				db.ResetIOCounters()
+				if _, err := ablationPlanCost(r, 0, disable); err != nil {
+					b.Fatal(err)
+				}
+				c := db.IOCounters()
+				io = 5*float64(c.RandomReads+c.RandomWrites) + float64(c.SequentialReads+c.SequentialWrites)
+			}
+			b.ReportMetric(io, "planning-io")
+		})
+	}
+}

@@ -1,0 +1,105 @@
+// Command vtbench regenerates the evaluation figures of Soo, Snodgrass
+// & Jensen, "Efficient Evaluation of the Valid-Time Natural Join"
+// (ICDE 1994).
+//
+// Usage:
+//
+//	vtbench [-figure 4|5|6|7|8|all] [-scale N] [-seed S]
+//
+// Scale divides the paper's tuple counts and memory sizes together
+// (preserving every ratio); -scale 1 runs the full 32 MiB-per-relation
+// configuration and takes correspondingly longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vtjoin/internal/experiments"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations or all")
+	scale := flag.Int("scale", 16, "scale divisor on tuple counts and memory (1 = paper scale)")
+	seed := flag.Int64("seed", 1994, "base RNG seed")
+	flag.Parse()
+
+	p, err := experiments.Scaled(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	p.Seed = *seed
+
+	run := func(name string, f func() error) {
+		if *figure != "all" && *figure != name {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("figure %s: %w", name, err))
+		}
+		fmt.Printf("[figure %s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("5", func() error {
+		fmt.Print(experiments.RenderParameterTable(p.ParameterTable()))
+		return nil
+	})
+	run("4", func() error {
+		points, err := experiments.RunFigure4(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigure4(points))
+		return nil
+	})
+	run("6", func() error {
+		rows, err := experiments.RunFigure6(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigure6(rows))
+		return nil
+	})
+	run("7", func() error {
+		rows, err := experiments.RunFigure7(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigure7(rows))
+		return nil
+	})
+	run("8", func() error {
+		rows, err := experiments.RunFigure8(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigure8(rows))
+		return nil
+	})
+	run("ablations", func() error {
+		repl, err := experiments.RunAblationReplication(p)
+		if err != nil {
+			return err
+		}
+		smpl, err := experiments.RunAblationSampling(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderAblations(repl, smpl))
+		return nil
+	})
+
+	switch *figure {
+	case "4", "5", "6", "7", "8", "ablations", "all":
+	default:
+		fatal(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations or all)", *figure))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vtbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command vtgen emits a synthetic valid-time relation as CSV, using
+// the workload model of the paper's Section 4 experiments: one-chronon
+// tuples uniform over the lifespan plus long-lived tuples starting in
+// the first half of the lifespan and living for half of it.
+//
+// Usage:
+//
+//	vtgen [-tuples N] [-longlived N] [-lifespan N] [-keys N] [-seed S] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vtjoin/internal/csvio"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/workload"
+)
+
+func main() {
+	tuples := flag.Int("tuples", 10000, "relation cardinality")
+	longLived := flag.Int("longlived", 0, "number of long-lived tuples")
+	lifespan := flag.Int64("lifespan", 1_000_000, "relation lifespan in chronons")
+	keys := flag.Int64("keys", 100, "distinct join-key values (0 = unique per tuple)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	spec := workload.Spec{
+		Tuples:    *tuples,
+		LongLived: *longLived,
+		Lifespan:  *lifespan,
+		Keys:      *keys,
+		Seed:      *seed,
+	}
+	d := disk.New(4096)
+	rel, err := spec.Build(d)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := csvio.Write(w, rel); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vtgen:", err)
+	os.Exit(1)
+}

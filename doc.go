@@ -1,0 +1,46 @@
+// Package vtjoin is a from-scratch implementation of the valid-time
+// natural join and its evaluation algorithms, reproducing
+//
+//	M. D. Soo, R. T. Snodgrass, C. S. Jensen.
+//	"Efficient Evaluation of the Valid-Time Natural Join."
+//	Proceedings of the 10th International Conference on Data
+//	Engineering (ICDE), 1994, pp. 282–292.
+//
+// A valid-time relation timestamps every tuple with an inclusive
+// interval [Vs, Ve] of chronons — the time during which the fact it
+// records was true in the modelled reality. The valid-time natural
+// join r ⋈V s pairs tuples that agree on their shared explicit
+// attributes and overlap in valid time; each result tuple carries the
+// maximal overlap of its operands' timestamps. Like its snapshot
+// counterpart, the operator reconstructs normalized temporal schemas.
+//
+// The package provides three disk-oriented evaluation algorithms over
+// a simulated paged storage device with the paper's random/sequential
+// I/O cost accounting:
+//
+//   - PartitionJoin — the paper's contribution: sampling-based
+//     selection of valid-time partitioning intervals (sized by the
+//     Kolmogorov test statistic), Grace partitioning that stores each
+//     tuple in the last partition it overlaps (no replication), and a
+//     backward sweep that migrates long-lived tuples through a
+//     one-page tuple cache;
+//   - SortMerge — external sort on valid-time start with a merge that
+//     "backs up" over long-lived tuples;
+//   - NestedLoop — block nested loops, with a closed-form cost model.
+//
+// # Quick start
+//
+//	db := vtjoin.Open()
+//	emp := db.MustCreateRelation(vtjoin.NewSchema(
+//		vtjoin.Col("name", vtjoin.KindString),
+//		vtjoin.Col("salary", vtjoin.KindInt),
+//	))
+//	b := emp.Loader()
+//	b.MustAppend(vtjoin.Span(10, 20), vtjoin.String("alice"), vtjoin.Int(70000))
+//	b.MustClose()
+//	// ... build dept similarly ...
+//	res, err := vtjoin.Join(emp, dept, vtjoin.Options{})
+//
+// Join results report per-phase I/O so the paper's experiments — and
+// your own — can be reproduced; see cmd/vtbench and EXPERIMENTS.md.
+package vtjoin

@@ -1,0 +1,136 @@
+// Coverage analysis — outer joins, coalescing and temporal
+// aggregation over on-call data.
+//
+// An on-call schedule (who covers which service, when) is joined with
+// the incident log (which service paged, when). Three questions, three
+// temporal operators:
+//
+//  1. Which incidents had nobody on call? — the RIGHT OUTER join's
+//     null-padded fragments.
+//  2. When was each service actually covered? — PROJECT the schedule
+//     to (service), which coalesces adjacent shifts into maximal
+//     covered intervals.
+//  3. How deep was the on-call rotation over time? — CountOverTime on
+//     the schedule.
+//
+// Run with:
+//
+//	go run ./examples/coverage
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	vtjoin "vtjoin"
+)
+
+const (
+	services = 6
+	horizon  = 10_000 // chronons of observed history
+)
+
+func main() {
+	db := vtjoin.Open()
+	rng := rand.New(rand.NewSource(11))
+
+	// The schedule: per service, consecutive shifts with deliberate
+	// gaps (late-night holes in the rotation).
+	schedule := db.MustCreateRelation(vtjoin.NewSchema(
+		vtjoin.Col("service", vtjoin.KindInt),
+		vtjoin.Col("engineer", vtjoin.KindString),
+	))
+	engineers := []string{"ana", "bo", "cyn", "dev", "eli"}
+	sl := schedule.Loader()
+	for svc := 0; svc < services; svc++ {
+		at := vtjoin.Chronon(rng.Intn(50))
+		for int64(at) < horizon {
+			length := vtjoin.Chronon(100 + rng.Intn(400))
+			end := at + length
+			if int64(end) >= horizon {
+				end = horizon - 1
+			}
+			sl.MustAppend(vtjoin.Span(at, end),
+				vtjoin.Int(int64(svc)), vtjoin.String(engineers[rng.Intn(len(engineers))]))
+			// Occasionally leave a gap before the next shift.
+			at = end + 1
+			if rng.Intn(4) == 0 {
+				at += vtjoin.Chronon(50 + rng.Intn(200))
+			}
+		}
+	}
+	sl.MustClose()
+
+	// The incident log.
+	incidents := db.MustCreateRelation(vtjoin.NewSchema(
+		vtjoin.Col("service", vtjoin.KindInt),
+		vtjoin.Col("incident", vtjoin.KindInt),
+	))
+	il := incidents.Loader()
+	for i := 0; i < 300; i++ {
+		start := vtjoin.Chronon(rng.Intn(horizon - 100))
+		il.MustAppend(vtjoin.Span(start, start+vtjoin.Chronon(1+rng.Intn(80))),
+			vtjoin.Int(int64(rng.Intn(services))), vtjoin.Int(int64(i)))
+	}
+	il.MustClose()
+	fmt.Printf("schedule: %d shifts; incident log: %d incidents\n",
+		schedule.Cardinality(), incidents.Cardinality())
+
+	// 1. Unstaffed incident time: right outer join, keep the fragments
+	// whose engineer is null.
+	res, err := vtjoin.Join(schedule, incidents, vtjoin.Options{
+		Type:        vtjoin.JoinRightOuter,
+		MemoryPages: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	uncovered, err := vtjoin.Select(res.Relation, func(z vtjoin.Tuple) bool {
+		return z.Values[1].IsNull() // engineer column
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := uncovered.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var unstaffedChronons int64
+	for _, z := range rows {
+		unstaffedChronons += z.V.Duration()
+	}
+	fmt.Printf("\nunstaffed incident intervals: %d (%d chronons of exposure)\n",
+		len(rows), unstaffedChronons)
+	for i, z := range rows {
+		if i == 3 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  service %v, incident %v: nobody on call during %v\n",
+			z.Values[0], z.Values[2], z.V)
+	}
+
+	// 2. Per-service covered intervals: project the schedule to the
+	// service column; projection coalesces adjacent shifts.
+	covered, err := vtjoin.Project(schedule, "service")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncoverage map: %d shifts coalesce into %d maximal covered intervals\n",
+		schedule.Cardinality(), covered.Cardinality())
+
+	// 3. Rotation depth over time: the COUNT aggregate.
+	depth, err := vtjoin.CountOverTime(schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxDepth, at := int64(0), vtjoin.Span(0, 0)
+	for _, seg := range depth {
+		if c := seg.Values[0].AsInt(); c > maxDepth {
+			maxDepth, at = c, seg.V
+		}
+	}
+	fmt.Printf("rotation depth: %d constant-depth segments; peak %d engineers on call during %v\n",
+		len(depth), maxDepth, at)
+}

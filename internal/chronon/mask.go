@@ -1,0 +1,76 @@
+package chronon
+
+import "strings"
+
+// Mask is a set of Allen relations, used to express valid-time join
+// predicates beyond the natural join's "share at least one chronon":
+// contain-joins, containment joins, and interval-equality joins
+// [LM92a] all select a subset of the thirteen relations.
+type Mask uint16
+
+// MaskOf builds a mask from individual relations.
+func MaskOf(rels ...Relation) Mask {
+	var m Mask
+	for _, r := range rels {
+		m |= 1 << r
+	}
+	return m
+}
+
+// Predefined predicate masks. All of these imply interval intersection,
+// which is what lets the partition and sort-merge frameworks evaluate
+// them: a matching pair always co-exists in some partition / merge
+// window.
+var (
+	// MaskIntersects holds when the intervals share at least one
+	// chronon — the valid-time natural join's predicate.
+	MaskIntersects = MaskOf(RelOverlaps, RelOverlappedBy, RelStarts, RelStartedBy,
+		RelDuring, RelContains, RelFinishes, RelFinishedBy, RelEquals)
+	// MaskContains holds when the first interval contains the second.
+	MaskContains = MaskOf(RelContains, RelStartedBy, RelFinishedBy, RelEquals)
+	// MaskContainedIn holds when the first interval lies within the
+	// second.
+	MaskContainedIn = MaskOf(RelDuring, RelStarts, RelFinishes, RelEquals)
+	// MaskEqual holds when the intervals are identical.
+	MaskEqual = MaskOf(RelEquals)
+)
+
+// Has reports whether the mask includes relation r.
+func (m Mask) Has(r Relation) bool { return m&(1<<r) != 0 }
+
+// Holds reports whether the relation from a to b is in the mask.
+func (m Mask) Holds(a, b Interval) bool { return m.Has(Classify(a, b)) }
+
+// ImpliesIntersection reports whether every relation in the mask
+// implies the intervals share a chronon. Partition-based and
+// merge-based evaluation require this property; predicates that match
+// disjoint intervals (before, meets, ...) need nested-loop evaluation.
+func (m Mask) ImpliesIntersection() bool {
+	return m != 0 && m&^MaskIntersects == 0
+}
+
+// Inverse returns the mask matching exactly the pairs (b, a) for which
+// m matches (a, b).
+func (m Mask) Inverse() Mask {
+	var out Mask
+	for r := RelNone; r <= RelAfter; r++ {
+		if m.Has(r) {
+			out |= 1 << r.Inverse()
+		}
+	}
+	return out
+}
+
+// String lists the relations in the mask.
+func (m Mask) String() string {
+	if m == 0 {
+		return "none"
+	}
+	var names []string
+	for r := RelNone; r <= RelAfter; r++ {
+		if m.Has(r) {
+			names = append(names, r.String())
+		}
+	}
+	return strings.Join(names, "|")
+}

@@ -1,0 +1,95 @@
+package chronon
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMaskOfAndHas(t *testing.T) {
+	m := MaskOf(RelBefore, RelAfter)
+	if !m.Has(RelBefore) || !m.Has(RelAfter) || m.Has(RelEquals) {
+		t.Fatal("MaskOf/Has broken")
+	}
+}
+
+func TestMaskIntersectsAgreesWithOverlaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for i := 0; i < 5000; i++ {
+		a, b := randSmallInterval(rng), randSmallInterval(rng)
+		if MaskIntersects.Holds(a, b) != a.Overlaps(b) {
+			t.Fatalf("MaskIntersects disagrees with Overlaps for %v, %v", a, b)
+		}
+	}
+}
+
+func TestMaskContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 5000; i++ {
+		a, b := randSmallInterval(rng), randSmallInterval(rng)
+		want := a.ContainsInterval(b)
+		if MaskContains.Holds(a, b) != want {
+			t.Fatalf("MaskContains(%v, %v) = %v, want %v", a, b, !want, want)
+		}
+		if MaskContainedIn.Holds(b, a) != want {
+			t.Fatalf("MaskContainedIn(%v, %v) mismatch", b, a)
+		}
+	}
+}
+
+func TestMaskEqual(t *testing.T) {
+	a := New(3, 9)
+	if !MaskEqual.Holds(a, New(3, 9)) {
+		t.Fatal("equal intervals not matched")
+	}
+	if MaskEqual.Holds(a, New(3, 10)) {
+		t.Fatal("unequal intervals matched")
+	}
+}
+
+func TestImpliesIntersection(t *testing.T) {
+	for _, m := range []Mask{MaskIntersects, MaskContains, MaskContainedIn, MaskEqual} {
+		if !m.ImpliesIntersection() {
+			t.Fatalf("mask %v should imply intersection", m)
+		}
+	}
+	if MaskOf(RelBefore).ImpliesIntersection() {
+		t.Fatal("before implies intersection?")
+	}
+	if MaskOf(RelMeets, RelEquals).ImpliesIntersection() {
+		t.Fatal("meets implies intersection?")
+	}
+	if Mask(0).ImpliesIntersection() {
+		t.Fatal("empty mask implies intersection?")
+	}
+}
+
+func TestMaskInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	masks := []Mask{MaskIntersects, MaskContains, MaskContainedIn, MaskEqual, MaskOf(RelBefore, RelOverlaps)}
+	for _, m := range masks {
+		inv := m.Inverse()
+		for i := 0; i < 1000; i++ {
+			a, b := randSmallInterval(rng), randSmallInterval(rng)
+			if m.Holds(a, b) != inv.Holds(b, a) {
+				t.Fatalf("inverse of %v broken for %v, %v", m, a, b)
+			}
+		}
+		if m.Inverse().Inverse() != m {
+			t.Fatalf("double inverse of %v changed it", m)
+		}
+	}
+	if MaskContains.Inverse() != MaskContainedIn {
+		t.Fatal("Contains inverse should be ContainedIn")
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	if Mask(0).String() != "none" {
+		t.Fatal("empty mask string")
+	}
+	s := MaskEqual.String()
+	if !strings.Contains(s, "equals") {
+		t.Fatalf("MaskEqual string %q", s)
+	}
+}

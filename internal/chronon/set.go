@@ -1,0 +1,183 @@
+package chronon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a set of chronons represented as disjoint, non-adjacent,
+// sorted intervals — the canonical form. Sets implement the interval
+// arithmetic needed by valid-time outer joins (computing the
+// unmatched portion of a tuple's timestamp) and by coalescing.
+// The zero value is the empty set.
+type Set struct {
+	ivs []Interval // canonical: sorted, disjoint, non-adjacent
+}
+
+// NewSet builds a set from arbitrary intervals (overlapping, adjacent,
+// unsorted, null — all tolerated; nulls contribute nothing).
+func NewSet(ivs ...Interval) Set {
+	tmp := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if !iv.IsNull() {
+			tmp = append(tmp, iv)
+		}
+	}
+	if len(tmp) == 0 {
+		return Set{}
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].Start < tmp[j].Start })
+	out := make([]Interval, 0, len(tmp))
+	cur := tmp[0]
+	for _, iv := range tmp[1:] {
+		if iv.Start <= cur.End+1 { // overlapping or adjacent: merge
+			if iv.End > cur.End {
+				cur.End = iv.End
+			}
+			continue
+		}
+		out = append(out, cur)
+		cur = iv
+	}
+	out = append(out, cur)
+	return Set{ivs: out}
+}
+
+// Intervals returns the canonical disjoint intervals.
+func (s Set) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// IsEmpty reports whether the set contains no chronons.
+func (s Set) IsEmpty() bool { return len(s.ivs) == 0 }
+
+// Size returns the number of chronons in the set.
+func (s Set) Size() int64 {
+	var n int64
+	for _, iv := range s.ivs {
+		n += iv.Duration()
+	}
+	return n
+}
+
+// Contains reports whether chronon t is in the set.
+func (s Set) Contains(t Chronon) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End >= t })
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// Union returns s ∪ o.
+func (s Set) Union(o Set) Set {
+	return NewSet(append(s.Intervals(), o.ivs...)...)
+}
+
+// Add returns s ∪ {iv}.
+func (s Set) Add(iv Interval) Set {
+	return NewSet(append(s.Intervals(), iv)...)
+}
+
+// Intersect returns s ∩ o.
+func (s Set) Intersect(o Set) Set {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(o.ivs) {
+		if ov := Overlap(s.ivs[i], o.ivs[j]); !ov.IsNull() {
+			out = append(out, ov)
+		}
+		if s.ivs[i].End < o.ivs[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set{ivs: out} // already canonical: sorted, disjoint, non-adjacent
+}
+
+// Subtract returns s \ o: the chronons of s not in o. This is the
+// operation behind valid-time outer joins — the sub-intervals of a
+// tuple's timestamp not covered by any matching tuple.
+func (s Set) Subtract(o Set) Set {
+	var out []Interval
+	j := 0
+	for _, iv := range s.ivs {
+		start := iv.Start
+		for j < len(o.ivs) && o.ivs[j].End < start {
+			j++
+		}
+		k := j
+		for k < len(o.ivs) && o.ivs[k].Start <= iv.End {
+			hole := o.ivs[k]
+			if hole.Start > start {
+				out = append(out, Interval{Start: start, End: hole.Start - 1, valid: true})
+			}
+			if hole.End >= iv.End {
+				start = iv.End + 1
+				break
+			}
+			start = hole.End + 1
+			k++
+		}
+		if start <= iv.End {
+			out = append(out, Interval{Start: start, End: iv.End, valid: true})
+		}
+	}
+	return Set{ivs: out}
+}
+
+// SubtractInterval returns s \ {iv}.
+func (s Set) SubtractInterval(iv Interval) Set {
+	if iv.IsNull() {
+		return Set{ivs: s.Intervals()}
+	}
+	return s.Subtract(Set{ivs: []Interval{iv}})
+}
+
+// Equal reports set equality.
+func (s Set) Equal(o Set) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if !s.ivs[i].Equal(o.ivs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hull returns the minimal single interval covering the set (null for
+// the empty set).
+func (s Set) Hull() Interval {
+	if len(s.ivs) == 0 {
+		return Null()
+	}
+	return Interval{Start: s.ivs[0].Start, End: s.ivs[len(s.ivs)-1].End, valid: true}
+}
+
+// String renders the set as "{[a, b], [c, d]}".
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "{}"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Validate checks the canonical-form invariant; used by tests.
+func (s Set) Validate() error {
+	for i, iv := range s.ivs {
+		if iv.IsNull() {
+			return fmt.Errorf("chronon: set contains null interval at %d", i)
+		}
+		if i > 0 && s.ivs[i-1].End+1 >= iv.Start {
+			return fmt.Errorf("chronon: set not canonical at %d: %v then %v", i, s.ivs[i-1], iv)
+		}
+	}
+	return nil
+}

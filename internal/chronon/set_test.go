@@ -1,0 +1,214 @@
+package chronon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func setOf(pairs ...int64) Set {
+	var ivs []Interval
+	for i := 0; i+1 < len(pairs); i += 2 {
+		ivs = append(ivs, New(Chronon(pairs[i]), Chronon(pairs[i+1])))
+	}
+	return NewSet(ivs...)
+}
+
+func TestNewSetCanonicalizes(t *testing.T) {
+	cases := []struct {
+		in   Set
+		want string
+	}{
+		{NewSet(), "{}"},
+		{NewSet(Null()), "{}"},
+		{setOf(5, 9, 0, 3), "{[0, 3], [5, 9]}"}, // sorts
+		{setOf(0, 5, 3, 9), "{[0, 9]}"},         // merges overlap
+		{setOf(0, 4, 5, 9), "{[0, 9]}"},         // merges adjacency
+		{setOf(0, 2, 0, 2), "{[0, 2]}"},         // dedups
+		{setOf(0, 9, 2, 3), "{[0, 9]}"},         // absorbs contained
+		{setOf(0, 1, 3, 4, 6, 7), "{[0, 1], [3, 4], [6, 7]}"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("got %s, want %s", got, c.want)
+		}
+		if err := c.in.Validate(); err != nil {
+			t.Errorf("not canonical: %v", err)
+		}
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := setOf(0, 4, 10, 14)
+	if s.IsEmpty() || s.Size() != 10 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	for _, c := range []Chronon{0, 4, 10, 14} {
+		if !s.Contains(c) {
+			t.Fatalf("should contain %d", c)
+		}
+	}
+	for _, c := range []Chronon{-1, 5, 9, 15} {
+		if s.Contains(c) {
+			t.Fatalf("should not contain %d", c)
+		}
+	}
+	if !s.Hull().Equal(New(0, 14)) {
+		t.Fatalf("hull = %v", s.Hull())
+	}
+	if !NewSet().Hull().IsNull() {
+		t.Fatal("empty hull should be null")
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	cases := []struct {
+		a, b Set
+		want string
+	}{
+		{setOf(0, 10), setOf(3, 5), "{[0, 2], [6, 10]}"}, // hole in the middle
+		{setOf(0, 10), setOf(0, 10), "{}"},               // exact
+		{setOf(0, 10), setOf(-5, 20), "{}"},              // superset
+		{setOf(0, 10), setOf(), "{[0, 10]}"},             // nothing
+		{setOf(0, 10), setOf(0, 3), "{[4, 10]}"},         // prefix
+		{setOf(0, 10), setOf(7, 10), "{[0, 6]}"},         // suffix
+		{setOf(0, 10), setOf(20, 30), "{[0, 10]}"},       // disjoint
+		{setOf(0, 10), setOf(2, 3, 6, 7), "{[0, 1], [4, 5], [8, 10]}"},
+		{setOf(0, 4, 10, 14), setOf(3, 11), "{[0, 2], [12, 14]}"},
+		{setOf(), setOf(0, 5), "{}"},
+	}
+	for _, c := range cases {
+		got := c.a.Subtract(c.b)
+		if got.String() != c.want {
+			t.Errorf("%v - %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("subtract result not canonical: %v", err)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b Set
+		want string
+	}{
+		{setOf(0, 10), setOf(5, 15), "{[5, 10]}"},
+		{setOf(0, 10), setOf(20, 30), "{}"},
+		{setOf(0, 4, 8, 12), setOf(3, 9), "{[3, 4], [8, 9]}"},
+		{setOf(0, 100), setOf(1, 2, 50, 60, 99, 120), "{[1, 2], [50, 60], [99, 100]}"},
+	}
+	for _, c := range cases {
+		got := c.a.Intersect(c.b)
+		if got.String() != c.want {
+			t.Errorf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUnionAdd(t *testing.T) {
+	a, b := setOf(0, 4), setOf(3, 9, 20, 25)
+	if got := a.Union(b).String(); got != "{[0, 9], [20, 25]}" {
+		t.Fatalf("union = %s", got)
+	}
+	if got := a.Add(New(5, 6)).String(); got != "{[0, 6]}" {
+		t.Fatalf("add = %s", got)
+	}
+}
+
+func TestSubtractInterval(t *testing.T) {
+	s := setOf(0, 10)
+	if got := s.SubtractInterval(New(3, 5)).String(); got != "{[0, 2], [6, 10]}" {
+		t.Fatalf("got %s", got)
+	}
+	if got := s.SubtractInterval(Null()); !got.Equal(s) {
+		t.Fatalf("subtracting null changed the set: %v", got)
+	}
+}
+
+// naiveSet models a set of chronons explicitly over a small universe.
+type naiveSet [64]bool
+
+func (n naiveSet) toSet() Set {
+	var ivs []Interval
+	for i := 0; i < len(n); i++ {
+		if !n[i] {
+			continue
+		}
+		j := i
+		for j+1 < len(n) && n[j+1] {
+			j++
+		}
+		ivs = append(ivs, New(Chronon(i), Chronon(j)))
+		i = j
+	}
+	return NewSet(ivs...)
+}
+
+func randNaive(rng *rand.Rand) naiveSet {
+	var n naiveSet
+	for k := 0; k < rng.Intn(6); k++ {
+		s := rng.Intn(60)
+		e := s + rng.Intn(10)
+		for i := s; i <= e && i < 64; i++ {
+			n[i] = true
+		}
+	}
+	return n
+}
+
+func TestSetOperationsMatchNaiveModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 2000; trial++ {
+		na, nb := randNaive(rng), randNaive(rng)
+		a, b := na.toSet(), nb.toSet()
+
+		var nu, ni, nd naiveSet
+		for i := 0; i < 64; i++ {
+			nu[i] = na[i] || nb[i]
+			ni[i] = na[i] && nb[i]
+			nd[i] = na[i] && !nb[i]
+		}
+		if got := a.Union(b); !got.Equal(nu.toSet()) {
+			t.Fatalf("union mismatch: %v ∪ %v = %v, want %v", a, b, got, nu.toSet())
+		}
+		if got := a.Intersect(b); !got.Equal(ni.toSet()) {
+			t.Fatalf("intersect mismatch: %v ∩ %v = %v, want %v", a, b, got, ni.toSet())
+		}
+		if got := a.Subtract(b); !got.Equal(nd.toSet()) {
+			t.Fatalf("subtract mismatch: %v \\ %v = %v, want %v", a, b, got, nd.toSet())
+		}
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	mk := func(seed int64) Set {
+		rng := rand.New(rand.NewSource(seed))
+		var ivs []Interval
+		for i := 0; i < rng.Intn(5); i++ {
+			s := Chronon(rng.Intn(1000))
+			ivs = append(ivs, New(s, s+Chronon(rng.Intn(100))))
+		}
+		return NewSet(ivs...)
+	}
+	f := func(s1, s2 int64) bool {
+		a, b := mk(s1), mk(s2)
+		// A \ B and A ∩ B partition A.
+		diff, inter := a.Subtract(b), a.Intersect(b)
+		if diff.Size()+inter.Size() != a.Size() {
+			return false
+		}
+		if !diff.Union(inter).Equal(a) {
+			return false
+		}
+		// (A \ B) ∩ B = ∅.
+		if !diff.Intersect(b).IsEmpty() {
+			return false
+		}
+		// Union commutes; intersection commutes.
+		return a.Union(b).Equal(b.Union(a)) && a.Intersect(b).Equal(b.Intersect(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

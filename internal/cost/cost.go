@@ -1,0 +1,110 @@
+// Package cost implements the paper's weighted I/O cost model. Cost is
+// the number of I/O operations, with random accesses weighted by the
+// random:sequential cost ratio (the paper evaluates 2:1, 5:1 and 10:1).
+package cost
+
+import (
+	"fmt"
+
+	"vtjoin/internal/disk"
+)
+
+// Weights holds the per-access costs. The paper fixes IOseq = 1 and
+// varies IOrand.
+type Weights struct {
+	Rand float64 // cost of one random page access (IOran)
+	Seq  float64 // cost of one sequential page access (IOseq)
+}
+
+// Ratio returns weights with IOseq = 1 and IOrand = r, the paper's
+// "random/sequential cost ratio r:1".
+func Ratio(r float64) Weights { return Weights{Rand: r, Seq: 1} }
+
+// Of returns the weighted cost of the counted accesses.
+func (w Weights) Of(c disk.Counters) float64 {
+	return w.Rand*float64(c.Random()) + w.Seq*float64(c.Sequential())
+}
+
+// String renders the weights as "r:s".
+func (w Weights) String() string { return fmt.Sprintf("%g:%g", w.Rand, w.Seq) }
+
+// Phase names one stage of an evaluation algorithm, e.g. the paper's
+// Csample, Cpartition and Cjoin components.
+type Phase struct {
+	Name     string
+	Counters disk.Counters
+}
+
+// Report is a per-phase cost breakdown of one algorithm execution.
+type Report struct {
+	Algorithm string
+	Phases    []Phase
+}
+
+// Add records a phase. Phases with all-zero counters are still recorded
+// so reports stay comparable across runs.
+func (r *Report) Add(name string, c disk.Counters) {
+	r.Phases = append(r.Phases, Phase{Name: name, Counters: c})
+}
+
+// Total returns the summed counters over all phases.
+func (r *Report) Total() disk.Counters {
+	var t disk.Counters
+	for _, p := range r.Phases {
+		t = t.Add(p.Counters)
+	}
+	return t
+}
+
+// Cost returns the weighted total cost under w.
+func (r *Report) Cost(w Weights) float64 { return w.Of(r.Total()) }
+
+// PhaseCost returns the weighted cost of the named phase, or 0 if the
+// phase was not recorded.
+func (r *Report) PhaseCost(name string, w Weights) float64 {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return w.Of(p.Counters)
+		}
+	}
+	return 0
+}
+
+// String renders the report with per-phase access counts.
+func (r *Report) String() string {
+	s := r.Algorithm + ":"
+	for _, p := range r.Phases {
+		s += fmt.Sprintf(" %s[%v]", p.Name, p.Counters)
+	}
+	return s
+}
+
+// Meter measures phases against a disk's counters. Typical use:
+//
+//	m := cost.NewMeter(d, "partition join")
+//	... sampling ...
+//	m.EndPhase("sample")
+//	... partitioning ...
+//	m.EndPhase("partition")
+type Meter struct {
+	d      *disk.Disk
+	report *Report
+	mark   disk.Counters
+}
+
+// NewMeter starts measuring the named algorithm on d from the disk's
+// current counter values.
+func NewMeter(d *disk.Disk, algorithm string) *Meter {
+	return &Meter{d: d, report: &Report{Algorithm: algorithm}, mark: d.Counters()}
+}
+
+// EndPhase closes the current phase, attributing to it every access
+// since the previous EndPhase (or the meter's creation).
+func (m *Meter) EndPhase(name string) {
+	now := m.d.Counters()
+	m.report.Add(name, now.Sub(m.mark))
+	m.mark = now
+}
+
+// Report returns the accumulated report.
+func (m *Meter) Report() *Report { return m.report }

@@ -1,0 +1,183 @@
+// Package csvio reads and writes valid-time relations as CSV, the
+// interchange format of the cmd/vtjoin and cmd/vtgen tools.
+//
+// The first record is a header: the literal columns "vs" and "ve"
+// (the valid-time start and end chronons) followed by one
+// "name:kind" entry per explicit column, e.g.
+//
+//	vs,ve,name:string,salary:int
+//	10,20,alice,70000
+//
+// Null values (outer-join padding) are written as the sentinel "␀"
+// (U+2400 SYMBOL FOR NULL), which round-trips regardless of the
+// column's declared kind.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+// NullSentinel is the CSV representation of a null value.
+const NullSentinel = "\u2400"
+
+// FormatHeader renders the header record for a schema.
+func FormatHeader(s *schema.Schema) []string {
+	out := []string{"vs", "ve"}
+	for _, c := range s.Columns() {
+		out = append(out, c.Name+":"+c.Kind.String())
+	}
+	return out
+}
+
+// ParseHeader parses a header record into a schema.
+func ParseHeader(rec []string) (*schema.Schema, error) {
+	if len(rec) < 2 || rec[0] != "vs" || rec[1] != "ve" {
+		return nil, fmt.Errorf("csvio: header must start with vs,ve; got %v", rec)
+	}
+	var cols []schema.Column
+	for _, f := range rec[2:] {
+		name, kindName, ok := strings.Cut(f, ":")
+		if !ok {
+			return nil, fmt.Errorf("csvio: header column %q is not name:kind", f)
+		}
+		k, err := value.ParseKind(kindName)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: header column %q: %w", f, err)
+		}
+		cols = append(cols, schema.Column{Name: name, Kind: k})
+	}
+	return schema.New(cols...)
+}
+
+// Write streams the relation to w as CSV (a counted sequential scan).
+func Write(w io.Writer, r *relation.Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(FormatHeader(r.Schema())); err != nil {
+		return err
+	}
+	rec := make([]string, 2+r.Schema().Len())
+	sc := r.Scan()
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := cw.Write(formatRecord(rec, t)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTuples writes an in-memory tuple slice as a CSV relation.
+func WriteTuples(w io.Writer, s *schema.Schema, ts []tuple.Tuple) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(FormatHeader(s)); err != nil {
+		return err
+	}
+	rec := make([]string, 2+s.Len())
+	for _, t := range ts {
+		if err := cw.Write(formatRecord(rec, t)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatRecord(rec []string, t tuple.Tuple) []string {
+	rec[0] = strconv.FormatInt(int64(t.V.Start), 10)
+	rec[1] = strconv.FormatInt(int64(t.V.End), 10)
+	for i, v := range t.Values {
+		if v.IsNull() {
+			rec[2+i] = NullSentinel
+		} else {
+			rec[2+i] = v.Text()
+		}
+	}
+	return rec
+}
+
+// Read loads a CSV relation onto d.
+func Read(rd io.Reader, d *disk.Disk) (*relation.Relation, error) {
+	s, ts, err := ReadTuples(rd)
+	if err != nil {
+		return nil, err
+	}
+	return relation.FromTuples(d, s, ts)
+}
+
+// ReadTuples parses a CSV relation into its schema and tuples without
+// touching storage.
+func ReadTuples(rd io.Reader) (*schema.Schema, []tuple.Tuple, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = -1 // validated manually with line numbers
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("csvio: reading header: %w", err)
+	}
+	s, err := ParseHeader(header)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []tuple.Tuple
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("csvio: line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != 2+s.Len() {
+			return nil, nil, fmt.Errorf("csvio: line %d: %d fields, want %d", line, len(rec), 2+s.Len())
+		}
+		vs, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("csvio: line %d: vs: %w", line, err)
+		}
+		ve, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("csvio: line %d: ve: %w", line, err)
+		}
+		iv, err := chronon.NewChecked(chronon.Chronon(vs), chronon.Chronon(ve))
+		if err != nil {
+			return nil, nil, fmt.Errorf("csvio: line %d: %w", line, err)
+		}
+		vals := make([]value.Value, s.Len())
+		for i := 0; i < s.Len(); i++ {
+			if rec[2+i] == NullSentinel {
+				vals[i] = value.Null()
+				continue
+			}
+			v, err := value.Parse(s.Column(i).Kind, rec[2+i])
+			if err != nil {
+				return nil, nil, fmt.Errorf("csvio: line %d column %q: %w", line, s.Column(i).Name, err)
+			}
+			vals[i] = v
+		}
+		t := tuple.Tuple{Values: vals, V: iv}
+		if err := t.CheckAgainst(s); err != nil {
+			return nil, nil, fmt.Errorf("csvio: line %d: %w", line, err)
+		}
+		out = append(out, t)
+	}
+	return s, out, nil
+}

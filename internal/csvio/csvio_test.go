@@ -1,0 +1,179 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+var testSchema = schema.MustNew(
+	schema.Column{Name: "name", Kind: value.KindString},
+	schema.Column{Name: "salary", Kind: value.KindInt},
+	schema.Column{Name: "rate", Kind: value.KindFloat},
+	schema.Column{Name: "active", Kind: value.KindBool},
+)
+
+func sampleRelation(t *testing.T, d *disk.Disk) *relation.Relation {
+	t.Helper()
+	r, err := relation.FromTuples(d, testSchema, []tuple.Tuple{
+		tuple.New(chronon.New(10, 20), value.String_("alice"), value.Int(70000), value.Float(1.5), value.Bool(true)),
+		tuple.New(chronon.New(5, 30), value.String_("bob, jr"), value.Int(60000), value.Float(0.25), value.Bool(false)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := disk.New(4096)
+	r := sampleRelation(t, d)
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schema().Equal(r.Schema()) {
+		t.Fatalf("schema changed: %v vs %v", got.Schema(), r.Schema())
+	}
+	a, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("cardinality changed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("tuple %d changed: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHeaderFormat(t *testing.T) {
+	h := FormatHeader(testSchema)
+	want := []string{"vs", "ve", "name:string", "salary:int", "rate:float", "active:bool"}
+	if len(h) != len(want) {
+		t.Fatalf("header %v", h)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("header %v, want %v", h, want)
+		}
+	}
+	s, err := ParseHeader(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(testSchema) {
+		t.Fatal("header round trip changed schema")
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	bad := [][]string{
+		{},
+		{"vs"},
+		{"ve", "vs"},
+		{"vs", "ve", "nokind"},
+		{"vs", "ve", "x:decimal"},
+		{"vs", "ve", "x:int", "x:int"},
+	}
+	for _, h := range bad {
+		if _, err := ParseHeader(h); err == nil {
+			t.Errorf("header %v accepted", h)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	d := disk.New(4096)
+	cases := []string{
+		"",                            // no header
+		"vs,ve,x:int\nnotanumber,2,3", // bad vs
+		"vs,ve,x:int\n1,notanumber,3", // bad ve
+		"vs,ve,x:int\n9,2,3",          // inverted interval
+		"vs,ve,x:int\n1,2",            // missing field
+		"vs,ve,x:int\n1,2,3,4",        // extra field
+		"vs,ve,x:int\n1,2,notanumber", // bad value
+		"vs,ve,x:bytes\n1,2,zz",       // bad bytes literal
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c), d); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+func TestReadEmptyRelation(t *testing.T) {
+	d := disk.New(4096)
+	r, err := Read(strings.NewReader("vs,ve,x:int\n"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples() != 0 {
+		t.Fatal("empty CSV produced tuples")
+	}
+}
+
+func TestQuotedStringsSurvive(t *testing.T) {
+	d := disk.New(4096)
+	r := sampleRelation(t, d)
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"bob, jr"`) {
+		t.Fatalf("comma-containing string not quoted:\n%s", buf.String())
+	}
+}
+
+func TestNullRoundTrip(t *testing.T) {
+	d := disk.New(4096)
+	s := schema.MustNew(
+		schema.Column{Name: "name", Kind: value.KindString},
+		schema.Column{Name: "dept", Kind: value.KindString},
+	)
+	r, err := relation.FromTuples(d, s, []tuple.Tuple{
+		tuple.New(chronon.New(0, 5), value.String_("alice"), value.Null()),
+		tuple.New(chronon.New(6, 9), value.Null(), value.String_("eng")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), NullSentinel) {
+		t.Fatalf("null sentinel missing:\n%s", buf.String())
+	}
+	got, err := Read(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := got.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts[0].Values[1].IsNull() || !ts[1].Values[0].IsNull() {
+		t.Fatalf("nulls lost: %v", ts)
+	}
+	if ts[0].Values[0].AsString() != "alice" {
+		t.Fatal("typed value lost")
+	}
+}

@@ -1,0 +1,226 @@
+// Package disk simulates a paged secondary-storage device and counts
+// I/O operations the way the paper's performance model does: every page
+// access is classified as either random (requires a seek: the target is
+// not the page immediately following the previously accessed page) or
+// sequential (the target directly follows the last access in the same
+// file). Section 4.1: "We measured cost as the number of I/O operations
+// performed by an algorithm, distinguishing between the higher cost of
+// random access and the lower cost of sequential access."
+//
+// All data really moves: pages are stored and returned byte-for-byte,
+// so the join algorithms built on top are testable for correctness, not
+// just for cost.
+package disk
+
+import (
+	"fmt"
+
+	"vtjoin/internal/page"
+)
+
+// FileID names a file (a relation, a partition, a sort run, a tuple
+// cache, ...) on the simulated device.
+type FileID int32
+
+// Counters accumulates the four access classes of the cost model.
+type Counters struct {
+	RandReads  int64
+	SeqReads   int64
+	RandWrites int64
+	SeqWrites  int64
+}
+
+// Add returns the sum of two counter sets.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		RandReads:  c.RandReads + o.RandReads,
+		SeqReads:   c.SeqReads + o.SeqReads,
+		RandWrites: c.RandWrites + o.RandWrites,
+		SeqWrites:  c.SeqWrites + o.SeqWrites,
+	}
+}
+
+// Sub returns c - o, used to measure a phase between two snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		RandReads:  c.RandReads - o.RandReads,
+		SeqReads:   c.SeqReads - o.SeqReads,
+		RandWrites: c.RandWrites - o.RandWrites,
+		SeqWrites:  c.SeqWrites - o.SeqWrites,
+	}
+}
+
+// Random and Sequential return the totals per access class.
+func (c Counters) Random() int64     { return c.RandReads + c.RandWrites }
+func (c Counters) Sequential() int64 { return c.SeqReads + c.SeqWrites }
+
+// Total returns the total number of page accesses.
+func (c Counters) Total() int64 { return c.Random() + c.Sequential() }
+
+// String renders the counters compactly.
+func (c Counters) String() string {
+	return fmt.Sprintf("rand(r=%d w=%d) seq(r=%d w=%d)",
+		c.RandReads, c.RandWrites, c.SeqReads, c.SeqWrites)
+}
+
+// Disk is a simulated paged device. It is not safe for concurrent use;
+// the evaluation algorithms are single-threaded, as in the paper.
+//
+// Sequentiality is tracked per file: an access to page i of file f is
+// sequential iff the previous access to f touched page i-1. This
+// matches the paper's accounting, which charges a partition, run, or
+// tuple-cache read "a single random seek followed by i-1 sequential
+// reads" even though different streams interleave during evaluation
+// (physically: each file occupies consecutive pages and the device has
+// a track buffer per active stream).
+type Disk struct {
+	pageSize int
+	store    store
+	nextID   FileID
+	counters Counters
+
+	// last[f] is the page index of the most recent access to file f.
+	last map[FileID]int
+}
+
+// New creates a device with the given page size, backed by process
+// memory (the configuration of the paper's simulations).
+func New(pageSize int) *Disk {
+	if pageSize < page.MinSize {
+		panic(fmt.Sprintf("disk: page size %d below minimum %d", pageSize, page.MinSize))
+	}
+	return &Disk{
+		pageSize: pageSize,
+		store:    newMemStore(pageSize),
+		nextID:   1,
+		last:     make(map[FileID]int),
+	}
+}
+
+// NewFileBacked creates a device whose pages persist as real files
+// under dir (one file per FileID, pages back to back). The cost
+// accounting is identical to the in-memory device: classification
+// lives above the backend.
+func NewFileBacked(pageSize int, dir string) (*Disk, error) {
+	if pageSize < page.MinSize {
+		return nil, fmt.Errorf("disk: page size %d below minimum %d", pageSize, page.MinSize)
+	}
+	st, err := newFileStore(pageSize, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Disk{
+		pageSize: pageSize,
+		store:    st,
+		nextID:   1,
+		last:     make(map[FileID]int),
+	}, nil
+}
+
+// Close releases the device's resources (open files, memory).
+func (d *Disk) Close() error { return d.store.close() }
+
+// PageSize returns the device's page size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// Create allocates a new empty file and returns its ID.
+func (d *Disk) Create() FileID {
+	id := d.nextID
+	d.nextID++
+	if err := d.store.create(id); err != nil {
+		// IDs are allocated monotonically, so creation of a fresh id can
+		// only fail on backend I/O errors; surface them loudly.
+		panic(err)
+	}
+	return id
+}
+
+// Remove deletes a file, freeing its pages. Removing an unknown file is
+// an error.
+func (d *Disk) Remove(f FileID) error {
+	if err := d.store.remove(f); err != nil {
+		return err
+	}
+	delete(d.last, f)
+	return nil
+}
+
+// NumPages returns the number of pages in file f, or an error if f does
+// not exist.
+func (d *Disk) NumPages(f FileID) (int, error) {
+	return d.store.numPages(f)
+}
+
+// touch classifies an access to (f, idx) and advances file f's stream
+// position.
+func (d *Disk) touch(f FileID, idx int, write bool) {
+	prev, seen := d.last[f]
+	sequential := seen && idx == prev+1
+	switch {
+	case write && sequential:
+		d.counters.SeqWrites++
+	case write:
+		d.counters.RandWrites++
+	case sequential:
+		d.counters.SeqReads++
+	default:
+		d.counters.RandReads++
+	}
+	d.last[f] = idx
+}
+
+// Read copies page idx of file f into dst. dst must match the device
+// page size.
+func (d *Disk) Read(f FileID, idx int, dst *page.Page) error {
+	if dst.Size() != d.pageSize {
+		return fmt.Errorf("disk: read: destination page is %d bytes, device uses %d", dst.Size(), d.pageSize)
+	}
+	if err := d.store.read(f, idx, dst.Bytes()); err != nil {
+		return err
+	}
+	d.touch(f, idx, false)
+	return nil
+}
+
+// Write stores the page image at index idx of file f. idx may be at
+// most the current page count (writing at the count appends).
+func (d *Disk) Write(f FileID, idx int, src *page.Page) error {
+	if src.Size() != d.pageSize {
+		return fmt.Errorf("disk: write: source page is %d bytes, device uses %d", src.Size(), d.pageSize)
+	}
+	if err := d.store.write(f, idx, src.Bytes()); err != nil {
+		return err
+	}
+	d.touch(f, idx, true)
+	return nil
+}
+
+// Append stores the page image after the last page of file f and
+// returns its index.
+func (d *Disk) Append(f FileID, src *page.Page) (int, error) {
+	n, err := d.NumPages(f)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.Write(f, n, src); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Truncate discards the contents of file f, keeping the file.
+func (d *Disk) Truncate(f FileID) error {
+	return d.store.truncate(f)
+}
+
+// Counters returns a snapshot of the access counters.
+func (d *Disk) Counters() Counters { return d.counters }
+
+// ResetCounters zeroes the access counters and forgets all stream
+// positions (the next access to any file is random). Used to exclude
+// setup work — e.g. loading the base relations — from measured costs,
+// as the paper's simulations do.
+func (d *Disk) ResetCounters() {
+	d.counters = Counters{}
+	d.last = make(map[FileID]int)
+}

@@ -1,0 +1,297 @@
+package disk
+
+import (
+	"testing"
+
+	"vtjoin/internal/page"
+)
+
+func newPage(t *testing.T, d *Disk, payload string) *page.Page {
+	t.Helper()
+	p := page.New(d.PageSize())
+	if !p.Insert([]byte(payload)) {
+		t.Fatalf("payload %q does not fit", payload)
+	}
+	return p
+}
+
+func TestCreateReadWrite(t *testing.T) {
+	d := New(page.DefaultSize)
+	f := d.Create()
+	p := newPage(t, d, "hello")
+	if _, err := d.Append(f, p); err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.NumPages(f)
+	if err != nil || n != 1 {
+		t.Fatalf("NumPages = %d, %v", n, err)
+	}
+	dst := page.New(page.DefaultSize)
+	if err := d.Read(f, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst.Record(0)) != "hello" {
+		t.Fatal("read back wrong data")
+	}
+}
+
+func TestWriteIsCopy(t *testing.T) {
+	d := New(page.DefaultSize)
+	f := d.Create()
+	p := newPage(t, d, "orig")
+	if _, err := d.Append(f, p); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	p.Insert([]byte("mutated"))
+	dst := page.New(page.DefaultSize)
+	if err := d.Read(f, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst.Record(0)) != "orig" {
+		t.Fatal("disk aliases the caller's page buffer")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := New(page.DefaultSize)
+	p := page.New(page.DefaultSize)
+	if err := d.Read(99, 0, p); err == nil {
+		t.Fatal("read from unknown file accepted")
+	}
+	if err := d.Write(99, 0, p); err == nil {
+		t.Fatal("write to unknown file accepted")
+	}
+	f := d.Create()
+	if err := d.Read(f, 0, p); err == nil {
+		t.Fatal("read past EOF accepted")
+	}
+	if err := d.Write(f, 1, p); err == nil {
+		t.Fatal("write with a gap accepted")
+	}
+	small := page.New(page.MinSize)
+	if err := d.Write(f, 0, small); err == nil {
+		t.Fatal("page-size mismatch accepted on write")
+	}
+	if err := d.Write(f, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(f, 0, small); err == nil {
+		t.Fatal("page-size mismatch accepted on read")
+	}
+	if err := d.Remove(99); err == nil {
+		t.Fatal("remove of unknown file accepted")
+	}
+	if err := d.Remove(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NumPages(f); err == nil {
+		t.Fatal("NumPages after remove accepted")
+	}
+	if err := d.Truncate(f); err == nil {
+		t.Fatal("truncate of removed file accepted")
+	}
+}
+
+func TestSequentialVsRandomClassification(t *testing.T) {
+	d := New(page.DefaultSize)
+	f := d.Create()
+	p := page.New(page.DefaultSize)
+	// Appending 5 pages: first write is random (head unset), the
+	// remaining 4 follow the head sequentially.
+	for i := 0; i < 5; i++ {
+		if _, err := d.Append(f, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := d.Counters()
+	if c.RandWrites != 1 || c.SeqWrites != 4 {
+		t.Fatalf("appends: %v, want 1 random + 4 sequential writes", c)
+	}
+
+	d.ResetCounters()
+	// Scanning the file: 1 random + 4 sequential reads.
+	for i := 0; i < 5; i++ {
+		if err := d.Read(f, i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c = d.Counters()
+	if c.RandReads != 1 || c.SeqReads != 4 {
+		t.Fatalf("scan: %v, want 1 random + 4 sequential reads", c)
+	}
+
+	d.ResetCounters()
+	// Reading backwards is all random.
+	for i := 4; i >= 0; i-- {
+		if err := d.Read(f, i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c = d.Counters()
+	if c.RandReads != 5 || c.SeqReads != 0 {
+		t.Fatalf("backward scan: %v, want 5 random reads", c)
+	}
+}
+
+func TestInterleavedFilesTrackedPerStream(t *testing.T) {
+	// Sequentiality is per file: alternating appends to two files are
+	// each sequential within their own stream after the first page,
+	// matching the paper's "one random seek plus sequential accesses per
+	// partition/run/cache" accounting even under interleaving.
+	d := New(page.DefaultSize)
+	f1, f2 := d.Create(), d.Create()
+	p := page.New(page.DefaultSize)
+	for i := 0; i < 3; i++ {
+		if _, err := d.Append(f1, p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Append(f2, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := d.Counters()
+	if c.RandWrites != 2 || c.SeqWrites != 4 {
+		t.Fatalf("interleaved appends: %v, want 2 random (first page of each file) + 4 sequential", c)
+	}
+}
+
+func TestRereadOfFileAfterInterleavingStaysSequential(t *testing.T) {
+	d := New(page.DefaultSize)
+	f1, f2 := d.Create(), d.Create()
+	p := page.New(page.DefaultSize)
+	for i := 0; i < 4; i++ {
+		if _, err := d.Append(f1, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Append(f2, p); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetCounters()
+	// Read f1 pages 0,1 then f2 page 0 then f1 pages 2,3: the f1 stream
+	// resumes sequentially after the f2 detour.
+	for _, acc := range []struct {
+		f   FileID
+		idx int
+	}{{f1, 0}, {f1, 1}, {f2, 0}, {f1, 2}, {f1, 3}} {
+		if err := d.Read(acc.f, acc.idx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := d.Counters()
+	if c.RandReads != 2 || c.SeqReads != 3 {
+		t.Fatalf("got %v, want 2 random + 3 sequential reads", c)
+	}
+}
+
+func TestReadAfterWriteSameSpotIsRandom(t *testing.T) {
+	d := New(page.DefaultSize)
+	f := d.Create()
+	p := page.New(page.DefaultSize)
+	if _, err := d.Append(f, p); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetCounters()
+	if err := d.Read(f, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Counters()
+	if c.RandReads != 1 {
+		t.Fatalf("re-read of page 0 with head unset: %v", c)
+	}
+	// Re-reading the same page again does not advance: also random.
+	if err := d.Read(f, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Counters().RandReads; got != 2 {
+		t.Fatalf("same-page re-read should be random, counters: %v", d.Counters())
+	}
+}
+
+func TestCountersArithmetic(t *testing.T) {
+	a := Counters{RandReads: 1, SeqReads: 2, RandWrites: 3, SeqWrites: 4}
+	b := Counters{RandReads: 10, SeqReads: 20, RandWrites: 30, SeqWrites: 40}
+	sum := a.Add(b)
+	if sum.RandReads != 11 || sum.SeqReads != 22 || sum.RandWrites != 33 || sum.SeqWrites != 44 {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff := b.Sub(a)
+	if diff.RandReads != 9 || diff.SeqWrites != 36 {
+		t.Fatalf("Sub = %v", diff)
+	}
+	if a.Random() != 4 || a.Sequential() != 6 || a.Total() != 10 {
+		t.Fatalf("aggregates: rand=%d seq=%d total=%d", a.Random(), a.Sequential(), a.Total())
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	d := New(page.DefaultSize)
+	f := d.Create()
+	p := page.New(page.DefaultSize)
+	for i := 0; i < 3; i++ {
+		if _, err := d.Append(f, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Truncate(f); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.NumPages(f); n != 0 {
+		t.Fatalf("pages after truncate = %d", n)
+	}
+}
+
+func TestRemoveInvalidatesHead(t *testing.T) {
+	d := New(page.DefaultSize)
+	f := d.Create()
+	p := page.New(page.DefaultSize)
+	if _, err := d.Append(f, p); err != nil {
+		t.Fatal(err)
+	}
+	g := d.Create()
+	if _, err := d.Append(g, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append(g, p); err != nil { // head now at (g, 1)
+		t.Fatal(err)
+	}
+	if err := d.Remove(g); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetCounters()
+	// A brand-new file can reuse state; first access must be random.
+	h := d.Create()
+	if _, err := d.Append(h, p); err != nil {
+		t.Fatal(err)
+	}
+	if c := d.Counters(); c.RandWrites != 1 || c.SeqWrites != 0 {
+		t.Fatalf("first write to new file after remove: %v", c)
+	}
+}
+
+func TestOverwriteInPlace(t *testing.T) {
+	d := New(page.DefaultSize)
+	f := d.Create()
+	p := newPage(t, d, "one")
+	if _, err := d.Append(f, p); err != nil {
+		t.Fatal(err)
+	}
+	q := newPage(t, d, "two")
+	if err := d.Write(f, 0, q); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.NumPages(f); n != 1 {
+		t.Fatalf("overwrite grew the file to %d pages", n)
+	}
+	dst := page.New(page.DefaultSize)
+	if err := d.Read(f, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst.Record(0)) != "two" {
+		t.Fatal("overwrite did not take effect")
+	}
+}

@@ -1,0 +1,220 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// store is the raw page persistence behind a Disk: an addressable set
+// of page files. The Disk layers file-ID allocation, access
+// classification and cost counting on top, so every backend is costed
+// identically.
+type store interface {
+	// create allocates backing storage for a new file id.
+	create(id FileID) error
+	// remove releases a file's storage.
+	remove(id FileID) error
+	// numPages returns the file's length in pages.
+	numPages(id FileID) (int, error)
+	// read fills buf (exactly one page) from page idx.
+	read(id FileID, idx int, buf []byte) error
+	// write stores buf (exactly one page) at page idx; idx == numPages
+	// appends.
+	write(id FileID, idx int, buf []byte) error
+	// truncate discards a file's contents, keeping the file.
+	truncate(id FileID) error
+	// close releases all resources.
+	close() error
+}
+
+// memStore keeps pages in process memory — the default backend, used
+// by the paper's simulations and the tests.
+type memStore struct {
+	pageSize int
+	files    map[FileID][][]byte
+}
+
+func newMemStore(pageSize int) *memStore {
+	return &memStore{pageSize: pageSize, files: make(map[FileID][][]byte)}
+}
+
+func (m *memStore) create(id FileID) error {
+	if _, ok := m.files[id]; ok {
+		return fmt.Errorf("disk: file %d already exists", id)
+	}
+	m.files[id] = nil
+	return nil
+}
+
+func (m *memStore) remove(id FileID) error {
+	if _, ok := m.files[id]; !ok {
+		return fmt.Errorf("disk: remove: unknown file %d", id)
+	}
+	delete(m.files, id)
+	return nil
+}
+
+func (m *memStore) numPages(id FileID) (int, error) {
+	pages, ok := m.files[id]
+	if !ok {
+		return 0, fmt.Errorf("disk: unknown file %d", id)
+	}
+	return len(pages), nil
+}
+
+func (m *memStore) read(id FileID, idx int, buf []byte) error {
+	pages, ok := m.files[id]
+	if !ok {
+		return fmt.Errorf("disk: read: unknown file %d", id)
+	}
+	if idx < 0 || idx >= len(pages) {
+		return fmt.Errorf("disk: read: page %d out of range [0, %d) in file %d", idx, len(pages), id)
+	}
+	copy(buf, pages[idx])
+	return nil
+}
+
+func (m *memStore) write(id FileID, idx int, buf []byte) error {
+	pages, ok := m.files[id]
+	if !ok {
+		return fmt.Errorf("disk: write: unknown file %d", id)
+	}
+	if idx < 0 || idx > len(pages) {
+		return fmt.Errorf("disk: write: page %d out of range [0, %d] in file %d", idx, len(pages), id)
+	}
+	img := make([]byte, m.pageSize)
+	copy(img, buf)
+	if idx == len(pages) {
+		m.files[id] = append(pages, img)
+	} else {
+		pages[idx] = img
+	}
+	return nil
+}
+
+func (m *memStore) truncate(id FileID) error {
+	if _, ok := m.files[id]; !ok {
+		return fmt.Errorf("disk: truncate: unknown file %d", id)
+	}
+	m.files[id] = nil
+	return nil
+}
+
+func (m *memStore) close() error {
+	m.files = make(map[FileID][][]byte)
+	return nil
+}
+
+// fileStore persists each FileID as one file under a directory, pages
+// stored back to back — a real on-disk backend for applications that
+// outgrow memory. Access classification and cost accounting are
+// unchanged: they live in Disk, above the store.
+type fileStore struct {
+	pageSize int
+	dir      string
+	open     map[FileID]*os.File
+	sizes    map[FileID]int // pages
+}
+
+func newFileStore(pageSize int, dir string) (*fileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: creating data dir: %w", err)
+	}
+	return &fileStore{
+		pageSize: pageSize,
+		dir:      dir,
+		open:     make(map[FileID]*os.File),
+		sizes:    make(map[FileID]int),
+	}, nil
+}
+
+func (f *fileStore) path(id FileID) string {
+	return filepath.Join(f.dir, fmt.Sprintf("f%08d.pages", id))
+}
+
+func (f *fileStore) create(id FileID) error {
+	if _, ok := f.open[id]; ok {
+		return fmt.Errorf("disk: file %d already exists", id)
+	}
+	fh, err := os.OpenFile(f.path(id), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("disk: create: %w", err)
+	}
+	f.open[id] = fh
+	f.sizes[id] = 0
+	return nil
+}
+
+func (f *fileStore) remove(id FileID) error {
+	fh, ok := f.open[id]
+	if !ok {
+		return fmt.Errorf("disk: remove: unknown file %d", id)
+	}
+	fh.Close()
+	delete(f.open, id)
+	delete(f.sizes, id)
+	return os.Remove(f.path(id))
+}
+
+func (f *fileStore) numPages(id FileID) (int, error) {
+	n, ok := f.sizes[id]
+	if !ok {
+		return 0, fmt.Errorf("disk: unknown file %d", id)
+	}
+	return n, nil
+}
+
+func (f *fileStore) read(id FileID, idx int, buf []byte) error {
+	fh, ok := f.open[id]
+	if !ok {
+		return fmt.Errorf("disk: read: unknown file %d", id)
+	}
+	if idx < 0 || idx >= f.sizes[id] {
+		return fmt.Errorf("disk: read: page %d out of range [0, %d) in file %d", idx, f.sizes[id], id)
+	}
+	if _, err := fh.ReadAt(buf, int64(idx)*int64(f.pageSize)); err != nil {
+		return fmt.Errorf("disk: read: %w", err)
+	}
+	return nil
+}
+
+func (f *fileStore) write(id FileID, idx int, buf []byte) error {
+	fh, ok := f.open[id]
+	if !ok {
+		return fmt.Errorf("disk: write: unknown file %d", id)
+	}
+	if idx < 0 || idx > f.sizes[id] {
+		return fmt.Errorf("disk: write: page %d out of range [0, %d] in file %d", idx, f.sizes[id], id)
+	}
+	if _, err := fh.WriteAt(buf, int64(idx)*int64(f.pageSize)); err != nil {
+		return fmt.Errorf("disk: write: %w", err)
+	}
+	if idx == f.sizes[id] {
+		f.sizes[id]++
+	}
+	return nil
+}
+
+func (f *fileStore) truncate(id FileID) error {
+	fh, ok := f.open[id]
+	if !ok {
+		return fmt.Errorf("disk: truncate: unknown file %d", id)
+	}
+	if err := fh.Truncate(0); err != nil {
+		return fmt.Errorf("disk: truncate: %w", err)
+	}
+	f.sizes[id] = 0
+	return nil
+}
+
+func (f *fileStore) close() error {
+	var first error
+	for id, fh := range f.open {
+		if err := fh.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(f.open, id)
+	}
+	return first
+}

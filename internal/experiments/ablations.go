@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"vtjoin/internal/cost"
+	"vtjoin/internal/partition"
+)
+
+// ReplicationRow compares secondary-storage consumption of the paper's
+// last-overlap placement against the replication strategy of Leung &
+// Muntz at one long-lived density — the ablation behind Section 3.2's
+// "replication requires additional secondary storage space".
+type ReplicationRow struct {
+	LongLived        int // paper-scale long-lived count
+	LastOverlapPages int
+	ReplicatedPages  int
+}
+
+// RunAblationReplication sweeps long-lived density and partitions the
+// outer relation both ways, using the partitioning the planner would
+// actually choose at Figure 7's configuration.
+func RunAblationReplication(p Params) ([]ReplicationRow, error) {
+	var rows []ReplicationRow
+	for _, ll := range Figure8LongLived() {
+		_, r, _, err := buildPair(p, p.ScaleCount(ll))
+		if err != nil {
+			return nil, err
+		}
+		plan, _, err := partition.DeterminePartIntervals(r, partition.PlanConfig{
+			BuffSize: p.MemoryPages(Figure7MemoryMB) - 3,
+			Weights:  cost.Ratio(Figure7Ratio),
+			Rng:      rand.New(rand.NewSource(p.Seed + int64(ll))),
+		})
+		if err != nil {
+			return nil, err
+		}
+		a, err := partition.DoPartitioning(r, plan.Partitioning)
+		if err != nil {
+			return nil, err
+		}
+		b, err := partition.DoPartitioningReplicated(r, plan.Partitioning)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ReplicationRow{
+			LongLived:        ll,
+			LastOverlapPages: a.TotalPages(),
+			ReplicatedPages:  b.TotalPages(),
+		})
+		if err := a.Drop(); err != nil {
+			return nil, err
+		}
+		if err := b.Drop(); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// SamplingRow compares the actual planning I/O with and without the
+// Section 4.2 scan optimization at one cost ratio.
+type SamplingRow struct {
+	Ratio         float64
+	ScanOptimized float64 // weighted planning I/O
+	RandomOnly    float64
+}
+
+// RunAblationSampling measures the planner's real sampling I/O per
+// strategy across the paper's cost ratios.
+func RunAblationSampling(p Params) ([]SamplingRow, error) {
+	var rows []SamplingRow
+	for _, ratio := range Figure6Ratios {
+		w := cost.Ratio(ratio)
+		row := SamplingRow{Ratio: ratio}
+		for _, disable := range []bool{false, true} {
+			d, r, _, err := buildPair(p, p.ScaleCount(32000))
+			if err != nil {
+				return nil, err
+			}
+			before := d.Counters()
+			if _, _, err := partition.DeterminePartIntervals(r, partition.PlanConfig{
+				BuffSize:                p.MemoryPages(Figure7MemoryMB) - 3,
+				Weights:                 w,
+				Rng:                     rand.New(rand.NewSource(p.Seed)),
+				DisableScanOptimization: disable,
+			}); err != nil {
+				return nil, err
+			}
+			io := w.Of(d.Counters().Sub(before))
+			if disable {
+				row.RandomOnly = io
+			} else {
+				row.ScanOptimized = io
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAblations formats both ablation tables.
+func RenderAblations(repl []ReplicationRow, smpl []SamplingRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation A: storage under last-overlap placement vs. replication (Section 3.2)\n")
+	fmt.Fprintf(&b, "  %12s  %18s  %18s  %8s\n", "long-lived", "last-overlap (pg)", "replicated (pg)", "blowup")
+	for _, r := range repl {
+		fmt.Fprintf(&b, "  %12d  %18d  %18d  %7.2fx\n",
+			r.LongLived, r.LastOverlapPages, r.ReplicatedPages,
+			float64(r.ReplicatedPages)/float64(r.LastOverlapPages))
+	}
+	b.WriteString("\nAblation B: planner sampling I/O with vs. without the Section 4.2 scan optimization\n")
+	fmt.Fprintf(&b, "  %8s  %16s  %16s\n", "ratio", "scan-optimized", "random-only")
+	for _, r := range smpl {
+		fmt.Fprintf(&b, "  %7g:1  %16.0f  %16.0f\n", r.Ratio, r.ScanOptimized, r.RandomOnly)
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderParameterTable formats Figure 5 as an aligned text table.
+func RenderParameterTable(rows []ParameterRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Global Parameter Values\n")
+	width := 0
+	for _, r := range rows {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-*s  %s\n", width, r.Name, r.Value)
+	}
+	return b.String()
+}
+
+// RenderFigure6 formats the Figure 6 sweep: one block per cost ratio,
+// memory on rows, algorithms on columns.
+func RenderFigure6(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: Performance Effects of Main Memory Size (I/O cost)\n")
+	for _, ratio := range Figure6Ratios {
+		fmt.Fprintf(&b, "\n  random:sequential = %g:1\n", ratio)
+		fmt.Fprintf(&b, "  %8s  %14s  %14s  %14s\n", "mem(MB)", AlgoNestedLoop, AlgoSortMerge, AlgoPartition)
+		for _, mb := range Figure6MemoryMB {
+			cost := map[string]float64{}
+			for _, r := range rows {
+				if r.MemoryMB == mb && r.Ratio == ratio {
+					cost[r.Algorithm] = r.Cost
+				}
+			}
+			fmt.Fprintf(&b, "  %8d  %14.0f  %14.0f  %14.0f\n",
+				mb, cost[AlgoNestedLoop], cost[AlgoSortMerge], cost[AlgoPartition])
+		}
+	}
+	return b.String()
+}
+
+// RenderFigure7 formats the Figure 7 sweep: long-lived tuples on rows,
+// algorithms on columns.
+func RenderFigure7(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: Performance Effects of Long-Lived Tuples (I/O cost, %d MB, %g:1)\n",
+		Figure7MemoryMB, Figure7Ratio)
+	fmt.Fprintf(&b, "  %12s  %14s  %14s  %14s\n", "long-lived", AlgoNestedLoop, AlgoSortMerge, AlgoPartition)
+	for _, ll := range Figure7LongLived() {
+		cost := map[string]float64{}
+		for _, r := range rows {
+			if r.LongLived == ll {
+				cost[r.Algorithm] = r.Cost
+			}
+		}
+		fmt.Fprintf(&b, "  %12d  %14.0f  %14.0f  %14.0f\n",
+			ll, cost[AlgoNestedLoop], cost[AlgoSortMerge], cost[AlgoPartition])
+	}
+	return b.String()
+}
+
+// RenderFigure8 formats the Figure 8 matrix: long-lived counts on rows,
+// memory sizes on columns.
+func RenderFigure8(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: Relative Effects of Main Memory Size and Tuple Caching\n")
+	b.WriteString("(partition-join I/O cost, 5:1 ratio)\n")
+	fmt.Fprintf(&b, "  %12s", "long-lived")
+	for _, mb := range Figure8MemoryMB {
+		fmt.Fprintf(&b, "  %8dMB", mb)
+	}
+	b.WriteString("\n")
+	for _, ll := range Figure8LongLived() {
+		fmt.Fprintf(&b, "  %12d", ll)
+		for _, mb := range Figure8MemoryMB {
+			var c float64
+			for _, r := range rows {
+				if r.LongLived == ll && r.MemoryMB == mb {
+					c = r.Cost
+				}
+			}
+			fmt.Fprintf(&b, "  %10.0f", c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure4 formats the Figure 4 trade-off curves.
+func RenderFigure4(points []Figure4Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: I/O Cost for Partition Size (estimated)\n")
+	fmt.Fprintf(&b, "  %10s  %12s  %14s  %12s\n", "partSize", "Csample", "cache paging", "total")
+	sorted := make([]Figure4Point, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PartSize < sorted[j].PartSize })
+	for _, pt := range sorted {
+		mark := ""
+		if pt.Chosen {
+			mark = "  <- chosen"
+		}
+		fmt.Fprintf(&b, "  %10d  %12.0f  %14.0f  %12.0f%s\n",
+			pt.PartSize, pt.Csample, pt.CachePaging, pt.Total, mark)
+	}
+	return b.String()
+}

@@ -1,0 +1,220 @@
+// Package extsort implements external merge sort over on-disk
+// relations: run generation using the full memory allocation, followed
+// by (M-1)-way merge passes. It is the substrate of the sort-merge
+// valid-time join the paper compares against (Section 4.1: "the
+// sort-merge algorithm was optimized to make best use of the available
+// main memory size").
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/tuple"
+)
+
+// Less orders tuples for the sort.
+type Less func(a, b tuple.Tuple) bool
+
+// ByStartTime orders tuples by valid-time start, then end, then
+// attribute values — the order used by the sort-merge join (Leung &
+// Muntz consider both Vs and Ve orders; the join here uses ascending
+// Vs).
+func ByStartTime(a, b tuple.Tuple) bool { return a.Compare(b) < 0 }
+
+// Sorted is a sorted relation plus the page-granular catalog metadata
+// the merge-join needs to seek by tuple ordinal without I/O.
+type Sorted struct {
+	Rel *relation.Relation
+	// PageStart[i] is the ordinal of the first tuple on page i; a
+	// trailing entry holds the total tuple count.
+	PageStart []int64
+}
+
+// NumTuples returns the sorted relation's cardinality.
+func (s *Sorted) NumTuples() int64 { return s.Rel.Tuples() }
+
+// PageOf returns the page index containing tuple ordinal n.
+func (s *Sorted) PageOf(n int64) int {
+	if n < 0 || n >= s.NumTuples() {
+		panic(fmt.Sprintf("extsort: ordinal %d out of range [0, %d)", n, s.NumTuples()))
+	}
+	// Last page whose start <= n.
+	i := sort.Search(len(s.PageStart)-1, func(i int) bool { return s.PageStart[i+1] > n })
+	return i
+}
+
+// Drop removes the sorted relation's backing file.
+func (s *Sorted) Drop() error { return s.Rel.Drop() }
+
+// Sort sorts r into a new temporary relation using at most memoryPages
+// pages of buffer. Run generation reads memoryPages pages at a time,
+// sorts them in memory, and writes each run sequentially; merge passes
+// then combine up to memoryPages-1 runs at a time (one input page per
+// run plus one output page) until a single run remains. All I/O is
+// charged to r's device. The input relation is left untouched.
+func Sort(r *relation.Relation, less Less, memoryPages int) (*Sorted, error) {
+	if memoryPages < 3 {
+		return nil, fmt.Errorf("extsort: need at least 3 buffer pages, got %d", memoryPages)
+	}
+	d := r.Disk()
+
+	// Pass 0: run generation.
+	var runs []*Sorted
+	in := page.New(d.PageSize())
+	ps := r.ScanPages()
+	buf := make([]tuple.Tuple, 0, 1024)
+	pagesInBuf := 0
+	flushRun := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+		run := relation.Create(d, r.Schema())
+		b := run.NewBuilder()
+		for _, t := range buf {
+			if err := b.AppendUnchecked(t); err != nil {
+				return err
+			}
+		}
+		if err := b.Flush(); err != nil {
+			return err
+		}
+		runs = append(runs, &Sorted{Rel: run, PageStart: b.PageStarts()})
+		buf = buf[:0]
+		pagesInBuf = 0
+		return nil
+	}
+	for {
+		ok, err := ps.Next(in)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		ts, err := in.Tuples()
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, ts...)
+		pagesInBuf++
+		if pagesInBuf == memoryPages {
+			if err := flushRun(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flushRun(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		// Empty input: an empty sorted relation.
+		empty := relation.Create(d, r.Schema())
+		return &Sorted{Rel: empty, PageStart: []int64{0}}, nil
+	}
+
+	// Merge passes: fan-in of memoryPages-1.
+	fanIn := memoryPages - 1
+	for len(runs) > 1 {
+		var next []*Sorted
+		for lo := 0; lo < len(runs); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			merged, err := mergeRuns(runs[lo:hi], less)
+			if err != nil {
+				return nil, err
+			}
+			for _, run := range runs[lo:hi] {
+				if err := run.Drop(); err != nil {
+					return nil, err
+				}
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	return runs[0], nil
+}
+
+type mergeCursor struct {
+	sc   *relation.Scanner
+	cur  tuple.Tuple
+	done bool
+}
+
+func (c *mergeCursor) advance() error {
+	t, ok, err := c.sc.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		c.done = true
+		return nil
+	}
+	c.cur = t
+	return nil
+}
+
+type mergeHeap struct {
+	items []*mergeCursor
+	less  Less
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	return h.less(h.items[i].cur, h.items[j].cur)
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(*mergeCursor)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+func mergeRuns(runs []*Sorted, less Less) (*Sorted, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("extsort: merge of zero runs")
+	}
+	d := runs[0].Rel.Disk()
+	out := relation.Create(d, runs[0].Rel.Schema())
+	b := out.NewBuilder()
+
+	h := &mergeHeap{less: less}
+	for _, run := range runs {
+		c := &mergeCursor{sc: run.Rel.Scan()}
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+		if !c.done {
+			h.items = append(h.items, c)
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		c := h.items[0]
+		if err := b.AppendUnchecked(c.cur); err != nil {
+			return nil, err
+		}
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+		if c.done {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	return &Sorted{Rel: out, PageStart: b.PageStarts()}, nil
+}

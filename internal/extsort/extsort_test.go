@@ -1,0 +1,247 @@
+package extsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+var testSchema = schema.MustNew(schema.Column{Name: "id", Kind: value.KindInt})
+
+func buildRandom(t *testing.T, d *disk.Disk, n int, seed int64) *relation.Relation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.Create(d, testSchema)
+	b := r.NewBuilder()
+	for i := 0; i < n; i++ {
+		s := chronon.Chronon(rng.Int63n(100000))
+		iv := chronon.New(s, s+chronon.Chronon(rng.Int63n(500)))
+		if err := b.Append(tuple.New(iv, value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func assertSorted(t *testing.T, s *Sorted, wantCount int64) {
+	t.Helper()
+	all, err := s.Rel.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(all)) != wantCount {
+		t.Fatalf("sorted relation has %d tuples, want %d", len(all), wantCount)
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return ByStartTime(all[i], all[j]) }) {
+		t.Fatal("output not sorted")
+	}
+}
+
+func TestSortValidation(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildRandom(t, d, 10, 1)
+	if _, err := Sort(r, ByStartTime, 2); err == nil {
+		t.Fatal("memoryPages=2 accepted")
+	}
+}
+
+func TestSortEmpty(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := relation.Create(d, testSchema)
+	s, err := Sort(r, ByStartTime, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTuples() != 0 || len(s.PageStart) != 1 {
+		t.Fatalf("empty sort: %d tuples, catalog %v", s.NumTuples(), s.PageStart)
+	}
+}
+
+func TestSortSingleRun(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildRandom(t, d, 50, 2)
+	// Memory exceeds the relation: one run, no merge pass.
+	s, err := Sort(r, ByStartTime, r.Pages()+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, s, r.Tuples())
+}
+
+func TestSortMultiRunSinglePass(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildRandom(t, d, 3000, 3)
+	m := r.Pages()/3 + 1 // ~3 runs, fan-in covers them in one pass
+	s, err := Sort(r, ByStartTime, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, s, r.Tuples())
+}
+
+func TestSortMultiPass(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildRandom(t, d, 4000, 4)
+	// Tiny memory: many runs, fan-in 2 forces multiple merge passes.
+	s, err := Sort(r, ByStartTime, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, s, r.Tuples())
+}
+
+func TestSortPreservesMultiset(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildRandom(t, d, 2000, 5)
+	want, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Sort(r, ByStartTime, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Rel.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].Compare(want[j]) < 0 })
+	sort.Slice(got, func(i, j int) bool { return got[i].Compare(got[j]) < 0 })
+	if len(got) != len(want) {
+		t.Fatalf("cardinality changed: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("multiset changed at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPageStartCatalog(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildRandom(t, d, 1500, 6)
+	s, err := Sort(r, ByStartTime, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.PageStart) != s.Rel.Pages()+1 {
+		t.Fatalf("catalog has %d entries for %d pages", len(s.PageStart), s.Rel.Pages())
+	}
+	if s.PageStart[0] != 0 || s.PageStart[len(s.PageStart)-1] != s.NumTuples() {
+		t.Fatalf("catalog endpoints: %v", s.PageStart)
+	}
+	// Verify the catalog against the physical pages.
+	pg := page.New(page.DefaultSize)
+	var ordinal int64
+	for i := 0; i < s.Rel.Pages(); i++ {
+		if s.PageStart[i] != ordinal {
+			t.Fatalf("PageStart[%d] = %d, want %d", i, s.PageStart[i], ordinal)
+		}
+		if err := s.Rel.ReadPage(i, pg); err != nil {
+			t.Fatal(err)
+		}
+		ordinal += int64(pg.Count())
+	}
+	// PageOf agrees.
+	for i := 0; i < s.Rel.Pages(); i++ {
+		if got := s.PageOf(s.PageStart[i]); got != i {
+			t.Fatalf("PageOf(%d) = %d, want %d", s.PageStart[i], got, i)
+		}
+		if got := s.PageOf(s.PageStart[i+1] - 1); got != i {
+			t.Fatalf("PageOf(%d) = %d, want %d", s.PageStart[i+1]-1, got, i)
+		}
+	}
+}
+
+func TestPageOfPanicsOutOfRange(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildRandom(t, d, 10, 7)
+	s, err := Sort(r, ByStartTime, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PageOf(-1) did not panic")
+		}
+	}()
+	s.PageOf(-1)
+}
+
+func TestSortLeavesInputIntact(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildRandom(t, d, 500, 8)
+	before, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Sort(r, ByStartTime, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drop()
+	after, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatal("input relation changed")
+	}
+	for i := range before {
+		if !before[i].Equal(after[i]) {
+			t.Fatal("input relation changed")
+		}
+	}
+}
+
+func TestSortIOCost(t *testing.T) {
+	// Single-pass sort should cost ~2 reads + 2 writes of the data
+	// volume: read input, write runs, read runs, write output.
+	d := disk.New(page.DefaultSize)
+	r := buildRandom(t, d, 3000, 9)
+	m := r.Pages()/3 + 2
+	d.ResetCounters()
+	s, err := Sort(r, ByStartTime, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Counters()
+	n := int64(r.Pages())
+	reads, writes := c.RandReads+c.SeqReads, c.RandWrites+c.SeqWrites
+	if reads < 2*n-2 || reads > 2*n+2 {
+		t.Fatalf("reads = %d, want about %d", reads, 2*n)
+	}
+	// Output pages may differ slightly from input pages due to
+	// repacking; allow small slack.
+	outN := int64(s.Rel.Pages())
+	if writes < n+outN-2 || writes > n+outN+2 {
+		t.Fatalf("writes = %d, want about %d", writes, n+outN)
+	}
+	// Stability of sequential access: most I/O is sequential.
+	if c.Random() > int64(16) {
+		t.Fatalf("too many random accesses for a single-pass sort: %v", c)
+	}
+}
+
+func TestByStartTimeOrder(t *testing.T) {
+	a := tuple.New(chronon.New(1, 10), value.Int(1))
+	b := tuple.New(chronon.New(2, 3), value.Int(2))
+	c := tuple.New(chronon.New(1, 12), value.Int(3))
+	if !ByStartTime(a, b) || ByStartTime(b, a) {
+		t.Fatal("start-time order broken")
+	}
+	if !ByStartTime(a, c) {
+		t.Fatal("ties on start must order by end")
+	}
+}

@@ -1,0 +1,229 @@
+// Package join implements valid-time natural-join evaluation:
+//
+//   - Reference: the Section 2 calculus definition, evaluated literally
+//     in memory (the correctness oracle for everything else);
+//   - NestedLoop: block nested-loop over paged relations, with the
+//     closed-form cost model the paper used analytically;
+//   - SortMerge: external sort on valid-time start followed by a merge
+//     with "backing up" over long-lived tuples;
+//   - Partition: the paper's contribution — the valid-time partition
+//     join of Section 3 with sampling-based interval selection, Grace
+//     partitioning into last-overlap partitions, and backward tuple-
+//     cache migration (Figure 9 / Appendix A.1).
+//
+// All disk-based algorithms take their inputs on the same simulated
+// device, stay within an explicit page budget, and report per-phase
+// I/O through cost.Report.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+// planFor derives the natural-join plan for two relations and checks
+// they live on the same device.
+func planFor(r, s *relation.Relation) (*schema.JoinPlan, error) {
+	if r.Disk() != s.Disk() {
+		return nil, fmt.Errorf("join: input relations live on different devices")
+	}
+	return schema.PlanNaturalJoin(r.Schema(), s.Schema())
+}
+
+// Predicate is a valid-time join predicate: a set of Allen relations
+// that must hold between the outer and inner timestamps. The zero
+// value means chronon.MaskIntersects — the natural join's "overlapping
+// intervals" condition. Every supported predicate must imply interval
+// intersection (chronon.Mask.ImpliesIntersection): the partition and
+// merge frameworks rely on matching pairs co-existing in a partition
+// or merge window, and the result timestamp overlap(x[V], y[V]) is
+// only defined for intersecting pairs.
+type Predicate = chronon.Mask
+
+// normalizePredicate applies the zero-value default and validates.
+func normalizePredicate(p Predicate) (Predicate, error) {
+	if p == 0 {
+		return chronon.MaskIntersects, nil
+	}
+	if !p.ImpliesIntersection() {
+		return 0, fmt.Errorf("join: predicate %v matches disjoint intervals; only intersection-implying predicates are supported", p)
+	}
+	return p, nil
+}
+
+// matcher joins a fixed batch of outer tuples against streamed inner
+// tuples. When the join has explicit attributes it hash-indexes the
+// outer batch by join key; a degenerate pure time-join (no shared
+// attributes) instead orders the batch by start time so inner probes
+// can stop early.
+type matcher struct {
+	plan  *schema.JoinPlan
+	pred  Predicate // non-zero, intersection-implying
+	outer []tuple.Tuple
+	// byKey indexes outer positions by join-key hash (non-empty key).
+	byKey map[uint64][]int32
+	// byStart orders outer positions by V.Start (pure time-join).
+	byStart []int32
+}
+
+func newMatcher(plan *schema.JoinPlan, outer []tuple.Tuple) *matcher {
+	return newPredMatcher(plan, chronon.MaskIntersects, outer)
+}
+
+func newPredMatcher(plan *schema.JoinPlan, pred Predicate, outer []tuple.Tuple) *matcher {
+	m := &matcher{plan: plan, pred: pred, outer: outer}
+	if len(plan.LeftJoinIdx) > 0 {
+		m.byKey = make(map[uint64][]int32, len(outer))
+		for i, x := range outer {
+			h := tuple.KeyAt(x, plan.LeftJoinIdx).Hash()
+			m.byKey[h] = append(m.byKey[h], int32(i))
+		}
+		return m
+	}
+	m.byStart = make([]int32, len(outer))
+	for i := range outer {
+		m.byStart[i] = int32(i)
+	}
+	sort.Slice(m.byStart, func(a, b int) bool {
+		return outer[m.byStart[a]].V.Start < outer[m.byStart[b]].V.Start
+	})
+	return m
+}
+
+// accepts applies the time predicate; the fast path skips Allen
+// classification for the default intersection predicate (Combine
+// re-checks intersection anyway).
+func (m *matcher) accepts(x, y tuple.Tuple) bool {
+	if m.pred == chronon.MaskIntersects {
+		return true
+	}
+	return m.pred.Holds(x.V, y.V)
+}
+
+// probe joins inner tuple y against the outer batch, emitting every
+// result tuple.
+func (m *matcher) probe(y tuple.Tuple, emit func(tuple.Tuple) error) error {
+	return m.probeIdx(y, func(_ int32, z tuple.Tuple) error { return emit(z) })
+}
+
+// probeIdx is probe exposing which outer-batch position matched; the
+// partition join's outer-coverage tracking (valid-time outer joins)
+// needs it.
+func (m *matcher) probeIdx(y tuple.Tuple, emit func(outerIdx int32, z tuple.Tuple) error) error {
+	if m.byKey != nil {
+		h := tuple.KeyAt(y, m.plan.RightJoinIdx).Hash()
+		for _, i := range m.byKey[h] {
+			if !m.accepts(m.outer[i], y) {
+				continue
+			}
+			if z, ok := tuple.Combine(m.plan, m.outer[i], y); ok {
+				if err := emit(i, z); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// Pure time-join: outer tuples ordered by start; every x with
+	// x.Start > y.End cannot intersect y (and all predicates imply
+	// intersection), so the scan stops there.
+	for _, i := range m.byStart {
+		x := m.outer[i]
+		if x.V.Start > y.V.End {
+			break
+		}
+		if !m.accepts(x, y) {
+			continue
+		}
+		if z, ok := tuple.Combine(m.plan, x, y); ok {
+			if err := emit(i, z); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PadLeft builds the outer-join padding tuple for left tuple x over
+// the unmatched sub-interval iv: x's attributes in their output
+// positions, nulls for the right side's non-shared columns.
+func PadLeft(plan *schema.JoinPlan, x tuple.Tuple, iv chronon.Interval) tuple.Tuple {
+	vals := make([]value.Value, plan.Output.Len())
+	for i := range vals {
+		vals[i] = value.Null()
+	}
+	for i, pos := range plan.LeftOut {
+		vals[pos] = x.Values[i]
+	}
+	return tuple.Tuple{Values: vals, V: iv}
+}
+
+// Reference computes r ⋈V s by exhaustively instantiating the calculus
+// definition of Section 2 over in-memory tuple slices. It is the
+// correctness oracle: O(|r|·|s|) and proud of it.
+func Reference(plan *schema.JoinPlan, r, s []tuple.Tuple) []tuple.Tuple {
+	return ReferencePred(plan, chronon.MaskIntersects, r, s)
+}
+
+// ReferencePred is Reference under an arbitrary intersection-implying
+// time predicate.
+func ReferencePred(plan *schema.JoinPlan, pred Predicate, r, s []tuple.Tuple) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, x := range r {
+		for _, y := range s {
+			if pred != chronon.MaskIntersects && !pred.Holds(x.V, y.V) {
+				continue
+			}
+			if z, ok := tuple.Combine(plan, x, y); ok {
+				out = append(out, z)
+			}
+		}
+	}
+	return out
+}
+
+// ReferenceLeftOuter is the in-memory oracle for the valid-time left
+// outer join: the inner-join results plus, for every left tuple, one
+// null-padded tuple per maximal sub-interval of its timestamp not
+// covered by any matching right tuple (the valid-time analogue of the
+// TE-outerjoin of Segev & Gunadhi).
+func ReferenceLeftOuter(plan *schema.JoinPlan, pred Predicate, r, s []tuple.Tuple) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, x := range r {
+		cov := chronon.NewSet()
+		for _, y := range s {
+			if pred != chronon.MaskIntersects && !pred.Holds(x.V, y.V) {
+				continue
+			}
+			if z, ok := tuple.Combine(plan, x, y); ok {
+				out = append(out, z)
+				cov = cov.Add(z.V)
+			}
+		}
+		for _, frag := range chronon.NewSet(x.V).Subtract(cov).Intervals() {
+			out = append(out, PadLeft(plan, x, frag))
+		}
+	}
+	return out
+}
+
+// Canonicalize sorts a join result into the deterministic total order
+// used to compare algorithm outputs in tests.
+func Canonicalize(ts []tuple.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}
+
+// hullOf returns the minimal interval covering a batch of tuples.
+func hullOf(ts []tuple.Tuple) chronon.Interval {
+	h := chronon.Null()
+	for _, t := range ts {
+		h = chronon.Hull(h, t.V)
+	}
+	return h
+}

@@ -1,0 +1,506 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vtjoin/internal/buffer"
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/cost"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/partition"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+)
+
+// PartitionConfig configures the valid-time partition join.
+type PartitionConfig struct {
+	// MemoryPages is the total buffer allocation M. Per Figure 3,
+	// M-3 pages hold the outer-relation partition and one page each
+	// buffers the inner relation, the tuple cache, and the result.
+	MemoryPages int
+	// Weights is the random:sequential cost model used when choosing
+	// partitioning intervals (it does not change what I/O is counted,
+	// only which plan is selected).
+	Weights cost.Weights
+	// Rng drives sampling. Required unless Partitioning is set.
+	Rng *rand.Rand
+	// CandidateStep is passed to partition.DeterminePartIntervals.
+	CandidateStep int
+	// Partitioning, if non-nil, skips determinePartIntervals and uses
+	// the given partitioning directly (used by incremental evaluation
+	// and by tests exercising adversarial partitionings).
+	Partitioning *partition.Partitioning
+	// TimePredicate restricts matches to pairs whose timestamps stand
+	// in the given Allen relations (zero = intersecting intervals).
+	// Must imply intersection: partitioned evaluation relies on
+	// matching pairs co-existing in some partition.
+	TimePredicate Predicate
+	// LeftFragments, when non-nil, turns the evaluation into the match
+	// phase of a valid-time LEFT OUTER join: for every left (outer)
+	// tuple, the maximal sub-intervals of its timestamp not covered by
+	// any match are emitted to this sink as null-padded tuples. The
+	// outer area tracks per-tuple coverage while the tuple is resident,
+	// which is exactly until every partition it overlaps has been
+	// joined — so coverage is complete when the tuple retires.
+	LeftFragments relation.Sink
+	// Plan overrides the derived natural-join plan; used to evaluate
+	// with swapped inputs while keeping the original output layout
+	// (right outer joins via schema.JoinPlan.Swap). Nil derives the
+	// plan from the relation schemas.
+	Plan *schema.JoinPlan
+}
+
+// PartitionStats describes one partition-join execution.
+type PartitionStats struct {
+	Partitions    int   // number of partitioning intervals used
+	PartSize      int   // planned outer partition size, pages
+	SamplesDrawn  int   // sample size backing the plan
+	CacheWrites   int64 // tuple-cache pages written
+	CacheReads    int64 // tuple-cache pages read
+	OverflowPages int   // worst-case pages by which the outer area overflowed
+	ThrashIO      int64 // spill/reload accesses caused by overflow
+}
+
+// Partition evaluates r ⋈V s with the paper's partition-join algorithm
+// (Section 3, Figure 2): determinePartIntervals chooses partitioning
+// intervals by sampling the outer relation; doPartitioning Grace-
+// partitions both inputs, storing every tuple in the last partition it
+// overlaps; joinPartitions then evaluates r_n ⋈V s_n down to
+// r_1 ⋈V s_1, retaining long-lived outer tuples in memory and migrating
+// long-lived inner tuples backwards through a one-page tuple cache that
+// spills to disk (Figure 9 / Appendix A.1).
+//
+// Unlike the replication strategy of Leung & Muntz, no tuple is ever
+// stored twice; and each result pair is emitted exactly once (pairs are
+// joined only in the last partition both tuples overlap).
+func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig) (*cost.Report, *PartitionStats, error) {
+	if cfg.MemoryPages < 4 {
+		return nil, nil, fmt.Errorf("join: partition join needs at least 4 buffer pages, got %d", cfg.MemoryPages)
+	}
+	plan := cfg.Plan
+	var err error
+	if plan == nil {
+		plan, err = planFor(r, s)
+	} else if r.Disk() != s.Disk() {
+		err = fmt.Errorf("join: input relations live on different devices")
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := normalizePredicate(cfg.TimePredicate)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := r.Disk()
+	meter := cost.NewMeter(d, "partition-join")
+	stats := &PartitionStats{}
+	buffSize := cfg.MemoryPages - 3
+
+	// Phase 1: determine the partitioning intervals (Appendix A.2).
+	var parting partition.Partitioning
+	if cfg.Partitioning != nil {
+		parting = *cfg.Partitioning
+		stats.PartSize = buffSize
+	} else {
+		if cfg.Rng == nil {
+			return nil, nil, fmt.Errorf("join: PartitionConfig.Rng is required when no partitioning is given")
+		}
+		plan, _, err := partition.DeterminePartIntervals(r, partition.PlanConfig{
+			BuffSize:      buffSize,
+			Weights:       cfg.Weights,
+			Rng:           cfg.Rng,
+			CandidateStep: cfg.CandidateStep,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		parting = plan.Partitioning
+		stats.PartSize = plan.PartSize
+		stats.SamplesDrawn = plan.SamplesDrawn
+	}
+	stats.Partitions = parting.N()
+	meter.EndPhase("sample")
+
+	// Phase 2: Grace-partition both relations (Section 3.2).
+	rp, err := partition.DoPartitioning(r, parting)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rp.Drop()
+	sp, err := partition.DoPartitioning(s, parting)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sp.Drop()
+	meter.EndPhase("partition")
+
+	// Phase 3: join the partitions (Appendix A.1).
+	if err := joinPartitions(plan, pred, d, parting, rp, sp, sink, cfg.LeftFragments, cfg.MemoryPages, stats); err != nil {
+		return nil, nil, err
+	}
+	if err := sink.Flush(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.LeftFragments != nil {
+		if err := cfg.LeftFragments.Flush(); err != nil {
+			return nil, nil, err
+		}
+	}
+	meter.EndPhase("join")
+	return meter.Report(), stats, nil
+}
+
+// outerArea models the in-memory outer-relation partition buffer of
+// Figure 3: the current partition's tuples plus retained long-lived
+// tuples, with page-granular occupancy accounting so overflow beyond
+// the budget is detected (and charged as spill I/O).
+type outerArea struct {
+	tuples  []tuple.Tuple
+	bytes   int // encoded payload bytes incl. slot overhead
+	pageCap int // usable payload bytes per page
+	// cov, when coverage tracking is on, holds the union of matched
+	// overlaps per resident tuple (aligned with tuples).
+	cov      []chronon.Set
+	trackCov bool
+}
+
+const slotOverhead = 4
+
+func newOuterArea(pageSize int) *outerArea {
+	// Header is 4 bytes; each record consumes its encoding + one slot.
+	return &outerArea{pageCap: pageSize - 4}
+}
+
+func (o *outerArea) add(t tuple.Tuple) {
+	o.tuples = append(o.tuples, t)
+	o.bytes += t.EncodedSize() + slotOverhead
+	if o.trackCov {
+		o.cov = append(o.cov, chronon.NewSet())
+	}
+}
+
+// purge drops tuples not overlapping iv, keeping order. Dropped tuples
+// have been joined against every partition they overlap, so when
+// coverage is tracked their final (tuple, coverage) pairs are passed to
+// retire before removal. A null iv drops everything (end of sweep).
+func (o *outerArea) purge(iv chronon.Interval, retire func(t tuple.Tuple, cov chronon.Set) error) error {
+	kept := o.tuples[:0]
+	keptCov := o.cov[:0]
+	bytes := 0
+	for i, t := range o.tuples {
+		if !iv.IsNull() && t.V.Overlaps(iv) {
+			kept = append(kept, t)
+			bytes += t.EncodedSize() + slotOverhead
+			if o.trackCov {
+				keptCov = append(keptCov, o.cov[i])
+			}
+			continue
+		}
+		if retire != nil {
+			var c chronon.Set
+			if o.trackCov {
+				c = o.cov[i]
+			}
+			if err := retire(t, c); err != nil {
+				return err
+			}
+		}
+	}
+	// Zero the tail so retained backing array entries can be collected.
+	for i := len(kept); i < len(o.tuples); i++ {
+		o.tuples[i] = tuple.Tuple{}
+	}
+	o.tuples = kept
+	o.bytes = bytes
+	if o.trackCov {
+		for i := len(keptCov); i < len(o.cov); i++ {
+			o.cov[i] = chronon.Set{}
+		}
+		o.cov = keptCov
+	}
+	return nil
+}
+
+func (o *outerArea) pages() int {
+	if o.bytes == 0 {
+		return 0
+	}
+	return (o.bytes + o.pageCap - 1) / o.pageCap
+}
+
+// tupleCache is the one-page in-memory tuple cache plus its disk
+// spill file (Figure 3). Long-lived inner tuples retained for the next
+// partition are appended; when the in-memory page fills it is flushed.
+type tupleCache struct {
+	d     *disk.Disk
+	page  *page.Page
+	file  disk.FileID
+	pages int
+	stats *PartitionStats
+}
+
+func newTupleCache(d *disk.Disk, stats *PartitionStats) *tupleCache {
+	return &tupleCache{d: d, page: page.New(d.PageSize()), stats: stats}
+}
+
+// add retains y for the next partition's evaluation.
+func (c *tupleCache) add(y tuple.Tuple) error {
+	ok, err := c.page.AppendTuple(y)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return nil
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+	ok, err = c.page.AppendTuple(y)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("join: cache tuple does not fit an empty page")
+	}
+	return nil
+}
+
+func (c *tupleCache) flush() error {
+	if c.file == 0 {
+		c.file = c.d.Create()
+	}
+	if _, err := c.d.Append(c.file, c.page); err != nil {
+		return err
+	}
+	c.pages++
+	c.stats.CacheWrites++
+	c.page.Reset()
+	return nil
+}
+
+// memTuples returns the tuples currently on the in-memory cache page.
+func (c *tupleCache) memTuples() ([]tuple.Tuple, error) { return c.page.Tuples() }
+
+// readSpilled reads spilled cache page idx into dst.
+func (c *tupleCache) readSpilled(idx int, dst *page.Page) error {
+	c.stats.CacheReads++
+	return c.d.Read(c.file, idx, dst)
+}
+
+// drop releases the spill file.
+func (c *tupleCache) drop() error {
+	if c.file == 0 {
+		return nil
+	}
+	err := c.d.Remove(c.file)
+	c.file = 0
+	return err
+}
+
+// joinPartitions is the paper's joinPartitions (Figure 9), evaluated
+// from the last partition down to the first. Result pairs are emitted
+// exactly once: carried outer tuples are joined only against *new*
+// inner tuples (the s_i pages), and cached (carried) inner tuples are
+// joined only against *new* outer tuples — a pair in which both sides
+// are carried was already joined in a later partition. (The paper's
+// pseudocode joins the whole outer area against the cache, which would
+// emit carried×carried pairs once per shared partition; restricting the
+// cache join to new outer tuples removes the duplicates without losing
+// any pair: the pair (x, y) is produced exactly at
+// i = min(last(x), last(y)), where at least one side is new.)
+func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting partition.Partitioning,
+	rp, sp *partition.Partitioned, sink relation.Sink, leftFrag relation.Sink, memoryPages int, stats *PartitionStats) error {
+
+	budget := buffer.MustBudget(memoryPages)
+	buffSize := memoryPages - 3
+	outerRegion, err := budget.Reserve("outer partition", buffSize)
+	if err != nil {
+		return err
+	}
+	defer outerRegion.Close()
+	for _, name := range []string{"inner page", "tuple cache", "result page"} {
+		reg, err := budget.Reserve(name, 1)
+		if err != nil {
+			return err
+		}
+		defer reg.Close()
+	}
+
+	n := parting.N()
+	outer := newOuterArea(d.PageSize())
+	outer.trackCov = leftFrag != nil
+	cache := newTupleCache(d, stats) // carries tuples from partition i+1 into i
+	innerBuf := page.New(d.PageSize())
+
+	// retire emits the unmatched fragments of a left tuple leaving the
+	// outer area; by then every partition it overlaps has been joined.
+	var retire func(t tuple.Tuple, cov chronon.Set) error
+	if leftFrag != nil {
+		retire = func(t tuple.Tuple, cov chronon.Set) error {
+			for _, frag := range chronon.NewSet(t.V).Subtract(cov).Intervals() {
+				if err := leftFrag.Append(PadLeft(plan, t, frag)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
+	for i := n - 1; i >= 0; i-- {
+		pi := parting.Interval(i)
+		var prev chronon.Interval // p_{i-1}; null for the first partition
+		if i > 0 {
+			prev = parting.Interval(i - 1)
+		}
+		retain := func(y tuple.Tuple) (bool, error) {
+			if prev.IsNull() || !y.V.Overlaps(prev) {
+				return false, nil
+			}
+			return true, cache.add(y)
+		}
+
+		// Purge outer tuples that do not overlap p_i; the survivors are
+		// the carried tuples. Then read r_i from disk into the area.
+		if err := outer.purge(pi, retire); err != nil {
+			return err
+		}
+		carried := len(outer.tuples)
+		for idx := 0; idx < rp.Pages(i); idx++ {
+			if err := rp.ReadPage(i, idx, innerBuf); err != nil {
+				return err
+			}
+			ts, err := innerBuf.Tuples()
+			if err != nil {
+				return err
+			}
+			for _, t := range ts {
+				outer.add(t)
+			}
+		}
+
+		// Overflow beyond the buffer budget does not affect correctness
+		// (Section 3.4) but costs spill-and-reload I/O; model it by
+		// writing the excess pages to scratch and reading them back.
+		if over := outer.pages() - buffSize; over > 0 {
+			if over > stats.OverflowPages {
+				stats.OverflowPages = over
+			}
+			if err := chargeThrash(d, over, stats); err != nil {
+				return err
+			}
+		}
+
+		newOuter := outer.tuples[carried:]
+		matchNew := newPredMatcher(plan, pred, newOuter)
+		matchAll := newPredMatcher(plan, pred, outer.tuples)
+
+		// Sinks that also fold each match's overlap into the left
+		// tuple's coverage when outer-join tracking is on.
+		emitNew := func(i int32, z tuple.Tuple) error {
+			if outer.trackCov {
+				gi := carried + int(i)
+				outer.cov[gi] = outer.cov[gi].Add(z.V)
+			}
+			return sink.Append(z)
+		}
+		emitAll := func(i int32, z tuple.Tuple) error {
+			if outer.trackCov {
+				outer.cov[i] = outer.cov[i].Add(z.V)
+			}
+			return sink.Append(z)
+		}
+
+		// Join the carried inner tuples (the tuple cache) against the
+		// new outer tuples, retaining cache tuples that also overlap
+		// p_{i-1}. The in-memory cache page is handled first, then each
+		// spilled page is read through the inner buffer.
+		memCached, err := cache.memTuples()
+		if err != nil {
+			return err
+		}
+		spilledPages := cache.pages
+		spillFileTuples := make([]tuple.Tuple, 0)
+		for idx := 0; idx < spilledPages; idx++ {
+			if err := cache.readSpilled(idx, innerBuf); err != nil {
+				return err
+			}
+			ts, err := innerBuf.Tuples()
+			if err != nil {
+				return err
+			}
+			spillFileTuples = append(spillFileTuples, ts...)
+		}
+		oldSpillFile := cache.file
+		// Reset the cache for the next partition before re-adding
+		// survivors: the new cache must not mix with the old spill file.
+		cache.file, cache.pages = 0, 0
+		cache.page.Reset()
+
+		for _, group := range [][]tuple.Tuple{memCached, spillFileTuples} {
+			for _, y := range group {
+				if err := matchNew.probeIdx(y, emitNew); err != nil {
+					return err
+				}
+				if _, err := retain(y); err != nil {
+					return err
+				}
+			}
+		}
+		if oldSpillFile != 0 {
+			if err := d.Remove(oldSpillFile); err != nil {
+				return err
+			}
+		}
+
+		// Join each page of s_i against the whole outer area, retaining
+		// long-lived inner tuples into the (new) tuple cache.
+		for idx := 0; idx < sp.Pages(i); idx++ {
+			if err := sp.ReadPage(i, idx, innerBuf); err != nil {
+				return err
+			}
+			ts, err := innerBuf.Tuples()
+			if err != nil {
+				return err
+			}
+			for _, y := range ts {
+				if err := matchAll.probeIdx(y, emitAll); err != nil {
+					return err
+				}
+				if _, err := retain(y); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Retire every remaining outer tuple: the sweep is complete.
+	if err := outer.purge(chronon.Null(), retire); err != nil {
+		return err
+	}
+	return cache.drop()
+}
+
+// chargeThrash models outer-area overflow: the excess pages are written
+// to scratch and immediately read back (one random seek plus sequential
+// accesses each way), the minimal price of not fitting the partition in
+// memory. The counters flow through the ordinary disk accounting.
+func chargeThrash(d *disk.Disk, pages int, stats *PartitionStats) error {
+	f := d.Create()
+	defer d.Remove(f)
+	scratch := page.New(d.PageSize())
+	before := d.Counters()
+	for i := 0; i < pages; i++ {
+		if _, err := d.Append(f, scratch); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < pages; i++ {
+		if err := d.Read(f, i, scratch); err != nil {
+			return err
+		}
+	}
+	stats.ThrashIO += d.Counters().Sub(before).Total()
+	return nil
+}

@@ -1,0 +1,515 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/cost"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/extsort"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+)
+
+// SortMergeConfig configures the sort-merge valid-time join.
+type SortMergeConfig struct {
+	// MemoryPages is the total buffer allocation M: both relations are
+	// externally sorted with M pages; the merge keeps one page per
+	// input cursor, one result page and one spill-probe page, and
+	// devotes the remainder to the live-tuple windows. Tuples that
+	// outlive the windows spill to disk and are re-probed page by page
+	// — the "backing up" of Section 4.3.
+	MemoryPages int
+	// TimePredicate restricts matches to pairs whose timestamps stand
+	// in the given Allen relations (zero = intersecting intervals).
+	// Must imply intersection.
+	TimePredicate Predicate
+}
+
+// SortMergeStats reports merge-phase behaviour: how much backing up
+// the long-lived tuples forced.
+type SortMergeStats struct {
+	InnerPageReads   int64 // input page fetches during the merge (both sides)
+	InnerPageRereads int64 // spill-file fetches (pages revisited after eviction)
+	SpillPagesPeak   int   // largest spill file seen, in pages
+}
+
+// SortMerge evaluates r ⋈V s by sorting both relations on valid-time
+// start and merging them in a single interleaved pass: tuples are
+// consumed in global start order, each probing the other side's window
+// of still-live tuples. With interval timestamps a tuple stays "alive"
+// until the merge passes its end time, so long-lived tuples accumulate;
+// when the windows exceed memory the overflow spills to disk and every
+// later tuple must be checked against it — re-reading previously
+// processed data, the backing up of Section 4.3. The inputs are not
+// assumed sorted and no access paths exist (the weakest assumptions of
+// Section 4.1), so both sorts are charged to the join.
+func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig) (*cost.Report, *SortMergeStats, error) {
+	if cfg.MemoryPages < 4 {
+		return nil, nil, fmt.Errorf("join: sort-merge needs at least 4 buffer pages, got %d", cfg.MemoryPages)
+	}
+	plan, err := planFor(r, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := normalizePredicate(cfg.TimePredicate)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := r.Disk()
+	meter := cost.NewMeter(d, "sort-merge")
+
+	sortedR, err := extsort.Sort(r, extsort.ByStartTime, cfg.MemoryPages)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sortedR.Drop()
+	meter.EndPhase("sort outer")
+
+	sortedS, err := extsort.Sort(s, extsort.ByStartTime, cfg.MemoryPages)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sortedS.Drop()
+	meter.EndPhase("sort inner")
+
+	stats := &SortMergeStats{}
+	pageCap := d.PageSize() - 4
+	liveBudget := (cfg.MemoryPages - 4) * pageCap
+	if liveBudget < pageCap {
+		liveBudget = pageCap // floor of one page keeps tiny budgets sane
+	}
+	m := &merger{
+		plan:       plan,
+		pred:       pred,
+		d:          d,
+		sink:       sink,
+		stats:      stats,
+		liveBudget: liveBudget,
+		pageCap:    pageCap,
+	}
+	m.sides[0] = newMergeSide(sortedR, d)
+	m.sides[1] = newMergeSide(sortedS, d)
+	if err := m.run(); err != nil {
+		return nil, nil, err
+	}
+	if err := sink.Flush(); err != nil {
+		return nil, nil, err
+	}
+	meter.EndPhase("merge")
+	return meter.Report(), stats, nil
+}
+
+func tupleBytes(t tuple.Tuple) int { return t.EncodedSize() + 4 }
+
+// mergeSide is one input stream of the merge plus its live window,
+// spill file, and the probes pending against that spill.
+type mergeSide struct {
+	sorted *extsort.Sorted
+	d      *disk.Disk
+	pg     *page.Page
+
+	// cursor state
+	nextPage int
+	buf      []tuple.Tuple
+	bufPos   int
+	done     bool
+
+	// live window: tuples from this side that later tuples of the
+	// other side may still match.
+	live      []tuple.Tuple
+	liveBytes int
+
+	// spill: live tuples evicted from memory.
+	spillFile   disk.FileID
+	spillPages  int
+	spillMaxEnd chronon.Chronon
+
+	// pending: tuples from the *other* side queued to probe this
+	// side's spill. Invariant: the spill does not change while probes
+	// are pending (they are flushed before any eviction grows it), so
+	// a pending probe sees exactly the spill state from when it was
+	// queued.
+	pending      []tuple.Tuple
+	pendingBytes int
+}
+
+func newMergeSide(s *extsort.Sorted, d *disk.Disk) *mergeSide {
+	return &mergeSide{sorted: s, d: d, pg: page.New(d.PageSize())}
+}
+
+// head returns the next tuple without consuming it; ok is false at end
+// of stream. Reading a new page is a counted I/O.
+func (s *mergeSide) head(stats *SortMergeStats) (tuple.Tuple, bool, error) {
+	for !s.done && s.bufPos >= len(s.buf) {
+		if s.nextPage >= s.sorted.Rel.Pages() {
+			s.done = true
+			break
+		}
+		if err := s.sorted.Rel.ReadPage(s.nextPage, s.pg); err != nil {
+			return tuple.Tuple{}, false, err
+		}
+		stats.InnerPageReads++
+		s.nextPage++
+		ts, err := s.pg.Tuples()
+		if err != nil {
+			return tuple.Tuple{}, false, err
+		}
+		s.buf, s.bufPos = ts, 0
+	}
+	if s.done && s.bufPos >= len(s.buf) {
+		return tuple.Tuple{}, false, nil
+	}
+	return s.buf[s.bufPos], true, nil
+}
+
+func (s *mergeSide) pop() tuple.Tuple {
+	t := s.buf[s.bufPos]
+	s.bufPos++
+	return t
+}
+
+// merger runs the symmetric stream merge.
+type merger struct {
+	plan       *schema.JoinPlan
+	pred       Predicate
+	d          *disk.Disk
+	sink       relation.Sink
+	stats      *SortMergeStats
+	sides      [2]*mergeSide
+	liveBudget int // shared byte budget across both live windows
+	pageCap    int
+}
+
+// emit combines a left tuple and a right tuple under the plan and
+// predicate.
+func (m *merger) emit(left, right tuple.Tuple) error {
+	if m.pred != chronon.MaskIntersects && !m.pred.Holds(left.V, right.V) {
+		return nil
+	}
+	z, ok := tuple.Combine(m.plan, left, right)
+	if !ok {
+		return nil
+	}
+	return m.sink.Append(z)
+}
+
+// emitOriented routes (z from side b, w from side 1-b) into plan order.
+func (m *merger) emitOriented(b int, z, w tuple.Tuple) error {
+	if b == 0 {
+		return m.emit(z, w)
+	}
+	return m.emit(w, z)
+}
+
+func (m *merger) run() error {
+	for {
+		h0, ok0, err := m.sides[0].head(m.stats)
+		if err != nil {
+			return err
+		}
+		h1, ok1, err := m.sides[1].head(m.stats)
+		if err != nil {
+			return err
+		}
+		var b int
+		switch {
+		case !ok0 && !ok1:
+			// Drain remaining pending spill probes and finish.
+			for i := 0; i < 2; i++ {
+				if err := m.flushPending(i); err != nil {
+					return err
+				}
+				if err := m.dropSpill(m.sides[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		case !ok0:
+			b = 1
+		case !ok1:
+			b = 0
+		case h1.V.Start < h0.V.Start:
+			b = 1
+		default:
+			b = 0 // ties go to side 0; side 1's equal-start tuples then see it live
+		}
+		if err := m.step(b); err != nil {
+			return err
+		}
+	}
+}
+
+// step consumes one tuple from side b: probes the other side's live
+// window, queues a probe against the other side's spill, and joins the
+// live windows' bookkeeping.
+func (m *merger) step(b int) error {
+	z := m.sides[b].pop()
+	other := m.sides[1-b]
+
+	// Prune the other side's live window: z.V.Start is a lower bound on
+	// every future start, so tuples ending before it are dead for good.
+	other.prune(z.V.Start)
+
+	// Probe the other side's in-memory live window.
+	for _, w := range other.live {
+		if w.V.End < z.V.Start || w.V.Start > z.V.End {
+			continue
+		}
+		if err := m.emitOriented(b, z, w); err != nil {
+			return err
+		}
+	}
+
+	// Queue z against the other side's spill, flushing at page
+	// granularity so each backing-up pass is amortized.
+	if other.spillPages > 0 {
+		if other.spillMaxEnd < z.V.Start {
+			// Nothing in the spill can match z or anything after it;
+			// settle the probes already queued, then discard it.
+			if err := m.flushPending(1 - b); err != nil {
+				return err
+			}
+			if err := m.dropSpill(other); err != nil {
+				return err
+			}
+		} else {
+			other.pending = append(other.pending, z)
+			other.pendingBytes += tupleBytes(z)
+			if other.pendingBytes >= m.pageCap {
+				if err := m.flushPending(1 - b); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Retain z for future tuples of the other side.
+	return m.addLive(b, z)
+}
+
+// prune drops dead tuples from the live window.
+func (s *mergeSide) prune(minStart chronon.Chronon) {
+	kept := s.live[:0]
+	bytes := 0
+	for _, y := range s.live {
+		if y.V.End >= minStart {
+			kept = append(kept, y)
+			bytes += tupleBytes(y)
+		}
+	}
+	for i := len(kept); i < len(s.live); i++ {
+		s.live[i] = tuple.Tuple{}
+	}
+	s.live, s.liveBytes = kept, bytes
+}
+
+// addLive retains z in side b's window, evicting the longest-surviving
+// tuples to the side's spill file when the shared budget is exceeded.
+func (m *merger) addLive(b int, z tuple.Tuple) error {
+	s := m.sides[b]
+	s.live = append(s.live, z)
+	s.liveBytes += tupleBytes(z)
+	if m.sides[0].liveBytes+m.sides[1].liveBytes <= m.liveBudget {
+		return nil
+	}
+	// Evict from the larger window, down to 3/4 of its share: the
+	// tuples with the largest end chronons stay alive longest and are
+	// spilled first.
+	victim := m.sides[0]
+	if m.sides[1].liveBytes > m.sides[0].liveBytes {
+		victim = m.sides[1]
+	}
+	sort.Slice(victim.live, func(i, j int) bool { return victim.live[i].V.End < victim.live[j].V.End })
+	target := victim.liveBytes * 3 / 4
+	cut := len(victim.live)
+	bytes := victim.liveBytes
+	for cut > 0 && bytes > target {
+		cut--
+		bytes -= tupleBytes(victim.live[cut])
+	}
+	evicted := make([]tuple.Tuple, len(victim.live)-cut)
+	copy(evicted, victim.live[cut:])
+	for i := cut; i < len(victim.live); i++ {
+		victim.live[i] = tuple.Tuple{}
+	}
+	victim.live = victim.live[:cut]
+	victim.liveBytes = bytes
+
+	// Flush probes pending on this spill before it grows, preserving
+	// the stable-spill invariant.
+	vi := 0
+	if victim == m.sides[1] {
+		vi = 1
+	}
+	if err := m.flushPending(vi); err != nil {
+		return err
+	}
+	return m.spillTuples(victim, evicted)
+}
+
+// flushPending probes every queued tuple against side si's spill file
+// (one backing-up pass), compacting the file when mostly dead.
+func (m *merger) flushPending(si int) error {
+	s := m.sides[si]
+	if len(s.pending) == 0 {
+		return nil
+	}
+	pending := s.pending
+	s.pending = nil
+	s.pendingBytes = 0
+	if s.spillPages == 0 {
+		return nil
+	}
+
+	// Index the pending batch by join key for O(1) probes per spilled
+	// tuple; pending tuples come from side 1-si.
+	batch := newOrientedBatch(m.plan, pending, 1-si)
+
+	minStart := pending[0].V.Start // pending is in start order
+	var survivors []tuple.Tuple
+	total := 0
+	pg := page.New(m.d.PageSize())
+	for i := 0; i < s.spillPages; i++ {
+		if err := m.d.Read(s.spillFile, i, pg); err != nil {
+			return err
+		}
+		m.stats.InnerPageReads++
+		m.stats.InnerPageRereads++
+		ts, err := pg.Tuples()
+		if err != nil {
+			return err
+		}
+		total += len(ts)
+		for _, w := range ts {
+			if w.V.End < minStart {
+				continue // dead for every pending and future tuple
+			}
+			survivors = append(survivors, w)
+			for _, z := range batch.candidates(w) {
+				if err := m.emitOriented(1-si, z, w); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Compact when mostly dead so future passes read less.
+	if len(survivors) <= total/2 {
+		if err := m.dropSpill(s); err != nil {
+			return err
+		}
+		return m.spillTuples(s, survivors)
+	}
+	return nil
+}
+
+// orientedBatch indexes a batch of tuples from the given side by join
+// key (or start order for keyless joins).
+type orientedBatch struct {
+	plan  *schema.JoinPlan
+	side  int // which side the batch tuples come from
+	batch []tuple.Tuple
+	byKey map[uint64][]int32
+}
+
+func newOrientedBatch(plan *schema.JoinPlan, batch []tuple.Tuple, side int) *orientedBatch {
+	ob := &orientedBatch{plan: plan, side: side, batch: batch}
+	if len(plan.LeftJoinIdx) > 0 {
+		idx := plan.LeftJoinIdx
+		if side == 1 {
+			idx = plan.RightJoinIdx
+		}
+		ob.byKey = make(map[uint64][]int32, len(batch))
+		for i, t := range batch {
+			h := tuple.KeyAt(t, idx).Hash()
+			ob.byKey[h] = append(ob.byKey[h], int32(i))
+		}
+	}
+	return ob
+}
+
+// candidates returns the batch tuples that may match w (exact checks
+// happen in Combine).
+func (ob *orientedBatch) candidates(w tuple.Tuple) []tuple.Tuple {
+	if ob.byKey == nil {
+		return ob.batch
+	}
+	idx := ob.plan.RightJoinIdx
+	if ob.side == 1 {
+		idx = ob.plan.LeftJoinIdx
+	}
+	h := tuple.KeyAt(w, idx).Hash()
+	positions := ob.byKey[h]
+	if len(positions) == 0 {
+		return nil
+	}
+	out := make([]tuple.Tuple, len(positions))
+	for i, p := range positions {
+		out[i] = ob.batch[p]
+	}
+	return out
+}
+
+// spillTuples appends tuples to side s's spill file.
+func (m *merger) spillTuples(s *mergeSide, ts []tuple.Tuple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	if s.spillFile == 0 {
+		s.spillFile = m.d.Create()
+		s.spillPages = 0
+		s.spillMaxEnd = chronon.Beginning
+	}
+	pg := page.New(m.d.PageSize())
+	flush := func() error {
+		if pg.Count() == 0 {
+			return nil
+		}
+		if _, err := m.d.Append(s.spillFile, pg); err != nil {
+			return err
+		}
+		s.spillPages++
+		pg.Reset()
+		return nil
+	}
+	for _, y := range ts {
+		ok, err := pg.AppendTuple(y)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if err := flush(); err != nil {
+				return err
+			}
+			if ok, err = pg.AppendTuple(y); err != nil || !ok {
+				return fmt.Errorf("join: spill tuple does not fit an empty page (err=%v)", err)
+			}
+		}
+		if y.V.End > s.spillMaxEnd {
+			s.spillMaxEnd = y.V.End
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if s.spillPages > m.stats.SpillPagesPeak {
+		m.stats.SpillPagesPeak = s.spillPages
+	}
+	return nil
+}
+
+func (m *merger) dropSpill(s *mergeSide) error {
+	if s.spillFile == 0 {
+		return nil
+	}
+	err := m.d.Remove(s.spillFile)
+	s.spillFile = 0
+	s.spillPages = 0
+	s.spillMaxEnd = chronon.Beginning
+	s.pending = nil
+	s.pendingBytes = 0
+	return err
+}

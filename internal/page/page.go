@@ -1,0 +1,174 @@
+// Package page implements fixed-size slotted pages holding
+// variable-length tuple records. Pages are the unit of every I/O the
+// cost model counts, mirroring the paper's disk-page-based accounting.
+//
+// Layout (little-endian):
+//
+//	[0:2)  uint16 record count
+//	[2:4)  uint16 free-space end (records grow downward from here)
+//	[4:..) slot array: per record, uint16 offset + uint16 length
+//	(...)  free space
+//	(..N]  record heap, growing from the end of the page toward the front
+package page
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vtjoin/internal/tuple"
+)
+
+// DefaultSize is the page size used by the paper-scale experiments:
+// 1 KiB pages holding eight 128-byte tuples.
+const DefaultSize = 1024
+
+// MinSize is the smallest legal page: header plus one slot plus a
+// minimal record.
+const MinSize = headerSize + slotSize + 17
+
+const (
+	headerSize = 4
+	slotSize   = 4
+)
+
+// Page is a single slotted page. The zero value is unusable; call New.
+type Page struct {
+	buf []byte
+}
+
+// New allocates an empty page of the given size in bytes.
+// It panics if size < MinSize or size > 65535 (offsets are uint16).
+func New(size int) *Page {
+	if size < MinSize || size > 65535 {
+		panic(fmt.Sprintf("page: illegal page size %d", size))
+	}
+	p := &Page{buf: make([]byte, size)}
+	p.Reset()
+	return p
+}
+
+// Size returns the page size in bytes.
+func (p *Page) Size() int { return len(p.buf) }
+
+// Reset empties the page.
+func (p *Page) Reset() {
+	binary.LittleEndian.PutUint16(p.buf[0:2], 0)
+	binary.LittleEndian.PutUint16(p.buf[2:4], uint16(len(p.buf)))
+}
+
+// Count returns the number of records on the page.
+func (p *Page) Count() int {
+	return int(binary.LittleEndian.Uint16(p.buf[0:2]))
+}
+
+func (p *Page) freeEnd() int {
+	return int(binary.LittleEndian.Uint16(p.buf[2:4]))
+}
+
+// FreeSpace returns the number of payload bytes that can still be
+// inserted (accounting for the slot entry a new record needs).
+func (p *Page) FreeSpace() int {
+	free := p.freeEnd() - (headerSize + p.Count()*slotSize) - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert appends a record to the page. It returns false if the record
+// does not fit. Empty records are legal.
+func (p *Page) Insert(rec []byte) bool {
+	if len(rec) > p.FreeSpace() {
+		return false
+	}
+	n := p.Count()
+	newEnd := p.freeEnd() - len(rec)
+	copy(p.buf[newEnd:], rec)
+	slotOff := headerSize + n*slotSize
+	binary.LittleEndian.PutUint16(p.buf[slotOff:], uint16(newEnd))
+	binary.LittleEndian.PutUint16(p.buf[slotOff+2:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n+1))
+	binary.LittleEndian.PutUint16(p.buf[2:4], uint16(newEnd))
+	return true
+}
+
+// Record returns the i'th record's bytes (aliasing the page buffer; do
+// not modify). It panics if i is out of range.
+func (p *Page) Record(i int) []byte {
+	if i < 0 || i >= p.Count() {
+		panic(fmt.Sprintf("page: record index %d out of range [0, %d)", i, p.Count()))
+	}
+	slotOff := headerSize + i*slotSize
+	off := int(binary.LittleEndian.Uint16(p.buf[slotOff:]))
+	length := int(binary.LittleEndian.Uint16(p.buf[slotOff+2:]))
+	return p.buf[off : off+length]
+}
+
+// Bytes returns the raw page image (aliasing the internal buffer).
+func (p *Page) Bytes() []byte { return p.buf }
+
+// CopyFrom overwrites this page with the contents of src. The sizes
+// must match.
+func (p *Page) CopyFrom(src *Page) {
+	if len(p.buf) != len(src.buf) {
+		panic(fmt.Sprintf("page: CopyFrom size mismatch %d vs %d", len(p.buf), len(src.buf)))
+	}
+	copy(p.buf, src.buf)
+}
+
+// FromBytes interprets buf as a page image, validating the header and
+// every slot. The page aliases buf.
+func FromBytes(buf []byte) (*Page, error) {
+	if len(buf) < MinSize || len(buf) > 65535 {
+		return nil, fmt.Errorf("page: illegal page image size %d", len(buf))
+	}
+	p := &Page{buf: buf}
+	n := p.Count()
+	freeEnd := p.freeEnd()
+	slotTop := headerSize + n*slotSize
+	if freeEnd > len(buf) || freeEnd < slotTop {
+		return nil, fmt.Errorf("page: corrupt header (count=%d freeEnd=%d)", n, freeEnd)
+	}
+	for i := 0; i < n; i++ {
+		slotOff := headerSize + i*slotSize
+		off := int(binary.LittleEndian.Uint16(buf[slotOff:]))
+		length := int(binary.LittleEndian.Uint16(buf[slotOff+2:]))
+		if off < freeEnd || off+length > len(buf) {
+			return nil, fmt.Errorf("page: corrupt slot %d (off=%d len=%d)", i, off, length)
+		}
+	}
+	return p, nil
+}
+
+// AppendTuple encodes t and inserts it. It returns false (with no
+// error) when the page is full, and an error only when the tuple itself
+// cannot be encoded or can never fit on an empty page of this size.
+func (p *Page) AppendTuple(t tuple.Tuple) (bool, error) {
+	rec, err := t.Append(nil)
+	if err != nil {
+		return false, err
+	}
+	if len(rec) > p.Size()-headerSize-slotSize {
+		return false, fmt.Errorf("page: tuple of %d encoded bytes can never fit a %d-byte page", len(rec), p.Size())
+	}
+	return p.Insert(rec), nil
+}
+
+// Tuple decodes the i'th record as a tuple.
+func (p *Page) Tuple(i int) (tuple.Tuple, error) {
+	t, _, err := tuple.Decode(p.Record(i))
+	return t, err
+}
+
+// Tuples decodes every record on the page.
+func (p *Page) Tuples() ([]tuple.Tuple, error) {
+	out := make([]tuple.Tuple, 0, p.Count())
+	for i := 0; i < p.Count(); i++ {
+		t, err := p.Tuple(i)
+		if err != nil {
+			return nil, fmt.Errorf("page: record %d: %w", i, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

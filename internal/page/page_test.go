@@ -1,0 +1,239 @@
+package page
+
+import (
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, size := range []int{0, MinSize - 1, 70000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", size)
+				}
+			}()
+			New(size)
+		}()
+	}
+}
+
+func TestInsertAndRecord(t *testing.T) {
+	p := New(128)
+	if p.Count() != 0 {
+		t.Fatal("new page not empty")
+	}
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	for _, r := range recs {
+		if !p.Insert(r) {
+			t.Fatalf("Insert(%q) failed with %d free", r, p.FreeSpace())
+		}
+	}
+	if p.Count() != 3 {
+		t.Fatalf("count = %d", p.Count())
+	}
+	for i, want := range recs {
+		if got := string(p.Record(i)); got != string(want) {
+			t.Fatalf("record %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestInsertUntilFull(t *testing.T) {
+	p := New(128)
+	rec := make([]byte, 10)
+	n := 0
+	for p.Insert(rec) {
+		n++
+		if n > 100 {
+			t.Fatal("page never filled")
+		}
+	}
+	// Each record consumes 10 payload + 4 slot bytes; 124 usable.
+	if want := (128 - headerSize) / (10 + slotSize); n != want {
+		t.Fatalf("inserted %d records, want %d", n, want)
+	}
+	// A smaller record may still fit if free space allows; a zero-length
+	// record needs only a slot entry.
+	if p.FreeSpace() >= 4 && !p.Insert(nil) {
+		t.Fatal("empty record should fit in remaining space")
+	}
+}
+
+func TestResetEmptiesPage(t *testing.T) {
+	p := New(128)
+	p.Insert([]byte("x"))
+	p.Reset()
+	if p.Count() != 0 {
+		t.Fatal("Reset did not clear count")
+	}
+	if p.FreeSpace() != 128-headerSize-slotSize {
+		t.Fatalf("free space after reset = %d", p.FreeSpace())
+	}
+}
+
+func TestRecordPanicsOutOfRange(t *testing.T) {
+	p := New(128)
+	p.Insert([]byte("x"))
+	for _, i := range []int{-1, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Record(%d) did not panic", i)
+				}
+			}()
+			p.Record(i)
+		}()
+	}
+}
+
+func TestFromBytesRoundTrip(t *testing.T) {
+	p := New(256)
+	p.Insert([]byte("hello"))
+	p.Insert([]byte("world"))
+	img := make([]byte, 256)
+	copy(img, p.Bytes())
+	q, err := FromBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Count() != 2 || string(q.Record(0)) != "hello" || string(q.Record(1)) != "world" {
+		t.Fatal("round trip through page image failed")
+	}
+}
+
+func TestFromBytesRejectsCorruption(t *testing.T) {
+	p := New(256)
+	p.Insert([]byte("hello"))
+	// Corrupt count.
+	img := make([]byte, 256)
+	copy(img, p.Bytes())
+	img[0] = 0xFF
+	img[1] = 0xFF
+	if _, err := FromBytes(img); err == nil {
+		t.Fatal("corrupt count accepted")
+	}
+	// Corrupt slot offset pointing into the slot array.
+	copy(img, p.Bytes())
+	img[4] = 0
+	img[5] = 0
+	if _, err := FromBytes(img); err == nil {
+		t.Fatal("corrupt slot accepted")
+	}
+	// Too small.
+	if _, err := FromBytes(make([]byte, 4)); err == nil {
+		t.Fatal("tiny image accepted")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(128)
+	a.Insert([]byte("data"))
+	b := New(128)
+	b.CopyFrom(a)
+	if b.Count() != 1 || string(b.Record(0)) != "data" {
+		t.Fatal("CopyFrom failed")
+	}
+	c := New(256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom size mismatch did not panic")
+		}
+	}()
+	c.CopyFrom(a)
+}
+
+func TestAppendTupleAndTuples(t *testing.T) {
+	p := New(DefaultSize)
+	want := []tuple.Tuple{
+		tuple.New(chronon.New(1, 5), value.Int(10), value.String_("a")),
+		tuple.New(chronon.New(2, 9), value.Int(20), value.String_("b")),
+	}
+	for _, tp := range want {
+		ok, err := p.AppendTuple(tp)
+		if err != nil || !ok {
+			t.Fatalf("AppendTuple: ok=%v err=%v", ok, err)
+		}
+	}
+	got, err := p.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tuples", len(got))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("tuple %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendTupleTooLargeForAnyPage(t *testing.T) {
+	p := New(128)
+	big := tuple.New(chronon.New(0, 1), value.Bytes(make([]byte, 4096)))
+	ok, err := p.AppendTuple(big)
+	if ok || err == nil {
+		t.Fatal("oversized tuple should error, not silently fail")
+	}
+}
+
+func TestAppendTupleFullPageIsNotError(t *testing.T) {
+	p := New(64)
+	tp := tuple.New(chronon.New(0, 1), value.Int(1))
+	for {
+		ok, err := p.AppendTuple(tp)
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if p.Count() == 0 {
+		t.Fatal("nothing fit on the page")
+	}
+}
+
+func TestFillRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		p := New(DefaultSize)
+		var want []tuple.Tuple
+		for {
+			tp := tuple.New(
+				chronon.New(chronon.Chronon(rng.Intn(100)), chronon.Chronon(100+rng.Intn(100))),
+				value.Int(rng.Int63n(1e6)),
+				value.Bytes(make([]byte, rng.Intn(60))),
+			)
+			ok, err := p.AppendTuple(tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			want = append(want, tp)
+		}
+		img, err := FromBytes(p.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := img.Tuples()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d tuples, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("trial %d tuple %d mismatch", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+var testSchema = schema.MustNew(schema.Column{Name: "id", Kind: value.KindInt})
+
+func buildRel(t *testing.T, d *disk.Disk, ivs []chronon.Interval) *relation.Relation {
+	t.Helper()
+	r := relation.Create(d, testSchema)
+	b := r.NewBuilder()
+	for i, iv := range ivs {
+		if err := b.Append(tuple.New(iv, value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDoPartitioningLastOverlapPlacement(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	p := mustCuts(t, 9, 19) // partitions: ...-9, 10-19, 20-...
+	ivs := []chronon.Interval{
+		chronon.New(0, 5),   // stored in 0
+		chronon.New(12, 14), // stored in 1
+		chronon.New(25, 30), // stored in 2
+		chronon.New(5, 15),  // overlaps 0,1 -> stored in 1
+		chronon.New(0, 25),  // overlaps all -> stored in 2
+	}
+	r := buildRel(t, d, ivs)
+	pt, err := DoPartitioning(r, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pt.Drop()
+
+	wantCounts := []int64{1, 2, 2}
+	for i, want := range wantCounts {
+		if got := pt.Tuples(i); got != want {
+			t.Fatalf("partition %d holds %d tuples, want %d", i, got, want)
+		}
+	}
+	// Verify each tuple landed in its last overlapping partition.
+	for i := 0; i < pt.N(); i++ {
+		ts, err := pt.ReadAll(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range ts {
+			if got := p.Last(tp.V); got != i {
+				t.Fatalf("tuple %v stored in partition %d, but its last overlap is %d", tp, i, got)
+			}
+		}
+	}
+}
+
+func TestDoPartitioningPreservesEveryTuple(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	rng := rand.New(rand.NewSource(4))
+	var ivs []chronon.Interval
+	for i := 0; i < 3000; i++ {
+		s := chronon.Chronon(rng.Intn(10000))
+		ivs = append(ivs, chronon.New(s, s+chronon.Chronon(rng.Intn(3000))))
+	}
+	r := buildRel(t, d, ivs)
+	p := mustCuts(t, 1000, 2500, 5000, 7500)
+	pt, err := DoPartitioning(r, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pt.Drop()
+
+	if pt.TotalTuples() != r.Tuples() {
+		t.Fatalf("partitioned %d tuples, relation has %d", pt.TotalTuples(), r.Tuples())
+	}
+	// Collect ids from all partitions; every id must appear exactly once
+	// (no replication, no loss).
+	seen := make(map[int64]int)
+	for i := 0; i < pt.N(); i++ {
+		ts, err := pt.ReadAll(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range ts {
+			seen[tp.Values[0].AsInt()]++
+		}
+	}
+	if len(seen) != len(ivs) {
+		t.Fatalf("saw %d distinct tuples, want %d", len(seen), len(ivs))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("tuple %d appears %d times (replication!)", id, n)
+		}
+	}
+}
+
+func TestDoPartitioningEmptyRelation(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := relation.Create(d, testSchema)
+	pt, err := DoPartitioning(r, mustCuts(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.TotalTuples() != 0 || pt.TotalPages() != 0 {
+		t.Fatal("empty relation produced non-empty partitions")
+	}
+}
+
+func TestDoPartitioningSinglePartition(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildRel(t, d, []chronon.Interval{chronon.New(0, 1), chronon.New(5, 9)})
+	pt, err := DoPartitioning(r, Single())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.N() != 1 || pt.Tuples(0) != 2 {
+		t.Fatalf("N=%d tuples=%d", pt.N(), pt.Tuples(0))
+	}
+}
+
+func TestDoPartitioningIOPattern(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	var ivs []chronon.Interval
+	for i := 0; i < 2000; i++ {
+		ivs = append(ivs, chronon.At(chronon.Chronon(i%1000)))
+	}
+	r := buildRel(t, d, ivs)
+	d.ResetCounters()
+	pt, err := DoPartitioning(r, mustCuts(t, 250, 500, 750))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Counters()
+	// Input side: one linear scan of the relation.
+	if c.RandReads != 1 || c.SeqReads != int64(r.Pages()-1) {
+		t.Fatalf("input reads: %v, want linear scan of %d pages", c, r.Pages())
+	}
+	// Output side: every partition page written exactly once.
+	if got := c.RandWrites + c.SeqWrites; got != int64(pt.TotalPages()) {
+		t.Fatalf("wrote %d pages, partitions hold %d", got, pt.TotalPages())
+	}
+}
+
+func TestPartitionedReadAllIsSequentialPerPartition(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	var ivs []chronon.Interval
+	for i := 0; i < 4000; i++ {
+		ivs = append(ivs, chronon.At(chronon.Chronon(i%100)))
+	}
+	r := buildRel(t, d, ivs)
+	pt, err := DoPartitioning(r, mustCuts(t, 49))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ResetCounters()
+	if _, err := pt.ReadAll(0); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Counters()
+	if c.RandReads != 1 || c.SeqReads != int64(pt.Pages(0)-1) {
+		t.Fatalf("partition read pattern %v for %d pages; want 1 random + rest sequential", c, pt.Pages(0))
+	}
+}

@@ -1,0 +1,105 @@
+// Package partition implements Section 3 of the paper: partitionings of
+// the valid-time line, the sampling-driven partition-interval chooser
+// (determinePartIntervals, chooseIntervals, estimateCacheSizes from
+// Appendices A.2–A.4), and the Grace partitioner that physically
+// distributes tuples, storing each tuple in the *last* partition it
+// overlaps so long-lived tuples are never replicated on disk.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"vtjoin/internal/chronon"
+)
+
+// Partitioning is a set P of n non-overlapping intervals p1 < ... < pn
+// that completely covers the valid-time line (Section 3.3). It is
+// represented by its n-1 interior cut chronons: partition i (0-based)
+// is [cuts[i-1]+1, cuts[i]], with p0 starting at chronon.Beginning and
+// p(n-1) ending at chronon.Forever.
+type Partitioning struct {
+	cuts []chronon.Chronon
+}
+
+// Single returns the trivial partitioning with one interval covering
+// the entire time-line.
+func Single() Partitioning { return Partitioning{} }
+
+// FromCuts builds a partitioning from strictly increasing interior cut
+// chronons. len(cuts)+1 partitions result. Cuts must lie strictly
+// inside (Beginning, Forever).
+func FromCuts(cuts []chronon.Chronon) (Partitioning, error) {
+	for i, c := range cuts {
+		if c <= chronon.Beginning || c >= chronon.Forever {
+			return Partitioning{}, fmt.Errorf("partition: cut %d (%d) outside the representable time-line", i, c)
+		}
+		if i > 0 && cuts[i-1] >= c {
+			return Partitioning{}, fmt.Errorf("partition: cuts not strictly increasing at %d (%d >= %d)", i, cuts[i-1], c)
+		}
+	}
+	cp := make([]chronon.Chronon, len(cuts))
+	copy(cp, cuts)
+	return Partitioning{cuts: cp}, nil
+}
+
+// N returns the number of partitions (always >= 1).
+func (p Partitioning) N() int { return len(p.cuts) + 1 }
+
+// Interval returns partition i's partitioning interval p(i+1) in the
+// paper's 1-based numbering; i is 0-based here.
+func (p Partitioning) Interval(i int) chronon.Interval {
+	n := p.N()
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("partition: index %d out of range [0, %d)", i, n))
+	}
+	start := chronon.Beginning
+	if i > 0 {
+		start = p.cuts[i-1] + 1
+	}
+	end := chronon.Forever
+	if i < n-1 {
+		end = p.cuts[i]
+	}
+	return chronon.New(start, end)
+}
+
+// Locate returns the index of the partition containing chronon t.
+func (p Partitioning) Locate(t chronon.Chronon) int {
+	// The first cut >= t bounds t's partition.
+	return sort.Search(len(p.cuts), func(i int) bool { return p.cuts[i] >= t })
+}
+
+// Range returns the indexes of the first and last partitions that a
+// tuple with timestamp iv overlaps. A tuple "is in partition ri iff
+// overlap(x[V], pi) != ⊥" (Section 3.3); it is physically stored in
+// the last. Range panics on a null interval: null timestamps cannot
+// appear in a relation instance.
+func (p Partitioning) Range(iv chronon.Interval) (first, last int) {
+	if iv.IsNull() {
+		panic("partition: Range of null interval")
+	}
+	return p.Locate(iv.Start), p.Locate(iv.End)
+}
+
+// Last returns the index of the last partition overlapping iv — the
+// partition the tuple is physically stored in.
+func (p Partitioning) Last(iv chronon.Interval) int {
+	_, last := p.Range(iv)
+	return last
+}
+
+// Cuts returns a copy of the interior cut chronons.
+func (p Partitioning) Cuts() []chronon.Chronon {
+	out := make([]chronon.Chronon, len(p.cuts))
+	copy(out, p.cuts)
+	return out
+}
+
+// String renders the partitioning compactly.
+func (p Partitioning) String() string {
+	if p.N() == 1 {
+		return "partitioning{1: (-inf, +inf)}"
+	}
+	return fmt.Sprintf("partitioning{%d parts, cuts=%v}", p.N(), p.cuts)
+}

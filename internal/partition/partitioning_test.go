@@ -1,0 +1,155 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/chronon"
+)
+
+func mustCuts(t *testing.T, cuts ...chronon.Chronon) Partitioning {
+	t.Helper()
+	p, err := FromCuts(cuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSingle(t *testing.T) {
+	p := Single()
+	if p.N() != 1 {
+		t.Fatalf("N = %d", p.N())
+	}
+	iv := p.Interval(0)
+	if iv.Start != chronon.Beginning || iv.End != chronon.Forever {
+		t.Fatalf("interval = %v", iv)
+	}
+	if p.Locate(0) != 0 || p.Last(chronon.New(-100, 100)) != 0 {
+		t.Fatal("single partitioning should map everything to 0")
+	}
+}
+
+func TestFromCutsValidation(t *testing.T) {
+	if _, err := FromCuts([]chronon.Chronon{10, 10}); err == nil {
+		t.Fatal("non-increasing cuts accepted")
+	}
+	if _, err := FromCuts([]chronon.Chronon{10, 5}); err == nil {
+		t.Fatal("decreasing cuts accepted")
+	}
+	if _, err := FromCuts([]chronon.Chronon{chronon.Beginning}); err == nil {
+		t.Fatal("cut at Beginning accepted")
+	}
+	if _, err := FromCuts([]chronon.Chronon{chronon.Forever}); err == nil {
+		t.Fatal("cut at Forever accepted")
+	}
+}
+
+func TestIntervalsPartitionTheLine(t *testing.T) {
+	p := mustCuts(t, 10, 20, 30)
+	if p.N() != 4 {
+		t.Fatalf("N = %d", p.N())
+	}
+	// Consecutive partitions must meet exactly (cover, no overlap).
+	for i := 0; i < p.N()-1; i++ {
+		a, b := p.Interval(i), p.Interval(i+1)
+		if !a.Meets(b) {
+			t.Fatalf("partitions %d and %d do not meet: %v, %v", i, i+1, a, b)
+		}
+	}
+	if p.Interval(0).Start != chronon.Beginning {
+		t.Fatal("first partition must start at Beginning")
+	}
+	if p.Interval(3).End != chronon.Forever {
+		t.Fatal("last partition must end at Forever")
+	}
+	// Boundary chronons land in the lower partition (cuts are
+	// inclusive upper bounds).
+	if p.Locate(10) != 0 || p.Locate(11) != 1 || p.Locate(20) != 1 || p.Locate(21) != 2 {
+		t.Fatal("Locate misplaces boundary chronons")
+	}
+}
+
+func TestIntervalPanicsOutOfRange(t *testing.T) {
+	p := mustCuts(t, 10)
+	for _, i := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Interval(%d) did not panic", i)
+				}
+			}()
+			p.Interval(i)
+		}()
+	}
+}
+
+func TestRangeAndLast(t *testing.T) {
+	p := mustCuts(t, 10, 20, 30)
+	cases := []struct {
+		iv          chronon.Interval
+		first, last int
+	}{
+		{chronon.New(0, 5), 0, 0},
+		{chronon.New(5, 15), 0, 1},
+		{chronon.New(0, 100), 0, 3},
+		{chronon.New(11, 20), 1, 1},
+		{chronon.New(10, 11), 0, 1}, // spans the cut
+		{chronon.New(35, 40), 3, 3},
+		{chronon.New(21, 31), 2, 3},
+	}
+	for _, c := range cases {
+		f, l := c.iv, 0
+		first, last := p.Range(c.iv)
+		_ = f
+		_ = l
+		if first != c.first || last != c.last {
+			t.Errorf("Range(%v) = (%d, %d), want (%d, %d)", c.iv, first, last, c.first, c.last)
+		}
+		if p.Last(c.iv) != c.last {
+			t.Errorf("Last(%v) = %d, want %d", c.iv, p.Last(c.iv), c.last)
+		}
+	}
+}
+
+func TestRangePanicsOnNull(t *testing.T) {
+	p := mustCuts(t, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(null) did not panic")
+		}
+	}()
+	p.Range(chronon.Null())
+}
+
+func TestRangeConsistentWithOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := mustCuts(t, 5, 17, 42, 99, 250)
+	for trial := 0; trial < 3000; trial++ {
+		s := chronon.Chronon(rng.Intn(300)) - 20
+		iv := chronon.New(s, s+chronon.Chronon(rng.Intn(120)))
+		first, last := p.Range(iv)
+		for i := 0; i < p.N(); i++ {
+			overlaps := p.Interval(i).Overlaps(iv)
+			inRange := i >= first && i <= last
+			if overlaps != inRange {
+				t.Fatalf("partition %d: overlap=%v but Range(%v)=(%d,%d)", i, overlaps, iv, first, last)
+			}
+		}
+	}
+}
+
+func TestCutsReturnsCopy(t *testing.T) {
+	p := mustCuts(t, 10, 20)
+	cuts := p.Cuts()
+	cuts[0] = 999
+	if p.Cuts()[0] != 10 {
+		t.Fatal("Cuts() must return a copy")
+	}
+}
+
+func TestString(t *testing.T) {
+	if Single().String() == "" || mustCuts(t, 5).String() == "" {
+		t.Fatal("empty String")
+	}
+}

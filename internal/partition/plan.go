@@ -1,0 +1,307 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/cost"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/sampling"
+)
+
+// PlanConfig configures determinePartIntervals.
+type PlanConfig struct {
+	// BuffSize is the number of buffer pages available to hold an outer
+	// relation partition (Figure 3's "buffSize" area; the inner page,
+	// tuple-cache page and result page are budgeted separately).
+	BuffSize int
+	// Weights is the random:sequential access cost model used to score
+	// candidate partition sizes.
+	Weights cost.Weights
+	// Rng drives sampling. Required.
+	Rng *rand.Rand
+	// CandidateStep is the granularity of the partSize search. The
+	// paper's Appendix A.2 evaluates every partSize from 1 to buffSize;
+	// the cost curve is the sum of a monotonically increasing sampling
+	// cost and a monotonically decreasing cache-paging cost (Figure 4),
+	// so a coarser grid finds a near-minimal candidate at a fraction of
+	// the planning CPU time. Zero selects an automatic step of about
+	// buffSize/64.
+	CandidateStep int
+	// TuplesPerPage converts tuple-count estimates to pages. If zero it
+	// is derived from the relation (tuples / pages).
+	TuplesPerPage float64
+	// DisableScanOptimization forces per-sample random reads even when
+	// a sequential scan would be cheaper — the naive strategy the paper
+	// started from before discovering the Section 4.2 optimization.
+	// Exists for the ablation benchmarks; leave false in production.
+	DisableScanOptimization bool
+}
+
+// Plan is the output of determinePartIntervals: the chosen partitioning
+// plus the cost estimates that selected it (exposed so experiments can
+// reproduce Figure 4's trade-off curves).
+type Plan struct {
+	Partitioning  Partitioning
+	PartSize      int     // expected outer-partition size, pages
+	ErrorSize     int     // buffSize - partSize, pages
+	NumPartitions int     // partitions requested (>= actual N)
+	SamplesDrawn  int     // cumulative samples backing the choice
+	Csample       float64 // estimated sampling cost (weighted I/O)
+	Cjoin         float64 // estimated partition-join cost (weighted I/O)
+	CachePages    []float64
+}
+
+// EstimatedCost returns Csample + Cjoin, the objective the plan
+// minimizes.
+func (p *Plan) EstimatedCost() float64 { return p.Csample + p.Cjoin }
+
+// Candidate records one evaluated partSize, for Figure 4.
+type Candidate struct {
+	PartSize int
+	Csample  float64
+	Cjoin    float64
+	// CachePaging is the tuple-cache component of Cjoin in isolation —
+	// the dashed curve of Figure 4.
+	CachePaging float64
+}
+
+// incrementalSampler tops up a sample of r's tuple timestamps on
+// demand, mirroring Appendix A.2's incremental draw: "Since the number
+// of samples increases with partition size, we incrementally draw
+// samples from r and add them to the sample set for increasing
+// partSize." Once the cumulative random-read cost would exceed one
+// sequential scan, it switches to the Section 4.2 optimization: scan
+// the relation once and serve any number of samples from it.
+type incrementalSampler struct {
+	r        *relation.Relation
+	w        cost.Weights
+	rng      *rand.Rand
+	drawn    []chronon.Interval
+	scanned  bool
+	scanCost float64
+	spent    float64 // weighted I/O spent on sampling so far
+	noScan   bool    // ablation: never switch to the scan strategy
+}
+
+func newIncrementalSampler(r *relation.Relation, w cost.Weights, rng *rand.Rand) *incrementalSampler {
+	pages := r.Pages()
+	sc := 0.0
+	if pages > 0 {
+		sc = w.Rand + float64(pages-1)*w.Seq
+	}
+	return &incrementalSampler{r: r, w: w, rng: rng, scanCost: sc}
+}
+
+// planAhead tells the sampler the largest sample size any candidate
+// will request. If serving that demand by random reads would exceed a
+// scan anyway, the sampler scans immediately — the global form of the
+// Section 4.2 optimization, avoiding random draws that a later, larger
+// request would render redundant.
+func (s *incrementalSampler) planAhead(maxM int) error {
+	if s.scanned || s.noScan {
+		return nil
+	}
+	if total := int(s.r.Tuples()); maxM > total {
+		maxM = total
+	}
+	if float64(maxM)*s.w.Rand > s.scanCost {
+		_, err := s.ensure(int(s.r.Tuples()))
+		return err
+	}
+	return nil
+}
+
+// ensure grows the sample to at least m timestamps and returns the
+// current set. The returned slice must not be modified.
+func (s *incrementalSampler) ensure(m int) ([]chronon.Interval, error) {
+	if total := int(s.r.Tuples()); m > total {
+		m = total
+	}
+	if m <= len(s.drawn) {
+		return s.drawn[:len(s.drawn)], nil
+	}
+	need := m - len(s.drawn)
+	if !s.scanned && !s.noScan && s.spent+float64(need)*s.w.Rand > s.scanCost {
+		// Cheaper to scan everything once: do so, keep every timestamp
+		// in random order, and serve all future requests for free.
+		sc := s.r.Scan()
+		all := make([]chronon.Interval, 0, s.r.Tuples())
+		for {
+			t, ok, err := sc.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			all = append(all, t.V)
+		}
+		s.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		s.drawn = all
+		s.scanned = true
+		s.spent += s.scanCost
+		return s.drawn[:m], nil
+	}
+	if s.scanned {
+		return s.drawn[:m], nil
+	}
+	sub, err := sampling.Draw(s.r, need, cost.Weights{Rand: s.w.Rand, Seq: math.Inf(1)}, s.rng)
+	if err != nil {
+		return nil, err
+	}
+	s.drawn = append(s.drawn, sub.Intervals()...)
+	s.spent += float64(len(sub.Tuples)) * s.w.Rand
+	return s.drawn, nil
+}
+
+// DeterminePartIntervals is the paper's determinePartIntervals
+// (Appendix A.2): for candidate partition sizes partSize in
+// [1, buffSize], estimate Csample (from the Kolmogorov statistic) and
+// Cjoin (partition reads plus tuple-cache paging, both relations), and
+// return the partitioning whose candidate minimizes Csample + Cjoin.
+//
+// It also returns the full candidate trace so callers can plot the
+// Figure 4 trade-off.
+func DeterminePartIntervals(r *relation.Relation, cfg PlanConfig) (*Plan, []Candidate, error) {
+	if cfg.BuffSize < 1 {
+		return nil, nil, fmt.Errorf("partition: buffSize must be >= 1, got %d", cfg.BuffSize)
+	}
+	if cfg.Rng == nil {
+		return nil, nil, fmt.Errorf("partition: PlanConfig.Rng is required")
+	}
+	relPages := r.Pages()
+	if relPages == 0 {
+		return &Plan{Partitioning: Single(), PartSize: cfg.BuffSize, NumPartitions: 1}, nil, nil
+	}
+	tpp := cfg.TuplesPerPage
+	if tpp <= 0 {
+		tpp = float64(r.Tuples()) / float64(relPages)
+	}
+	step := cfg.CandidateStep
+	if step <= 0 {
+		step = cfg.BuffSize / 64
+		if step < 1 {
+			step = 1
+		}
+	}
+
+	sampler := newIncrementalSampler(r, cfg.Weights, cfg.Rng)
+	sampler.noScan = cfg.DisableScanOptimization
+	scanCost := sampler.scanCost
+
+	// The largest candidate partSize leaves the smallest error margin
+	// and so demands the largest sample; if that demand already exceeds
+	// one sequential scan, scan upfront instead of paying for random
+	// draws that will be subsumed anyway.
+	lastPartSize := 1
+	for ps := 1; ps <= cfg.BuffSize; ps += step {
+		lastPartSize = ps
+	}
+	maxWant := int(r.Tuples())
+	if errSz := cfg.BuffSize - lastPartSize; errSz > 0 {
+		var err error
+		maxWant, err = sampling.SampleSize(relPages, errSz)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := sampler.planAhead(maxWant); err != nil {
+		return nil, nil, err
+	}
+
+	var (
+		best       *Plan
+		candidates []Candidate
+	)
+	for partSize := 1; partSize <= cfg.BuffSize; partSize += step {
+		errorSize := cfg.BuffSize - partSize
+		var wantSamples int
+		if errorSize <= 0 {
+			// partSize == buffSize leaves no error margin; only an
+			// exact (full-scan) sample avoids overflow.
+			errorSize = 0
+			wantSamples = int(r.Tuples())
+		} else {
+			var err error
+			wantSamples, err = sampling.SampleSize(relPages, errorSize)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+
+		// Csample under the Section 4.2 optimization: never more than
+		// one sequential scan of the relation.
+		csample := float64(wantSamples) * cfg.Weights.Rand
+		if csample > scanCost && !cfg.DisableScanOptimization {
+			csample = scanCost
+		}
+
+		numPartitions := (relPages + partSize - 1) / partSize
+		sampleSet, err := sampler.ensure(wantSamples)
+		if err != nil {
+			return nil, nil, err
+		}
+		part, err := ChooseIntervals(sampleSet, numPartitions)
+		if err != nil {
+			return nil, nil, err
+		}
+		fraction := 0.0
+		if r.Tuples() > 0 {
+			fraction = float64(len(sampleSet)) / float64(r.Tuples())
+		}
+		cachePages, err := EstimateCacheSizes(sampleSet, fraction, part, tpp)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// Cjoin (Appendix A.2): both relations' partitions are read —
+		// one random seek per partition, the remaining pages
+		// sequentially — and each partition's tuple cache is written
+		// and read once (one random seek plus sequential accesses).
+		// The paper's formula uses numPartitions × (partSize-1)
+		// sequential reads; with sparse samples the realized
+		// partitioning can have fewer (hence larger) partitions, so the
+		// realized partition count and the true page volume give the
+		// accurate estimate.
+		n := float64(part.N())
+		seqPages := float64(relPages) - n
+		if seqPages < 0 {
+			seqPages = 0
+		}
+		cjoin := 2 * (n*cfg.Weights.Rand + seqPages*cfg.Weights.Seq)
+		cachePaging := 0.0
+		for _, m := range cachePages {
+			if m <= 0 {
+				continue
+			}
+			mp := math.Ceil(m)
+			cachePaging += 2 * (cfg.Weights.Rand + cfg.Weights.Seq*(mp-1))
+		}
+		cjoin += cachePaging
+
+		candidates = append(candidates, Candidate{
+			PartSize:    partSize,
+			Csample:     csample,
+			Cjoin:       cjoin,
+			CachePaging: cachePaging,
+		})
+
+		total := csample + cjoin
+		if best == nil || total <= best.EstimatedCost() {
+			best = &Plan{
+				Partitioning:  part,
+				PartSize:      partSize,
+				ErrorSize:     errorSize,
+				NumPartitions: numPartitions,
+				SamplesDrawn:  len(sampleSet),
+				Csample:       csample,
+				Cjoin:         cjoin,
+				CachePages:    cachePages,
+			}
+		}
+	}
+	return best, candidates, nil
+}

@@ -1,0 +1,185 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/cost"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+func buildUniform(t *testing.T, d *disk.Disk, n int, lifespan int64) *relation.Relation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(8))
+	r := relation.Create(d, testSchema)
+	b := r.NewBuilder()
+	for i := 0; i < n; i++ {
+		s := chronon.Chronon(rng.Int63n(lifespan))
+		if err := b.Append(tuple.New(chronon.At(s), value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDeterminePartIntervalsValidation(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildUniform(t, d, 100, 1000)
+	if _, _, err := DeterminePartIntervals(r, PlanConfig{BuffSize: 0, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Fatal("buffSize=0 accepted")
+	}
+	if _, _, err := DeterminePartIntervals(r, PlanConfig{BuffSize: 4}); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestDeterminePartIntervalsEmptyRelation(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := relation.Create(d, testSchema)
+	plan, cands, err := DeterminePartIntervals(r, PlanConfig{
+		BuffSize: 8, Weights: cost.Ratio(5), Rng: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Partitioning.N() != 1 || len(cands) != 0 {
+		t.Fatalf("empty relation plan: %+v", plan)
+	}
+}
+
+func TestDeterminePartIntervalsProducesFittingPartitions(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildUniform(t, d, 8000, 100000)
+	buffSize := r.Pages()/8 + 2
+	plan, _, err := DeterminePartIntervals(r, PlanConfig{
+		BuffSize: buffSize,
+		Weights:  cost.Ratio(5),
+		Rng:      rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PartSize < 1 || plan.PartSize > buffSize {
+		t.Fatalf("partSize %d outside [1, %d]", plan.PartSize, buffSize)
+	}
+	// Physically partition and verify partitions fit in buffSize pages
+	// (the Kolmogorov bound holds with 99% certainty; the fixed seed
+	// makes this deterministic).
+	pt, err := DoPartitioning(r, plan.Partitioning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pt.Drop()
+	for i := 0; i < pt.N(); i++ {
+		if pt.Pages(i) > buffSize {
+			t.Fatalf("partition %d occupies %d pages, buffer is %d", i, pt.Pages(i), buffSize)
+		}
+	}
+}
+
+func TestCandidateTraceMatchesFigure4(t *testing.T) {
+	// Figure 4: sampling cost increases monotonically with partSize;
+	// tuple-cache paging cost decreases monotonically.
+	d := disk.New(page.DefaultSize)
+	rng := rand.New(rand.NewSource(9))
+	r := relation.Create(d, testSchema)
+	b := r.NewBuilder()
+	const lifespan = 100000
+	for i := 0; i < 6000; i++ {
+		s := chronon.Chronon(rng.Int63n(lifespan))
+		var iv chronon.Interval
+		if i%4 == 0 { // every 4th tuple is long-lived
+			s = chronon.Chronon(rng.Int63n(lifespan / 2))
+			iv = chronon.New(s, s+lifespan/2)
+		} else {
+			iv = chronon.At(s)
+		}
+		if err := b.Append(tuple.New(iv, value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, cands, err := DeterminePartIntervals(r, PlanConfig{
+		BuffSize:      r.Pages() / 4,
+		Weights:       cost.Ratio(5),
+		Rng:           rand.New(rand.NewSource(3)),
+		CandidateStep: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 3 {
+		t.Fatalf("only %d candidates", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Csample < cands[i-1].Csample-1e-9 {
+			t.Fatalf("Csample not monotonically non-decreasing at candidate %d: %g -> %g",
+				i, cands[i-1].Csample, cands[i].Csample)
+		}
+		if cands[i].CachePaging > cands[i-1].CachePaging+1e-9 {
+			t.Fatalf("cache paging not monotonically non-increasing at candidate %d: %g -> %g",
+				i, cands[i-1].CachePaging, cands[i].CachePaging)
+		}
+	}
+	// The chosen plan minimizes the candidate sum.
+	for _, c := range cands {
+		if c.Csample+c.Cjoin < plan.EstimatedCost()-1e-9 {
+			t.Fatalf("plan cost %g exceeds candidate partSize=%d cost %g",
+				plan.EstimatedCost(), c.PartSize, c.Csample+c.Cjoin)
+		}
+	}
+}
+
+func TestSamplingCostCappedByScan(t *testing.T) {
+	// Even with a tiny error margin (huge Kolmogorov m), actual sampling
+	// I/O must not exceed one scan of the relation by much.
+	d := disk.New(page.DefaultSize)
+	r := buildUniform(t, d, 8000, 100000)
+	w := cost.Ratio(10)
+	scanCost := w.Rand + float64(r.Pages()-1)*w.Seq
+
+	d.ResetCounters()
+	_, _, err := DeterminePartIntervals(r, PlanConfig{
+		BuffSize: r.Pages() / 4,
+		Weights:  w,
+		Rng:      rand.New(rand.NewSource(5)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := w.Of(d.Counters())
+	if actual > 2*scanCost {
+		t.Fatalf("planning cost %g exceeds twice the scan cost %g", actual, scanCost)
+	}
+}
+
+func TestDeterminePartIntervalsStepCoversBuffSize(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildUniform(t, d, 2000, 10000)
+	_, cands, err := DeterminePartIntervals(r, PlanConfig{
+		BuffSize:      10,
+		Weights:       cost.Ratio(2),
+		Rng:           rand.New(rand.NewSource(6)),
+		CandidateStep: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if cands[0].PartSize != 1 {
+		t.Fatalf("first candidate partSize = %d", cands[0].PartSize)
+	}
+}

@@ -1,0 +1,88 @@
+package partition
+
+import (
+	"fmt"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/tuple"
+)
+
+// DoPartitioningReplicated partitions r by replicating every tuple
+// into each partition it overlaps — the strategy of Leung & Muntz
+// [LM92b] that the paper argues against: "replication requires
+// additional secondary storage space and complicates update
+// operations" (Section 3.2). It exists as the ablation baseline for
+// that argument: with long-lived tuples the replicated partitioning's
+// page count grows with density while the last-overlap partitioning's
+// stays equal to the input (see BenchmarkAblationReplication and
+// TestReplicationStorageBlowup).
+//
+// A partition-local join over a replicated partitioning would also
+// produce duplicate results for pairs sharing several partitions; the
+// returned Partitioned is therefore suitable for storage/update-cost
+// studies, not as a drop-in input to joinPartitions.
+func DoPartitioningReplicated(r *relation.Relation, part Partitioning) (*Partitioned, error) {
+	d := r.Disk()
+	n := part.N()
+	p := &Partitioned{
+		Part:     part,
+		Schema:   r.Schema(),
+		d:        d,
+		files:    make([]disk.FileID, n),
+		pages:    make([]int, n),
+		tuples:   make([]int64, n),
+		minStart: make([]chronon.Chronon, n),
+	}
+	for i := range p.minStart {
+		p.minStart[i] = chronon.Forever
+	}
+	buckets := make([]*page.Page, n)
+	for i := range p.files {
+		p.files[i] = d.Create()
+		buckets[i] = page.New(d.PageSize())
+	}
+	in := page.New(d.PageSize())
+	ps := r.ScanPages()
+	for {
+		ok, err := ps.Next(in)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		for s := 0; s < in.Count(); s++ {
+			rec := in.Record(s)
+			iv, err := tuple.PeekInterval(rec)
+			if err != nil {
+				return nil, fmt.Errorf("partition: page record %d: %w", s, err)
+			}
+			first, last := part.Range(iv)
+			for i := first; i <= last; i++ {
+				if !buckets[i].Insert(rec) {
+					if err := p.flushBucket(i, buckets[i]); err != nil {
+						return nil, err
+					}
+					if !buckets[i].Insert(rec) {
+						return nil, fmt.Errorf("partition: record of %d bytes does not fit an empty page", len(rec))
+					}
+				}
+				p.tuples[i]++
+				if iv.Start < p.minStart[i] {
+					p.minStart[i] = iv.Start
+				}
+			}
+		}
+	}
+	for i, b := range buckets {
+		if b.Count() > 0 {
+			if err := p.flushBucket(i, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,79 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+)
+
+func TestReplicatedPlacement(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	p := mustCuts(t, 9, 19) // partitions ...-9, 10-19, 20-...
+	ivs := []chronon.Interval{
+		chronon.New(0, 5),  // partition 0 only
+		chronon.New(5, 15), // partitions 0 and 1: two copies
+		chronon.New(0, 25), // all three: three copies
+	}
+	r := buildRel(t, d, ivs)
+	pt, err := DoPartitioningReplicated(r, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pt.Drop()
+	if pt.TotalTuples() != 1+2+3 {
+		t.Fatalf("replicated copies = %d, want 6", pt.TotalTuples())
+	}
+	// Every partition holds each overlapping tuple.
+	wantPerPartition := []int64{3, 2, 1}
+	for i, want := range wantPerPartition {
+		if got := pt.Tuples(i); got != want {
+			t.Fatalf("partition %d holds %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestReplicationStorageBlowup(t *testing.T) {
+	// The ablation behind Section 3.2's argument: as long-lived density
+	// grows, replicated storage grows with it while last-overlap
+	// placement stays at the input size.
+	pagesAt := func(longEvery int) (lastOverlap, replicated int) {
+		t.Helper()
+		d := disk.New(page.DefaultSize)
+		rng := rand.New(rand.NewSource(42))
+		var ivs []chronon.Interval
+		for i := 0; i < 4000; i++ {
+			if longEvery > 0 && i%longEvery == 0 {
+				s := chronon.Chronon(rng.Intn(5000))
+				ivs = append(ivs, chronon.New(s, s+5000))
+			} else {
+				ivs = append(ivs, chronon.At(chronon.Chronon(rng.Intn(10000))))
+			}
+		}
+		r := buildRel(t, d, ivs)
+		parting := mustCuts(t, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000)
+		a, err := DoPartitioning(r, parting)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := DoPartitioningReplicated(r, parting)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TotalTuples() != r.Tuples() {
+			t.Fatalf("last-overlap placement replicated: %d vs %d", a.TotalTuples(), r.Tuples())
+		}
+		return a.TotalPages(), b.TotalPages()
+	}
+
+	loNone, repNone := pagesAt(0)
+	if repNone > loNone+10 {
+		t.Fatalf("without long-lived tuples the strategies should tie: %d vs %d", loNone, repNone)
+	}
+	loDense, repDense := pagesAt(3) // 33% long-lived crossing ~half the partitions
+	if repDense < loDense*2 {
+		t.Fatalf("replication should blow up storage with long-lived tuples: %d vs %d", loDense, repDense)
+	}
+}

@@ -1,0 +1,240 @@
+// Package relation implements on-disk valid-time relations: a schema
+// plus a sequence of slotted pages on the simulated device. It provides
+// page-granular builders and scanners (every page touched is an I/O the
+// cost model sees) and the tuple sinks that join algorithms emit result
+// tuples into.
+package relation
+
+import (
+	"fmt"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+)
+
+// Relation is a valid-time relation instance stored on a simulated
+// device. Its pages are consecutive, so a full scan costs one random
+// access plus (pages-1) sequential accesses — the access pattern the
+// paper's cost model assumes for relations and partitions.
+type Relation struct {
+	d        *disk.Disk
+	file     disk.FileID
+	schema   *schema.Schema
+	tuples   int64
+	lifespan chronon.Interval // hull of all tuple timestamps; null if empty
+}
+
+// Create allocates a new empty relation with the given schema on d.
+func Create(d *disk.Disk, s *schema.Schema) *Relation {
+	return &Relation{d: d, file: d.Create(), schema: s}
+}
+
+// Disk returns the device holding the relation.
+func (r *Relation) Disk() *disk.Disk { return r.d }
+
+// File returns the relation's file ID.
+func (r *Relation) File() disk.FileID { return r.file }
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() *schema.Schema { return r.schema }
+
+// Pages returns the number of disk pages the relation occupies.
+func (r *Relation) Pages() int {
+	n, err := r.d.NumPages(r.file)
+	if err != nil {
+		panic(fmt.Sprintf("relation: backing file vanished: %v", err))
+	}
+	return n
+}
+
+// Tuples returns the relation's cardinality.
+func (r *Relation) Tuples() int64 { return r.tuples }
+
+// Lifespan returns the hull of all tuple timestamps (null if the
+// relation is empty).
+func (r *Relation) Lifespan() chronon.Interval { return r.lifespan }
+
+// ReadPage reads page idx into dst, counting the access.
+func (r *Relation) ReadPage(idx int, dst *page.Page) error {
+	return r.d.Read(r.file, idx, dst)
+}
+
+// Drop removes the relation's backing file.
+func (r *Relation) Drop() error { return r.d.Remove(r.file) }
+
+// Builder appends tuples to a relation through a single in-memory page,
+// flushing each page to disk as it fills (Grace-style sequential
+// construction).
+type Builder struct {
+	r   *Relation
+	cur *page.Page
+	// written counts tuples appended through this builder; pageStarts
+	// records the ordinal of the first tuple on each flushed page.
+	// Together they form the page catalog used by sort-merge to seek by
+	// tuple ordinal without extra I/O.
+	written    int64
+	pageStarts []int64
+}
+
+// NewBuilder returns a builder appending to r. A builder must be
+// Flush()ed to persist the trailing partial page. Appending to a
+// relation that already has pages continues after them.
+func (r *Relation) NewBuilder() *Builder {
+	return &Builder{r: r, cur: page.New(r.d.PageSize())}
+}
+
+// Append validates t against the relation schema and adds it.
+func (b *Builder) Append(t tuple.Tuple) error {
+	if err := t.CheckAgainst(b.r.schema); err != nil {
+		return err
+	}
+	return b.AppendUnchecked(t)
+}
+
+// AppendUnchecked adds t without schema validation; used on hot paths
+// where the tuple provably matches (e.g. repartitioning an existing
+// relation).
+func (b *Builder) AppendUnchecked(t tuple.Tuple) error {
+	ok, err := b.cur.AppendTuple(t)
+	if err != nil {
+		return fmt.Errorf("relation: append: %w", err)
+	}
+	if !ok {
+		if err := b.flushPage(); err != nil {
+			return err
+		}
+		ok, err = b.cur.AppendTuple(t)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("relation: tuple does not fit an empty page")
+		}
+	}
+	b.r.tuples++
+	b.written++
+	b.r.lifespan = chronon.Hull(b.r.lifespan, t.V)
+	return nil
+}
+
+func (b *Builder) flushPage() error {
+	b.pageStarts = append(b.pageStarts, b.written-int64(b.cur.Count()))
+	if _, err := b.r.d.Append(b.r.file, b.cur); err != nil {
+		return fmt.Errorf("relation: flush: %w", err)
+	}
+	b.cur.Reset()
+	return nil
+}
+
+// PageStarts returns, for each page this builder flushed, the ordinal
+// (among tuples written through this builder) of the page's first
+// tuple, with a trailing sentinel holding the total tuple count. Call
+// after Flush.
+func (b *Builder) PageStarts() []int64 {
+	out := make([]int64, 0, len(b.pageStarts)+1)
+	out = append(out, b.pageStarts...)
+	return append(out, b.written)
+}
+
+// Flush writes the trailing partial page, if any.
+func (b *Builder) Flush() error {
+	if b.cur.Count() == 0 {
+		return nil
+	}
+	return b.flushPage()
+}
+
+// FromTuples builds a relation containing the given tuples in order.
+func FromTuples(d *disk.Disk, s *schema.Schema, tuples []tuple.Tuple) (*Relation, error) {
+	r := Create(d, s)
+	b := r.NewBuilder()
+	for i, t := range tuples {
+		if err := b.Append(t); err != nil {
+			return nil, fmt.Errorf("relation: tuple %d: %w", i, err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// PageScanner iterates over the relation's pages in storage order.
+type PageScanner struct {
+	r   *Relation
+	idx int
+	n   int
+}
+
+// ScanPages returns a sequential page scanner.
+func (r *Relation) ScanPages() *PageScanner {
+	return &PageScanner{r: r, n: r.Pages()}
+}
+
+// Next reads the next page into dst, returning false at the end.
+func (ps *PageScanner) Next(dst *page.Page) (bool, error) {
+	if ps.idx >= ps.n {
+		return false, nil
+	}
+	if err := ps.r.ReadPage(ps.idx, dst); err != nil {
+		return false, err
+	}
+	ps.idx++
+	return true, nil
+}
+
+// Scanner iterates tuples in storage order via a sequential page scan.
+type Scanner struct {
+	ps   *PageScanner
+	pg   *page.Page
+	slot int
+	cnt  int
+	open bool
+}
+
+// Scan returns a sequential tuple scanner over r.
+func (r *Relation) Scan() *Scanner {
+	return &Scanner{ps: r.ScanPages(), pg: page.New(r.d.PageSize())}
+}
+
+// Next returns the next tuple; the boolean is false at the end.
+func (s *Scanner) Next() (tuple.Tuple, bool, error) {
+	for {
+		if s.open && s.slot < s.cnt {
+			t, err := s.pg.Tuple(s.slot)
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			s.slot++
+			return t, true, nil
+		}
+		more, err := s.ps.Next(s.pg)
+		if err != nil {
+			return tuple.Tuple{}, false, err
+		}
+		if !more {
+			return tuple.Tuple{}, false, nil
+		}
+		s.open, s.slot, s.cnt = true, 0, s.pg.Count()
+	}
+}
+
+// All materializes every tuple (a full sequential scan; the I/O is
+// counted).
+func (r *Relation) All() ([]tuple.Tuple, error) {
+	out := make([]tuple.Tuple, 0, r.tuples)
+	sc := r.Scan()
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,292 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+var testSchema = schema.MustNew(
+	schema.Column{Name: "id", Kind: value.KindInt},
+	schema.Column{Name: "name", Kind: value.KindString},
+)
+
+func mkTuple(id int64, name string, s, e chronon.Chronon) tuple.Tuple {
+	return tuple.New(chronon.New(s, e), value.Int(id), value.String_(name))
+}
+
+func TestCreateEmpty(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := Create(d, testSchema)
+	if r.Pages() != 0 || r.Tuples() != 0 {
+		t.Fatal("fresh relation not empty")
+	}
+	if !r.Lifespan().IsNull() {
+		t.Fatal("empty relation must have null lifespan")
+	}
+	all, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 0 {
+		t.Fatal("empty relation yielded tuples")
+	}
+}
+
+func TestBuildScanRoundTrip(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	want := []tuple.Tuple{
+		mkTuple(1, "a", 0, 10),
+		mkTuple(2, "b", 5, 15),
+		mkTuple(3, "c", 20, 30),
+	}
+	r, err := FromTuples(d, testSchema, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples() != 3 {
+		t.Fatalf("tuples = %d", r.Tuples())
+	}
+	if !r.Lifespan().Equal(chronon.New(0, 30)) {
+		t.Fatalf("lifespan = %v", r.Lifespan())
+	}
+	got, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tuples", len(got))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("tuple %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBuilderValidatesSchema(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := Create(d, testSchema)
+	b := r.NewBuilder()
+	bad := tuple.New(chronon.New(0, 1), value.String_("wrong"), value.Int(1))
+	if err := b.Append(bad); err == nil {
+		t.Fatal("schema violation accepted")
+	}
+}
+
+func TestBuilderSpillsAcrossPages(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := Create(d, testSchema)
+	b := r.NewBuilder()
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := b.Append(mkTuple(int64(i), "payload-string", chronon.Chronon(i), chronon.Chronon(i+5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", r.Pages())
+	}
+	got, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d tuples, want %d", len(got), n)
+	}
+	for i, tp := range got {
+		if tp.Values[0].AsInt() != int64(i) {
+			t.Fatalf("tuple %d out of order: %v", i, tp)
+		}
+	}
+}
+
+func TestFlushIdempotentWhenEmpty(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := Create(d, testSchema)
+	b := r.NewBuilder()
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pages() != 0 {
+		t.Fatal("flush of empty builder wrote a page")
+	}
+	if err := b.Append(mkTuple(1, "x", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pages() != 1 {
+		t.Fatalf("double flush wrote %d pages", r.Pages())
+	}
+}
+
+func TestScanCountsSequentialIO(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	var tuples []tuple.Tuple
+	for i := 0; i < 300; i++ {
+		tuples = append(tuples, mkTuple(int64(i), "some-name-payload", 0, 1))
+	}
+	r, err := FromTuples(d, testSchema, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ResetCounters()
+	if _, err := r.All(); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Counters()
+	if c.RandReads != 1 || c.SeqReads != int64(r.Pages()-1) {
+		t.Fatalf("scan of %d pages cost %v; want 1 random + %d sequential",
+			r.Pages(), c, r.Pages()-1)
+	}
+	if c.RandWrites+c.SeqWrites != 0 {
+		t.Fatal("scan performed writes")
+	}
+}
+
+func TestPageScanner(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	var tuples []tuple.Tuple
+	for i := 0; i < 200; i++ {
+		tuples = append(tuples, mkTuple(int64(i), "abcdefghij", 0, 1))
+	}
+	r, err := FromTuples(d, testSchema, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := r.ScanPages()
+	pg := page.New(page.DefaultSize)
+	seen := 0
+	pages := 0
+	for {
+		ok, err := ps.Next(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		pages++
+		seen += pg.Count()
+	}
+	if pages != r.Pages() {
+		t.Fatalf("scanned %d pages, relation has %d", pages, r.Pages())
+	}
+	if seen != 200 {
+		t.Fatalf("saw %d tuples", seen)
+	}
+}
+
+func TestAppendAfterScanContinues(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r, err := FromTuples(d, testSchema, []tuple.Tuple{mkTuple(1, "a", 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := r.NewBuilder()
+	if err := b.Append(mkTuple(2, "b", 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Values[0].AsInt() != 2 {
+		t.Fatalf("continued append broken: %v", got)
+	}
+	if r.Tuples() != 2 {
+		t.Fatalf("Tuples = %d", r.Tuples())
+	}
+}
+
+func TestDrop(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := Create(d, testSchema)
+	if err := r.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Drop(); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestSinks(t *testing.T) {
+	var collect CollectSink
+	var count CountSink
+	for i := 0; i < 5; i++ {
+		tp := mkTuple(int64(i), "x", 0, 1)
+		if err := collect.Append(tp); err != nil {
+			t.Fatal(err)
+		}
+		if err := count.Append(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := collect.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := count.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(collect.Tuples) != 5 || count.N != 5 {
+		t.Fatalf("collect=%d count=%d", len(collect.Tuples), count.N)
+	}
+}
+
+func TestBuilderAsSink(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := Create(d, testSchema)
+	var sink Sink = r.NewBuilder()
+	if err := sink.Append(mkTuple(1, "a", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples() != 1 {
+		t.Fatal("builder-as-sink did not persist")
+	}
+}
+
+func TestLargeRandomRoundTrip(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	rng := rand.New(rand.NewSource(11))
+	var want []tuple.Tuple
+	for i := 0; i < 5000; i++ {
+		s := chronon.Chronon(rng.Int63n(100000))
+		want = append(want, mkTuple(rng.Int63n(1e9), "nm", s, s+chronon.Chronon(rng.Int63n(1000))))
+	}
+	r, err := FromTuples(d, testSchema, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d", len(got))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}

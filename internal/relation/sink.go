@@ -1,0 +1,49 @@
+package relation
+
+import "vtjoin/internal/tuple"
+
+// Sink receives join result tuples. The paper's cost analysis "omits
+// the cost of writing the result relation since this cost is incurred
+// by all evaluation algorithms" (Appendix A.2); experiments therefore
+// use a CountSink, correctness tests a CollectSink, and applications a
+// Builder (which materializes the result and counts its I/O).
+type Sink interface {
+	// Append delivers one result tuple. Implementations may retain the
+	// tuple, so producers must not reuse its Values backing array.
+	Append(t tuple.Tuple) error
+	// Flush finalizes the sink (e.g. writes a trailing partial page).
+	Flush() error
+}
+
+// Builder implements Sink.
+var _ Sink = (*Builder)(nil)
+
+// CollectSink accumulates result tuples in memory, for tests and small
+// interactive joins.
+type CollectSink struct {
+	Tuples []tuple.Tuple
+}
+
+// Append stores the tuple.
+func (c *CollectSink) Append(t tuple.Tuple) error {
+	c.Tuples = append(c.Tuples, t)
+	return nil
+}
+
+// Flush is a no-op.
+func (c *CollectSink) Flush() error { return nil }
+
+// CountSink counts result tuples and discards them, charging no I/O —
+// the measurement configuration of the paper's experiments.
+type CountSink struct {
+	N int64
+}
+
+// Append counts the tuple.
+func (c *CountSink) Append(tuple.Tuple) error {
+	c.N++
+	return nil
+}
+
+// Flush is a no-op.
+func (c *CountSink) Flush() error { return nil }

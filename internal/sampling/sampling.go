@@ -1,0 +1,173 @@
+// Package sampling implements the statistical machinery of Section 3.4
+// of the paper: sizing a random sample of the outer relation with the
+// Kolmogorov test statistic, drawing the sample (including the
+// sequential-scan optimization of Section 4.2), and selecting
+// partitioning chronons as equi-depth quantiles of the multiset of
+// chronons covered by the sampled tuples.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/cost"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/tuple"
+)
+
+// KolmogorovCoefficient is the 99%-certainty coefficient of the
+// Kolmogorov test statistic used by the paper (Conover 1971): with m
+// samples, each chosen partitioning chronon's percentile differs from
+// the exact one by at most 1.63/sqrt(m).
+const KolmogorovCoefficient = 1.63
+
+// SampleSize returns the number of samples m needed so that partition
+// size estimates err by at most errorPages pages for a relation of
+// relPages pages: m >= ((1.63 * |r|) / errorSize)^2 (Section 3.4).
+func SampleSize(relPages, errorPages int) (int, error) {
+	if relPages < 0 {
+		return 0, fmt.Errorf("sampling: negative relation size %d", relPages)
+	}
+	if errorPages <= 0 {
+		return 0, fmt.Errorf("sampling: error allowance must be positive, got %d pages", errorPages)
+	}
+	if relPages == 0 {
+		return 0, nil
+	}
+	x := KolmogorovCoefficient * float64(relPages) / float64(errorPages)
+	m := math.Ceil(x * x)
+	if m > math.MaxInt32 {
+		return math.MaxInt32, nil
+	}
+	return int(m), nil
+}
+
+// MaxError returns the worst-case partition-size estimation error, in
+// pages, when m samples are drawn from a relation of relPages pages:
+// (1.63 * |r|) / sqrt(m). It is the inverse of SampleSize.
+func MaxError(relPages, m int) float64 {
+	if m <= 0 {
+		return math.Inf(1)
+	}
+	return KolmogorovCoefficient * float64(relPages) / math.Sqrt(float64(m))
+}
+
+// Sample is a set of tuples drawn uniformly at random, without
+// replacement, from a relation, along with the fraction of the relation
+// it covers (used to scale estimates back up).
+type Sample struct {
+	Tuples []tuple.Tuple
+	// Fraction is |samples| / |r| in tuples; zero for an empty relation.
+	Fraction float64
+	// Sequential records whether the sample was drawn via the
+	// sequential-scan optimization rather than per-sample random reads.
+	Sequential bool
+}
+
+// Intervals returns the timestamps of the sampled tuples.
+func (s *Sample) Intervals() []chronon.Interval {
+	out := make([]chronon.Interval, len(s.Tuples))
+	for i, t := range s.Tuples {
+		out[i] = t.V
+	}
+	return out
+}
+
+// Draw draws m tuples uniformly without replacement from r, charging
+// the I/O to r's device. It implements the cost-based strategy choice
+// of Section 4.2: if m per-sample random reads would cost more than one
+// full sequential scan of the relation (under weights w), the relation
+// is instead scanned once and the sample drawn by reservoir sampling,
+// making the sampling cost proportional to the relation's page count
+// rather than the (possibly much larger) sample count.
+func Draw(r *relation.Relation, m int, w cost.Weights, rng *rand.Rand) (*Sample, error) {
+	total := int(r.Tuples())
+	if m >= total {
+		m = total
+	}
+	if m == 0 {
+		return &Sample{}, nil
+	}
+	randomCost := float64(m) * w.Rand
+	scanCost := w.Rand + float64(r.Pages()-1)*w.Seq
+	if randomCost > scanCost {
+		return drawSequential(r, m, rng)
+	}
+	return drawRandom(r, m, rng)
+}
+
+// drawRandom draws m tuples via per-sample random page reads. Each
+// sampled tuple is distinct; pages may be revisited (each visit is a
+// counted random read, matching the paper's one-random-access-per-
+// sample accounting). The caller guarantees m <= r.Tuples().
+func drawRandom(r *relation.Relation, m int, rng *rand.Rand) (*Sample, error) {
+	npages := r.Pages()
+	if npages == 0 {
+		return &Sample{}, nil
+	}
+	pg := page.New(r.Disk().PageSize())
+	taken := make(map[int]map[int]bool) // page -> slots already drawn
+	counts := make(map[int]int)         // page -> record count, once known
+	s := &Sample{Tuples: make([]tuple.Tuple, 0, m)}
+	for len(s.Tuples) < m {
+		pi := rng.Intn(npages)
+		if n, known := counts[pi]; known && len(taken[pi]) == n {
+			continue // page exhausted; retry costs no I/O
+		}
+		if err := r.ReadPage(pi, pg); err != nil {
+			return nil, err
+		}
+		n := pg.Count()
+		counts[pi] = n
+		used := taken[pi]
+		if used == nil {
+			used = make(map[int]bool)
+			taken[pi] = used
+		}
+		if len(used) == n {
+			continue
+		}
+		slot := rng.Intn(n)
+		for used[slot] {
+			slot = (slot + 1) % n
+		}
+		used[slot] = true
+		t, err := pg.Tuple(slot)
+		if err != nil {
+			return nil, err
+		}
+		s.Tuples = append(s.Tuples, t)
+	}
+	s.Fraction = float64(len(s.Tuples)) / float64(r.Tuples())
+	return s, nil
+}
+
+// drawSequential scans the relation once and reservoir-samples m tuples
+// (uniform without replacement).
+func drawSequential(r *relation.Relation, m int, rng *rand.Rand) (*Sample, error) {
+	s := &Sample{Sequential: true, Tuples: make([]tuple.Tuple, 0, m)}
+	sc := r.Scan()
+	seen := 0
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		seen++
+		if len(s.Tuples) < m {
+			s.Tuples = append(s.Tuples, t)
+		} else if j := rng.Intn(seen); j < m {
+			s.Tuples[j] = t
+		}
+	}
+	if r.Tuples() > 0 {
+		s.Fraction = float64(len(s.Tuples)) / float64(r.Tuples())
+	}
+	return s, nil
+}

@@ -1,0 +1,207 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/cost"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+var testSchema = schema.MustNew(schema.Column{Name: "id", Kind: value.KindInt})
+
+func buildRelation(t *testing.T, d *disk.Disk, n int, mk func(i int) chronon.Interval) *relation.Relation {
+	t.Helper()
+	r := relation.Create(d, testSchema)
+	b := r.NewBuilder()
+	for i := 0; i < n; i++ {
+		if err := b.Append(tuple.New(mk(i), value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSampleSize(t *testing.T) {
+	// m >= ((1.63 * |r|) / errorSize)^2
+	m, err := SampleSize(1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(16.3 * 16.3))
+	if m != want {
+		t.Fatalf("SampleSize = %d, want %d", m, want)
+	}
+	if _, err := SampleSize(100, 0); err == nil {
+		t.Fatal("zero error allowance accepted")
+	}
+	if _, err := SampleSize(-1, 1); err == nil {
+		t.Fatal("negative relation size accepted")
+	}
+	if m, err := SampleSize(0, 1); err != nil || m != 0 {
+		t.Fatalf("empty relation: m=%d err=%v", m, err)
+	}
+}
+
+func TestSampleSizeIndependentOfScale(t *testing.T) {
+	// The paper's footnote: expressing errorSize as a fixed fraction of
+	// |r| makes the required sample count independent of |r|.
+	m1, _ := SampleSize(1000, 100)     // 10% error
+	m2, _ := SampleSize(100000, 10000) // 10% error
+	if m1 != m2 {
+		t.Fatalf("sample sizes differ at equal error fractions: %d vs %d", m1, m2)
+	}
+}
+
+func TestMaxErrorInvertsSampleSize(t *testing.T) {
+	relPages := 5000
+	for _, errPages := range []int{10, 100, 1000} {
+		m, err := SampleSize(relPages, errPages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := MaxError(relPages, m); got > float64(errPages)+1e-9 {
+			t.Fatalf("MaxError(%d, %d) = %g, want <= %d", relPages, m, got, errPages)
+		}
+	}
+	if !math.IsInf(MaxError(10, 0), 1) {
+		t.Fatal("MaxError with zero samples should be +Inf")
+	}
+}
+
+func TestDrawWithoutReplacement(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	const n = 500
+	r := buildRelation(t, d, n, func(i int) chronon.Interval {
+		return chronon.At(chronon.Chronon(i))
+	})
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{1, 10, 100, n, 2 * n} {
+		s, err := Draw(r, m, cost.Ratio(5), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen := m
+		if wantLen > n {
+			wantLen = n
+		}
+		if len(s.Tuples) != wantLen {
+			t.Fatalf("m=%d: drew %d tuples, want %d", m, len(s.Tuples), wantLen)
+		}
+		seen := map[int64]bool{}
+		for _, tp := range s.Tuples {
+			id := tp.Values[0].AsInt()
+			if seen[id] {
+				t.Fatalf("m=%d: tuple %d drawn twice", m, id)
+			}
+			seen[id] = true
+		}
+		if want := float64(wantLen) / float64(n); math.Abs(s.Fraction-want) > 1e-12 {
+			t.Fatalf("fraction = %g, want %g", s.Fraction, want)
+		}
+	}
+}
+
+func TestDrawEmptyRelation(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := relation.Create(d, testSchema)
+	s, err := Draw(r, 10, cost.Ratio(5), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tuples) != 0 || s.Fraction != 0 {
+		t.Fatal("sample from empty relation not empty")
+	}
+}
+
+func TestDrawStrategySwitch(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	const n = 4000 // hundreds of pages
+	r := buildRelation(t, d, n, func(i int) chronon.Interval {
+		return chronon.At(chronon.Chronon(i))
+	})
+	pages := r.Pages()
+	w := cost.Ratio(10)
+
+	// Few samples: random strategy, one random read per sample.
+	d.ResetCounters()
+	rng := rand.New(rand.NewSource(2))
+	s, err := Draw(r, 3, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sequential {
+		t.Fatal("tiny sample used the sequential strategy")
+	}
+	c := d.Counters()
+	if c.SeqReads != 0 || c.RandReads < 3 {
+		t.Fatalf("random sampling I/O: %v", c)
+	}
+
+	// Huge sample: sequential scan exactly once.
+	d.ResetCounters()
+	s, err = Draw(r, n/2, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Sequential {
+		t.Fatal("large sample did not switch to sequential scan")
+	}
+	c = d.Counters()
+	if c.RandReads != 1 || c.SeqReads != int64(pages-1) {
+		t.Fatalf("sequential sampling I/O: %v (pages=%d)", c, pages)
+	}
+	if len(s.Tuples) != n/2 {
+		t.Fatalf("drew %d", len(s.Tuples))
+	}
+}
+
+func TestDrawIsApproximatelyUniform(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	const n = 2000
+	r := buildRelation(t, d, n, func(i int) chronon.Interval {
+		return chronon.At(chronon.Chronon(i))
+	})
+	rng := rand.New(rand.NewSource(3))
+	// Draw many small random-strategy samples and check the first-half/
+	// second-half split is balanced.
+	firstHalf := 0
+	total := 0
+	for trial := 0; trial < 200; trial++ {
+		s, err := Draw(r, 10, cost.Ratio(1000), rng) // force random strategy
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range s.Tuples {
+			if tp.Values[0].AsInt() < n/2 {
+				firstHalf++
+			}
+			total++
+		}
+	}
+	ratio := float64(firstHalf) / float64(total)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("sampling skewed: first-half ratio %.3f", ratio)
+	}
+}
+
+func TestSampleIntervals(t *testing.T) {
+	s := &Sample{Tuples: []tuple.Tuple{
+		tuple.New(chronon.New(1, 2), value.Int(1)),
+		tuple.New(chronon.New(3, 4), value.Int(2)),
+	}}
+	ivs := s.Intervals()
+	if len(ivs) != 2 || !ivs[0].Equal(chronon.New(1, 2)) || !ivs[1].Equal(chronon.New(3, 4)) {
+		t.Fatalf("Intervals = %v", ivs)
+	}
+}

@@ -1,0 +1,233 @@
+// Package schema models valid-time relation schemas following Section 2
+// of the paper:
+//
+//	R = (A1, ..., An, B1, ..., Bk, Vs, Ve)
+//	S = (A1, ..., An, C1, ..., Cm, Vs, Ve)
+//
+// where the Ai are the explicit join attributes shared by both schemas,
+// the Bi/Ci are additional non-joining attributes, and [Vs, Ve] is the
+// implicit valid-time interval (represented out of band by the tuple
+// layer, not as explicit columns).
+//
+// The package derives the output schema of the valid-time natural join:
+// the shared attributes once, then the left-only attributes, then the
+// right-only attributes, with the result timestamp handled implicitly.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"vtjoin/internal/value"
+)
+
+// Column is a named, typed attribute.
+type Column struct {
+	Name string
+	Kind value.Kind
+}
+
+// Schema is an ordered list of explicit columns of a valid-time
+// relation. The valid-time interval [Vs, Ve] is implicit: every tuple
+// carries one, so it is not listed as a column.
+type Schema struct {
+	cols    []Column
+	byName  map[string]int
+	display string
+}
+
+// New builds a schema from the given columns. Column names must be
+// non-empty and unique.
+func New(cols ...Column) (*Schema, error) {
+	s := &Schema{
+		cols:   make([]Column, len(cols)),
+		byName: make(map[string]int, len(cols)),
+	}
+	copy(s.cols, cols)
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("schema: column %d has empty name", i)
+		}
+		if c.Kind == value.KindInvalid {
+			return nil, fmt.Errorf("schema: column %q has invalid kind", c.Name)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("schema: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteString(", V)")
+	s.display = b.String()
+	return s, nil
+}
+
+// MustNew is New but panics on error; intended for statically known
+// schemas in tests and examples.
+func MustNew(cols ...Column) *Schema {
+	s, err := New(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of explicit columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Column returns the i'th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column {
+	out := make([]Column, len(s.cols))
+	copy(out, s.cols)
+	return out
+}
+
+// Index returns the position of the named column, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named column.
+func (s *Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// String renders the schema as "(name kind, ..., V)"; the trailing V
+// records the implicit valid-time attribute.
+func (s *Schema) String() string { return s.display }
+
+// Equal reports whether two schemas have identical column lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i, c := range s.cols {
+		if o.cols[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// SharedColumns returns the names of columns present in both schemas, in
+// s's column order. For the valid-time natural join these are the
+// explicit join attributes A1..An; their kinds must match.
+func SharedColumns(s, o *Schema) ([]string, error) {
+	var shared []string
+	for _, c := range s.cols {
+		j := o.Index(c.Name)
+		if j < 0 {
+			continue
+		}
+		if oc := o.Column(j); oc.Kind != c.Kind {
+			return nil, fmt.Errorf("schema: shared column %q has kind %v on one side and %v on the other",
+				c.Name, c.Kind, oc.Kind)
+		}
+		shared = append(shared, c.Name)
+	}
+	return shared, nil
+}
+
+// JoinPlan describes how two schemas combine under the valid-time
+// natural join: which input positions are compared for equality and how
+// the output tuple's z^(n+k+m) explicit attributes are assembled.
+type JoinPlan struct {
+	// Output is the result schema: shared columns (left order), then
+	// left-only columns, then right-only columns.
+	Output *Schema
+	// LeftJoinIdx and RightJoinIdx are the positions, in each input, of
+	// the shared join attributes, aligned pairwise.
+	LeftJoinIdx  []int
+	RightJoinIdx []int
+	// LeftOut maps each left-input position to its output position.
+	// RightOut maps right-input positions to output positions, with -1
+	// for shared columns (which are emitted from the left input).
+	LeftOut  []int
+	RightOut []int
+}
+
+// Swap returns the plan for evaluating the same join with the inputs
+// exchanged while keeping the original output column order: running
+// the swapped plan with (right, left) inputs produces tuples laid out
+// exactly as the original plan's output. Shared columns, emitted from
+// the left input in the original plan, are emitted from the swapped
+// plan's left input (the original right) — legal because matching
+// tuples agree on them. Used to derive right outer joins from the
+// left outer implementation.
+func (p *JoinPlan) Swap() *JoinPlan {
+	sw := &JoinPlan{
+		Output:       p.Output,
+		LeftJoinIdx:  append([]int(nil), p.RightJoinIdx...),
+		RightJoinIdx: append([]int(nil), p.LeftJoinIdx...),
+		LeftOut:      make([]int, len(p.RightOut)),
+		RightOut:     make([]int, len(p.LeftOut)),
+	}
+	// The swapped plan's left input is the original right input.
+	copy(sw.LeftOut, p.RightOut)
+	for k := range p.RightJoinIdx {
+		// Shared column k sits at original right position
+		// p.RightJoinIdx[k] with RightOut = -1; in the swapped plan the
+		// (new) left input emits it at the original output position.
+		sw.LeftOut[p.RightJoinIdx[k]] = p.LeftOut[p.LeftJoinIdx[k]]
+	}
+	// The swapped plan's right input is the original left input; its
+	// shared columns are now suppressed.
+	copy(sw.RightOut, p.LeftOut)
+	for _, li := range p.LeftJoinIdx {
+		sw.RightOut[li] = -1
+	}
+	return sw
+}
+
+// PlanNaturalJoin derives the join plan of s ⋈V o per the paper's
+// Section 2 definition. It is an error for the inputs to share a column
+// with mismatched kinds. Sharing zero columns is legal: the join then
+// degenerates to the valid-time Cartesian product restricted to
+// overlapping timestamps (a pure time-join / intersection join).
+func PlanNaturalJoin(left, right *Schema) (*JoinPlan, error) {
+	shared, err := SharedColumns(left, right)
+	if err != nil {
+		return nil, err
+	}
+	p := &JoinPlan{
+		LeftOut:  make([]int, left.Len()),
+		RightOut: make([]int, right.Len()),
+	}
+	sharedSet := make(map[string]bool, len(shared))
+	for _, name := range shared {
+		sharedSet[name] = true
+		p.LeftJoinIdx = append(p.LeftJoinIdx, left.Index(name))
+		p.RightJoinIdx = append(p.RightJoinIdx, right.Index(name))
+	}
+
+	var outCols []Column
+	// Shared columns first, in left order, then left-only columns.
+	for i, c := range left.Columns() {
+		p.LeftOut[i] = len(outCols)
+		outCols = append(outCols, c)
+	}
+	// Right-only columns follow.
+	for i, c := range right.Columns() {
+		if sharedSet[c.Name] {
+			p.RightOut[i] = -1
+			continue
+		}
+		p.RightOut[i] = len(outCols)
+		outCols = append(outCols, c)
+	}
+	out, err := New(outCols...)
+	if err != nil {
+		return nil, fmt.Errorf("schema: deriving join output: %w", err)
+	}
+	p.Output = out
+	return p, nil
+}

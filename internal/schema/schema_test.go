@@ -1,0 +1,165 @@
+package schema
+
+import (
+	"testing"
+
+	"vtjoin/internal/value"
+)
+
+func col(name string, k value.Kind) Column { return Column{Name: name, Kind: k} }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(col("", value.KindInt)); err == nil {
+		t.Fatal("empty column name accepted")
+	}
+	if _, err := New(col("a", value.KindInvalid)); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	if _, err := New(col("a", value.KindInt), col("a", value.KindString)); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	s, err := New(col("a", value.KindInt), col("b", value.KindString))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Index("a") != 0 || s.Index("b") != 1 || s.Index("zzz") != -1 {
+		t.Fatal("Index broken")
+	}
+	if !s.Has("a") || s.Has("zzz") {
+		t.Fatal("Has broken")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on bad schema")
+		}
+	}()
+	MustNew(col("", value.KindInt))
+}
+
+func TestString(t *testing.T) {
+	s := MustNew(col("emp", value.KindString), col("dept", value.KindInt))
+	want := "(emp string, dept int, V)"
+	if s.String() != want {
+		t.Fatalf("String = %q, want %q", s.String(), want)
+	}
+	empty := MustNew()
+	if empty.String() != "(, V)" {
+		t.Fatalf("empty schema String = %q", empty.String())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustNew(col("x", value.KindInt))
+	b := MustNew(col("x", value.KindInt))
+	c := MustNew(col("x", value.KindFloat))
+	d := MustNew(col("x", value.KindInt), col("y", value.KindInt))
+	if !a.Equal(b) {
+		t.Fatal("identical schemas not Equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Fatal("different schemas Equal")
+	}
+}
+
+func TestColumnsIsCopy(t *testing.T) {
+	s := MustNew(col("x", value.KindInt))
+	cols := s.Columns()
+	cols[0].Name = "mutated"
+	if s.Column(0).Name != "x" {
+		t.Fatal("Columns() must return a copy")
+	}
+}
+
+func TestSharedColumns(t *testing.T) {
+	r := MustNew(col("emp", value.KindString), col("salary", value.KindInt))
+	s := MustNew(col("emp", value.KindString), col("dept", value.KindString))
+	shared, err := SharedColumns(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != 1 || shared[0] != "emp" {
+		t.Fatalf("shared = %v", shared)
+	}
+	// Kind mismatch on a shared column is an error.
+	bad := MustNew(col("emp", value.KindInt))
+	if _, err := SharedColumns(r, bad); err == nil {
+		t.Fatal("kind mismatch on shared column not detected")
+	}
+}
+
+func TestPlanNaturalJoin(t *testing.T) {
+	r := MustNew(col("emp", value.KindString), col("salary", value.KindInt))
+	s := MustNew(col("emp", value.KindString), col("dept", value.KindString))
+	p, err := PlanNaturalJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output: emp, salary, dept — per the paper, z^(n+k+m).
+	want := MustNew(col("emp", value.KindString), col("salary", value.KindInt), col("dept", value.KindString))
+	if !p.Output.Equal(want) {
+		t.Fatalf("output schema %v, want %v", p.Output, want)
+	}
+	if len(p.LeftJoinIdx) != 1 || p.LeftJoinIdx[0] != 0 || p.RightJoinIdx[0] != 0 {
+		t.Fatalf("join indexes: %v / %v", p.LeftJoinIdx, p.RightJoinIdx)
+	}
+	if p.LeftOut[0] != 0 || p.LeftOut[1] != 1 {
+		t.Fatalf("LeftOut = %v", p.LeftOut)
+	}
+	if p.RightOut[0] != -1 || p.RightOut[1] != 2 {
+		t.Fatalf("RightOut = %v", p.RightOut)
+	}
+}
+
+func TestPlanNaturalJoinNoSharedColumns(t *testing.T) {
+	r := MustNew(col("a", value.KindInt))
+	s := MustNew(col("b", value.KindInt))
+	p, err := PlanNaturalJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.LeftJoinIdx) != 0 {
+		t.Fatal("expected degenerate time-join with no equality attributes")
+	}
+	if p.Output.Len() != 2 {
+		t.Fatalf("output has %d columns, want 2", p.Output.Len())
+	}
+}
+
+func TestPlanNaturalJoinMultipleShared(t *testing.T) {
+	r := MustNew(col("a", value.KindInt), col("b", value.KindString), col("x", value.KindFloat))
+	s := MustNew(col("b", value.KindString), col("y", value.KindBool), col("a", value.KindInt))
+	p, err := PlanNaturalJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared columns align pairwise in r's order: a then b.
+	if len(p.LeftJoinIdx) != 2 {
+		t.Fatalf("want 2 shared, got %d", len(p.LeftJoinIdx))
+	}
+	if p.LeftJoinIdx[0] != 0 || p.RightJoinIdx[0] != 2 { // "a"
+		t.Fatalf("pair 0: %d/%d", p.LeftJoinIdx[0], p.RightJoinIdx[0])
+	}
+	if p.LeftJoinIdx[1] != 1 || p.RightJoinIdx[1] != 0 { // "b"
+		t.Fatalf("pair 1: %d/%d", p.LeftJoinIdx[1], p.RightJoinIdx[1])
+	}
+	// Output: a, b, x (left), then y (right-only).
+	want := MustNew(col("a", value.KindInt), col("b", value.KindString),
+		col("x", value.KindFloat), col("y", value.KindBool))
+	if !p.Output.Equal(want) {
+		t.Fatalf("output %v, want %v", p.Output, want)
+	}
+}
+
+func TestPlanNaturalJoinKindMismatch(t *testing.T) {
+	r := MustNew(col("a", value.KindInt))
+	s := MustNew(col("a", value.KindString))
+	if _, err := PlanNaturalJoin(r, s); err == nil {
+		t.Fatal("kind mismatch not rejected")
+	}
+}

@@ -1,0 +1,69 @@
+package schema
+
+import (
+	"testing"
+
+	"vtjoin/internal/value"
+)
+
+func TestSwapPlan(t *testing.T) {
+	r := MustNew(col("emp", value.KindString), col("salary", value.KindInt))
+	s := MustNew(col("emp", value.KindString), col("dept", value.KindString))
+	p, err := PlanNaturalJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := p.Swap()
+	if !sw.Output.Equal(p.Output) {
+		t.Fatal("swap changed output schema")
+	}
+	// Swapped left input is s: its "emp" (position 0) is the join
+	// attribute and is emitted at output position 0; its "dept"
+	// (position 1) maps to output position 2.
+	if sw.LeftJoinIdx[0] != 0 || sw.RightJoinIdx[0] != 0 {
+		t.Fatalf("join idx: %v/%v", sw.LeftJoinIdx, sw.RightJoinIdx)
+	}
+	if sw.LeftOut[0] != 0 || sw.LeftOut[1] != 2 {
+		t.Fatalf("LeftOut = %v", sw.LeftOut)
+	}
+	// Swapped right input is r: "emp" suppressed, "salary" to output 1.
+	if sw.RightOut[0] != -1 || sw.RightOut[1] != 1 {
+		t.Fatalf("RightOut = %v", sw.RightOut)
+	}
+}
+
+func TestSwapPlanMultiShared(t *testing.T) {
+	r := MustNew(col("a", value.KindInt), col("b", value.KindString), col("x", value.KindFloat))
+	s := MustNew(col("b", value.KindString), col("y", value.KindBool), col("a", value.KindInt))
+	p, err := PlanNaturalJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := p.Swap()
+	// Every output position must be produced by exactly one input.
+	produced := make([]int, p.Output.Len())
+	for _, pos := range sw.LeftOut {
+		if pos >= 0 {
+			produced[pos]++
+		}
+	}
+	for _, pos := range sw.RightOut {
+		if pos >= 0 {
+			produced[pos]++
+		}
+	}
+	for i, n := range produced {
+		if n != 1 {
+			t.Fatalf("output position %d produced %d times (LeftOut=%v RightOut=%v)",
+				i, n, sw.LeftOut, sw.RightOut)
+		}
+	}
+	// Column-name consistency: swapped left (original s) position i
+	// must land where that column name sits in the output.
+	for i := 0; i < s.Len(); i++ {
+		want := p.Output.Index(s.Column(i).Name)
+		if sw.LeftOut[i] != want {
+			t.Fatalf("LeftOut[%d] = %d, want %d (%q)", i, sw.LeftOut[i], want, s.Column(i).Name)
+		}
+	}
+}

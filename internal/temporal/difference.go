@@ -1,0 +1,71 @@
+package temporal
+
+import (
+	"fmt"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/tuple"
+)
+
+// DifferenceTuples computes the valid-time difference r −V s over
+// in-memory tuple slices with identical schemas: for every fact (value
+// combination), the chronons during which it holds in r but not in s.
+// The result is coalesced.
+func DifferenceTuples(r, s []tuple.Tuple) []tuple.Tuple {
+	// Group s's coverage per value combination.
+	type group struct {
+		rep tuple.Tuple
+		set chronon.Set
+	}
+	cover := make(map[uint64][]*group)
+	for _, y := range s {
+		h := valuesHash(y.Values)
+		var g *group
+		for _, cand := range cover[h] {
+			if valuesEqual(cand.rep.Values, y.Values) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &group{rep: y}
+			cover[h] = append(cover[h], g)
+		}
+		g.set = g.set.Add(y.V)
+	}
+	var out []tuple.Tuple
+	for _, x := range r {
+		remain := chronon.NewSet(x.V)
+		for _, cand := range cover[valuesHash(x.Values)] {
+			if valuesEqual(cand.rep.Values, x.Values) {
+				remain = remain.Subtract(cand.set)
+				break
+			}
+		}
+		for _, iv := range remain.Intervals() {
+			out = append(out, tuple.Tuple{Values: x.Values, V: iv})
+		}
+	}
+	return CoalesceTuples(out)
+}
+
+// Difference materializes r −V s as a new relation. The schemas must
+// be identical.
+func Difference(r, s *relation.Relation) (*relation.Relation, error) {
+	if !r.Schema().Equal(s.Schema()) {
+		return nil, fmt.Errorf("temporal: difference: schemas differ: %v vs %v", r.Schema(), s.Schema())
+	}
+	if r.Disk() != s.Disk() {
+		return nil, fmt.Errorf("temporal: difference: relations on different devices")
+	}
+	rt, err := r.All()
+	if err != nil {
+		return nil, err
+	}
+	st, err := s.All()
+	if err != nil {
+		return nil, err
+	}
+	return relation.FromTuples(r.Disk(), r.Schema(), DifferenceTuples(rt, st))
+}

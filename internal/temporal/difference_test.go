@@ -1,0 +1,136 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+func TestDifferenceTuplesBasic(t *testing.T) {
+	r := []tuple.Tuple{
+		mk(1, "a", 0, 10),
+		mk(2, "b", 0, 10),
+	}
+	s := []tuple.Tuple{
+		mk(1, "a", 3, 5),   // punches a hole in (1,"a")
+		mk(2, "b", 0, 20),  // removes (2,"b") entirely
+		mk(9, "z", 0, 100), // irrelevant fact
+	}
+	got := DifferenceTuples(r, s)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	// (1,"a") survives on [0,2] and [6,10].
+	if !got[0].V.Equal(chronon.New(0, 2)) || !got[1].V.Equal(chronon.New(6, 10)) {
+		t.Fatalf("got %v", got)
+	}
+	for _, z := range got {
+		if z.Values[0].AsInt() != 1 {
+			t.Fatalf("wrong fact survived: %v", z)
+		}
+	}
+}
+
+func TestDifferenceEmptySides(t *testing.T) {
+	r := []tuple.Tuple{mk(1, "a", 0, 5)}
+	if got := DifferenceTuples(r, nil); len(got) != 1 || !got[0].Equal(r[0]) {
+		t.Fatalf("r - empty = %v", got)
+	}
+	if got := DifferenceTuples(nil, r); len(got) != 0 {
+		t.Fatalf("empty - s = %v", got)
+	}
+	if got := DifferenceTuples(r, r); len(got) != 0 {
+		t.Fatalf("r - r = %v", got)
+	}
+}
+
+func TestDifferenceMatchesSliceModel(t *testing.T) {
+	// Property: at every chronon, the difference's snapshot equals the
+	// set difference of the inputs' snapshots.
+	rng := rand.New(rand.NewSource(95))
+	for trial := 0; trial < 100; trial++ {
+		gen := func() []tuple.Tuple {
+			var out []tuple.Tuple
+			for i := 0; i < 15; i++ {
+				st := chronon.Chronon(rng.Intn(50))
+				out = append(out, mk(int64(rng.Intn(3)), "x", st, st+chronon.Chronon(rng.Intn(20))))
+			}
+			return out
+		}
+		r, s := gen(), gen()
+		diff := DifferenceTuples(r, s)
+		if !IsCoalesced(diff) {
+			t.Fatalf("trial %d: difference not coalesced", trial)
+		}
+		for c := chronon.Chronon(0); c < 75; c++ {
+			inR := map[int64]bool{}
+			for _, x := range r {
+				if x.V.Contains(c) {
+					inR[x.Values[0].AsInt()] = true
+				}
+			}
+			inS := map[int64]bool{}
+			for _, y := range s {
+				if y.V.Contains(c) {
+					inS[y.Values[0].AsInt()] = true
+				}
+			}
+			inD := map[int64]bool{}
+			for _, z := range diff {
+				if z.V.Contains(c) {
+					inD[z.Values[0].AsInt()] = true
+				}
+			}
+			for k := int64(0); k < 3; k++ {
+				want := inR[k] && !inS[k]
+				if inD[k] != want {
+					t.Fatalf("trial %d chronon %d key %d: got %v want %v", trial, c, k, inD[k], want)
+				}
+			}
+		}
+	}
+}
+
+func TestDifferenceRelation(t *testing.T) {
+	d := disk.New(4096)
+	r, err := relation.FromTuples(d, testSchema, []tuple.Tuple{mk(1, "a", 0, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := relation.FromTuples(d, testSchema, []tuple.Tuple{mk(1, "a", 4, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Difference(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tuples() != 2 {
+		all, _ := out.All()
+		t.Fatalf("difference: %v", all)
+	}
+	// Schema mismatch rejected.
+	other := schema.MustNew(schema.Column{Name: "x", Kind: value.KindInt})
+	q, err := relation.FromTuples(d, other, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Difference(r, q); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+	// Cross-device rejected.
+	d2 := disk.New(4096)
+	s2, err := relation.FromTuples(d2, testSchema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Difference(r, s2); err == nil {
+		t.Fatal("cross-device accepted")
+	}
+}

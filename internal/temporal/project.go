@@ -1,0 +1,73 @@
+package temporal
+
+import (
+	"fmt"
+
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+// Project materializes the projection of r onto the named columns, in
+// the given order. Valid-time projection is coalescing by definition:
+// dropping columns can make distinct tuples value-equivalent, and the
+// temporal model represents each fact once per maximal interval — so
+// the result is coalesced (snapshot projection's DISTINCT, lifted to
+// intervals).
+func Project(r *relation.Relation, columns ...string) (*relation.Relation, error) {
+	idx := make([]int, len(columns))
+	cols := make([]schema.Column, len(columns))
+	for i, name := range columns {
+		j := r.Schema().Index(name)
+		if j < 0 {
+			return nil, fmt.Errorf("temporal: project: no column %q in %v", name, r.Schema())
+		}
+		idx[i] = j
+		cols[i] = r.Schema().Column(j)
+	}
+	outSchema, err := schema.New(cols...)
+	if err != nil {
+		return nil, err
+	}
+
+	ts, err := r.All()
+	if err != nil {
+		return nil, err
+	}
+	projected := make([]tuple.Tuple, len(ts))
+	for i, t := range ts {
+		vals := make([]value.Value, len(idx))
+		for k, j := range idx {
+			vals[k] = t.Values[j]
+		}
+		projected[i] = tuple.Tuple{Values: vals, V: t.V}
+	}
+	return relation.FromTuples(r.Disk(), outSchema, CoalesceTuples(projected))
+}
+
+// Select materializes the tuples of r satisfying pred, preserving
+// storage order (a sequential scan).
+func Select(r *relation.Relation, pred func(tuple.Tuple) bool) (*relation.Relation, error) {
+	out := relation.Create(r.Disk(), r.Schema())
+	b := out.NewBuilder()
+	sc := r.Scan()
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if pred(t) {
+			if err := b.AppendUnchecked(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

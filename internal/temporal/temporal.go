@@ -1,0 +1,205 @@
+// Package temporal implements the companion operators of a valid-time
+// query processor built around the natural join:
+//
+//   - Coalesce merges value-equivalent tuples whose timestamps overlap
+//     or are adjacent, restoring the canonical form that temporal
+//     normalization theory assumes ([JSS92a]); joins and projections
+//     routinely produce uncoalesced results.
+//   - Timeslice computes the snapshot of a relation at one chronon —
+//     the operation that makes snapshot reducibility checkable.
+//   - Project/Select/Difference are the remaining algebra around the
+//     join: coalescing projection, selection, valid-time set
+//     difference.
+//   - CountOverTime/SumOverTime compute time-varying aggregates: one
+//     result tuple per maximal interval with a constant value, built
+//     on the aggregation tree (internal/aggtree) the paper's
+//     acknowledgments credit for its own simulations.
+package temporal
+
+import (
+	"fmt"
+	"sort"
+
+	"vtjoin/internal/aggtree"
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+// CoalesceTuples merges value-equivalent tuples (identical explicit
+// attributes) whose valid-time intervals overlap or meet. The result
+// is canonical: per value combination, maximal disjoint non-adjacent
+// intervals, in deterministic order.
+func CoalesceTuples(ts []tuple.Tuple) []tuple.Tuple {
+	groups := make(map[uint64][]int) // value-hash -> tuple indexes
+	order := make([]uint64, 0)
+	for i, t := range ts {
+		h := valuesHash(t.Values)
+		if _, seen := groups[h]; !seen {
+			order = append(order, h)
+		}
+		groups[h] = append(groups[h], i)
+	}
+	var out []tuple.Tuple
+	for _, h := range order {
+		idxs := groups[h]
+		// Hash buckets may contain distinct value tuples on collision;
+		// split exactly.
+		for len(idxs) > 0 {
+			rep := ts[idxs[0]]
+			var same, rest []int
+			for _, i := range idxs {
+				if valuesEqual(rep.Values, ts[i].Values) {
+					same = append(same, i)
+				} else {
+					rest = append(rest, i)
+				}
+			}
+			ivs := make([]chronon.Interval, len(same))
+			for k, i := range same {
+				ivs[k] = ts[i].V
+			}
+			for _, iv := range chronon.NewSet(ivs...).Intervals() {
+				out = append(out, tuple.Tuple{Values: rep.Values, V: iv})
+			}
+			idxs = rest
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Coalesce materializes the coalesced form of r as a new relation on
+// the same device. The input is scanned once; grouping happens in
+// memory (coalescing is a pipeline breaker, like sorting).
+func Coalesce(r *relation.Relation) (*relation.Relation, error) {
+	ts, err := r.All()
+	if err != nil {
+		return nil, err
+	}
+	out, err := relation.FromTuples(r.Disk(), r.Schema(), CoalesceTuples(ts))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IsCoalesced reports whether ts contains no pair of value-equivalent
+// tuples with overlapping or adjacent timestamps.
+func IsCoalesced(ts []tuple.Tuple) bool {
+	for i := range ts {
+		for j := i + 1; j < len(ts); j++ {
+			if !valuesEqual(ts[i].Values, ts[j].Values) {
+				continue
+			}
+			if ts[i].V.Overlaps(ts[j].V) || ts[i].V.Meets(ts[j].V) || ts[j].V.Meets(ts[i].V) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Timeslice returns the snapshot of r at chronon c: the explicit
+// attribute rows of every tuple valid at c (a sequential scan).
+func Timeslice(r *relation.Relation, c chronon.Chronon) ([]tuple.Tuple, error) {
+	var out []tuple.Tuple
+	sc := r.Scan()
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		if t.V.Contains(c) {
+			out = append(out, t)
+		}
+	}
+}
+
+// CountSchema is the output schema of CountOverTime.
+var CountSchema = schema.MustNew(schema.Column{Name: "count", Kind: value.KindInt})
+
+// SumSchema is the output schema of SumOverTime.
+var SumSchema = schema.MustNew(schema.Column{Name: "sum", Kind: value.KindInt})
+
+// CountOverTime computes the time-varying COUNT of r: one tuple
+// (count | [a, b]) per maximal interval over which exactly `count`
+// tuples of r are valid, count >= 1, in time order. It is built on the
+// incremental aggregation tree (internal/aggtree) the paper credits
+// for its own simulations.
+func CountOverTime(r *relation.Relation) ([]tuple.Tuple, error) {
+	return aggregateOverTime(r, func(tuple.Tuple) (int64, error) { return 1, nil })
+}
+
+// SumOverTime computes the time-varying SUM of an integer column: one
+// tuple (sum | [a, b]) per maximal interval of constant non-zero sum.
+func SumOverTime(r *relation.Relation, column string) ([]tuple.Tuple, error) {
+	idx := r.Schema().Index(column)
+	if idx < 0 {
+		return nil, fmt.Errorf("temporal: sum: no column %q in %v", column, r.Schema())
+	}
+	if k := r.Schema().Column(idx).Kind; k != value.KindInt {
+		return nil, fmt.Errorf("temporal: sum: column %q is %v, want int", column, k)
+	}
+	return aggregateOverTime(r, func(t tuple.Tuple) (int64, error) {
+		v := t.Values[idx]
+		if v.IsNull() {
+			return 0, nil // SQL semantics: nulls contribute nothing
+		}
+		return v.AsInt(), nil
+	})
+}
+
+func aggregateOverTime(r *relation.Relation, weight func(tuple.Tuple) (int64, error)) ([]tuple.Tuple, error) {
+	var tree aggtree.Tree
+	sc := r.Scan()
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		w, err := weight(t)
+		if err != nil {
+			return nil, err
+		}
+		tree.Insert(t.V, w)
+	}
+	segs := tree.Segments()
+	out := make([]tuple.Tuple, len(segs))
+	for i, s := range segs {
+		out[i] = tuple.New(s.Interval, value.Int(s.Value))
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+func valuesHash(vs []value.Value) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range vs {
+		h ^= v.Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+func valuesEqual(a, b []value.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,259 @@
+// Package tuple implements the 1NF tuple-timestamped representation of
+// Section 2 of the paper: each tuple carries explicit attribute values
+// and a single inclusive valid-time interval [Vs, Ve].
+//
+// Tuples serialize to a compact binary record format consumed by the
+// slotted-page layer (internal/page).
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/value"
+)
+
+// Tuple is a valid-time tuple: explicit attribute values plus the
+// timestamp interval V = [Vs, Ve].
+type Tuple struct {
+	Values []value.Value
+	V      chronon.Interval
+}
+
+// New builds a tuple; the values slice is used directly (not copied).
+func New(v chronon.Interval, values ...value.Value) Tuple {
+	return Tuple{Values: values, V: v}
+}
+
+// Arity returns the number of explicit attribute values.
+func (t Tuple) Arity() int { return len(t.Values) }
+
+// Clone returns a deep-enough copy: the Values slice is duplicated so
+// the clone may be retained while the original's backing array is
+// recycled. (Individual values are immutable.)
+func (t Tuple) Clone() Tuple {
+	vals := make([]value.Value, len(t.Values))
+	copy(vals, t.Values)
+	return Tuple{Values: vals, V: t.V}
+}
+
+// Equal reports whether two tuples have identical values and timestamps.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t.Values) != len(o.Values) || !t.V.Equal(o.V) {
+		return false
+	}
+	for i := range t.Values {
+		if !t.Values[i].Equal(o.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples by timestamp, then attribute-wise. It gives the
+// deterministic total order used to canonicalize join results in tests.
+func (t Tuple) Compare(o Tuple) int {
+	if c := t.V.Compare(o.V); c != 0 {
+		return c
+	}
+	n := len(t.Values)
+	if len(o.Values) < n {
+		n = len(o.Values)
+	}
+	for i := 0; i < n; i++ {
+		if c := t.Values[i].Compare(o.Values[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t.Values) < len(o.Values):
+		return -1
+	case len(t.Values) > len(o.Values):
+		return 1
+	}
+	return 0
+}
+
+// String renders the tuple as "(v1, v2, ... | [s, e])".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t.Values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteString(" | ")
+	b.WriteString(t.V.String())
+	b.WriteByte(')')
+	return b.String()
+}
+
+// EncodedSize returns the number of bytes Append writes for t.
+func (t Tuple) EncodedSize() int {
+	n := 8 + 8 + uvarintLen(uint64(len(t.Values)))
+	for _, v := range t.Values {
+		n += v.EncodedSize()
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// Append serializes t onto buf: Vs and Ve as fixed 8-byte little-endian
+// integers (so the timestamp of any record can be inspected without
+// decoding the attribute payload), then a uvarint attribute count, then
+// each value in the value-codec format. Null timestamps cannot be
+// stored: a tuple with z[V] = ⊥ is by definition excluded from any
+// relation instance.
+func (t Tuple) Append(buf []byte) ([]byte, error) {
+	if t.V.IsNull() {
+		return buf, fmt.Errorf("tuple: cannot encode null timestamp")
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.V.Start))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.V.End))
+	buf = binary.AppendUvarint(buf, uint64(len(t.Values)))
+	for _, v := range t.Values {
+		buf = v.Append(buf)
+	}
+	return buf, nil
+}
+
+// Decode reads one encoded tuple from buf, returning it and the number
+// of bytes consumed.
+func Decode(buf []byte) (Tuple, int, error) {
+	if len(buf) < 17 {
+		return Tuple{}, 0, fmt.Errorf("tuple: record too short (%d bytes)", len(buf))
+	}
+	start := chronon.Chronon(binary.LittleEndian.Uint64(buf))
+	end := chronon.Chronon(binary.LittleEndian.Uint64(buf[8:]))
+	iv, err := chronon.NewChecked(start, end)
+	if err != nil {
+		return Tuple{}, 0, fmt.Errorf("tuple: %w", err)
+	}
+	off := 16
+	n, w := binary.Uvarint(buf[off:])
+	if w <= 0 {
+		return Tuple{}, 0, fmt.Errorf("tuple: bad attribute count")
+	}
+	off += w
+	if n > uint64(len(buf)) { // cheap sanity bound: each value is ≥1 byte
+		return Tuple{}, 0, fmt.Errorf("tuple: attribute count %d exceeds record size", n)
+	}
+	vals := make([]value.Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, used, err := value.Decode(buf[off:])
+		if err != nil {
+			return Tuple{}, 0, fmt.Errorf("tuple: attribute %d: %w", i, err)
+		}
+		vals = append(vals, v)
+		off += used
+	}
+	return Tuple{Values: vals, V: iv}, off, nil
+}
+
+// PeekInterval extracts only the timestamp from an encoded record,
+// without decoding the attribute payload. The partition and sort layers
+// use this to route records cheaply.
+func PeekInterval(buf []byte) (chronon.Interval, error) {
+	if len(buf) < 16 {
+		return chronon.Interval{}, fmt.Errorf("tuple: record too short to hold a timestamp")
+	}
+	start := chronon.Chronon(binary.LittleEndian.Uint64(buf))
+	end := chronon.Chronon(binary.LittleEndian.Uint64(buf[8:]))
+	return chronon.NewChecked(start, end)
+}
+
+// CheckAgainst validates that the tuple's arity and value kinds match
+// the schema.
+func (t Tuple) CheckAgainst(s *schema.Schema) error {
+	if len(t.Values) != s.Len() {
+		return fmt.Errorf("tuple: arity %d does not match schema %v", len(t.Values), s)
+	}
+	for i, v := range t.Values {
+		if v.Kind() == value.KindNull {
+			continue // any column may hold a null (outer-join padding)
+		}
+		if c := s.Column(i); v.Kind() != c.Kind {
+			return fmt.Errorf("tuple: attribute %q is %v, schema wants %v", c.Name, v.Kind(), c.Kind)
+		}
+	}
+	if t.V.IsNull() {
+		return fmt.Errorf("tuple: null timestamp")
+	}
+	return nil
+}
+
+// JoinKey extracts the join-attribute values at the given positions,
+// for matching and hashing.
+type JoinKey []value.Value
+
+// KeyAt builds the join key of t at positions idx.
+func KeyAt(t Tuple, idx []int) JoinKey {
+	k := make(JoinKey, len(idx))
+	for i, j := range idx {
+		k[i] = t.Values[j]
+	}
+	return k
+}
+
+// Equal reports pairwise equality of two keys.
+func (k JoinKey) Equal(o JoinKey) bool {
+	if len(k) != len(o) {
+		return false
+	}
+	for i := range k {
+		if !k[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash combines the value hashes of the key.
+func (k JoinKey) Hash() uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, v := range k {
+		h ^= v.Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Combine assembles the join output tuple z from matching tuples x
+// (left) and y (right) under plan p, per the paper's definition:
+// z[A] = x[A] = y[A], z[B] = x[B], z[C] = y[C], and
+// z[V] = overlap(x[V], y[V]). It returns false when the timestamps do
+// not overlap or the join attributes differ (no result tuple).
+func Combine(p *schema.JoinPlan, x, y Tuple) (Tuple, bool) {
+	for i := range p.LeftJoinIdx {
+		if !x.Values[p.LeftJoinIdx[i]].Equal(y.Values[p.RightJoinIdx[i]]) {
+			return Tuple{}, false
+		}
+	}
+	ov := chronon.Overlap(x.V, y.V)
+	if ov.IsNull() {
+		return Tuple{}, false
+	}
+	out := make([]value.Value, p.Output.Len())
+	for i, pos := range p.LeftOut {
+		out[pos] = x.Values[i]
+	}
+	for i, pos := range p.RightOut {
+		if pos >= 0 {
+			out[pos] = y.Values[i]
+		}
+	}
+	return Tuple{Values: out, V: ov}, true
+}

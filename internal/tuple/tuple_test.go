@@ -1,0 +1,247 @@
+package tuple
+
+import (
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/value"
+)
+
+func iv(s, e chronon.Chronon) chronon.Interval { return chronon.New(s, e) }
+
+func sample() Tuple {
+	return New(iv(10, 20), value.String_("alice"), value.Int(70000))
+}
+
+func TestBasics(t *testing.T) {
+	tp := sample()
+	if tp.Arity() != 2 {
+		t.Fatalf("arity = %d", tp.Arity())
+	}
+	want := `("alice", 70000 | [10, 20])`
+	if tp.String() != want {
+		t.Fatalf("String = %q, want %q", tp.String(), want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tp := sample()
+	c := tp.Clone()
+	tp.Values[0] = value.String_("bob")
+	if c.Values[0].AsString() != "alice" {
+		t.Fatal("Clone shares the Values backing array")
+	}
+	if !c.V.Equal(tp.V) {
+		t.Fatal("Clone lost the timestamp")
+	}
+}
+
+func TestEqualAndCompare(t *testing.T) {
+	a := New(iv(1, 5), value.Int(1))
+	b := New(iv(1, 5), value.Int(1))
+	c := New(iv(1, 6), value.Int(1))
+	d := New(iv(1, 5), value.Int(2))
+	e := New(iv(1, 5), value.Int(1), value.Int(0))
+	if !a.Equal(b) || a.Compare(b) != 0 {
+		t.Fatal("identical tuples not equal")
+	}
+	if a.Equal(c) || a.Compare(c) != -1 {
+		t.Fatal("timestamp difference not detected")
+	}
+	if a.Equal(d) || a.Compare(d) != -1 {
+		t.Fatal("value difference not detected")
+	}
+	if a.Equal(e) || a.Compare(e) != -1 {
+		t.Fatal("arity difference not detected")
+	}
+	if e.Compare(a) != 1 {
+		t.Fatal("Compare not antisymmetric on arity")
+	}
+}
+
+func randTuple(rng *rand.Rand) Tuple {
+	nvals := rng.Intn(5)
+	vals := make([]value.Value, nvals)
+	for i := range vals {
+		switch rng.Intn(3) {
+		case 0:
+			vals[i] = value.Int(rng.Int63n(1000))
+		case 1:
+			vals[i] = value.Float(rng.Float64())
+		default:
+			vals[i] = value.String_(string(rune('a' + rng.Intn(26))))
+		}
+	}
+	s := chronon.Chronon(rng.Int63n(1 << 30))
+	return New(chronon.New(s, s+chronon.Chronon(rng.Int63n(1000))), vals...)
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 2000; i++ {
+		tp := randTuple(rng)
+		buf, err := tp.Append(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != tp.EncodedSize() {
+			t.Fatalf("EncodedSize=%d, wrote %d", tp.EncodedSize(), len(buf))
+		}
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(buf) || !got.Equal(tp) {
+			t.Fatalf("round trip failed: got %v want %v", got, tp)
+		}
+	}
+}
+
+func TestEncodeNullTimestampFails(t *testing.T) {
+	tp := Tuple{Values: []value.Value{value.Int(1)}, V: chronon.Null()}
+	if _, err := tp.Append(nil); err == nil {
+		t.Fatal("encoding a null timestamp must fail")
+	}
+}
+
+func TestPeekInterval(t *testing.T) {
+	tp := sample()
+	buf, err := tp.Append(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PeekInterval(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tp.V) {
+		t.Fatalf("PeekInterval = %v, want %v", got, tp.V)
+	}
+	if _, err := PeekInterval(buf[:10]); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	// Too short.
+	if _, _, err := Decode(make([]byte, 5)); err == nil {
+		t.Fatal("short record accepted")
+	}
+	// Inverted interval.
+	buf, _ := sample().Append(nil)
+	bad := make([]byte, len(buf))
+	copy(bad, buf)
+	// Swap start/end words to invert the interval.
+	copy(bad[0:8], buf[8:16])
+	copy(bad[8:16], buf[0:8])
+	bad[0] = 0xFF // ensure start > end
+	if _, _, err := Decode(bad); err == nil {
+		t.Fatal("inverted timestamp accepted")
+	}
+	// Truncated attribute payload.
+	if _, _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestCheckAgainst(t *testing.T) {
+	s := schema.MustNew(
+		schema.Column{Name: "emp", Kind: value.KindString},
+		schema.Column{Name: "salary", Kind: value.KindInt},
+	)
+	ok := sample()
+	if err := ok.CheckAgainst(s); err != nil {
+		t.Fatalf("valid tuple rejected: %v", err)
+	}
+	badArity := New(iv(0, 1), value.String_("x"))
+	if err := badArity.CheckAgainst(s); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+	badKind := New(iv(0, 1), value.Int(1), value.Int(2))
+	if err := badKind.CheckAgainst(s); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	nullV := Tuple{Values: []value.Value{value.String_("x"), value.Int(1)}}
+	if err := nullV.CheckAgainst(s); err == nil {
+		t.Fatal("null timestamp accepted")
+	}
+}
+
+func TestJoinKey(t *testing.T) {
+	a := New(iv(0, 1), value.Int(1), value.String_("x"), value.Int(9))
+	b := New(iv(5, 6), value.Int(1), value.String_("y"), value.Int(9))
+	ka := KeyAt(a, []int{0, 2})
+	kb := KeyAt(b, []int{0, 2})
+	if !ka.Equal(kb) {
+		t.Fatal("keys on shared attributes should match")
+	}
+	if ka.Hash() != kb.Hash() {
+		t.Fatal("equal keys must hash equally")
+	}
+	kc := KeyAt(b, []int{0, 1})
+	if ka.Equal(kc) {
+		t.Fatal("different keys compare equal")
+	}
+	if ka.Equal(KeyAt(a, []int{0})) {
+		t.Fatal("different-length keys compare equal")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	r := schema.MustNew(
+		schema.Column{Name: "emp", Kind: value.KindString},
+		schema.Column{Name: "salary", Kind: value.KindInt},
+	)
+	s := schema.MustNew(
+		schema.Column{Name: "emp", Kind: value.KindString},
+		schema.Column{Name: "dept", Kind: value.KindString},
+	)
+	p, err := schema.PlanNaturalJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := New(iv(10, 20), value.String_("alice"), value.Int(70000))
+	y := New(iv(15, 30), value.String_("alice"), value.String_("eng"))
+
+	z, ok := Combine(p, x, y)
+	if !ok {
+		t.Fatal("matching tuples did not combine")
+	}
+	if !z.V.Equal(iv(15, 20)) {
+		t.Fatalf("z[V] = %v, want [15, 20]", z.V)
+	}
+	if z.Values[0].AsString() != "alice" || z.Values[1].AsInt() != 70000 || z.Values[2].AsString() != "eng" {
+		t.Fatalf("combined tuple wrong: %v", z)
+	}
+
+	// Non-overlapping timestamps: no result.
+	y2 := New(iv(21, 30), value.String_("alice"), value.String_("eng"))
+	if _, ok := Combine(p, x, y2); ok {
+		t.Fatal("disjoint timestamps combined")
+	}
+	// Join-attribute mismatch: no result.
+	y3 := New(iv(15, 30), value.String_("bob"), value.String_("eng"))
+	if _, ok := Combine(p, x, y3); ok {
+		t.Fatal("mismatched join attributes combined")
+	}
+}
+
+func TestCombineTimeJoinNoSharedAttributes(t *testing.T) {
+	r := schema.MustNew(schema.Column{Name: "a", Kind: value.KindInt})
+	s := schema.MustNew(schema.Column{Name: "b", Kind: value.KindInt})
+	p, err := schema.PlanNaturalJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := New(iv(0, 10), value.Int(1))
+	y := New(iv(5, 15), value.Int(2))
+	z, ok := Combine(p, x, y)
+	if !ok {
+		t.Fatal("pure time-join failed to combine overlapping tuples")
+	}
+	if !z.V.Equal(iv(5, 10)) || z.Values[0].AsInt() != 1 || z.Values[1].AsInt() != 2 {
+		t.Fatalf("bad combine: %v", z)
+	}
+}

@@ -1,0 +1,100 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodedSize returns the number of bytes Append will write for v.
+func (v Value) EncodedSize() int {
+	switch v.kind {
+	case KindInt, KindFloat:
+		return 1 + 8
+	case KindBool:
+		return 1 + 1
+	case KindNull:
+		return 1
+	case KindString:
+		return 1 + uvarintLen(uint64(len(v.s))) + len(v.s)
+	case KindBytes:
+		return 1 + uvarintLen(uint64(len(v.b))) + len(v.b)
+	}
+	return 1
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// Append encodes v onto buf and returns the extended slice. The format
+// is a one-byte kind tag followed by a fixed payload (int, float, bool)
+// or a uvarint length prefix and raw bytes (string, bytes).
+func (v Value) Append(buf []byte) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindInt:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.i))
+	case KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.f))
+	case KindBool:
+		buf = append(buf, byte(v.i))
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.s)))
+		buf = append(buf, v.s...)
+	case KindBytes:
+		buf = binary.AppendUvarint(buf, uint64(len(v.b)))
+		buf = append(buf, v.b...)
+	}
+	return buf
+}
+
+// Decode reads one encoded value from buf, returning the value and the
+// number of bytes consumed.
+func Decode(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Value{}, 0, fmt.Errorf("value: empty buffer")
+	}
+	k := Kind(buf[0])
+	rest := buf[1:]
+	switch k {
+	case KindInt:
+		if len(rest) < 8 {
+			return Value{}, 0, fmt.Errorf("value: truncated int")
+		}
+		return Int(int64(binary.LittleEndian.Uint64(rest))), 9, nil
+	case KindFloat:
+		if len(rest) < 8 {
+			return Value{}, 0, fmt.Errorf("value: truncated float")
+		}
+		return Float(math.Float64frombits(binary.LittleEndian.Uint64(rest))), 9, nil
+	case KindBool:
+		if len(rest) < 1 {
+			return Value{}, 0, fmt.Errorf("value: truncated bool")
+		}
+		return Bool(rest[0] != 0), 2, nil
+	case KindNull:
+		return Null(), 1, nil
+	case KindString, KindBytes:
+		n, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return Value{}, 0, fmt.Errorf("value: bad length prefix")
+		}
+		rest = rest[w:]
+		if uint64(len(rest)) < n {
+			return Value{}, 0, fmt.Errorf("value: truncated %v payload: want %d bytes, have %d", k, n, len(rest))
+		}
+		payload := rest[:n]
+		consumed := 1 + w + int(n)
+		if k == KindString {
+			return String_(string(payload)), consumed, nil
+		}
+		return Bytes(payload), consumed, nil
+	}
+	return Value{}, 0, fmt.Errorf("value: unknown kind tag %d", buf[0])
+}

@@ -1,0 +1,341 @@
+// Package value implements the typed attribute values carried by
+// valid-time tuples: the explicit join attributes A1..An and the
+// non-joining attributes B1..Bk / C1..Cm of the paper's schema model.
+//
+// Values are small tagged unions supporting equality (the snapshot
+// equi-join condition), a total order (used by sort-based algorithms and
+// deterministic test fixtures), hashing, and a compact binary codec used
+// by the slotted-page layer.
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the supported attribute types.
+type Kind uint8
+
+// The supported attribute kinds.
+const (
+	KindInvalid Kind = iota
+	KindInt          // 64-bit signed integer
+	KindFloat        // 64-bit IEEE float
+	KindString       // UTF-8 string
+	KindBytes        // opaque byte string
+	KindBool         // boolean
+	// KindNull is the SQL-style null produced by valid-time outer
+	// joins for the unmatched side. A null is a first-class value: it
+	// equals other nulls (so canonicalization works), sorts after all
+	// typed values, and round-trips the codec. Schemas do not declare
+	// null columns; any column may hold a null.
+	KindNull
+)
+
+var kindNames = [...]string{
+	KindInvalid: "invalid",
+	KindInt:     "int",
+	KindFloat:   "float",
+	KindString:  "string",
+	KindBytes:   "bytes",
+	KindBool:    "bool",
+	KindNull:    "null",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "invalid"
+}
+
+// ParseKind converts a kind name ("int", "float", "string", "bytes",
+// "bool") to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if Kind(k) != KindInvalid && name == s {
+			return Kind(k), nil
+		}
+	}
+	return KindInvalid, fmt.Errorf("value: unknown kind %q", s)
+}
+
+// Value is a single typed attribute value. The zero value is invalid.
+type Value struct {
+	kind Kind
+	i    int64   // int, bool (0/1)
+	f    float64 // float
+	s    string  // string
+	b    []byte  // bytes
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. (Named with a trailing underscore so
+// the type's String method keeps its canonical fmt.Stringer meaning.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bytes returns a byte-string value; the slice is copied.
+func Bytes(v []byte) Value {
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return Value{kind: KindBytes, b: cp}
+}
+
+// Null returns the null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// IsNull reports whether the value is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value holds a typed value.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsInt returns the integer payload; it panics on other kinds.
+func (v Value) AsInt() int64 {
+	v.mustBe(KindInt)
+	return v.i
+}
+
+// AsFloat returns the float payload; it panics on other kinds.
+func (v Value) AsFloat() float64 {
+	v.mustBe(KindFloat)
+	return v.f
+}
+
+// AsString returns the string payload; it panics on other kinds.
+func (v Value) AsString() string {
+	v.mustBe(KindString)
+	return v.s
+}
+
+// AsBytes returns the byte-string payload; it panics on other kinds.
+// The returned slice must not be modified.
+func (v Value) AsBytes() []byte {
+	v.mustBe(KindBytes)
+	return v.b
+}
+
+// AsBool returns the boolean payload; it panics on other kinds.
+func (v Value) AsBool() bool {
+	v.mustBe(KindBool)
+	return v.i != 0
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("value: kind is %v, not %v", v.kind, k))
+	}
+}
+
+// Equal reports whether two values have the same kind and payload. This
+// is the equality used by the snapshot equi-join condition x[A] = y[A].
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Compare imposes a total order: first by kind, then by payload. It
+// returns -1, 0, or +1. Float NaNs order before all other floats and
+// equal to each other, so Compare is a total order even in their
+// presence.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindInt, KindBool:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		a, b := v.f, o.f
+		an, bn := math.IsNaN(a), math.IsNaN(b)
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return -1
+		case bn:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	case KindBytes:
+		return bytesCompare(v.b, o.b)
+	}
+	return 0
+}
+
+func bytesCompare(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Hash returns a 64-bit hash of the value, suitable for hash-join style
+// bucketing. Equal values hash equally.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	buf[0] = byte(v.kind)
+	switch v.kind {
+	case KindInt, KindBool:
+		binary.LittleEndian.PutUint64(buf[1:], uint64(v.i))
+		h.Write(buf[:])
+	case KindFloat:
+		f := v.f
+		if math.IsNaN(f) {
+			f = math.NaN() // canonicalize NaN payloads
+		}
+		binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(f))
+		h.Write(buf[:])
+	case KindString:
+		h.Write(buf[:1])
+		h.Write([]byte(v.s))
+	case KindBytes:
+		h.Write(buf[:1])
+		h.Write(v.b)
+	default:
+		h.Write(buf[:1])
+	}
+	return h.Sum64()
+}
+
+// String renders the value for humans: 42, 3.14, "text", 0x..., true.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBytes:
+		return fmt.Sprintf("0x%x", v.b)
+	case KindBool:
+		return strconv.FormatBool(v.i != 0)
+	case KindNull:
+		return "null"
+	}
+	return "<invalid>"
+}
+
+// Text renders the value without quoting, for CSV interchange.
+func (v Value) Text() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.String()
+}
+
+// Parse converts text into a value of the given kind (the inverse of
+// Text for every kind).
+func Parse(k Kind, text string) (Value, error) {
+	switch k {
+	case KindInt:
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parsing %q as int: %w", text, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parsing %q as float: %w", text, err)
+		}
+		return Float(f), nil
+	case KindString:
+		return String_(text), nil
+	case KindBytes:
+		if !strings.HasPrefix(text, "0x") {
+			return Value{}, fmt.Errorf("value: bytes literal %q must start with 0x", text)
+		}
+		raw, err := parseHex(text[2:])
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{kind: KindBytes, b: raw}, nil
+	case KindBool:
+		b, err := strconv.ParseBool(text)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parsing %q as bool: %w", text, err)
+		}
+		return Bool(b), nil
+	}
+	return Value{}, fmt.Errorf("value: cannot parse into kind %v", k)
+}
+
+func parseHex(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("value: odd-length hex literal %q", s)
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		hi, err1 := hexNibble(s[2*i])
+		lo, err2 := hexNibble(s[2*i+1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("value: invalid hex literal %q", s)
+		}
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func hexNibble(c byte) (byte, error) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', nil
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, nil
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, nil
+	}
+	return 0, fmt.Errorf("bad hex digit %q", c)
+}

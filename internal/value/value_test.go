@@ -1,0 +1,278 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if Int(42).AsInt() != 42 {
+		t.Fatal("Int round-trip")
+	}
+	if Float(3.5).AsFloat() != 3.5 {
+		t.Fatal("Float round-trip")
+	}
+	if String_("hi").AsString() != "hi" {
+		t.Fatal("String round-trip")
+	}
+	if string(Bytes([]byte{1, 2}).AsBytes()) != "\x01\x02" {
+		t.Fatal("Bytes round-trip")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Fatal("Bool round-trip")
+	}
+	var zero Value
+	if zero.IsValid() {
+		t.Fatal("zero Value must be invalid")
+	}
+}
+
+func TestBytesIsCopied(t *testing.T) {
+	src := []byte{1, 2, 3}
+	v := Bytes(src)
+	src[0] = 99
+	if v.AsBytes()[0] != 1 {
+		t.Fatal("Bytes must copy its input")
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AsInt on a string did not panic")
+		}
+	}()
+	String_("x").AsInt()
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Float(2.5), -1},
+		{String_("a"), String_("b"), -1},
+		{String_("b"), String_("b"), 0},
+		{Bytes([]byte{1}), Bytes([]byte{1, 0}), -1},
+		{Bytes([]byte{2}), Bytes([]byte{1, 0}), 1},
+		{Bool(false), Bool(true), -1},
+		{Int(1), String_("a"), -1}, // cross-kind: ordered by kind tag
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestNaNOrdering(t *testing.T) {
+	nan := Float(math.NaN())
+	if nan.Compare(nan) != 0 {
+		t.Fatal("NaN must compare equal to NaN for a total order")
+	}
+	if nan.Compare(Float(math.Inf(-1))) != -1 {
+		t.Fatal("NaN must order before -Inf")
+	}
+	if !nan.Equal(nan) {
+		t.Fatal("NaN value must Equal itself under the total order")
+	}
+}
+
+func TestHashEqualValuesHashEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(7), Int(7)},
+		{String_("abc"), String_("abc")},
+		{Bytes([]byte("abc")), Bytes([]byte("abc"))},
+		{Bool(true), Bool(true)},
+		{Float(math.NaN()), Float(math.NaN())},
+	}
+	for _, p := range pairs {
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values %v hash differently", p[0])
+		}
+	}
+	// String and Bytes with identical payloads must not collide by
+	// construction (kind tag is hashed).
+	if String_("abc").Hash() == Bytes([]byte("abc")).Hash() {
+		t.Error("string/bytes hash collision on identical payload")
+	}
+}
+
+func randValue(rng *rand.Rand) Value {
+	switch rng.Intn(5) {
+	case 0:
+		return Int(rng.Int63() - rng.Int63())
+	case 1:
+		return Float(rng.NormFloat64())
+	case 2:
+		n := rng.Intn(20)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return String_(string(b))
+	case 3:
+		n := rng.Intn(20)
+		b := make([]byte, n)
+		rng.Read(b)
+		return Bytes(b)
+	default:
+		return Bool(rng.Intn(2) == 0)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		v := randValue(rng)
+		buf := v.Append(nil)
+		if len(buf) != v.EncodedSize() {
+			t.Fatalf("EncodedSize=%d but Append wrote %d bytes for %v", v.EncodedSize(), len(buf), v)
+		}
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", v, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(buf))
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip: got %v, want %v", got, v)
+		}
+	}
+}
+
+func TestCodecConcatenated(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var vals []Value
+	var buf []byte
+	for i := 0; i < 50; i++ {
+		v := randValue(rng)
+		vals = append(vals, v)
+		buf = v.Append(buf)
+	}
+	for _, want := range vals {
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{byte(KindInt)},                 // truncated int
+		{byte(KindFloat), 1, 2},         // truncated float
+		{byte(KindBool)},                // truncated bool
+		{byte(KindString), 5, 'a', 'b'}, // truncated payload
+		{99, 0},                         // unknown kind
+	}
+	for _, b := range bad {
+		if _, _, err := Decode(b); err == nil {
+			t.Errorf("Decode(% x) succeeded, want error", b)
+		}
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	vals := []Value{
+		Int(-17),
+		Float(2.75),
+		String_("hello world"),
+		Bytes([]byte{0xde, 0xad}),
+		Bool(true),
+	}
+	for _, v := range vals {
+		got, err := Parse(v.Kind(), v.Text())
+		if err != nil {
+			t.Fatalf("Parse(%v, %q): %v", v.Kind(), v.Text(), err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("text round trip: got %v, want %v", got, v)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		text string
+	}{
+		{KindInt, "xyz"},
+		{KindFloat, "1.2.3"},
+		{KindBytes, "deadbeef"}, // missing 0x
+		{KindBytes, "0xabc"},    // odd length
+		{KindBytes, "0xzz"},     // bad digits
+		{KindBool, "maybe"},
+		{KindInvalid, "x"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.k, c.text); err == nil {
+			t.Errorf("Parse(%v, %q) succeeded, want error", c.k, c.text)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range []string{"int", "float", "string", "bytes", "bool"} {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+		if k.String() != name {
+			t.Fatalf("ParseKind(%q).String() = %q", name, k.String())
+		}
+	}
+	if _, err := ParseKind("decimal"); err == nil {
+		t.Fatal("ParseKind accepted unknown kind")
+	}
+	if Kind(200).String() != "invalid" {
+		t.Fatal("out-of-range kind should stringify as invalid")
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return va.Compare(vb) == -vb.Compare(va) &&
+			(va.Compare(vb) == 0) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(5), "5"},
+		{Float(0.5), "0.5"},
+		{String_("a"), `"a"`},
+		{Bytes([]byte{0xab}), "0xab"},
+		{Bool(false), "false"},
+		{Value{}, "<invalid>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+
+	"vtjoin/internal/disk"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Spec{
+		{Tuples: -1, Lifespan: 100},
+		{Tuples: 10, LongLived: 11, Lifespan: 100},
+		{Tuples: 10, LongLived: -1, Lifespan: 100},
+		{Tuples: 10, Lifespan: 1},
+		{Tuples: 10, Lifespan: 100, RecordBytes: 10},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, s)
+		}
+	}
+	ok := Spec{Tuples: 10, LongLived: 5, Lifespan: 100, RecordBytes: 128}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	s := Spec{Tuples: 1000, LongLived: 250, Lifespan: 100000, Seed: 1}
+	ts, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1000 {
+		t.Fatalf("generated %d tuples", len(ts))
+	}
+	long, short := 0, 0
+	for _, tp := range ts {
+		d := tp.V.Duration()
+		switch {
+		case d == 1:
+			short++
+			if tp.V.Start < 0 || tp.V.Start >= 100000 {
+				t.Fatalf("short tuple outside lifespan: %v", tp.V)
+			}
+		case d == 100000/2+1:
+			long++
+			if tp.V.Start < 0 || tp.V.Start >= 100000/2 {
+				t.Fatalf("long-lived start outside first half: %v", tp.V)
+			}
+		default:
+			t.Fatalf("unexpected duration %d", d)
+		}
+	}
+	if long != 250 || short != 750 {
+		t.Fatalf("long=%d short=%d, want 250/750", long, short)
+	}
+}
+
+func TestGenerateLongLivedInterspersed(t *testing.T) {
+	s := Spec{Tuples: 100, LongLived: 25, Lifespan: 1000, Seed: 2}
+	ts, _ := s.Generate()
+	// Every window of 8 consecutive tuples should contain at least one
+	// long-lived tuple (they are evenly interspersed, 1 in 4).
+	for i := 0; i+8 <= len(ts); i++ {
+		found := false
+		for j := i; j < i+8; j++ {
+			if ts[j].V.Duration() > 1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no long-lived tuple in window starting at %d", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Spec{Tuples: 50, LongLived: 10, Lifespan: 1000, Seed: 3}
+	a, _ := s.Generate()
+	b, _ := s.Generate()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	s.Seed = 4
+	c, _ := s.Generate()
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical relations")
+	}
+}
+
+func TestRecordSizePadding(t *testing.T) {
+	for _, target := range []int{64, 128, 256} {
+		s := Spec{Tuples: 20, Lifespan: 1000, RecordBytes: target, Seed: 5}
+		ts, err := s.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range ts {
+			if got := tp.EncodedSize(); got != target {
+				t.Fatalf("target %d: encoded size %d", target, got)
+			}
+		}
+	}
+}
+
+func TestUniqueKeys(t *testing.T) {
+	s := Spec{Tuples: 200, Lifespan: 1000, Keys: 0, Seed: 6}
+	ts, _ := s.Generate()
+	seen := map[int64]bool{}
+	for _, tp := range ts {
+		k := tp.Values[0].AsInt()
+		if seen[k] {
+			t.Fatal("duplicate key with Keys=0")
+		}
+		seen[k] = true
+	}
+	s.Keys = 5
+	ts, _ = s.Generate()
+	distinct := map[int64]bool{}
+	for _, tp := range ts {
+		distinct[tp.Values[0].AsInt()] = true
+	}
+	if len(distinct) > 5 {
+		t.Fatalf("%d distinct keys with Keys=5", len(distinct))
+	}
+}
+
+func TestBuildExcludesLoadIO(t *testing.T) {
+	d := disk.New(4096)
+	s := Spec{Tuples: 2000, Lifespan: 10000, RecordBytes: 128, Seed: 7}
+	r, err := s.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pages() == 0 || r.Tuples() != 2000 {
+		t.Fatalf("pages=%d tuples=%d", r.Pages(), r.Tuples())
+	}
+	if d.Counters().Total() != 0 {
+		t.Fatal("Build left load I/O on the counters")
+	}
+	// Page occupancy matches the paper's parameters: 128-byte records
+	// (+4-byte slots) on 4096-byte pages = 31 tuples/page minimum.
+	perPage := float64(r.Tuples()) / float64(r.Pages())
+	if perPage < 29 || perPage > 32 {
+		t.Fatalf("tuples per page = %.1f, want about 31", perPage)
+	}
+}

@@ -1,0 +1,391 @@
+package vtjoin
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/cost"
+	"vtjoin/internal/join"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+)
+
+// Algorithm selects a join evaluation strategy.
+type Algorithm int
+
+// The available evaluation strategies.
+const (
+	// AlgorithmAuto picks PartitionJoin, the paper's algorithm, which
+	// dominates or matches the alternatives across the evaluated
+	// configurations.
+	AlgorithmAuto Algorithm = iota
+	AlgorithmPartition
+	AlgorithmSortMerge
+	AlgorithmNestedLoop
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmAuto:
+		return "auto"
+	case AlgorithmPartition:
+		return "partition-join"
+	case AlgorithmSortMerge:
+		return "sort-merge"
+	case AlgorithmNestedLoop:
+		return "nested-loop"
+	}
+	return "invalid"
+}
+
+// Predicate selects the temporal condition tuple pairs must satisfy,
+// beyond agreeing on their shared attributes. Every predicate implies
+// interval intersection, so the result timestamp — the maximal overlap
+// — is always defined.
+type Predicate int
+
+// The supported temporal predicates. These realize the other
+// valid-time joins the paper surveys in Section 4.1 (contain-join,
+// intersect-join, overlap-join of Leung & Muntz) within the same three
+// evaluation frameworks.
+const (
+	// PredicateIntersects matches tuples whose intervals share at
+	// least one chronon — the valid-time natural join (default).
+	PredicateIntersects Predicate = iota
+	// PredicateContains matches when the left interval contains the
+	// right one.
+	PredicateContains
+	// PredicateContainedIn matches when the left interval lies within
+	// the right one.
+	PredicateContainedIn
+	// PredicateEqualIntervals matches only identical intervals.
+	PredicateEqualIntervals
+)
+
+// String names the predicate.
+func (p Predicate) String() string {
+	switch p {
+	case PredicateIntersects:
+		return "intersects"
+	case PredicateContains:
+		return "contains"
+	case PredicateContainedIn:
+		return "contained-in"
+	case PredicateEqualIntervals:
+		return "equal-intervals"
+	}
+	return "invalid"
+}
+
+func (p Predicate) mask() (chronon.Mask, error) {
+	switch p {
+	case PredicateIntersects:
+		return chronon.MaskIntersects, nil
+	case PredicateContains:
+		return chronon.MaskContains, nil
+	case PredicateContainedIn:
+		return chronon.MaskContainedIn, nil
+	case PredicateEqualIntervals:
+		return chronon.MaskEqual, nil
+	}
+	return 0, fmt.Errorf("vtjoin: unknown predicate %d", p)
+}
+
+// JoinType selects inner or outer join semantics.
+type JoinType int
+
+// The supported join types. Outer joins emit, in addition to the
+// inner-join results, one null-padded tuple per maximal sub-interval
+// of an input tuple's timestamp not covered by any match — the
+// valid-time analogue of SQL outer joins (cf. the TE-outerjoin of
+// Segev & Gunadhi cited in Section 4.1). Outer joins are evaluated by
+// the partition or nested-loop algorithms (the merge's spill files
+// cannot carry coverage); a full outer join runs two passes.
+const (
+	JoinInner JoinType = iota
+	JoinLeftOuter
+	JoinRightOuter
+	JoinFullOuter
+)
+
+// String names the join type.
+func (t JoinType) String() string {
+	switch t {
+	case JoinInner:
+		return "inner"
+	case JoinLeftOuter:
+		return "left-outer"
+	case JoinRightOuter:
+		return "right-outer"
+	case JoinFullOuter:
+		return "full-outer"
+	}
+	return "invalid"
+}
+
+// Options configures a join evaluation. The zero value asks for the
+// inner partition join with 256 pages (1 MiB at the default page
+// size) of buffer, a 5:1 random:sequential cost model, and a fixed
+// seed.
+type Options struct {
+	// Algorithm selects the evaluation strategy (default: partition).
+	Algorithm Algorithm
+	// Type selects inner or outer join semantics (default: inner).
+	Type JoinType
+	// Predicate selects the temporal condition (default: intersecting
+	// intervals, the valid-time natural join).
+	Predicate Predicate
+	// MemoryPages is the total buffer budget M in pages (default 256).
+	// Every algorithm stays within it: the partition join splits it
+	// per the paper's Figure 3, sort-merge sorts and windows with it,
+	// nested loop blocks the outer relation by it.
+	MemoryPages int
+	// RandomCost is the cost of a random page access relative to a
+	// sequential access (default 5, one of the paper's ratios). It
+	// weights cost reports and guides the partition join's planning.
+	RandomCost float64
+	// Seed drives the partition join's sampling (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemoryPages == 0 {
+		o.MemoryPages = 256
+	}
+	if o.RandomCost == 0 {
+		o.RandomCost = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Algorithm == AlgorithmAuto {
+		o.Algorithm = AlgorithmPartition
+	}
+	return o
+}
+
+// PhaseCost is one phase of an evaluation with its weighted I/O cost.
+type PhaseCost struct {
+	Name string
+	Cost float64
+	IO   IOCounters
+}
+
+// Result holds a materialized join result and its execution report.
+type Result struct {
+	// Relation holds the result tuples, stored in the same DB.
+	Relation *Relation
+	// Algorithm that actually ran.
+	Algorithm Algorithm
+	// Cost is the total weighted I/O cost of the evaluation, excluding
+	// the cost of writing the result (charged equally to every
+	// algorithm, it is reported separately as ResultWriteCost).
+	Cost float64
+	// ResultWriteCost is the weighted cost of materializing the result.
+	ResultWriteCost float64
+	// Phases breaks Cost down by evaluation phase.
+	Phases []PhaseCost
+}
+
+// Join evaluates r ⋈V s — the valid-time natural join — materializing
+// the result as a new relation in the same DB. Tuples match when they
+// agree on all shared column names and their timestamps overlap; the
+// result timestamp is the maximal overlap. The output schema is r's
+// columns followed by s's non-shared columns.
+func Join(r, s *Relation, opts Options) (*Result, error) {
+	if r == nil || s == nil {
+		return nil, fmt.Errorf("vtjoin: nil relation")
+	}
+	if r.db != s.db {
+		return nil, fmt.Errorf("vtjoin: relations belong to different DBs")
+	}
+	o := opts.withDefaults()
+	db := r.db
+
+	outSchema, err := outputSchema(r, s)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.Create(db.d, outSchema)
+	sink := out.NewBuilder()
+
+	rep, algo, err := run(o, r, s, sink)
+	if err != nil {
+		return nil, err
+	}
+	w := cost.Ratio(o.RandomCost)
+
+	res := &Result{
+		Relation:  &Relation{db: db, rel: out},
+		Algorithm: algo,
+	}
+	for _, ph := range rep.Phases {
+		c := ph.Counters
+		res.Phases = append(res.Phases, PhaseCost{
+			Name: ph.Name,
+			Cost: w.Of(c),
+			IO: IOCounters{
+				RandomReads:      c.RandReads,
+				SequentialReads:  c.SeqReads,
+				RandomWrites:     c.RandWrites,
+				SequentialWrites: c.SeqWrites,
+			},
+		})
+	}
+	// Split out the result-write cost: the writes in the report that
+	// went to the output relation. Conservatively, every write page of
+	// the output was produced exactly once by the sink.
+	res.ResultWriteCost = w.Seq * float64(out.Pages())
+	res.Cost = rep.Cost(w)
+	return res, nil
+}
+
+// JoinInto evaluates r ⋈V s streaming result tuples to fn instead of
+// materializing them; fn must not retain the tuple's Values slice
+// beyond the call unless it clones the tuple. It returns the per-phase
+// cost report. Use this form for the paper's measurement configuration
+// (result writing excluded) or for pipelined consumers.
+func JoinInto(r, s *Relation, opts Options, fn func(Tuple) error) ([]PhaseCost, error) {
+	if r == nil || s == nil {
+		return nil, fmt.Errorf("vtjoin: nil relation")
+	}
+	if r.db != s.db {
+		return nil, fmt.Errorf("vtjoin: relations belong to different DBs")
+	}
+	o := opts.withDefaults()
+	rep, _, err := run(o, r, s, funcSink(fn))
+	if err != nil {
+		return nil, err
+	}
+	w := cost.Ratio(o.RandomCost)
+	var phases []PhaseCost
+	for _, ph := range rep.Phases {
+		c := ph.Counters
+		phases = append(phases, PhaseCost{
+			Name: ph.Name,
+			Cost: w.Of(c),
+			IO: IOCounters{
+				RandomReads:      c.RandReads,
+				SequentialReads:  c.SeqReads,
+				RandomWrites:     c.RandWrites,
+				SequentialWrites: c.SeqWrites,
+			},
+		})
+	}
+	return phases, nil
+}
+
+type funcSink func(Tuple) error
+
+func (f funcSink) Append(t Tuple) error { return f(t) }
+func (f funcSink) Flush() error         { return nil }
+
+func outputSchema(r, s *Relation) (*Schema, error) {
+	plan, err := planPublic(r, s)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Output, nil
+}
+
+func run(o Options, r, s *Relation, sink relation.Sink) (*cost.Report, Algorithm, error) {
+	mask, err := o.Predicate.mask()
+	if err != nil {
+		return nil, o.Algorithm, err
+	}
+	if o.Type == JoinInner {
+		switch o.Algorithm {
+		case AlgorithmNestedLoop:
+			rep, err := join.NestedLoop(r.internal(), s.internal(), sink,
+				join.NestedLoopConfig{MemoryPages: o.MemoryPages, TimePredicate: mask})
+			return rep, AlgorithmNestedLoop, err
+		case AlgorithmSortMerge:
+			rep, _, err := join.SortMerge(r.internal(), s.internal(), sink,
+				join.SortMergeConfig{MemoryPages: o.MemoryPages, TimePredicate: mask})
+			return rep, AlgorithmSortMerge, err
+		case AlgorithmPartition:
+			rep, _, err := join.Partition(r.internal(), s.internal(), sink, join.PartitionConfig{
+				MemoryPages:   o.MemoryPages,
+				Weights:       cost.Ratio(o.RandomCost),
+				Rng:           rand.New(rand.NewSource(o.Seed)),
+				TimePredicate: mask,
+			})
+			return rep, AlgorithmPartition, err
+		}
+		return nil, o.Algorithm, fmt.Errorf("vtjoin: unknown algorithm %d", o.Algorithm)
+	}
+	return runOuter(o, mask, r, s, sink)
+}
+
+// runOuter evaluates left, right and full outer joins by composing the
+// coverage-tracking passes of the partition or nested-loop algorithms.
+func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink) (*cost.Report, Algorithm, error) {
+	switch o.Algorithm {
+	case AlgorithmPartition, AlgorithmNestedLoop:
+	case AlgorithmSortMerge:
+		return nil, o.Algorithm, fmt.Errorf("vtjoin: outer joins are not supported by sort-merge (its spill files cannot carry match coverage); use partition or nested-loop")
+	default:
+		return nil, o.Algorithm, fmt.Errorf("vtjoin: unknown algorithm %d", o.Algorithm)
+	}
+
+	pass := func(left, right *Relation, plan2 *schema.JoinPlan, matches, frags relation.Sink, seed int64) (*cost.Report, error) {
+		if o.Algorithm == AlgorithmNestedLoop {
+			return join.NestedLoop(left.internal(), right.internal(), matches, join.NestedLoopConfig{
+				MemoryPages:   o.MemoryPages,
+				TimePredicate: mask,
+				LeftFragments: frags,
+				Plan:          plan2,
+			})
+		}
+		rep, _, err := join.Partition(left.internal(), right.internal(), matches, join.PartitionConfig{
+			MemoryPages:   o.MemoryPages,
+			Weights:       cost.Ratio(o.RandomCost),
+			Rng:           rand.New(rand.NewSource(seed)),
+			TimePredicate: mask,
+			LeftFragments: frags,
+			Plan:          plan2,
+		})
+		return rep, err
+	}
+
+	switch o.Type {
+	case JoinLeftOuter:
+		rep, err := pass(r, s, nil, sink, sink, o.Seed)
+		return rep, o.Algorithm, err
+	case JoinRightOuter:
+		plan, err := planPublic(r, s)
+		if err != nil {
+			return nil, o.Algorithm, err
+		}
+		rep, err := pass(s, r, plan.Swap(), sink, sink, o.Seed)
+		return rep, o.Algorithm, err
+	case JoinFullOuter:
+		// Pass 1: inner matches plus left fragments. Pass 2 (inputs
+		// swapped): matches discarded (already emitted), right
+		// fragments kept.
+		rep1, err := pass(r, s, nil, sink, sink, o.Seed)
+		if err != nil {
+			return nil, o.Algorithm, err
+		}
+		plan, err := planPublic(r, s)
+		if err != nil {
+			return nil, o.Algorithm, err
+		}
+		var discard relation.CountSink
+		rep2, err := pass(s, r, plan.Swap(), &discard, sink, o.Seed+1)
+		if err != nil {
+			return nil, o.Algorithm, err
+		}
+		combined := &cost.Report{Algorithm: rep1.Algorithm}
+		for _, ph := range rep1.Phases {
+			combined.Add("pass1 "+ph.Name, ph.Counters)
+		}
+		for _, ph := range rep2.Phases {
+			combined.Add("pass2 "+ph.Name, ph.Counters)
+		}
+		return combined, o.Algorithm, nil
+	}
+	return nil, o.Algorithm, fmt.Errorf("vtjoin: unknown join type %d", o.Type)
+}

@@ -1,0 +1,62 @@
+package vtjoin
+
+import "testing"
+
+func TestOpenDirEndToEnd(t *testing.T) {
+	db, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	emp := buildEmployees(t, db)
+	dept := buildDepartments(t, db)
+	res, err := Join(emp, dept, Options{MemoryPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Relation.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantJoinResult()
+	if len(got) != len(want) {
+		t.Fatalf("%d results", len(got))
+	}
+	for _, z := range got {
+		if !want[z.String()] {
+			t.Fatalf("unexpected %v", z)
+		}
+	}
+}
+
+func TestOpenDirValidation(t *testing.T) {
+	if _, err := OpenDir(t.TempDir(), WithPageSize(4)); err == nil {
+		t.Fatal("tiny page accepted")
+	}
+	if _, err := OpenDir("/proc/definitely/not/writable/here"); err == nil {
+		t.Fatal("unwritable dir accepted")
+	}
+}
+
+func TestOpenDirCostsMatchMemory(t *testing.T) {
+	run := func(db *DB) IOCounters {
+		emp := buildEmployees(t, db)
+		dept := buildDepartments(t, db)
+		db.ResetIOCounters()
+		if _, err := Join(emp, dept, Options{MemoryPages: 8}); err != nil {
+			t.Fatal(err)
+		}
+		return db.IOCounters()
+	}
+	mem := run(Open())
+	fdb, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdb.Close()
+	file := run(fdb)
+	if mem != file {
+		t.Fatalf("cost accounting differs: memory=%+v file=%+v", mem, file)
+	}
+}

@@ -1,0 +1,168 @@
+package vtjoin
+
+import (
+	"sort"
+	"testing"
+)
+
+func resultStrings(t *testing.T, res *Result) []string {
+	t.Helper()
+	ts, err := res.Relation.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(ts))
+	for i, z := range ts {
+		out[i] = z.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestLeftOuterJoinAPI(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)    // alice [10,20],[21,40]; bob [5,30]
+	dept := buildDepartments(t, db) // alice eng [15,35]; bob sales [0,12]
+
+	for _, algo := range []Algorithm{AlgorithmPartition, AlgorithmNestedLoop} {
+		res, err := Join(emp, dept, Options{Type: JoinLeftOuter, Algorithm: algo, MemoryPages: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resultStrings(t, res)
+		want := []string{
+			`("alice", 70000, "engineering" | [15, 20])`,
+			`("alice", 70000, null | [10, 14])`,
+			`("alice", 80000, "engineering" | [21, 35])`,
+			`("alice", 80000, null | [36, 40])`,
+			`("bob", 60000, "sales" | [5, 12])`,
+			`("bob", 60000, null | [13, 30])`,
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: got %d rows: %v", algo, len(got), got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: row %d = %s, want %s", algo, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRightOuterJoinAPI(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)
+	dept := buildDepartments(t, db)
+	res, err := Join(emp, dept, Options{Type: JoinRightOuter, MemoryPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resultStrings(t, res)
+	// Inner matches plus the uncovered pieces of the department rows:
+	// bob's sales [0,12] is covered only on [5,12] -> fragment [0,4].
+	// alice's engineering [15,35] is fully covered by [15,20]+[21,35].
+	want := []string{
+		`("alice", 70000, "engineering" | [15, 20])`,
+		`("alice", 80000, "engineering" | [21, 35])`,
+		`("bob", 60000, "sales" | [5, 12])`,
+		`("bob", null, "sales" | [0, 4])`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows: %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFullOuterJoinAPI(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)
+	dept := buildDepartments(t, db)
+	res, err := Join(emp, dept, Options{Type: JoinFullOuter, MemoryPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resultStrings(t, res)
+	// Union of the left-outer and right-outer results with the inner
+	// part appearing once.
+	want := []string{
+		`("alice", 70000, "engineering" | [15, 20])`,
+		`("alice", 70000, null | [10, 14])`,
+		`("alice", 80000, "engineering" | [21, 35])`,
+		`("alice", 80000, null | [36, 40])`,
+		`("bob", 60000, "sales" | [5, 12])`,
+		`("bob", 60000, null | [13, 30])`,
+		`("bob", null, "sales" | [0, 4])`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows: %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// The two-pass evaluation reports both passes.
+	seenPass2 := false
+	for _, ph := range res.Phases {
+		if len(ph.Name) > 5 && ph.Name[:5] == "pass2" {
+			seenPass2 = true
+		}
+	}
+	if !seenPass2 {
+		t.Fatalf("full outer report missing pass2 phases: %+v", res.Phases)
+	}
+}
+
+func TestOuterJoinRejectsSortMerge(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)
+	dept := buildDepartments(t, db)
+	if _, err := Join(emp, dept, Options{Type: JoinLeftOuter, Algorithm: AlgorithmSortMerge}); err == nil {
+		t.Fatal("sort-merge outer join accepted")
+	}
+	if _, err := Join(emp, dept, Options{Type: JoinType(99)}); err == nil {
+		t.Fatal("unknown join type accepted")
+	}
+}
+
+func TestOuterJoinTypesConsistency(t *testing.T) {
+	// full = left ∪ (right \ inner), checked by cardinalities on a
+	// randomized workload through the public API.
+	db := Open()
+	mk := func(seed int64, cols *Schema) *Relation {
+		r := db.MustCreateRelation(cols)
+		l := r.Loader()
+		for i := int64(0); i < 300; i++ {
+			start := (i*131 + seed*17) % 2000
+			length := (i * 13 % 160)
+			l.MustAppend(Span(Chronon(start), Chronon(start+length)),
+				Int(i%7), Int(i+seed*100000))
+		}
+		l.MustClose()
+		return r
+	}
+	emp := mk(1, NewSchema(Col("k", KindInt), Col("a", KindInt)))
+	dept := mk(2, NewSchema(Col("k", KindInt), Col("b", KindInt)))
+
+	card := func(tp JoinType) int64 {
+		res, err := Join(emp, dept, Options{Type: tp, MemoryPages: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Relation.Cardinality()
+	}
+	inner := card(JoinInner)
+	left := card(JoinLeftOuter)
+	right := card(JoinRightOuter)
+	full := card(JoinFullOuter)
+	if left < inner || right < inner {
+		t.Fatalf("outer joins smaller than inner: inner=%d left=%d right=%d", inner, left, right)
+	}
+	if full != left+right-inner {
+		t.Fatalf("full (%d) != left (%d) + right (%d) - inner (%d)", full, left, right, inner)
+	}
+}

@@ -1,0 +1,18 @@
+package vtjoin
+
+import (
+	"vtjoin/internal/schema"
+)
+
+// planPublic derives the natural-join plan for two public relations.
+func planPublic(r, s *Relation) (*schema.JoinPlan, error) {
+	return schema.PlanNaturalJoin(r.Schema(), s.Schema())
+}
+
+// SharedColumns returns the column names on which a join of r and s
+// would apply its equality predicate — the explicit join attributes.
+// An empty result means the join degenerates to the pure time-join
+// (every pair of time-overlapping tuples matches).
+func SharedColumns(r, s *Relation) ([]string, error) {
+	return schema.SharedColumns(r.Schema(), s.Schema())
+}

@@ -1,0 +1,95 @@
+package vtjoin
+
+import (
+	"fmt"
+
+	"vtjoin/internal/temporal"
+)
+
+// Coalesce materializes the coalesced form of r — value-equivalent
+// tuples with overlapping or adjacent timestamps merged into maximal
+// intervals — as a new relation in the same DB. Joins and projections
+// routinely produce uncoalesced results; temporal normalization theory
+// assumes the coalesced form.
+func Coalesce(r *Relation) (*Relation, error) {
+	if r == nil {
+		return nil, fmt.Errorf("vtjoin: nil relation")
+	}
+	out, err := temporal.Coalesce(r.rel)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{db: r.db, rel: out}, nil
+}
+
+// Timeslice returns the tuples of r valid at chronon c — the snapshot
+// the valid-time relation records for that instant.
+func Timeslice(r *Relation, c Chronon) ([]Tuple, error) {
+	if r == nil {
+		return nil, fmt.Errorf("vtjoin: nil relation")
+	}
+	return temporal.Timeslice(r.rel, c)
+}
+
+// CountOverTime computes the time-varying COUNT aggregate of r: one
+// tuple (count | interval) per maximal interval with a constant number
+// of valid tuples, in time order.
+func CountOverTime(r *Relation) ([]Tuple, error) {
+	if r == nil {
+		return nil, fmt.Errorf("vtjoin: nil relation")
+	}
+	return temporal.CountOverTime(r.rel)
+}
+
+// SumOverTime computes the time-varying SUM of an integer column of r:
+// one tuple (sum | interval) per maximal interval of constant non-zero
+// sum. Nulls contribute nothing.
+func SumOverTime(r *Relation, column string) ([]Tuple, error) {
+	if r == nil {
+		return nil, fmt.Errorf("vtjoin: nil relation")
+	}
+	return temporal.SumOverTime(r.rel, column)
+}
+
+// Project materializes the projection of r onto the named columns, in
+// order, coalescing the result (valid-time projection's analogue of
+// DISTINCT).
+func Project(r *Relation, columns ...string) (*Relation, error) {
+	if r == nil {
+		return nil, fmt.Errorf("vtjoin: nil relation")
+	}
+	out, err := temporal.Project(r.rel, columns...)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{db: r.db, rel: out}, nil
+}
+
+// Difference materializes the valid-time difference r −V s: for each
+// fact of r, the sub-intervals during which it holds in r but not in
+// s. The schemas must be identical; the result is coalesced.
+func Difference(r, s *Relation) (*Relation, error) {
+	if r == nil || s == nil {
+		return nil, fmt.Errorf("vtjoin: nil relation")
+	}
+	if r.db != s.db {
+		return nil, fmt.Errorf("vtjoin: relations belong to different DBs")
+	}
+	out, err := temporal.Difference(r.rel, s.rel)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{db: r.db, rel: out}, nil
+}
+
+// Select materializes the tuples of r satisfying pred.
+func Select(r *Relation, pred func(Tuple) bool) (*Relation, error) {
+	if r == nil {
+		return nil, fmt.Errorf("vtjoin: nil relation")
+	}
+	out, err := temporal.Select(r.rel, pred)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{db: r.db, rel: out}, nil
+}

@@ -1,0 +1,222 @@
+package vtjoin
+
+import "testing"
+
+func TestCoalesceAPI(t *testing.T) {
+	db := Open()
+	r := db.MustCreateRelation(NewSchema(Col("name", KindString)))
+	l := r.Loader()
+	l.MustAppend(Span(0, 5), String("alice"))
+	l.MustAppend(Span(6, 10), String("alice")) // adjacent: merges
+	l.MustAppend(Span(20, 25), String("alice"))
+	l.MustAppend(Span(0, 10), String("bob"))
+	l.MustClose()
+
+	out, err := Coalesce(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cardinality() != 3 {
+		t.Fatalf("coalesced cardinality %d", out.Cardinality())
+	}
+	if _, err := Coalesce(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestTimesliceAPI(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)
+	at, err := Timeslice(emp, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice [21,40] and bob [5,30] are valid at 25.
+	if len(at) != 2 {
+		t.Fatalf("slice: %v", at)
+	}
+	if _, err := Timeslice(nil, 0); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestCountOverTimeAPI(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db) // [10,20], [21,40], [5,30]
+	segs, err := CountOverTime(emp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [5,9]=1, [10,30]=2 (alice's back-to-back rows keep the count
+	// constant across 20|21, so the segment is maximal), [31,40]=1.
+	if len(segs) != 3 {
+		t.Fatalf("segments: %v", segs)
+	}
+	if segs[1].Values[0].AsInt() != 2 || !segs[1].V.Equal(Span(10, 30)) {
+		t.Fatalf("segment 1 = %v", segs[1])
+	}
+	if _, err := CountOverTime(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestOuterJoinThenCoalesce(t *testing.T) {
+	// The classic pipeline: outer join produces fragment tuples that a
+	// projection would leave uncoalesced; Coalesce restores canonical
+	// form. Here alice's two null fragments [10,14] and [36,40] stay
+	// separate (they differ in salary), but projecting to name-only
+	// would merge value-equivalent pieces — simulate by joining a
+	// single-attribute relation.
+	db := Open()
+	left := db.MustCreateRelation(NewSchema(Col("name", KindString)))
+	l := left.Loader()
+	l.MustAppend(Span(0, 10), String("alice"))
+	l.MustAppend(Span(11, 20), String("alice")) // split history
+	l.MustClose()
+	right := db.MustCreateRelation(NewSchema(Col("name", KindString), Col("dept", KindString)))
+	rl := right.Loader()
+	rl.MustAppend(Span(5, 15), String("alice"), String("eng"))
+	rl.MustClose()
+
+	res, err := Join(left, right, Options{Type: JoinLeftOuter, MemoryPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches [5,10] and [11,15]; fragments [0,4] and [16,20]: 4 rows,
+	// with the two matches value-equivalent and adjacent.
+	if res.Relation.Cardinality() != 4 {
+		all, _ := res.Relation.All()
+		t.Fatalf("outer join rows: %v", all)
+	}
+	co, err := Coalesce(res.Relation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ("alice","eng") [5,15] plus two null fragments = 3 rows.
+	if co.Cardinality() != 3 {
+		all, _ := co.All()
+		t.Fatalf("coalesced rows: %v", all)
+	}
+}
+
+func TestProjectAPI(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)
+	names, err := Project(emp, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice [10,20]+[21,40] coalesce to [10,40]; bob [5,30]: 2 rows.
+	if names.Cardinality() != 2 {
+		all, _ := names.All()
+		t.Fatalf("projected rows: %v", all)
+	}
+	if names.Schema().Len() != 1 {
+		t.Fatalf("schema %v", names.Schema())
+	}
+	if _, err := Project(emp, "nope"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := Project(nil, "name"); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestSelectAPI(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)
+	rich, err := Select(emp, func(z Tuple) bool { return z.Values[1].AsInt() >= 70000 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rich.Cardinality() != 2 {
+		t.Fatalf("selected %d", rich.Cardinality())
+	}
+	if _, err := Select(nil, nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestSelectThenJoinPipeline(t *testing.T) {
+	// Operators compose: restrict the schedule to one window, then
+	// join — equivalent to joining and then restricting, for tuples
+	// wholly inside the window.
+	db := Open()
+	emp := buildEmployees(t, db)
+	dept := buildDepartments(t, db)
+	window := Span(0, 25)
+	empW, err := Select(emp, func(z Tuple) bool { return window.ContainsInterval(z.V) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Join(empW, dept, Options{MemoryPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Relation.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range rows {
+		if !window.ContainsInterval(z.V) {
+			t.Fatalf("result outside window: %v", z)
+		}
+	}
+}
+
+func TestSumOverTimeAPI(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)
+	segs, err := SumOverTime(emp, "salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [5,9]=60000, [10,20]=130000, [21,30]=140000, [31,40]=80000.
+	if len(segs) != 4 {
+		t.Fatalf("segments: %v", segs)
+	}
+	if segs[1].Values[0].AsInt() != 130000 || !segs[1].V.Equal(Span(10, 20)) {
+		t.Fatalf("segment 1 = %v", segs[1])
+	}
+	if _, err := SumOverTime(nil, "salary"); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := SumOverTime(emp, "name"); err == nil {
+		t.Fatal("non-int column accepted")
+	}
+}
+
+func TestDifferenceAPI(t *testing.T) {
+	db := Open()
+	planned := db.MustCreateRelation(NewSchema(Col("room", KindInt)))
+	l := planned.Loader()
+	l.MustAppend(Span(0, 100), Int(1))
+	l.MustAppend(Span(0, 100), Int(2))
+	l.MustClose()
+	actual := db.MustCreateRelation(NewSchema(Col("room", KindInt)))
+	a := actual.Loader()
+	a.MustAppend(Span(0, 40), Int(1))
+	a.MustAppend(Span(60, 100), Int(1))
+	a.MustClose()
+
+	gaps, err := Difference(planned, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := gaps.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Room 1 is missing on [41,59]; room 2 on all of [0,100].
+	if len(rows) != 2 {
+		t.Fatalf("gaps: %v", rows)
+	}
+	if _, err := Difference(nil, planned); err == nil {
+		t.Fatal("nil accepted")
+	}
+	db2 := Open()
+	other := db2.MustCreateRelation(NewSchema(Col("room", KindInt)))
+	if _, err := Difference(planned, other); err == nil {
+		t.Fatal("cross-DB accepted")
+	}
+}

@@ -1,0 +1,255 @@
+package vtjoin
+
+import (
+	"fmt"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+// Chronon is a point on the discrete valid-time line.
+type Chronon = chronon.Chronon
+
+// Interval is an inclusive valid-time interval [Start, End]; the zero
+// value is the null interval.
+type Interval = chronon.Interval
+
+// Beginning and Forever bound the representable time-line.
+const (
+	Beginning = chronon.Beginning
+	Forever   = chronon.Forever
+)
+
+// Span returns the inclusive interval [start, end]; it panics if
+// start > end.
+func Span(start, end Chronon) Interval { return chronon.New(start, end) }
+
+// At returns the single-chronon interval [t, t].
+func At(t Chronon) Interval { return chronon.At(t) }
+
+// Overlap returns the maximal interval contained in both arguments, or
+// the null interval when they are disjoint — the timestamp of a
+// valid-time natural-join result tuple.
+func Overlap(a, b Interval) Interval { return chronon.Overlap(a, b) }
+
+// Value is a typed attribute value.
+type Value = value.Value
+
+// Kind identifies a value's type.
+type Kind = value.Kind
+
+// The supported attribute kinds.
+const (
+	KindInt    = value.KindInt
+	KindFloat  = value.KindFloat
+	KindString = value.KindString
+	KindBytes  = value.KindBytes
+	KindBool   = value.KindBool
+)
+
+// Int returns an integer attribute value.
+func Int(v int64) Value { return value.Int(v) }
+
+// Float returns a floating-point attribute value.
+func Float(v float64) Value { return value.Float(v) }
+
+// String returns a string attribute value.
+func String(v string) Value { return value.String_(v) }
+
+// Bytes returns a byte-string attribute value.
+func Bytes(v []byte) Value { return value.Bytes(v) }
+
+// Bool returns a boolean attribute value.
+func Bool(v bool) Value { return value.Bool(v) }
+
+// Column is a named, typed attribute of a relation schema.
+type Column = schema.Column
+
+// Col is shorthand for constructing a Column.
+func Col(name string, kind Kind) Column { return Column{Name: name, Kind: kind} }
+
+// Schema describes the explicit columns of a valid-time relation; the
+// timestamp interval is implicit (every tuple carries one).
+type Schema = schema.Schema
+
+// NewSchema builds a schema; it panics on duplicate or invalid columns
+// (schemas are almost always program constants). Use
+// schema-validation-first construction via MustCreateRelation's error
+// twin CreateRelation when names are dynamic.
+func NewSchema(cols ...Column) *Schema { return schema.MustNew(cols...) }
+
+// Tuple is a valid-time tuple: explicit attribute values plus a
+// timestamp interval.
+type Tuple = tuple.Tuple
+
+// NewTuple constructs a tuple with the given timestamp and values.
+func NewTuple(v Interval, values ...Value) Tuple { return tuple.New(v, values...) }
+
+// DB is a collection of valid-time relations on one simulated paged
+// device. All relations joined together must come from the same DB.
+type DB struct {
+	d *disk.Disk
+}
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	pageSize int
+}
+
+// WithPageSize sets the device page size in bytes (default 4096, the
+// configuration of the paper's experiments).
+func WithPageSize(bytes int) Option {
+	return func(c *config) { c.pageSize = bytes }
+}
+
+// Open creates an empty in-memory database. It panics if a configured
+// page size is below the slotted-page minimum or above 64 KiB.
+func Open(opts ...Option) *DB {
+	c := config{pageSize: 4096}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.pageSize < page.MinSize || c.pageSize > 65535 {
+		panic(fmt.Sprintf("vtjoin: page size %d outside [%d, 65535]", c.pageSize, page.MinSize))
+	}
+	return &DB{d: disk.New(c.pageSize)}
+}
+
+// OpenDir creates a database whose pages persist as real files under
+// dir. Costs are accounted identically to the in-memory database; the
+// backend only changes where the bytes live.
+func OpenDir(dir string, opts ...Option) (*DB, error) {
+	c := config{pageSize: 4096}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.pageSize < page.MinSize || c.pageSize > 65535 {
+		return nil, fmt.Errorf("vtjoin: page size %d outside [%d, 65535]", c.pageSize, page.MinSize)
+	}
+	d, err := disk.NewFileBacked(c.pageSize, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{d: d}, nil
+}
+
+// Close releases the database's resources (open files, memory).
+func (db *DB) Close() error { return db.d.Close() }
+
+// PageSize returns the device page size in bytes.
+func (db *DB) PageSize() int { return db.d.PageSize() }
+
+// ResetIOCounters zeroes the device's I/O counters, excluding all
+// prior work (e.g. data loading) from subsequent cost reports.
+func (db *DB) ResetIOCounters() { db.d.ResetCounters() }
+
+// IOCounters returns the raw access counts since the last reset.
+func (db *DB) IOCounters() IOCounters {
+	c := db.d.Counters()
+	return IOCounters{
+		RandomReads:      c.RandReads,
+		SequentialReads:  c.SeqReads,
+		RandomWrites:     c.RandWrites,
+		SequentialWrites: c.SeqWrites,
+	}
+}
+
+// IOCounters are page-access counts split by the paper's cost classes.
+type IOCounters struct {
+	RandomReads      int64
+	SequentialReads  int64
+	RandomWrites     int64
+	SequentialWrites int64
+}
+
+// Relation is a valid-time relation stored in a DB.
+type Relation struct {
+	db  *DB
+	rel *relation.Relation
+}
+
+// CreateRelation allocates an empty relation with the given schema.
+func (db *DB) CreateRelation(s *Schema) (*Relation, error) {
+	if s == nil {
+		return nil, fmt.Errorf("vtjoin: nil schema")
+	}
+	return &Relation{db: db, rel: relation.Create(db.d, s)}, nil
+}
+
+// MustCreateRelation is CreateRelation but panics on error.
+func (db *DB) MustCreateRelation(s *Schema) *Relation {
+	r, err := db.CreateRelation(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.rel.Schema() }
+
+// Cardinality returns the number of tuples in the relation.
+func (r *Relation) Cardinality() int64 { return r.rel.Tuples() }
+
+// Pages returns the number of disk pages the relation occupies.
+func (r *Relation) Pages() int { return r.rel.Pages() }
+
+// Lifespan returns the hull of all tuple timestamps (null if empty).
+func (r *Relation) Lifespan() Interval { return r.rel.Lifespan() }
+
+// All materializes every tuple in storage order. The scan's I/O is
+// counted.
+func (r *Relation) All() ([]Tuple, error) { return r.rel.All() }
+
+// Loader appends tuples to a relation page by page. Close (or
+// MustClose) flushes the trailing partial page.
+type Loader struct {
+	b *relation.Builder
+}
+
+// Loader returns a new loader for the relation.
+func (r *Relation) Loader() *Loader { return &Loader{b: r.rel.NewBuilder()} }
+
+// Append validates the tuple against the schema and adds it.
+func (l *Loader) Append(v Interval, values ...Value) error {
+	return l.b.Append(tuple.New(v, values...))
+}
+
+// AppendTuple adds a prebuilt tuple.
+func (l *Loader) AppendTuple(t Tuple) error { return l.b.Append(t) }
+
+// MustAppend is Append but panics on error.
+func (l *Loader) MustAppend(v Interval, values ...Value) {
+	if err := l.Append(v, values...); err != nil {
+		panic(err)
+	}
+}
+
+// Close flushes buffered tuples to the relation.
+func (l *Loader) Close() error { return l.b.Flush() }
+
+// MustClose is Close but panics on error.
+func (l *Loader) MustClose() {
+	if err := l.Close(); err != nil {
+		panic(err)
+	}
+}
+
+// Load builds a relation from a tuple slice in one call.
+func (db *DB) Load(s *Schema, tuples []Tuple) (*Relation, error) {
+	rel, err := relation.FromTuples(db.d, s, tuples)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{db: db, rel: rel}, nil
+}
+
+// internal accessor used by the join layer.
+func (r *Relation) internal() *relation.Relation { return r.rel }
