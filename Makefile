@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check fuzz bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file needs reformatting, and names the offenders.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: vet fmt race
+
+fuzz:
+	$(GO) test ./internal/page -fuzz FuzzChecksumRoundTrip -fuzztime 30s
+
+bench:
+	$(GO) test -bench . -benchmem ./...

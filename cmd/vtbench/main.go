@@ -26,9 +26,15 @@ func main() {
 	seed := flag.Int64("seed", 1994, "base RNG seed")
 	flag.Parse()
 
+	switch *figure {
+	case "4", "5", "6", "7", "8", "ablations", "all":
+	default:
+		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations or all)", *figure))
+	}
+
 	p, err := experiments.Scaled(*scale)
 	if err != nil {
-		fatal(err)
+		usage(err)
 	}
 	p.Seed = *seed
 
@@ -91,15 +97,18 @@ func main() {
 		fmt.Print(experiments.RenderAblations(repl, smpl))
 		return nil
 	})
-
-	switch *figure {
-	case "4", "5", "6", "7", "8", "ablations", "all":
-	default:
-		fatal(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations or all)", *figure))
-	}
 }
 
+// fatal reports a runtime failure (experiment execution) and exits 1.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vtbench:", err)
 	os.Exit(1)
+}
+
+// usage reports a command-line mistake and exits 2, matching the flag
+// package's exit code for unparseable flags.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "vtbench:", err)
+	fmt.Fprintln(os.Stderr, "usage: vtbench [-figure 4|5|6|7|8|ablations|all] [-scale N] [-seed S]")
+	os.Exit(2)
 }

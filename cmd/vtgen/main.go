@@ -27,6 +27,13 @@ func main() {
 	out := flag.String("o", "-", "output file (- for stdout)")
 	flag.Parse()
 
+	if flag.NArg() != 0 {
+		usage(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+	if *tuples < 0 || *longLived < 0 || *longLived > *tuples {
+		usage(fmt.Errorf("need 0 <= longlived (%d) <= tuples (%d)", *longLived, *tuples))
+	}
+
 	spec := workload.Spec{
 		Tuples:    *tuples,
 		LongLived: *longLived,
@@ -37,7 +44,7 @@ func main() {
 	d := disk.New(4096)
 	rel, err := spec.Build(d)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("generate: %w", err))
 	}
 
 	w := os.Stdout
@@ -50,11 +57,20 @@ func main() {
 		w = f
 	}
 	if err := csvio.Write(w, rel); err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("write: %w", err))
 	}
 }
 
+// fatal reports a runtime failure (generation, output I/O) and exits 1.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vtgen:", err)
 	os.Exit(1)
+}
+
+// usage reports a command-line mistake and exits 2, matching the flag
+// package's exit code for unparseable flags.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "vtgen:", err)
+	fmt.Fprintln(os.Stderr, "usage: vtgen [-tuples N] [-longlived N] [-lifespan N] [-keys N] [-seed S] [-o file]")
+	os.Exit(2)
 }

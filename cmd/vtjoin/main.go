@@ -39,7 +39,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 2 {
-		fatal(fmt.Errorf("need exactly two input files, got %d", flag.NArg()))
+		usage(fmt.Errorf("need exactly two input files, got %d", flag.NArg()))
 	}
 
 	opts := vtjoin.Options{
@@ -55,7 +55,7 @@ func main() {
 	case "nestedloop":
 		opts.Algorithm = vtjoin.AlgorithmNestedLoop
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algoFlag))
+		usage(fmt.Errorf("unknown algorithm %q", *algoFlag))
 	}
 	switch *typeFlag {
 	case "inner":
@@ -67,7 +67,7 @@ func main() {
 	case "full":
 		opts.Type = vtjoin.JoinFullOuter
 	default:
-		fatal(fmt.Errorf("unknown join type %q", *typeFlag))
+		usage(fmt.Errorf("unknown join type %q", *typeFlag))
 	}
 	switch *predFlag {
 	case "intersects":
@@ -79,7 +79,7 @@ func main() {
 	case "equal":
 		opts.Predicate = vtjoin.PredicateEqualIntervals
 	default:
-		fatal(fmt.Errorf("unknown predicate %q", *predFlag))
+		usage(fmt.Errorf("unknown predicate %q", *predFlag))
 	}
 
 	db := vtjoin.Open()
@@ -95,13 +95,13 @@ func main() {
 
 	res, err := vtjoin.Join(left, right, opts)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("join: %w", err))
 	}
 	result := res.Relation
 	if *coalesce {
 		result, err = vtjoin.Coalesce(result)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("coalesce: %w", err))
 		}
 	}
 
@@ -115,13 +115,17 @@ func main() {
 		w = f
 	}
 	if err := writeCSV(w, result); err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("write result: %w", err))
 	}
 
 	if *stats {
+		resultPages, err := result.Pages()
+		if err != nil {
+			fatal(fmt.Errorf("result size: %w", err))
+		}
 		fmt.Fprintf(os.Stderr, "algorithm: %s, type: %s, predicate: %s\n",
 			res.Algorithm, opts.Type, opts.Predicate)
-		fmt.Fprintf(os.Stderr, "result: %d tuples, %d pages\n", result.Cardinality(), result.Pages())
+		fmt.Fprintf(os.Stderr, "result: %d tuples, %d pages\n", result.Cardinality(), resultPages)
 		for _, ph := range res.Phases {
 			fmt.Fprintf(os.Stderr, "  %-18s %10.0f\n", ph.Name, ph.Cost)
 		}
@@ -154,7 +158,16 @@ func writeCSV(w *os.File, r *vtjoin.Relation) error {
 	return csvio.WriteTuples(w, r.Schema(), ts)
 }
 
+// fatal reports a runtime failure (I/O, join evaluation) and exits 1.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vtjoin:", err)
 	os.Exit(1)
+}
+
+// usage reports a command-line mistake and exits 2, matching the flag
+// package's exit code for unparseable flags.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "vtjoin:", err)
+	fmt.Fprintln(os.Stderr, "usage: vtjoin [flags] left.csv right.csv (see -h)")
+	os.Exit(2)
 }

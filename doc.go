@@ -31,15 +31,20 @@
 // # Quick start
 //
 //	db := vtjoin.Open()
-//	emp := db.MustCreateRelation(vtjoin.NewSchema(
+//	emp, err := db.CreateRelation(vtjoin.NewSchema(
 //		vtjoin.Col("name", vtjoin.KindString),
 //		vtjoin.Col("salary", vtjoin.KindInt),
 //	))
 //	b := emp.Loader()
-//	b.MustAppend(vtjoin.Span(10, 20), vtjoin.String("alice"), vtjoin.Int(70000))
-//	b.MustClose()
+//	err = b.Append(vtjoin.Span(10, 20), vtjoin.String("alice"), vtjoin.Int(70000))
+//	err = b.Close()
 //	// ... build dept similarly ...
 //	res, err := vtjoin.Join(emp, dept, vtjoin.Options{})
+//
+// Storage-touching operations return errors rather than panicking:
+// every page carries a CRC32-C checksum verified on read, transient
+// device faults are retried (visible in IOCounters.Retries), and
+// DB.Scrub audits all stored pages for at-rest corruption.
 //
 // Join results report per-phase I/O so the paper's experiments — and
 // your own — can be reproduced; see cmd/vtbench and EXPERIMENTS.md.

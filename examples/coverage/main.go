@@ -31,16 +31,23 @@ const (
 	horizon  = 10_000 // chronons of observed history
 )
 
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
 func main() {
 	db := vtjoin.Open()
 	rng := rand.New(rand.NewSource(11))
 
 	// The schedule: per service, consecutive shifts with deliberate
 	// gaps (late-night holes in the rotation).
-	schedule := db.MustCreateRelation(vtjoin.NewSchema(
+	schedule, err := db.CreateRelation(vtjoin.NewSchema(
 		vtjoin.Col("service", vtjoin.KindInt),
 		vtjoin.Col("engineer", vtjoin.KindString),
 	))
+	check(err)
 	engineers := []string{"ana", "bo", "cyn", "dev", "eli"}
 	sl := schedule.Loader()
 	for svc := 0; svc < services; svc++ {
@@ -51,8 +58,8 @@ func main() {
 			if int64(end) >= horizon {
 				end = horizon - 1
 			}
-			sl.MustAppend(vtjoin.Span(at, end),
-				vtjoin.Int(int64(svc)), vtjoin.String(engineers[rng.Intn(len(engineers))]))
+			check(sl.Append(vtjoin.Span(at, end),
+				vtjoin.Int(int64(svc)), vtjoin.String(engineers[rng.Intn(len(engineers))])))
 			// Occasionally leave a gap before the next shift.
 			at = end + 1
 			if rng.Intn(4) == 0 {
@@ -60,20 +67,21 @@ func main() {
 			}
 		}
 	}
-	sl.MustClose()
+	check(sl.Close())
 
 	// The incident log.
-	incidents := db.MustCreateRelation(vtjoin.NewSchema(
+	incidents, err := db.CreateRelation(vtjoin.NewSchema(
 		vtjoin.Col("service", vtjoin.KindInt),
 		vtjoin.Col("incident", vtjoin.KindInt),
 	))
+	check(err)
 	il := incidents.Loader()
 	for i := 0; i < 300; i++ {
 		start := vtjoin.Chronon(rng.Intn(horizon - 100))
-		il.MustAppend(vtjoin.Span(start, start+vtjoin.Chronon(1+rng.Intn(80))),
-			vtjoin.Int(int64(rng.Intn(services))), vtjoin.Int(int64(i)))
+		check(il.Append(vtjoin.Span(start, start+vtjoin.Chronon(1+rng.Intn(80))),
+			vtjoin.Int(int64(rng.Intn(services))), vtjoin.Int(int64(i))))
 	}
-	il.MustClose()
+	check(il.Close())
 	fmt.Printf("schedule: %d shifts; incident log: %d incidents\n",
 		schedule.Cardinality(), incidents.Cardinality())
 

@@ -29,22 +29,31 @@ const (
 	careerSpan   = 1000 // chronons of simulated company history
 )
 
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
 func main() {
 	db := vtjoin.Open()
 	rng := rand.New(rand.NewSource(7))
 
-	salaries := db.MustCreateRelation(vtjoin.NewSchema(
+	salaries, err := db.CreateRelation(vtjoin.NewSchema(
 		vtjoin.Col("emp", vtjoin.KindInt),
 		vtjoin.Col("salary", vtjoin.KindInt),
 	))
-	titles := db.MustCreateRelation(vtjoin.NewSchema(
+	check(err)
+	titles, err := db.CreateRelation(vtjoin.NewSchema(
 		vtjoin.Col("emp", vtjoin.KindInt),
 		vtjoin.Col("title", vtjoin.KindString),
 	))
-	departments := db.MustCreateRelation(vtjoin.NewSchema(
+	check(err)
+	departments, err := db.CreateRelation(vtjoin.NewSchema(
 		vtjoin.Col("emp", vtjoin.KindInt),
 		vtjoin.Col("dept", vtjoin.KindString),
 	))
+	check(err)
 
 	titleNames := []string{"engineer", "senior engineer", "staff engineer", "principal"}
 	deptNames := []string{"storage", "query", "transactions", "tools"}
@@ -70,9 +79,9 @@ func main() {
 			return vtjoin.String(deptNames[rng.Intn(len(deptNames))])
 		})
 	}
-	sl.MustClose()
-	tl.MustClose()
-	dl.MustClose()
+	check(sl.Close())
+	check(tl.Close())
+	check(dl.Close())
 
 	fmt.Printf("histories: %d salary rows, %d title rows, %d department rows\n",
 		salaries.Cardinality(), titles.Cardinality(), departments.Cardinality())
@@ -127,7 +136,7 @@ func appendHistory(l *vtjoin.Loader, emp int, hired, left vtjoin.Chronon,
 		if end > left {
 			end = left
 		}
-		l.MustAppend(vtjoin.Span(start, end), vtjoin.Int(int64(emp)), valueAt(i))
+		check(l.Append(vtjoin.Span(start, end), vtjoin.Int(int64(emp)), valueAt(i)))
 		start = end + 1
 	}
 }

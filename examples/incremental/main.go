@@ -20,19 +20,26 @@ import (
 	vtjoin "vtjoin"
 )
 
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
 func buildReservations(db *vtjoin.DB, col string, n int, seed int64) *vtjoin.Relation {
 	rng := rand.New(rand.NewSource(seed))
-	rel := db.MustCreateRelation(vtjoin.NewSchema(
+	rel, err := db.CreateRelation(vtjoin.NewSchema(
 		vtjoin.Col("room", vtjoin.KindInt),
 		vtjoin.Col(col, vtjoin.KindInt),
 	))
+	check(err)
 	l := rel.Loader()
 	for i := 0; i < n; i++ {
 		start := vtjoin.Chronon(rng.Intn(10000))
-		l.MustAppend(vtjoin.Span(start, start+vtjoin.Chronon(1+rng.Intn(50))),
-			vtjoin.Int(int64(rng.Intn(20))), vtjoin.Int(int64(i)))
+		check(l.Append(vtjoin.Span(start, start+vtjoin.Chronon(1+rng.Intn(50))),
+			vtjoin.Int(int64(rng.Intn(20))), vtjoin.Int(int64(i))))
 	}
-	l.MustClose()
+	check(l.Close())
 	return rel
 }
 

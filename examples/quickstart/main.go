@@ -17,30 +17,38 @@ import (
 	vtjoin "vtjoin"
 )
 
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
 func main() {
 	db := vtjoin.Open()
 
 	// Salary history: who earned what, and when.
-	salaries := db.MustCreateRelation(vtjoin.NewSchema(
+	salaries, err := db.CreateRelation(vtjoin.NewSchema(
 		vtjoin.Col("name", vtjoin.KindString),
 		vtjoin.Col("salary", vtjoin.KindInt),
 	))
+	check(err)
 	sl := salaries.Loader()
-	sl.MustAppend(vtjoin.Span(1, 5), vtjoin.String("alice"), vtjoin.Int(70000))
-	sl.MustAppend(vtjoin.Span(6, 12), vtjoin.String("alice"), vtjoin.Int(82000))
-	sl.MustAppend(vtjoin.Span(2, 9), vtjoin.String("bob"), vtjoin.Int(64000))
-	sl.MustClose()
+	check(sl.Append(vtjoin.Span(1, 5), vtjoin.String("alice"), vtjoin.Int(70000)))
+	check(sl.Append(vtjoin.Span(6, 12), vtjoin.String("alice"), vtjoin.Int(82000)))
+	check(sl.Append(vtjoin.Span(2, 9), vtjoin.String("bob"), vtjoin.Int(64000)))
+	check(sl.Close())
 
 	// Department history: who worked where, and when.
-	departments := db.MustCreateRelation(vtjoin.NewSchema(
+	departments, err := db.CreateRelation(vtjoin.NewSchema(
 		vtjoin.Col("name", vtjoin.KindString),
 		vtjoin.Col("dept", vtjoin.KindString),
 	))
+	check(err)
 	dl := departments.Loader()
-	dl.MustAppend(vtjoin.Span(1, 8), vtjoin.String("alice"), vtjoin.String("engineering"))
-	dl.MustAppend(vtjoin.Span(9, 12), vtjoin.String("alice"), vtjoin.String("research"))
-	dl.MustAppend(vtjoin.Span(4, 11), vtjoin.String("bob"), vtjoin.String("sales"))
-	dl.MustClose()
+	check(dl.Append(vtjoin.Span(1, 8), vtjoin.String("alice"), vtjoin.String("engineering")))
+	check(dl.Append(vtjoin.Span(9, 12), vtjoin.String("alice"), vtjoin.String("research")))
+	check(dl.Append(vtjoin.Span(4, 11), vtjoin.String("bob"), vtjoin.String("sales")))
+	check(dl.Close())
 
 	// The valid-time natural join reconstructs the full history:
 	// matching names during coincident intervals, with each result

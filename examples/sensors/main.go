@@ -29,12 +29,19 @@ const (
 	horizon    = 100_000 // monitoring window in chronons
 )
 
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
 func buildAnomalies(db *vtjoin.DB, metricCol string, seed int64) *vtjoin.Relation {
 	rng := rand.New(rand.NewSource(seed))
-	rel := db.MustCreateRelation(vtjoin.NewSchema(
+	rel, err := db.CreateRelation(vtjoin.NewSchema(
 		vtjoin.Col("machine", vtjoin.KindInt),
 		vtjoin.Col(metricCol, vtjoin.KindFloat),
 	))
+	check(err)
 	l := rel.Loader()
 	for m := 0; m < machines; m++ {
 		for i := 0; i < perMachine; i++ {
@@ -48,11 +55,11 @@ func buildAnomalies(db *vtjoin.DB, metricCol string, seed int64) *vtjoin.Relatio
 			} else {
 				end = start + vtjoin.Chronon(1+rng.Intn(500))
 			}
-			l.MustAppend(vtjoin.Span(start, end),
-				vtjoin.Int(int64(m)), vtjoin.Float(rng.NormFloat64()))
+			check(l.Append(vtjoin.Span(start, end),
+				vtjoin.Int(int64(m)), vtjoin.Float(rng.NormFloat64())))
 		}
 	}
-	l.MustClose()
+	check(l.Close())
 	return rel
 }
 
@@ -60,8 +67,12 @@ func main() {
 	db := vtjoin.Open()
 	temperature := buildAnomalies(db, "temp_sigma", 1)
 	vibration := buildAnomalies(db, "vib_sigma", 2)
-	fmt.Printf("temperature anomalies: %d (%d pages)\n", temperature.Cardinality(), temperature.Pages())
-	fmt.Printf("vibration anomalies:   %d (%d pages)\n", vibration.Cardinality(), vibration.Pages())
+	tempPages, err := temperature.Pages()
+	check(err)
+	vibPages, err := vibration.Pages()
+	check(err)
+	fmt.Printf("temperature anomalies: %d (%d pages)\n", temperature.Cardinality(), tempPages)
+	fmt.Printf("vibration anomalies:   %d (%d pages)\n", vibration.Cardinality(), vibPages)
 
 	type outcome struct {
 		algo  vtjoin.Algorithm

@@ -1,0 +1,28 @@
+package vtjoin
+
+// Test-only panicking shorthands. The library API returns errors (see
+// CreateRelation, Loader.Append, Loader.Close); tests build fixtures
+// where any storage failure is simply fatal.
+
+// MustCreateRelation is CreateRelation panicking on error.
+func (db *DB) MustCreateRelation(s *Schema) *Relation {
+	r, err := db.CreateRelation(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// MustAppend is Append panicking on error.
+func (l *Loader) MustAppend(v Interval, values ...Value) {
+	if err := l.Append(v, values...); err != nil {
+		panic(err)
+	}
+}
+
+// MustClose is Close panicking on error.
+func (l *Loader) MustClose() {
+	if err := l.Close(); err != nil {
+		panic(err)
+	}
+}

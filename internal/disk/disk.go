@@ -14,6 +14,7 @@ package disk
 
 import (
 	"fmt"
+	"sort"
 
 	"vtjoin/internal/page"
 )
@@ -22,12 +23,23 @@ import (
 // cache, ...) on the simulated device.
 type FileID int32
 
-// Counters accumulates the four access classes of the cost model.
+// MinPageSize is the smallest page size a device accepts.
+const MinPageSize = page.MinSize
+
+// DefaultMaxRetries is the number of times a transiently failing page
+// access is retried before the error is surfaced as permanent.
+const DefaultMaxRetries = 3
+
+// Counters accumulates the four access classes of the cost model, plus
+// the retries forced by transient storage faults (each retry re-issues
+// the access and is charged again in its class; Retries records how
+// many of the class counts were fault-induced extras).
 type Counters struct {
 	RandReads  int64
 	SeqReads   int64
 	RandWrites int64
 	SeqWrites  int64
+	Retries    int64
 }
 
 // Add returns the sum of two counter sets.
@@ -37,6 +49,7 @@ func (c Counters) Add(o Counters) Counters {
 		SeqReads:   c.SeqReads + o.SeqReads,
 		RandWrites: c.RandWrites + o.RandWrites,
 		SeqWrites:  c.SeqWrites + o.SeqWrites,
+		Retries:    c.Retries + o.Retries,
 	}
 }
 
@@ -47,6 +60,7 @@ func (c Counters) Sub(o Counters) Counters {
 		SeqReads:   c.SeqReads - o.SeqReads,
 		RandWrites: c.RandWrites - o.RandWrites,
 		SeqWrites:  c.SeqWrites - o.SeqWrites,
+		Retries:    c.Retries - o.Retries,
 	}
 }
 
@@ -59,8 +73,12 @@ func (c Counters) Total() int64 { return c.Random() + c.Sequential() }
 
 // String renders the counters compactly.
 func (c Counters) String() string {
-	return fmt.Sprintf("rand(r=%d w=%d) seq(r=%d w=%d)",
+	s := fmt.Sprintf("rand(r=%d w=%d) seq(r=%d w=%d)",
 		c.RandReads, c.RandWrites, c.SeqReads, c.SeqWrites)
+	if c.Retries > 0 {
+		s += fmt.Sprintf(" retries=%d", c.Retries)
+	}
+	return s
 }
 
 // Disk is a simulated paged device. It is not safe for concurrent use;
@@ -74,10 +92,11 @@ func (c Counters) String() string {
 // (physically: each file occupies consecutive pages and the device has
 // a track buffer per active stream).
 type Disk struct {
-	pageSize int
-	store    store
-	nextID   FileID
-	counters Counters
+	pageSize   int
+	store      store
+	nextID     FileID
+	counters   Counters
+	maxRetries int
 
 	// last[f] is the page index of the most recent access to file f.
 	last map[FileID]int
@@ -90,17 +109,21 @@ func New(pageSize int) *Disk {
 		panic(fmt.Sprintf("disk: page size %d below minimum %d", pageSize, page.MinSize))
 	}
 	return &Disk{
-		pageSize: pageSize,
-		store:    newMemStore(pageSize),
-		nextID:   1,
-		last:     make(map[FileID]int),
+		pageSize:   pageSize,
+		store:      newMemStore(pageSize),
+		nextID:     1,
+		maxRetries: DefaultMaxRetries,
+		last:       make(map[FileID]int),
 	}
 }
 
 // NewFileBacked creates a device whose pages persist as real files
 // under dir (one file per FileID, pages back to back). The cost
 // accounting is identical to the in-memory device: classification
-// lives above the backend.
+// lives above the backend. Reopening a directory written by an earlier
+// device recovers the surviving files; a file whose length is not a
+// whole number of pages (a torn trailing page from a crash) surfaces
+// as an ErrTruncatedFile.
 func NewFileBacked(pageSize int, dir string) (*Disk, error) {
 	if pageSize < page.MinSize {
 		return nil, fmt.Errorf("disk: page size %d below minimum %d", pageSize, page.MinSize)
@@ -109,12 +132,29 @@ func NewFileBacked(pageSize int, dir string) (*Disk, error) {
 	if err != nil {
 		return nil, err
 	}
+	next := FileID(1)
+	for _, id := range st.ids() {
+		if id >= next {
+			next = id + 1
+		}
+	}
 	return &Disk{
-		pageSize: pageSize,
-		store:    st,
-		nextID:   1,
-		last:     make(map[FileID]int),
+		pageSize:   pageSize,
+		store:      st,
+		nextID:     next,
+		maxRetries: DefaultMaxRetries,
+		last:       make(map[FileID]int),
 	}, nil
+}
+
+// SetMaxRetries changes the transient-fault retry budget (default
+// DefaultMaxRetries). Zero disables retrying: every fault is surfaced
+// on first occurrence.
+func (d *Disk) SetMaxRetries(n int) {
+	if n < 0 {
+		n = 0
+	}
+	d.maxRetries = n
 }
 
 // Close releases the device's resources (open files, memory).
@@ -151,11 +191,15 @@ func (d *Disk) NumPages(f FileID) (int, error) {
 	return d.store.numPages(f)
 }
 
-// touch classifies an access to (f, idx) and advances file f's stream
-// position.
-func (d *Disk) touch(f FileID, idx int, write bool) {
+// sequentialTo classifies an access to (f, idx) against file f's
+// current stream position.
+func (d *Disk) sequentialTo(f FileID, idx int) bool {
 	prev, seen := d.last[f]
-	sequential := seen && idx == prev+1
+	return seen && idx == prev+1
+}
+
+// charge counts one access attempt in its class.
+func (d *Disk) charge(sequential, write bool) {
 	switch {
 	case write && sequential:
 		d.counters.SeqWrites++
@@ -166,33 +210,74 @@ func (d *Disk) touch(f FileID, idx int, write bool) {
 	default:
 		d.counters.RandReads++
 	}
-	d.last[f] = idx
 }
 
-// Read copies page idx of file f into dst. dst must match the device
-// page size.
+// Read copies page idx of file f into dst and verifies its checksum.
+// dst must match the device page size. Transient backend faults are
+// retried up to the retry budget, each attempt charged as extra I/O;
+// a checksum mismatch that survives re-reading is returned as
+// *ErrCorruptPage, and permanent faults as *IOError.
 func (d *Disk) Read(f FileID, idx int, dst *page.Page) error {
 	if dst.Size() != d.pageSize {
 		return fmt.Errorf("disk: read: destination page is %d bytes, device uses %d", dst.Size(), d.pageSize)
 	}
-	if err := d.store.read(f, idx, dst.Bytes()); err != nil {
-		return err
+	sequential := d.sequentialTo(f, idx)
+	var lastErr error
+	for attempt := 0; attempt <= d.maxRetries; attempt++ {
+		if attempt > 0 {
+			d.counters.Retries++
+		}
+		d.charge(sequential, false)
+		err := d.store.read(f, idx, dst.Bytes())
+		if err == nil {
+			if want, got, ok := page.VerifyChecksum(dst.Bytes()); !ok {
+				// Corruption may have happened in transfer rather than
+				// at rest; a re-read is worth one retry slot.
+				lastErr = &ErrCorruptPage{File: f, Page: idx, Want: want, Got: got}
+				continue
+			}
+			d.last[f] = idx
+			return nil
+		}
+		if !IsTransient(err) {
+			return &IOError{Op: "read", File: f, Page: idx, Err: err}
+		}
+		lastErr = err
 	}
-	d.touch(f, idx, false)
-	return nil
+	if ce, ok := lastErr.(*ErrCorruptPage); ok {
+		return ce
+	}
+	return &IOError{Op: "read", File: f, Page: idx, Retries: d.maxRetries, Err: lastErr}
 }
 
-// Write stores the page image at index idx of file f. idx may be at
-// most the current page count (writing at the count appends).
+// Write stamps the page checksum and stores the image at index idx of
+// file f. idx may be at most the current page count (writing at the
+// count appends). The checksum is written into src's reserved header
+// field. Transient backend faults are retried up to the retry budget,
+// each attempt charged as extra I/O.
 func (d *Disk) Write(f FileID, idx int, src *page.Page) error {
 	if src.Size() != d.pageSize {
 		return fmt.Errorf("disk: write: source page is %d bytes, device uses %d", src.Size(), d.pageSize)
 	}
-	if err := d.store.write(f, idx, src.Bytes()); err != nil {
-		return err
+	page.StampChecksum(src.Bytes())
+	sequential := d.sequentialTo(f, idx)
+	var lastErr error
+	for attempt := 0; attempt <= d.maxRetries; attempt++ {
+		if attempt > 0 {
+			d.counters.Retries++
+		}
+		d.charge(sequential, true)
+		err := d.store.write(f, idx, src.Bytes())
+		if err == nil {
+			d.last[f] = idx
+			return nil
+		}
+		if !IsTransient(err) {
+			return &IOError{Op: "write", File: f, Page: idx, Err: err}
+		}
+		lastErr = err
 	}
-	d.touch(f, idx, true)
-	return nil
+	return &IOError{Op: "write", File: f, Page: idx, Retries: d.maxRetries, Err: lastErr}
 }
 
 // Append stores the page image after the last page of file f and
@@ -223,4 +308,58 @@ func (d *Disk) Counters() Counters { return d.counters }
 func (d *Disk) ResetCounters() {
 	d.counters = Counters{}
 	d.last = make(map[FileID]int)
+}
+
+// Damage describes one page that failed verification during a Scrub.
+type Damage struct {
+	File FileID
+	Page int
+	Err  error // *ErrCorruptPage or the backend read error
+}
+
+func (dm Damage) String() string {
+	return fmt.Sprintf("file %d page %d: %v", dm.File, dm.Page, dm.Err)
+}
+
+// Scrub walks every page of every file, verifying checksums, and
+// reports the damaged pages. It is a maintenance pass, not part of any
+// algorithm's evaluation, so its I/O bypasses the cost counters.
+// Transient read faults are retried like ordinary reads; pages that
+// still cannot be read, and pages whose checksum does not match, are
+// reported as Damage. The error return is reserved for failures of the
+// walk itself (a file vanishing mid-scrub).
+func (d *Disk) Scrub() ([]Damage, error) {
+	ids := d.store.ids()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := make([]byte, d.pageSize)
+	var damage []Damage
+	for _, id := range ids {
+		n, err := d.store.numPages(id)
+		if err != nil {
+			return damage, &IOError{Op: "scrub", File: id, Err: err}
+		}
+		for idx := 0; idx < n; idx++ {
+			var lastErr error
+			healthy := false
+			for attempt := 0; attempt <= d.maxRetries; attempt++ {
+				err := d.store.read(id, idx, buf)
+				if err == nil {
+					if want, got, ok := page.VerifyChecksum(buf); !ok {
+						lastErr = &ErrCorruptPage{File: id, Page: idx, Want: want, Got: got}
+						continue
+					}
+					healthy = true
+					break
+				}
+				lastErr = err
+				if !IsTransient(err) {
+					break
+				}
+			}
+			if !healthy {
+				damage = append(damage, Damage{File: id, Page: idx, Err: lastErr})
+			}
+		}
+	}
+	return damage, nil
 }

@@ -1,0 +1,69 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTransient marks an I/O failure that may succeed if retried: the
+// device returned an error but the stored data is presumed intact
+// (bus glitches, interrupted syscalls, injected transient faults).
+// Backends signal retryability by wrapping this sentinel; the Disk
+// retries such operations up to its retry budget before giving up.
+var ErrTransient = errors.New("transient I/O fault")
+
+// IsTransient reports whether err is classified as transient (and
+// therefore was, or could be, retried).
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// ErrCorruptPage reports a page whose stored checksum does not match
+// its contents: the image was damaged at rest or in transfer (bit
+// flip, torn write, stray overwrite). It carries the page coordinates
+// so callers can report and scrub precisely.
+type ErrCorruptPage struct {
+	File FileID
+	Page int
+	Want uint32 // checksum stored in the page header
+	Got  uint32 // checksum recomputed from the page contents
+}
+
+func (e *ErrCorruptPage) Error() string {
+	return fmt.Sprintf("disk: corrupt page %d of file %d (checksum %08x, computed %08x)",
+		e.Page, e.File, e.Want, e.Got)
+}
+
+// ErrTruncatedFile reports a page file whose on-disk length is not a
+// whole number of pages — the signature of a crash between a partial
+// append and its completion. Detected when a file-backed store opens
+// an existing directory.
+type ErrTruncatedFile struct {
+	Path     string
+	Size     int64
+	PageSize int
+}
+
+func (e *ErrTruncatedFile) Error() string {
+	return fmt.Sprintf("disk: %s is %d bytes, not a multiple of the %d-byte page size (torn trailing page?)",
+		e.Path, e.Size, e.PageSize)
+}
+
+// IOError wraps a storage-backend failure with the operation and page
+// coordinates it occurred at. Disk returns it for permanent failures
+// and for transient failures that exhausted the retry budget.
+type IOError struct {
+	Op      string // "read", "write", "scrub", ...
+	File    FileID
+	Page    int
+	Retries int // attempts beyond the first before giving up
+	Err     error
+}
+
+func (e *IOError) Error() string {
+	if e.Retries > 0 {
+		return fmt.Sprintf("disk: %s page %d of file %d (after %d retries): %v",
+			e.Op, e.Page, e.File, e.Retries, e.Err)
+	}
+	return fmt.Sprintf("disk: %s page %d of file %d: %v", e.Op, e.Page, e.File, e.Err)
+}
+
+func (e *IOError) Unwrap() error { return e.Err }

@@ -1,0 +1,277 @@
+// Fault injection for the storage engine. A FaultStore wraps any
+// store and perturbs its read/write paths according to a declarative,
+// deterministic FaultPlan — the harness behind the fault-matrix tests
+// that prove the join pipeline survives storage failures: transient
+// errors are retried and absorbed, permanent errors abort cleanly, and
+// silent corruption (bit flips, torn writes) is caught by the page
+// checksums rather than producing wrong join results.
+package disk
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FaultKind enumerates the injectable failure modes.
+type FaultKind int
+
+const (
+	// FaultTransientRead fails a read with a retryable error; the
+	// stored page is untouched, so a retry succeeds.
+	FaultTransientRead FaultKind = iota
+	// FaultTransientWrite fails a write with a retryable error before
+	// anything is stored.
+	FaultTransientWrite
+	// FaultPermanentRead fails matching reads forever once triggered
+	// (a dead sector, a vanished file). Not retryable.
+	FaultPermanentRead
+	// FaultPermanentWrite fails matching writes forever once triggered.
+	FaultPermanentWrite
+	// FaultTornWrite silently persists only the first half of the
+	// page image, leaving the tail stale (or zero for a fresh page) —
+	// the classic power-cut failure. The write reports success; only
+	// the page checksum can catch it later.
+	FaultTornWrite
+	// FaultBitFlip silently flips one deterministic-random bit of the
+	// stored image after a successful read, persisting the damage —
+	// at-rest media decay. Caught by the page checksum.
+	FaultBitFlip
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTransientRead:
+		return "transient-read"
+	case FaultTransientWrite:
+		return "transient-write"
+	case FaultPermanentRead:
+		return "permanent-read"
+	case FaultPermanentWrite:
+		return "permanent-write"
+	case FaultTornWrite:
+		return "torn-write"
+	case FaultBitFlip:
+		return "bit-flip"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// reads/writes report which operation class the kind perturbs.
+func (k FaultKind) onRead() bool {
+	return k == FaultTransientRead || k == FaultPermanentRead || k == FaultBitFlip
+}
+func (k FaultKind) onWrite() bool {
+	return k == FaultTransientWrite || k == FaultPermanentWrite || k == FaultTornWrite
+}
+
+// Fault is one injection rule: fire Kind on operations matching the
+// (File, Page) scope, starting after After matching operations have
+// passed unharmed, for Count firings.
+type Fault struct {
+	Kind FaultKind
+	// File scopes the fault to one file; 0 matches every file.
+	File FileID
+	// Page scopes the fault to one page index; negative matches every
+	// page.
+	Page int
+	// After is the number of matching operations to let through before
+	// the fault first fires (a per-op-count trigger). 0 fires on the
+	// first matching operation.
+	After int
+	// Count is the number of times the fault fires; 0 means once.
+	// Permanent kinds ignore Count: once triggered they fail every
+	// subsequent matching operation.
+	Count int
+}
+
+// FaultPlan is a reproducible failure schedule: the same plan (and
+// Seed, which drives bit-flip positions) against the same workload
+// injects byte-identical faults.
+type FaultPlan struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// FaultStats counts injections per kind, for assertions and reports.
+type FaultStats struct {
+	TransientReads  int64
+	TransientWrites int64
+	PermanentReads  int64
+	PermanentWrites int64
+	TornWrites      int64
+	BitFlips        int64
+}
+
+// Total returns the number of faults injected.
+func (s FaultStats) Total() int64 {
+	return s.TransientReads + s.TransientWrites + s.PermanentReads +
+		s.PermanentWrites + s.TornWrites + s.BitFlips
+}
+
+type faultState struct {
+	Fault
+	seen    int  // matching operations observed
+	fired   int  // times the fault fired
+	tripped bool // permanent kinds: latched failed state
+}
+
+// FaultStore is a store middleware injecting failures per a FaultPlan.
+// Like every store it is driven single-threaded by its Disk.
+type FaultStore struct {
+	inner    store
+	pageSize int
+	rng      *rand.Rand
+	faults   []*faultState
+	stats    FaultStats
+}
+
+// NewFaultStore wraps inner with the given failure schedule.
+func NewFaultStore(inner store, pageSize int, plan FaultPlan) *FaultStore {
+	fs := &FaultStore{
+		inner:    inner,
+		pageSize: pageSize,
+		rng:      rand.New(rand.NewSource(plan.Seed)),
+	}
+	for _, f := range plan.Faults {
+		fs.faults = append(fs.faults, &faultState{Fault: f})
+	}
+	return fs
+}
+
+// NewFaulty creates an in-memory device whose page I/O passes through
+// a deterministic fault injector — the configuration of the
+// fault-matrix tests. The returned FaultStore reports injection stats.
+func NewFaulty(pageSize int, plan FaultPlan) (*Disk, *FaultStore) {
+	if pageSize < MinPageSize {
+		panic(fmt.Sprintf("disk: page size %d below minimum %d", pageSize, MinPageSize))
+	}
+	fs := NewFaultStore(newMemStore(pageSize), pageSize, plan)
+	return &Disk{
+		pageSize:   pageSize,
+		store:      fs,
+		nextID:     1,
+		maxRetries: DefaultMaxRetries,
+		last:       make(map[FileID]int),
+	}, fs
+}
+
+// Stats returns a snapshot of the injection counters.
+func (fs *FaultStore) Stats() FaultStats { return fs.stats }
+
+// match advances the trigger state of every fault applicable to the
+// operation and returns the first that fires, if any.
+func (fs *FaultStore) match(write bool, id FileID, idx int) *faultState {
+	var hit *faultState
+	for _, f := range fs.faults {
+		if write && !f.Kind.onWrite() || !write && !f.Kind.onRead() {
+			continue
+		}
+		if f.File != 0 && f.File != id {
+			continue
+		}
+		if f.Page >= 0 && f.Page != idx {
+			continue
+		}
+		if f.tripped {
+			if hit == nil {
+				hit = f
+			}
+			continue
+		}
+		f.seen++
+		if f.seen <= f.After {
+			continue
+		}
+		count := f.Count
+		if count <= 0 {
+			count = 1
+		}
+		permanent := f.Kind == FaultPermanentRead || f.Kind == FaultPermanentWrite
+		if f.fired >= count && !permanent {
+			continue
+		}
+		f.fired++
+		if permanent {
+			f.tripped = true
+		}
+		if hit == nil {
+			hit = f
+		}
+	}
+	return hit
+}
+
+func (fs *FaultStore) create(id FileID) error   { return fs.inner.create(id) }
+func (fs *FaultStore) remove(id FileID) error   { return fs.inner.remove(id) }
+func (fs *FaultStore) truncate(id FileID) error { return fs.inner.truncate(id) }
+func (fs *FaultStore) close() error             { return fs.inner.close() }
+func (fs *FaultStore) ids() []FileID            { return fs.inner.ids() }
+
+func (fs *FaultStore) numPages(id FileID) (int, error) { return fs.inner.numPages(id) }
+
+func (fs *FaultStore) read(id FileID, idx int, buf []byte) error {
+	f := fs.match(false, id, idx)
+	if f == nil {
+		return fs.inner.read(id, idx, buf)
+	}
+	switch f.Kind {
+	case FaultTransientRead:
+		fs.stats.TransientReads++
+		return fmt.Errorf("faultstore: injected transient read fault (file %d page %d): %w",
+			id, idx, ErrTransient)
+	case FaultPermanentRead:
+		fs.stats.PermanentReads++
+		return fmt.Errorf("faultstore: injected permanent read fault (file %d page %d)", id, idx)
+	case FaultBitFlip:
+		if err := fs.inner.read(id, idx, buf); err != nil {
+			return err
+		}
+		bit := fs.rng.Intn(len(buf) * 8)
+		buf[bit/8] ^= 1 << (bit % 8)
+		// Persist the damage: media decay corrupts the page at rest,
+		// so rereads and Scrub see the same flipped bit.
+		if err := fs.inner.write(id, idx, buf); err != nil {
+			return err
+		}
+		fs.stats.BitFlips++
+		return nil
+	default:
+		return fs.inner.read(id, idx, buf)
+	}
+}
+
+func (fs *FaultStore) write(id FileID, idx int, buf []byte) error {
+	f := fs.match(true, id, idx)
+	if f == nil {
+		return fs.inner.write(id, idx, buf)
+	}
+	switch f.Kind {
+	case FaultTransientWrite:
+		fs.stats.TransientWrites++
+		return fmt.Errorf("faultstore: injected transient write fault (file %d page %d): %w",
+			id, idx, ErrTransient)
+	case FaultPermanentWrite:
+		fs.stats.PermanentWrites++
+		return fmt.Errorf("faultstore: injected permanent write fault (file %d page %d)", id, idx)
+	case FaultTornWrite:
+		// Persist only the first half of the image; keep whatever the
+		// tail held before (zeros for a fresh page). The write still
+		// reports success — only the checksum can expose it.
+		torn := make([]byte, len(buf))
+		if n, err := fs.inner.numPages(id); err == nil && idx < n {
+			if err := fs.inner.read(id, idx, torn); err != nil {
+				return err
+			}
+		}
+		copy(torn[:len(buf)/2], buf[:len(buf)/2])
+		if err := fs.inner.write(id, idx, torn); err != nil {
+			return err
+		}
+		fs.stats.TornWrites++
+		return nil
+	default:
+		return fs.inner.write(id, idx, buf)
+	}
+}

@@ -1,0 +1,327 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+
+	"vtjoin/internal/page"
+)
+
+func faultyPageWith(t *testing.T, d *Disk, payload string) (FileID, *page.Page) {
+	t.Helper()
+	f := d.Create()
+	p := newPage(t, d, payload)
+	if _, err := d.Append(f, p); err != nil {
+		t.Fatal(err)
+	}
+	return f, p
+}
+
+func TestTransientReadIsRetried(t *testing.T) {
+	d, fs := NewFaulty(page.DefaultSize, FaultPlan{Faults: []Fault{
+		{Kind: FaultTransientRead, Page: -1, Count: 2},
+	}})
+	f, _ := faultyPageWith(t, d, "payload")
+	d.ResetCounters()
+
+	dst := page.New(page.DefaultSize)
+	if err := d.Read(f, 0, dst); err != nil {
+		t.Fatalf("read with transient faults failed: %v", err)
+	}
+	if string(dst.Record(0)) != "payload" {
+		t.Fatal("retried read returned wrong data")
+	}
+	c := d.Counters()
+	if c.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", c.Retries)
+	}
+	// Every attempt is charged in its class: 3 attempts, head unset.
+	if c.RandReads != 3 {
+		t.Fatalf("RandReads = %d, want 3 (1 access + 2 retries)", c.RandReads)
+	}
+	if got := fs.Stats().TransientReads; got != 2 {
+		t.Fatalf("injected %d transient reads, want 2", got)
+	}
+}
+
+func TestTransientWriteIsRetried(t *testing.T) {
+	d, fs := NewFaulty(page.DefaultSize, FaultPlan{Faults: []Fault{
+		{Kind: FaultTransientWrite, Page: -1, Count: 1},
+	}})
+	f := d.Create()
+	p := newPage(t, d, "payload")
+	if _, err := d.Append(f, p); err != nil {
+		t.Fatalf("append with transient fault failed: %v", err)
+	}
+	if c := d.Counters(); c.Retries != 1 || c.RandWrites != 2 {
+		t.Fatalf("counters = %v, want 1 retry and 2 random writes", c)
+	}
+	if fs.Stats().TransientWrites != 1 {
+		t.Fatalf("stats = %+v", fs.Stats())
+	}
+	dst := page.New(page.DefaultSize)
+	if err := d.Read(f, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst.Record(0)) != "payload" {
+		t.Fatal("retried write stored wrong data")
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	d, _ := NewFaulty(page.DefaultSize, FaultPlan{Faults: []Fault{
+		{Kind: FaultTransientRead, Page: -1, Count: 100},
+	}})
+	f, _ := faultyPageWith(t, d, "x")
+
+	dst := page.New(page.DefaultSize)
+	err := d.Read(f, 0, dst)
+	if err == nil {
+		t.Fatal("read succeeded despite inexhaustible transient faults")
+	}
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("error type %T, want *IOError", err)
+	}
+	if ioe.Op != "read" || ioe.File != f || ioe.Page != 0 || ioe.Retries != DefaultMaxRetries {
+		t.Fatalf("IOError coordinates wrong: %+v", ioe)
+	}
+	if !IsTransient(err) {
+		t.Fatal("exhausted transient fault lost its classification")
+	}
+	if c := d.Counters(); c.Retries != int64(DefaultMaxRetries) {
+		t.Fatalf("Retries = %d, want %d", c.Retries, DefaultMaxRetries)
+	}
+}
+
+func TestSetMaxRetriesZeroDisablesRetrying(t *testing.T) {
+	d, _ := NewFaulty(page.DefaultSize, FaultPlan{Faults: []Fault{
+		{Kind: FaultTransientRead, Page: -1, Count: 1},
+	}})
+	f, _ := faultyPageWith(t, d, "x")
+	d.SetMaxRetries(0)
+	dst := page.New(page.DefaultSize)
+	if err := d.Read(f, 0, dst); err == nil {
+		t.Fatal("single transient fault not surfaced with retries disabled")
+	}
+	if c := d.Counters(); c.Retries != 0 {
+		t.Fatalf("Retries = %d with retrying disabled", c.Retries)
+	}
+}
+
+func TestPermanentReadFaultLatches(t *testing.T) {
+	d, fs := NewFaulty(page.DefaultSize, FaultPlan{Faults: []Fault{
+		{Kind: FaultPermanentRead, Page: -1},
+	}})
+	f, _ := faultyPageWith(t, d, "x")
+
+	dst := page.New(page.DefaultSize)
+	err := d.Read(f, 0, dst)
+	var ioe *IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("error %v (type %T), want *IOError", err, err)
+	}
+	if IsTransient(err) {
+		t.Fatal("permanent fault classified transient")
+	}
+	// Permanent means permanent: the next read fails too, without
+	// consuming retry budget (the failure is immediate, not retried).
+	d.ResetCounters()
+	if err := d.Read(f, 0, dst); err == nil {
+		t.Fatal("latched permanent fault let a read through")
+	}
+	if c := d.Counters(); c.Retries != 0 {
+		t.Fatalf("permanent fault consumed %d retries", c.Retries)
+	}
+	if fs.Stats().PermanentReads == 0 {
+		t.Fatalf("stats = %+v", fs.Stats())
+	}
+}
+
+func TestPermanentWriteFault(t *testing.T) {
+	d, _ := NewFaulty(page.DefaultSize, FaultPlan{Faults: []Fault{
+		{Kind: FaultPermanentWrite, Page: -1, After: 1},
+	}})
+	f := d.Create()
+	p := newPage(t, d, "ok")
+	if _, err := d.Append(f, p); err != nil {
+		t.Fatalf("write before the fault window failed: %v", err)
+	}
+	_, err := d.Append(f, p)
+	var ioe *IOError
+	if !errors.As(err, &ioe) || ioe.Op != "write" {
+		t.Fatalf("error %v (type %T), want write *IOError", err, err)
+	}
+}
+
+func TestBitFlipDetectedByReadAndScrub(t *testing.T) {
+	d, fs := NewFaulty(page.DefaultSize, FaultPlan{Seed: 42, Faults: []Fault{
+		{Kind: FaultBitFlip, Page: -1},
+	}})
+	f, _ := faultyPageWith(t, d, "precious data")
+
+	dst := page.New(page.DefaultSize)
+	err := d.Read(f, 0, dst)
+	var corrupt *ErrCorruptPage
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("bit flip surfaced as %v (type %T), want *ErrCorruptPage", err, err)
+	}
+	if corrupt.File != f || corrupt.Page != 0 {
+		t.Fatalf("corruption coordinates wrong: %+v", corrupt)
+	}
+	if fs.Stats().BitFlips != 1 {
+		t.Fatalf("stats = %+v", fs.Stats())
+	}
+
+	// The flip persisted at rest, so the scrubber finds it too.
+	damage, err := d.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(damage) != 1 || damage[0].File != f || damage[0].Page != 0 {
+		t.Fatalf("scrub damage = %v, want exactly the flipped page", damage)
+	}
+	if !errors.As(damage[0].Err, &corrupt) {
+		t.Fatalf("scrub damage error %T, want *ErrCorruptPage", damage[0].Err)
+	}
+	if damage[0].String() == "" {
+		t.Fatal("Damage.String empty")
+	}
+}
+
+func TestTornWriteCaughtByChecksum(t *testing.T) {
+	d, fs := NewFaulty(page.DefaultSize, FaultPlan{Faults: []Fault{
+		{Kind: FaultTornWrite, Page: -1},
+	}})
+	f := d.Create()
+	p := newPage(t, d, "this record lives in the page tail and is lost in the torn half")
+	// The torn write itself reports success — the classic silent
+	// power-cut failure.
+	if _, err := d.Append(f, p); err != nil {
+		t.Fatalf("torn write was not silent: %v", err)
+	}
+	if fs.Stats().TornWrites != 1 {
+		t.Fatalf("stats = %+v", fs.Stats())
+	}
+
+	dst := page.New(page.DefaultSize)
+	err := d.Read(f, 0, dst)
+	var corrupt *ErrCorruptPage
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("torn page surfaced as %v (type %T), want *ErrCorruptPage", err, err)
+	}
+
+	damage, err := d.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(damage) != 1 {
+		t.Fatalf("scrub found %d damaged pages, want 1", len(damage))
+	}
+}
+
+func TestScrubCleanDeviceChargesNothing(t *testing.T) {
+	d := New(page.DefaultSize)
+	f := d.Create()
+	p := newPage(t, d, "clean")
+	for i := 0; i < 4; i++ {
+		if err := d.Write(f, i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := d.Create()
+	if _, err := d.Append(g, p); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetCounters()
+	damage, err := d.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(damage) != 0 {
+		t.Fatalf("clean device scrubbed dirty: %v", damage)
+	}
+	if c := d.Counters(); c.Total() != 0 {
+		t.Fatalf("scrub charged the cost counters: %v", c)
+	}
+}
+
+func TestScrubRetriesTransients(t *testing.T) {
+	d, _ := NewFaulty(page.DefaultSize, FaultPlan{Faults: []Fault{
+		{Kind: FaultTransientRead, Page: -1, After: 1, Count: 2},
+	}})
+	f, _ := faultyPageWith(t, d, "a")
+	p := newPage(t, d, "b")
+	if _, err := d.Append(f, p); err != nil {
+		t.Fatal(err)
+	}
+	damage, err := d.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(damage) != 0 {
+		t.Fatalf("transient faults during scrub reported as damage: %v", damage)
+	}
+}
+
+func TestFaultScoping(t *testing.T) {
+	// A fault scoped to (file 2, page 1) must leave every other access
+	// alone and fire only after the After window.
+	d, fs := NewFaulty(page.DefaultSize, FaultPlan{Faults: []Fault{
+		{Kind: FaultTransientRead, File: 2, Page: 1, After: 1, Count: 1},
+	}})
+	p := page.New(page.DefaultSize)
+	f1, f2 := d.Create(), d.Create()
+	for i := 0; i < 3; i++ {
+		if err := d.Write(f1, i, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(f2, i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := page.New(page.DefaultSize)
+	// Reads of f1 and of other pages of f2 never match.
+	for i := 0; i < 3; i++ {
+		if err := d.Read(f1, i, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Read(f2, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	// First matching read passes (After: 1)...
+	d.ResetCounters()
+	if err := d.Read(f2, 1, dst); err != nil {
+		t.Fatal(err)
+	}
+	if d.Counters().Retries != 0 {
+		t.Fatal("fault fired inside the After window")
+	}
+	// ...the second one trips it, once.
+	if err := d.Read(f2, 1, dst); err != nil {
+		t.Fatal(err)
+	}
+	if d.Counters().Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", d.Counters().Retries)
+	}
+	if got := fs.Stats().Total(); got != 1 {
+		t.Fatalf("injected %d faults, want 1", got)
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	kinds := []FaultKind{FaultTransientRead, FaultTransientWrite,
+		FaultPermanentRead, FaultPermanentWrite, FaultTornWrite, FaultBitFlip}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d stringifies badly: %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if FaultKind(99).String() == "" {
+		t.Fatal("unknown kind stringifies empty")
+	}
+}

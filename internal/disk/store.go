@@ -24,6 +24,9 @@ type store interface {
 	write(id FileID, idx int, buf []byte) error
 	// truncate discards a file's contents, keeping the file.
 	truncate(id FileID) error
+	// ids returns the IDs of all existing files, in no particular
+	// order (used by Scrub and by reopen-time ID allocation).
+	ids() []FileID
 	// close releases all resources.
 	close() error
 }
@@ -101,6 +104,14 @@ func (m *memStore) truncate(id FileID) error {
 	return nil
 }
 
+func (m *memStore) ids() []FileID {
+	out := make([]FileID, 0, len(m.files))
+	for id := range m.files {
+		out = append(out, id)
+	}
+	return out
+}
+
 func (m *memStore) close() error {
 	m.files = make(map[FileID][][]byte)
 	return nil
@@ -110,6 +121,12 @@ func (m *memStore) close() error {
 // stored back to back — a real on-disk backend for applications that
 // outgrow memory. Access classification and cost accounting are
 // unchanged: they live in Disk, above the store.
+//
+// Crash-consistency discipline: close syncs every file before closing
+// it and reports the first failure; reopening a directory recovers the
+// surviving page files, and a file whose length is not a whole number
+// of pages — a torn trailing page from a crash mid-append — is
+// rejected with a typed ErrTruncatedFile rather than silently served.
 type fileStore struct {
 	pageSize int
 	dir      string
@@ -121,12 +138,49 @@ func newFileStore(pageSize int, dir string) (*fileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("disk: creating data dir: %w", err)
 	}
-	return &fileStore{
+	f := &fileStore{
 		pageSize: pageSize,
 		dir:      dir,
 		open:     make(map[FileID]*os.File),
 		sizes:    make(map[FileID]int),
-	}, nil
+	}
+	if err := f.openExisting(); err != nil {
+		f.close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// openExisting recovers page files left by an earlier store in the
+// same directory, validating that each holds a whole number of pages.
+func (f *fileStore) openExisting() error {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return fmt.Errorf("disk: scanning data dir: %w", err)
+	}
+	for _, e := range entries {
+		var id FileID
+		if e.IsDir() {
+			continue
+		}
+		if n, err := fmt.Sscanf(e.Name(), "f%08d.pages", &id); n != 1 || err != nil || id <= 0 {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return fmt.Errorf("disk: stat %s: %w", e.Name(), err)
+		}
+		if info.Size()%int64(f.pageSize) != 0 {
+			return &ErrTruncatedFile{Path: f.path(id), Size: info.Size(), PageSize: f.pageSize}
+		}
+		fh, err := os.OpenFile(f.path(id), os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("disk: reopening %s: %w", e.Name(), err)
+		}
+		f.open[id] = fh
+		f.sizes[id] = int(info.Size() / int64(f.pageSize))
+	}
+	return nil
 }
 
 func (f *fileStore) path(id FileID) string {
@@ -151,10 +205,19 @@ func (f *fileStore) remove(id FileID) error {
 	if !ok {
 		return fmt.Errorf("disk: remove: unknown file %d", id)
 	}
-	fh.Close()
+	// Close the handle before unlinking so the kernel reclaims the
+	// blocks immediately, and do not drop the close error: a failed
+	// close can mean earlier buffered writes were lost.
+	closeErr := fh.Close()
 	delete(f.open, id)
 	delete(f.sizes, id)
-	return os.Remove(f.path(id))
+	if err := os.Remove(f.path(id)); err != nil {
+		return fmt.Errorf("disk: remove file %d: %w", id, err)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("disk: remove file %d: close: %w", id, closeErr)
+	}
+	return nil
 }
 
 func (f *fileStore) numPages(id FileID) (int, error) {
@@ -208,11 +271,25 @@ func (f *fileStore) truncate(id FileID) error {
 	return nil
 }
 
+func (f *fileStore) ids() []FileID {
+	out := make([]FileID, 0, len(f.sizes))
+	for id := range f.sizes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// close syncs every open file to stable storage, then closes it,
+// reporting the first failure instead of silently dropping it — a
+// dropped sync error is exactly how torn trailing pages are born.
 func (f *fileStore) close() error {
 	var first error
 	for id, fh := range f.open {
+		if err := fh.Sync(); err != nil && first == nil {
+			first = fmt.Errorf("disk: sync file %d: %w", id, err)
+		}
 		if err := fh.Close(); err != nil && first == nil {
-			first = err
+			first = fmt.Errorf("disk: close file %d: %w", id, err)
 		}
 		delete(f.open, id)
 	}

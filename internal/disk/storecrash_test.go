@@ -1,0 +1,183 @@
+package disk
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"vtjoin/internal/page"
+)
+
+func TestReopenRecoversFiles(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewFileBacked(page.DefaultSize, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(payload string) *page.Page {
+		p := page.New(page.DefaultSize)
+		if !p.Insert([]byte(payload)) {
+			t.Fatal("payload does not fit")
+		}
+		return p
+	}
+	f1, f2 := d.Create(), d.Create()
+	for _, s := range []string{"alpha", "beta"} {
+		if _, err := d.Append(f1, mk(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Append(f2, mk("gamma")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: both files and every page survive.
+	d2, err := NewFileBacked(page.DefaultSize, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if n, err := d2.NumPages(f1); err != nil || n != 2 {
+		t.Fatalf("file 1 pages = %d, %v", n, err)
+	}
+	if n, err := d2.NumPages(f2); err != nil || n != 1 {
+		t.Fatalf("file 2 pages = %d, %v", n, err)
+	}
+	dst := page.New(page.DefaultSize)
+	if err := d2.Read(f1, 1, dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst.Record(0)) != "beta" {
+		t.Fatalf("recovered page holds %q", dst.Record(0))
+	}
+	// Checksums written before the restart still verify.
+	if damage, err := d2.Scrub(); err != nil || len(damage) != 0 {
+		t.Fatalf("recovered device dirty: %v, %v", damage, err)
+	}
+	// ID allocation resumes past the recovered files.
+	if f3 := d2.Create(); f3 <= f2 {
+		t.Fatalf("new file id %d collides with recovered ids", f3)
+	}
+}
+
+func TestReopenRejectsTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewFileBacked(page.DefaultSize, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := d.Create()
+	p := page.New(page.DefaultSize)
+	if _, err := d.Append(f, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a trailing partial page.
+	st := &fileStore{pageSize: page.DefaultSize, dir: dir}
+	fh, err := os.OpenFile(st.path(f), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = NewFileBacked(page.DefaultSize, dir)
+	var trunc *ErrTruncatedFile
+	if !errors.As(err, &trunc) {
+		t.Fatalf("reopen of torn file returned %v (type %T), want *ErrTruncatedFile", err, err)
+	}
+	if trunc.Size != int64(page.DefaultSize)+100 || trunc.PageSize != page.DefaultSize {
+		t.Fatalf("truncation details wrong: %+v", trunc)
+	}
+	if trunc.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestReopenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Stray files that are not page files must not confuse recovery.
+	if err := os.WriteFile(dir+"/README.txt", []byte("not pages"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(dir+"/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewFileBacked(page.DefaultSize, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if ids := d.store.ids(); len(ids) != 0 {
+		t.Fatalf("recovered phantom files: %v", ids)
+	}
+}
+
+func TestCloseReportsSyncError(t *testing.T) {
+	st, err := newFileStore(page.DefaultSize, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.create(1); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: close the handle underneath the store. Sync and Close
+	// must then fail, and fileStore.close must say so rather than
+	// swallowing it — a dropped sync error is how torn pages are born.
+	if err := st.open[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.close(); err == nil {
+		t.Fatal("close swallowed the sync/close failure")
+	}
+}
+
+func TestRemoveReportsCloseError(t *testing.T) {
+	st, err := newFileStore(page.DefaultSize, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	if err := st.create(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.open[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The file is unlinked regardless, but the close failure surfaces.
+	if err := st.remove(1); err == nil {
+		t.Fatal("remove swallowed the close failure")
+	}
+	if _, statErr := os.Stat(st.path(1)); !os.IsNotExist(statErr) {
+		t.Fatal("remove left the file behind")
+	}
+}
+
+func TestRemoveClosesHandleBeforeUnlink(t *testing.T) {
+	st, err := newFileStore(page.DefaultSize, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	if err := st.create(1); err != nil {
+		t.Fatal(err)
+	}
+	fh := st.open[1]
+	if err := st.remove(1); err != nil {
+		t.Fatal(err)
+	}
+	// The handle was closed by remove: closing it again must fail.
+	if err := fh.Close(); err == nil {
+		t.Fatal("remove left the handle open")
+	}
+}

@@ -79,6 +79,14 @@ func RunFigure6(p Params) ([]Row, error) {
 		return nil, err
 	}
 	_ = d
+	rPages, err := r.Pages()
+	if err != nil {
+		return nil, err
+	}
+	sPages, err := s.Pages()
+	if err != nil {
+		return nil, err
+	}
 	var rows []Row
 	for _, mb := range Figure6MemoryMB {
 		m := p.MemoryPages(mb)
@@ -87,7 +95,7 @@ func RunFigure6(p Params) ([]Row, error) {
 		for _, ratio := range Figure6Ratios {
 			rows = append(rows, Row{
 				Algorithm: AlgoNestedLoop, MemoryMB: mb, Ratio: ratio,
-				Cost: join.NestedLoopCost(r.Pages(), s.Pages(), m, cost.Ratio(ratio)),
+				Cost: join.NestedLoopCost(rPages, sPages, m, cost.Ratio(ratio)),
 			})
 		}
 
@@ -149,9 +157,17 @@ func RunFigure7(p Params) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		rPages, err := r.Pages()
+		if err != nil {
+			return nil, err
+		}
+		sPages, err := s.Pages()
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, Row{
 			Algorithm: AlgoNestedLoop, MemoryMB: Figure7MemoryMB, Ratio: Figure7Ratio, LongLived: ll,
-			Cost: join.NestedLoopCost(r.Pages(), s.Pages(), m, w),
+			Cost: join.NestedLoopCost(rPages, sPages, m, w),
 		})
 		smRep, err := runSortMerge(r, s, m)
 		if err != nil {

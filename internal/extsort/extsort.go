@@ -37,14 +37,18 @@ type Sorted struct {
 // NumTuples returns the sorted relation's cardinality.
 func (s *Sorted) NumTuples() int64 { return s.Rel.Tuples() }
 
+// NumPages returns the sorted relation's length in pages, from the
+// page catalog (no I/O, no error path).
+func (s *Sorted) NumPages() int { return len(s.PageStart) - 1 }
+
 // PageOf returns the page index containing tuple ordinal n.
-func (s *Sorted) PageOf(n int64) int {
+func (s *Sorted) PageOf(n int64) (int, error) {
 	if n < 0 || n >= s.NumTuples() {
-		panic(fmt.Sprintf("extsort: ordinal %d out of range [0, %d)", n, s.NumTuples()))
+		return 0, fmt.Errorf("extsort: ordinal %d out of range [0, %d)", n, s.NumTuples())
 	}
 	// Last page whose start <= n.
 	i := sort.Search(len(s.PageStart)-1, func(i int) bool { return s.PageStart[i+1] > n })
-	return i
+	return i, nil
 }
 
 // Drop removes the sorted relation's backing file.

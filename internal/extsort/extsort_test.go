@@ -16,6 +16,15 @@ import (
 
 var testSchema = schema.MustNew(schema.Column{Name: "id", Kind: value.KindInt})
 
+func mustPages(t testing.TB, r *relation.Relation) int {
+	t.Helper()
+	n, err := r.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
 func buildRandom(t *testing.T, d *disk.Disk, n int, seed int64) *relation.Relation {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
@@ -72,7 +81,7 @@ func TestSortSingleRun(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildRandom(t, d, 50, 2)
 	// Memory exceeds the relation: one run, no merge pass.
-	s, err := Sort(r, ByStartTime, r.Pages()+3)
+	s, err := Sort(r, ByStartTime, mustPages(t, r)+3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +91,7 @@ func TestSortSingleRun(t *testing.T) {
 func TestSortMultiRunSinglePass(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildRandom(t, d, 3000, 3)
-	m := r.Pages()/3 + 1 // ~3 runs, fan-in covers them in one pass
+	m := mustPages(t, r)/3 + 1 // ~3 runs, fan-in covers them in one pass
 	s, err := Sort(r, ByStartTime, m)
 	if err != nil {
 		t.Fatal(err)
@@ -135,8 +144,11 @@ func TestPageStartCatalog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.PageStart) != s.Rel.Pages()+1 {
-		t.Fatalf("catalog has %d entries for %d pages", len(s.PageStart), s.Rel.Pages())
+	if len(s.PageStart) != s.NumPages()+1 {
+		t.Fatalf("catalog has %d entries for %d pages", len(s.PageStart), s.NumPages())
+	}
+	if s.NumPages() != mustPages(t, s.Rel) {
+		t.Fatalf("NumPages() = %d, relation has %d", s.NumPages(), mustPages(t, s.Rel))
 	}
 	if s.PageStart[0] != 0 || s.PageStart[len(s.PageStart)-1] != s.NumTuples() {
 		t.Fatalf("catalog endpoints: %v", s.PageStart)
@@ -144,7 +156,7 @@ func TestPageStartCatalog(t *testing.T) {
 	// Verify the catalog against the physical pages.
 	pg := page.New(page.DefaultSize)
 	var ordinal int64
-	for i := 0; i < s.Rel.Pages(); i++ {
+	for i := 0; i < s.NumPages(); i++ {
 		if s.PageStart[i] != ordinal {
 			t.Fatalf("PageStart[%d] = %d, want %d", i, s.PageStart[i], ordinal)
 		}
@@ -154,29 +166,29 @@ func TestPageStartCatalog(t *testing.T) {
 		ordinal += int64(pg.Count())
 	}
 	// PageOf agrees.
-	for i := 0; i < s.Rel.Pages(); i++ {
-		if got := s.PageOf(s.PageStart[i]); got != i {
-			t.Fatalf("PageOf(%d) = %d, want %d", s.PageStart[i], got, i)
+	for i := 0; i < s.NumPages(); i++ {
+		if got, err := s.PageOf(s.PageStart[i]); err != nil || got != i {
+			t.Fatalf("PageOf(%d) = %d (%v), want %d", s.PageStart[i], got, err, i)
 		}
-		if got := s.PageOf(s.PageStart[i+1] - 1); got != i {
-			t.Fatalf("PageOf(%d) = %d, want %d", s.PageStart[i+1]-1, got, i)
+		if got, err := s.PageOf(s.PageStart[i+1] - 1); err != nil || got != i {
+			t.Fatalf("PageOf(%d) = %d (%v), want %d", s.PageStart[i+1]-1, got, err, i)
 		}
 	}
 }
 
-func TestPageOfPanicsOutOfRange(t *testing.T) {
+func TestPageOfRejectsOutOfRange(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildRandom(t, d, 10, 7)
 	s, err := Sort(r, ByStartTime, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("PageOf(-1) did not panic")
-		}
-	}()
-	s.PageOf(-1)
+	if _, err := s.PageOf(-1); err == nil {
+		t.Fatal("PageOf(-1) accepted")
+	}
+	if _, err := s.PageOf(s.NumTuples()); err == nil {
+		t.Fatalf("PageOf(%d) accepted", s.NumTuples())
+	}
 }
 
 func TestSortLeavesInputIntact(t *testing.T) {
@@ -210,21 +222,21 @@ func TestSortIOCost(t *testing.T) {
 	// volume: read input, write runs, read runs, write output.
 	d := disk.New(page.DefaultSize)
 	r := buildRandom(t, d, 3000, 9)
-	m := r.Pages()/3 + 2
+	m := mustPages(t, r)/3 + 2
 	d.ResetCounters()
 	s, err := Sort(r, ByStartTime, m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	c := d.Counters()
-	n := int64(r.Pages())
+	n := int64(mustPages(t, r))
 	reads, writes := c.RandReads+c.SeqReads, c.RandWrites+c.SeqWrites
 	if reads < 2*n-2 || reads > 2*n+2 {
 		t.Fatalf("reads = %d, want about %d", reads, 2*n)
 	}
 	// Output pages may differ slightly from input pages due to
 	// repacking; allow small slack.
-	outN := int64(s.Rel.Pages())
+	outN := int64(s.NumPages())
 	if writes < n+outN-2 || writes > n+outN+2 {
 		t.Fatalf("writes = %d, want about %d", writes, n+outN)
 	}

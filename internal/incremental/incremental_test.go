@@ -139,7 +139,15 @@ func TestInsertCostIsLocalized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	totalPages := lrel.Pages() + rrel.Pages()
+	lp, err := lrel.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := rrel.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalPages := lp + rp
 
 	before := d.Counters()
 	if err := v.InsertLeft(tuple.New(chronon.New(500, 505), value.Int(3), value.Int(123456))); err != nil {

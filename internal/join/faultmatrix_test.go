@@ -1,0 +1,166 @@
+package join
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/cost"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/tuple"
+)
+
+// runAlgorithm executes one named algorithm over r and s, collecting
+// the result tuples.
+func runAlgorithm(algo string, r, s *relation.Relation, memoryPages int) ([]tuple.Tuple, error) {
+	var sink relation.CollectSink
+	var err error
+	switch algo {
+	case "nested-loop":
+		_, err = NestedLoop(r, s, &sink, NestedLoopConfig{MemoryPages: memoryPages})
+	case "sort-merge":
+		_, _, err = SortMerge(r, s, &sink, SortMergeConfig{MemoryPages: memoryPages})
+	case "partition":
+		_, _, err = Partition(r, s, &sink, PartitionConfig{
+			MemoryPages: memoryPages,
+			Weights:     cost.Ratio(5),
+			Rng:         rand.New(rand.NewSource(99)),
+		})
+	default:
+		panic("unknown algorithm " + algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	Canonicalize(sink.Tuples)
+	return sink.Tuples, nil
+}
+
+// faultMatrixInputs generates one deterministic workload pair; every
+// run (fault-free or faulted) sees identical bytes.
+func faultMatrixInputs(rngSeed int64) ([]tuple.Tuple, []tuple.Tuple) {
+	rng := rand.New(rand.NewSource(rngSeed))
+	w := workload{keys: 12, n: 600, longEvery: 5, lifespan: 8000}
+	return w.generate(rng, 1), w.generate(rng, 2)
+}
+
+// TestJoinsSurviveTransientFaults: under a seeded schedule of transient
+// read and write faults, every algorithm must produce exactly the
+// fault-free result, with the retries visible on the cost counters —
+// the acceptance bar for the fault-injection harness.
+func TestJoinsSurviveTransientFaults(t *testing.T) {
+	rTuples, sTuples := faultMatrixInputs(7)
+	const memoryPages = 10
+
+	for _, algo := range []string{"nested-loop", "sort-merge", "partition"} {
+		t.Run(algo, func(t *testing.T) {
+			// Fault-free baseline.
+			clean := disk.New(page.DefaultSize)
+			want, err := runAlgorithm(algo,
+				load(t, clean, empSchema, rTuples),
+				load(t, clean, deptSchema, sTuples), memoryPages)
+			if err != nil {
+				t.Fatalf("fault-free run failed: %v", err)
+			}
+
+			// The same join over a device that keeps glitching: transient
+			// faults strike reads and writes throughout the run. Each
+			// strike fires once and the strikes are spaced wider than the
+			// retry budget, so every one is absorbed by a retry (a fault
+			// recurring on back-to-back attempts would exhaust the budget
+			// and rightly surface as permanent).
+			var plan disk.FaultPlan
+			plan.Seed = 1
+			for i := 0; i < 12; i++ {
+				plan.Faults = append(plan.Faults,
+					disk.Fault{Kind: disk.FaultTransientRead, Page: -1, After: 5 + 9*i},
+					disk.Fault{Kind: disk.FaultTransientWrite, Page: -1, After: 3 + 9*i},
+				)
+			}
+			faulty, fs := disk.NewFaulty(page.DefaultSize, plan)
+			got, err := runAlgorithm(algo,
+				load(t, faulty, empSchema, rTuples),
+				load(t, faulty, deptSchema, sTuples), memoryPages)
+			if err != nil {
+				t.Fatalf("join over faulty storage failed: %v", err)
+			}
+			if fs.Stats().Total() == 0 {
+				t.Fatal("fault plan never fired; the test proves nothing")
+			}
+			if faulty.Counters().Retries == 0 {
+				t.Fatal("no retries charged despite injected transient faults")
+			}
+			assertSameResult(t, algo+" under transient faults", got, want)
+		})
+	}
+}
+
+// TestJoinsFailCleanlyOnPermanentFaults: a permanently failing page
+// must abort the join with a wrapped storage error — never a panic,
+// never a silently wrong result.
+func TestJoinsFailCleanlyOnPermanentFaults(t *testing.T) {
+	rTuples, sTuples := faultMatrixInputs(8)
+	const memoryPages = 10
+
+	for _, algo := range []string{"nested-loop", "sort-merge", "partition"} {
+		t.Run(algo, func(t *testing.T) {
+			// Loading only writes, so a read fault stays dormant until the
+			// join itself touches the device.
+			faulty, fs := disk.NewFaulty(page.DefaultSize, disk.FaultPlan{
+				Faults: []disk.Fault{
+					{Kind: disk.FaultPermanentRead, Page: -1, After: 10},
+				},
+			})
+			r := load(t, faulty, empSchema, rTuples)
+			s := load(t, faulty, deptSchema, sTuples)
+
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("%s panicked on a permanent fault: %v", algo, p)
+				}
+			}()
+			_, err := runAlgorithm(algo, r, s, memoryPages)
+			if err == nil {
+				t.Fatal("join succeeded over a permanently failing device")
+			}
+			var ioe *disk.IOError
+			if !errors.As(err, &ioe) {
+				t.Fatalf("error %v (type %T) does not wrap *disk.IOError", err, err)
+			}
+			if fs.Stats().PermanentReads == 0 {
+				t.Fatal("permanent fault never fired")
+			}
+		})
+	}
+}
+
+// TestJoinsSurfaceCorruption: a bit flip at rest must surface as a
+// checksum error carrying the damaged page's coordinates.
+func TestJoinsSurfaceCorruption(t *testing.T) {
+	rTuples, sTuples := faultMatrixInputs(9)
+	for _, algo := range []string{"nested-loop", "sort-merge", "partition"} {
+		t.Run(algo, func(t *testing.T) {
+			faulty, _ := disk.NewFaulty(page.DefaultSize, disk.FaultPlan{
+				Seed: 3,
+				Faults: []disk.Fault{
+					{Kind: disk.FaultBitFlip, Page: -1, After: 4},
+				},
+			})
+			r := load(t, faulty, empSchema, rTuples)
+			s := load(t, faulty, deptSchema, sTuples)
+			_, err := runAlgorithm(algo, r, s, 10)
+			if err == nil {
+				t.Fatal("join read a corrupt page without noticing")
+			}
+			var corrupt *disk.ErrCorruptPage
+			if !errors.As(err, &corrupt) {
+				t.Fatalf("error %v (type %T) does not wrap *disk.ErrCorruptPage", err, err)
+			}
+			if corrupt.Page < 0 {
+				t.Fatalf("corruption coordinates missing: %+v", corrupt)
+			}
+		})
+	}
+}

@@ -26,6 +26,15 @@ var (
 	)
 )
 
+func mustPages(t testing.TB, r *relation.Relation) int {
+	t.Helper()
+	n, err := r.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
 // workload produces paired tuple sets with controlled key selectivity
 // and long-lived density.
 type workload struct {

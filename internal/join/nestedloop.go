@@ -64,7 +64,14 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 	pg := page.New(d.PageSize())
 	inner := page.New(d.PageSize())
 
-	rPages := r.Pages()
+	rPages, err := r.Pages()
+	if err != nil {
+		return nil, err
+	}
+	sPages, err := s.Pages()
+	if err != nil {
+		return nil, err
+	}
 	for lo := 0; lo < rPages; lo += blockPages {
 		hi := lo + blockPages
 		if hi > rPages {
@@ -99,7 +106,7 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 		}
 
 		// One full scan of the inner relation per block.
-		for j := 0; j < s.Pages(); j++ {
+		for j := 0; j < sPages; j++ {
 			if err := s.ReadPage(j, inner); err != nil {
 				return nil, err
 			}

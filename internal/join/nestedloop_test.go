@@ -39,7 +39,7 @@ func TestNestedLoopMeasuredEqualsAnalytical(t *testing.T) {
 		}
 		for _, wts := range []cost.Weights{cost.Ratio(2), cost.Ratio(5), cost.Ratio(10)} {
 			measured := rep.Cost(wts)
-			analytical := NestedLoopCost(r.Pages(), s.Pages(), c.memory, wts)
+			analytical := NestedLoopCost(mustPages(t, r), mustPages(t, s), c.memory, wts)
 			if measured != analytical {
 				t.Fatalf("n=%d m=%d M=%d w=%v: measured %g != analytical %g",
 					c.n, c.m, c.memory, wts, measured, analytical)

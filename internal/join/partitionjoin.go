@@ -170,8 +170,9 @@ type outerArea struct {
 const slotOverhead = 4
 
 func newOuterArea(pageSize int) *outerArea {
-	// Header is 4 bytes; each record consumes its encoding + one slot.
-	return &outerArea{pageCap: pageSize - 4}
+	// Each record consumes its encoding + one slot on top of the fixed
+	// page header.
+	return &outerArea{pageCap: pageSize - page.HeaderSize}
 }
 
 func (o *outerArea) add(t tuple.Tuple) {

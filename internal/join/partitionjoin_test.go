@@ -130,8 +130,8 @@ func TestPartitionJoinPhases(t *testing.T) {
 	// Partition phase: both relations read once and written once.
 	pc := rep.Phases[1].Counters
 	reads := pc.RandReads + pc.SeqReads
-	if reads != int64(rr.Pages()+ss.Pages()) {
-		t.Fatalf("partition phase read %d pages, inputs have %d", reads, rr.Pages()+ss.Pages())
+	if reads != int64(mustPages(t, rr)+mustPages(t, ss)) {
+		t.Fatalf("partition phase read %d pages, inputs have %d", reads, mustPages(t, rr)+mustPages(t, ss))
 	}
 	if stats.Partitions < 2 {
 		t.Fatalf("expected multiple partitions, got %d", stats.Partitions)
@@ -139,7 +139,7 @@ func TestPartitionJoinPhases(t *testing.T) {
 	// Join phase reads every partition page of both relations at least
 	// once.
 	jc := rep.Phases[2].Counters
-	if jc.RandReads+jc.SeqReads < int64(rr.Pages()+ss.Pages()) {
+	if jc.RandReads+jc.SeqReads < int64(mustPages(t, rr)+mustPages(t, ss)) {
 		t.Fatalf("join phase read too few pages: %v", jc)
 	}
 }

@@ -77,7 +77,7 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 	meter.EndPhase("sort inner")
 
 	stats := &SortMergeStats{}
-	pageCap := d.PageSize() - 4
+	pageCap := d.PageSize() - page.HeaderSize
 	liveBudget := (cfg.MemoryPages - 4) * pageCap
 	if liveBudget < pageCap {
 		liveBudget = pageCap // floor of one page keeps tiny budgets sane
@@ -145,7 +145,7 @@ func newMergeSide(s *extsort.Sorted, d *disk.Disk) *mergeSide {
 // of stream. Reading a new page is a counted I/O.
 func (s *mergeSide) head(stats *SortMergeStats) (tuple.Tuple, bool, error) {
 	for !s.done && s.bufPos >= len(s.buf) {
-		if s.nextPage >= s.sorted.Rel.Pages() {
+		if s.nextPage >= s.sorted.NumPages() {
 			s.done = true
 			break
 		}

@@ -32,7 +32,7 @@ func TestSortMergeNoBackupWithoutLongLived(t *testing.T) {
 	if stats.InnerPageRereads != 0 {
 		t.Fatalf("%d re-reads without long-lived tuples", stats.InnerPageRereads)
 	}
-	if want := int64(rr.Pages() + ss.Pages()); stats.InnerPageReads != want {
+	if want := int64(mustPages(t, rr) + mustPages(t, ss)); stats.InnerPageReads != want {
 		t.Fatalf("merge read %d input pages, relations have %d", stats.InnerPageReads, want)
 	}
 	if stats.SpillPagesPeak != 0 {
@@ -103,7 +103,7 @@ func TestSortMergeMoreMemoryNoBackup(t *testing.T) {
 	rr := load(t, d, empSchema, w.generate(rng, 1))
 	ss := load(t, d, deptSchema, w.generate(rng, 2))
 	var sink relation.CountSink
-	_, stats, err := SortMerge(rr, ss, &sink, SortMergeConfig{MemoryPages: ss.Pages() + 4})
+	_, stats, err := SortMerge(rr, ss, &sink, SortMergeConfig{MemoryPages: mustPages(t, ss) + 4})
 	if err != nil {
 		t.Fatal(err)
 	}

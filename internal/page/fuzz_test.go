@@ -1,0 +1,70 @@
+package page
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzChecksumRoundTrip drives the storage-boundary integrity
+// guarantee: a stamped image always verifies, any single-bit flip
+// anywhere in the image (header, checksum field, slots, records, free
+// space) is detected, and undoing the flip restores verification.
+// CRC32 detects all single-bit errors by construction; this pins the
+// implementation (field offsets, skip range) to that property.
+func FuzzChecksumRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"), uint16(0))
+	f.Add([]byte{}, uint16(37))
+	f.Add([]byte{0xFF, 0x00, 0xFF}, uint16(999))
+	f.Add(bytes.Repeat([]byte{0xAB}, 64), uint16(checksumOff*8))
+
+	f.Fuzz(func(t *testing.T, rec []byte, bitSeed uint16) {
+		p := New(MinSize + 64)
+		// Fill the page with records carved from the fuzz input.
+		for len(rec) > 0 {
+			n := len(rec)
+			if n > 16 {
+				n = 16
+			}
+			if !p.Insert(rec[:n]) {
+				break
+			}
+			rec = rec[n:]
+		}
+		img := make([]byte, p.Size())
+		copy(img, p.Bytes())
+
+		StampChecksum(img)
+		if want, got, ok := VerifyChecksum(img); !ok {
+			t.Fatalf("fresh stamp does not verify: stored %08x computed %08x", want, got)
+		}
+		// Stamping must only touch the checksum field.
+		if !bytes.Equal(img[:checksumOff], p.Bytes()[:checksumOff]) ||
+			!bytes.Equal(img[checksumEnd:], p.Bytes()[checksumEnd:]) {
+			t.Fatal("StampChecksum modified page contents outside the checksum field")
+		}
+
+		bit := int(bitSeed) % (len(img) * 8)
+		img[bit/8] ^= 1 << (bit % 8)
+		if _, _, ok := VerifyChecksum(img); ok {
+			t.Fatalf("flip of bit %d went undetected", bit)
+		}
+		img[bit/8] ^= 1 << (bit % 8)
+		if _, _, ok := VerifyChecksum(img); !ok {
+			t.Fatal("restored image no longer verifies")
+		}
+
+		// The stamped image still parses back to an equivalent page.
+		q, err := FromBytes(img)
+		if err != nil {
+			t.Fatalf("stamped image rejected: %v", err)
+		}
+		if q.Count() != p.Count() {
+			t.Fatalf("round trip changed record count: %d != %d", q.Count(), p.Count())
+		}
+		for i := 0; i < p.Count(); i++ {
+			if !bytes.Equal(q.Record(i), p.Record(i)) {
+				t.Fatalf("record %d changed across stamp/parse", i)
+			}
+		}
+	})
+}

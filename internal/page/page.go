@@ -6,14 +6,21 @@
 //
 //	[0:2)  uint16 record count
 //	[2:4)  uint16 free-space end (records grow downward from here)
-//	[4:..) slot array: per record, uint16 offset + uint16 length
+//	[4:8)  uint32 CRC32-C checksum of the rest of the page image
+//	[8:..) slot array: per record, uint16 offset + uint16 length
 //	(...)  free space
 //	(..N]  record heap, growing from the end of the page toward the front
+//
+// The checksum field is reserved space: the slotted-page logic never
+// reads it, and it is stamped/verified only at the storage boundary
+// (the disk layer stamps on write and verifies on read), so in-memory
+// page manipulation pays nothing for it.
 package page
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"vtjoin/internal/tuple"
 )
@@ -26,10 +33,45 @@ const DefaultSize = 1024
 // minimal record.
 const MinSize = headerSize + slotSize + 17
 
+// HeaderSize is the fixed per-page overhead in bytes (record count,
+// free-space end, and the CRC32-C checksum). Consumers that estimate
+// page capacity must subtract it (plus one slot per record).
+const HeaderSize = headerSize
+
 const (
-	headerSize = 4
+	headerSize = 8
 	slotSize   = 4
+
+	checksumOff = 4
+	checksumEnd = 8
 )
+
+// castagnoli is the CRC32-C polynomial table; CRC32-C has hardware
+// support on amd64/arm64, making per-page checksums cheap.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumOf computes the CRC32-C of a page image, skipping the
+// checksum field itself.
+func ChecksumOf(buf []byte) uint32 {
+	c := crc32.Update(0, castagnoli, buf[:checksumOff])
+	return crc32.Update(c, castagnoli, buf[checksumEnd:])
+}
+
+// StampChecksum computes the image's checksum and stores it in the
+// header. Called by the storage layer on every page write.
+func StampChecksum(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[checksumOff:checksumEnd], ChecksumOf(buf))
+}
+
+// VerifyChecksum recomputes the image's checksum against the stored
+// header field. Called by the storage layer on every page read; a
+// mismatch means the image was corrupted at rest or in transfer (bit
+// flips, torn writes, stray overwrites).
+func VerifyChecksum(buf []byte) (want, got uint32, ok bool) {
+	want = binary.LittleEndian.Uint32(buf[checksumOff:checksumEnd])
+	got = ChecksumOf(buf)
+	return want, got, want == got
+}
 
 // Page is a single slotted page. The zero value is unusable; call New.
 type Page struct {

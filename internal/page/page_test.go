@@ -117,10 +117,11 @@ func TestFromBytesRejectsCorruption(t *testing.T) {
 	if _, err := FromBytes(img); err == nil {
 		t.Fatal("corrupt count accepted")
 	}
-	// Corrupt slot offset pointing into the slot array.
+	// Corrupt slot offset pointing into the slot array (the first slot
+	// sits just past the 8-byte header).
 	copy(img, p.Bytes())
-	img[4] = 0
-	img[5] = 0
+	img[headerSize] = 0
+	img[headerSize+1] = 0
 	if _, err := FromBytes(img); err == nil {
 		t.Fatal("corrupt slot accepted")
 	}

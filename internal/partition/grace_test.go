@@ -146,8 +146,8 @@ func TestDoPartitioningIOPattern(t *testing.T) {
 	}
 	c := d.Counters()
 	// Input side: one linear scan of the relation.
-	if c.RandReads != 1 || c.SeqReads != int64(r.Pages()-1) {
-		t.Fatalf("input reads: %v, want linear scan of %d pages", c, r.Pages())
+	if c.RandReads != 1 || c.SeqReads != int64(mustPages(t, r)-1) {
+		t.Fatalf("input reads: %v, want linear scan of %d pages", c, mustPages(t, r))
 	}
 	// Output side: every partition page written exactly once.
 	if got := c.RandWrites + c.SeqWrites; got != int64(pt.TotalPages()) {

@@ -86,13 +86,16 @@ type incrementalSampler struct {
 	noScan   bool    // ablation: never switch to the scan strategy
 }
 
-func newIncrementalSampler(r *relation.Relation, w cost.Weights, rng *rand.Rand) *incrementalSampler {
-	pages := r.Pages()
+func newIncrementalSampler(r *relation.Relation, w cost.Weights, rng *rand.Rand) (*incrementalSampler, error) {
+	pages, err := r.Pages()
+	if err != nil {
+		return nil, err
+	}
 	sc := 0.0
 	if pages > 0 {
 		sc = w.Rand + float64(pages-1)*w.Seq
 	}
-	return &incrementalSampler{r: r, w: w, rng: rng, scanCost: sc}
+	return &incrementalSampler{r: r, w: w, rng: rng, scanCost: sc}, nil
 }
 
 // planAhead tells the sampler the largest sample size any candidate
@@ -172,7 +175,10 @@ func DeterminePartIntervals(r *relation.Relation, cfg PlanConfig) (*Plan, []Cand
 	if cfg.Rng == nil {
 		return nil, nil, fmt.Errorf("partition: PlanConfig.Rng is required")
 	}
-	relPages := r.Pages()
+	relPages, err := r.Pages()
+	if err != nil {
+		return nil, nil, err
+	}
 	if relPages == 0 {
 		return &Plan{Partitioning: Single(), PartSize: cfg.BuffSize, NumPartitions: 1}, nil, nil
 	}
@@ -188,7 +194,10 @@ func DeterminePartIntervals(r *relation.Relation, cfg PlanConfig) (*Plan, []Cand
 		}
 	}
 
-	sampler := newIncrementalSampler(r, cfg.Weights, cfg.Rng)
+	sampler, err := newIncrementalSampler(r, cfg.Weights, cfg.Rng)
+	if err != nil {
+		return nil, nil, err
+	}
 	sampler.noScan = cfg.DisableScanOptimization
 	scanCost := sampler.scanCost
 

@@ -13,6 +13,15 @@ import (
 	"vtjoin/internal/value"
 )
 
+func mustPages(t testing.TB, r *relation.Relation) int {
+	t.Helper()
+	n, err := r.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
 func buildUniform(t *testing.T, d *disk.Disk, n int, lifespan int64) *relation.Relation {
 	t.Helper()
 	rng := rand.New(rand.NewSource(8))
@@ -58,7 +67,7 @@ func TestDeterminePartIntervalsEmptyRelation(t *testing.T) {
 func TestDeterminePartIntervalsProducesFittingPartitions(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildUniform(t, d, 8000, 100000)
-	buffSize := r.Pages()/8 + 2
+	buffSize := mustPages(t, r)/8 + 2
 	plan, _, err := DeterminePartIntervals(r, PlanConfig{
 		BuffSize: buffSize,
 		Weights:  cost.Ratio(5),
@@ -111,7 +120,7 @@ func TestCandidateTraceMatchesFigure4(t *testing.T) {
 	}
 
 	plan, cands, err := DeterminePartIntervals(r, PlanConfig{
-		BuffSize:      r.Pages() / 4,
+		BuffSize:      mustPages(t, r) / 4,
 		Weights:       cost.Ratio(5),
 		Rng:           rand.New(rand.NewSource(3)),
 		CandidateStep: 1,
@@ -147,11 +156,11 @@ func TestSamplingCostCappedByScan(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildUniform(t, d, 8000, 100000)
 	w := cost.Ratio(10)
-	scanCost := w.Rand + float64(r.Pages()-1)*w.Seq
+	scanCost := w.Rand + float64(mustPages(t, r)-1)*w.Seq
 
 	d.ResetCounters()
 	_, _, err := DeterminePartIntervals(r, PlanConfig{
-		BuffSize: r.Pages() / 4,
+		BuffSize: mustPages(t, r) / 4,
 		Weights:  w,
 		Rng:      rand.New(rand.NewSource(5)),
 	})

@@ -41,13 +41,15 @@ func (r *Relation) File() disk.FileID { return r.file }
 // Schema returns the relation schema.
 func (r *Relation) Schema() *schema.Schema { return r.schema }
 
-// Pages returns the number of disk pages the relation occupies.
-func (r *Relation) Pages() int {
+// Pages returns the number of disk pages the relation occupies. It
+// fails (rather than panicking) if the backing file is gone — e.g.
+// dropped, or lost to a storage fault.
+func (r *Relation) Pages() (int, error) {
 	n, err := r.d.NumPages(r.file)
 	if err != nil {
-		panic(fmt.Sprintf("relation: backing file vanished: %v", err))
+		return 0, fmt.Errorf("relation: pages of file %d: %w", r.file, err)
 	}
-	return n
+	return n, nil
 }
 
 // Tuples returns the relation's cardinality.
@@ -166,16 +168,24 @@ func FromTuples(d *disk.Disk, s *schema.Schema, tuples []tuple.Tuple) (*Relation
 type PageScanner struct {
 	r   *Relation
 	idx int
-	n   int
+	n   int // -1 until the page count is fetched on first Next
 }
 
-// ScanPages returns a sequential page scanner.
+// ScanPages returns a sequential page scanner. The page count is
+// fetched lazily so storage errors surface through Next.
 func (r *Relation) ScanPages() *PageScanner {
-	return &PageScanner{r: r, n: r.Pages()}
+	return &PageScanner{r: r, n: -1}
 }
 
 // Next reads the next page into dst, returning false at the end.
 func (ps *PageScanner) Next(dst *page.Page) (bool, error) {
+	if ps.n < 0 {
+		n, err := ps.r.Pages()
+		if err != nil {
+			return false, err
+		}
+		ps.n = n
+	}
 	if ps.idx >= ps.n {
 		return false, nil
 	}

@@ -21,10 +21,19 @@ func mkTuple(id int64, name string, s, e chronon.Chronon) tuple.Tuple {
 	return tuple.New(chronon.New(s, e), value.Int(id), value.String_(name))
 }
 
+func mustPages(t testing.TB, r *Relation) int {
+	t.Helper()
+	n, err := r.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
 func TestCreateEmpty(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := Create(d, testSchema)
-	if r.Pages() != 0 || r.Tuples() != 0 {
+	if mustPages(t, r) != 0 || r.Tuples() != 0 {
 		t.Fatal("fresh relation not empty")
 	}
 	if !r.Lifespan().IsNull() {
@@ -93,8 +102,8 @@ func TestBuilderSpillsAcrossPages(t *testing.T) {
 	if err := b.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if r.Pages() < 2 {
-		t.Fatalf("expected multiple pages, got %d", r.Pages())
+	if mustPages(t, r) < 2 {
+		t.Fatalf("expected multiple pages, got %d", mustPages(t, r))
 	}
 	got, err := r.All()
 	if err != nil {
@@ -117,7 +126,7 @@ func TestFlushIdempotentWhenEmpty(t *testing.T) {
 	if err := b.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if r.Pages() != 0 {
+	if mustPages(t, r) != 0 {
 		t.Fatal("flush of empty builder wrote a page")
 	}
 	if err := b.Append(mkTuple(1, "x", 0, 1)); err != nil {
@@ -129,8 +138,8 @@ func TestFlushIdempotentWhenEmpty(t *testing.T) {
 	if err := b.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if r.Pages() != 1 {
-		t.Fatalf("double flush wrote %d pages", r.Pages())
+	if mustPages(t, r) != 1 {
+		t.Fatalf("double flush wrote %d pages", mustPages(t, r))
 	}
 }
 
@@ -149,9 +158,9 @@ func TestScanCountsSequentialIO(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := d.Counters()
-	if c.RandReads != 1 || c.SeqReads != int64(r.Pages()-1) {
+	if c.RandReads != 1 || c.SeqReads != int64(mustPages(t, r)-1) {
 		t.Fatalf("scan of %d pages cost %v; want 1 random + %d sequential",
-			r.Pages(), c, r.Pages()-1)
+			mustPages(t, r), c, mustPages(t, r)-1)
 	}
 	if c.RandWrites+c.SeqWrites != 0 {
 		t.Fatal("scan performed writes")
@@ -183,8 +192,8 @@ func TestPageScanner(t *testing.T) {
 		pages++
 		seen += pg.Count()
 	}
-	if pages != r.Pages() {
-		t.Fatalf("scanned %d pages, relation has %d", pages, r.Pages())
+	if pages != mustPages(t, r) {
+		t.Fatalf("scanned %d pages, relation has %d", pages, mustPages(t, r))
 	}
 	if seen != 200 {
 		t.Fatalf("saw %d tuples", seen)

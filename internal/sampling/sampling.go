@@ -91,8 +91,12 @@ func Draw(r *relation.Relation, m int, w cost.Weights, rng *rand.Rand) (*Sample,
 	if m == 0 {
 		return &Sample{}, nil
 	}
+	pages, err := r.Pages()
+	if err != nil {
+		return nil, err
+	}
 	randomCost := float64(m) * w.Rand
-	scanCost := w.Rand + float64(r.Pages()-1)*w.Seq
+	scanCost := w.Rand + float64(pages-1)*w.Seq
 	if randomCost > scanCost {
 		return drawSequential(r, m, rng)
 	}
@@ -104,7 +108,10 @@ func Draw(r *relation.Relation, m int, w cost.Weights, rng *rand.Rand) (*Sample,
 // counted random read, matching the paper's one-random-access-per-
 // sample accounting). The caller guarantees m <= r.Tuples().
 func drawRandom(r *relation.Relation, m int, rng *rand.Rand) (*Sample, error) {
-	npages := r.Pages()
+	npages, err := r.Pages()
+	if err != nil {
+		return nil, err
+	}
 	if npages == 0 {
 		return &Sample{}, nil
 	}

@@ -130,7 +130,10 @@ func TestDrawStrategySwitch(t *testing.T) {
 	r := buildRelation(t, d, n, func(i int) chronon.Interval {
 		return chronon.At(chronon.Chronon(i))
 	})
-	pages := r.Pages()
+	pages, err := r.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := cost.Ratio(10)
 
 	// Few samples: random strategy, one random read per sample.

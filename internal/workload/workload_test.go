@@ -143,15 +143,19 @@ func TestBuildExcludesLoadIO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Pages() == 0 || r.Tuples() != 2000 {
-		t.Fatalf("pages=%d tuples=%d", r.Pages(), r.Tuples())
+	pages, err := r.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages == 0 || r.Tuples() != 2000 {
+		t.Fatalf("pages=%d tuples=%d", pages, r.Tuples())
 	}
 	if d.Counters().Total() != 0 {
 		t.Fatal("Build left load I/O on the counters")
 	}
 	// Page occupancy matches the paper's parameters: 128-byte records
 	// (+4-byte slots) on 4096-byte pages = 31 tuples/page minimum.
-	perPage := float64(r.Tuples()) / float64(r.Pages())
+	perPage := float64(r.Tuples()) / float64(pages)
 	if perPage < 29 || perPage > 32 {
 		t.Fatalf("tuples per page = %.1f, want about 31", perPage)
 	}

@@ -231,13 +231,18 @@ func Join(r, s *Relation, opts Options) (*Result, error) {
 				SequentialReads:  c.SeqReads,
 				RandomWrites:     c.RandWrites,
 				SequentialWrites: c.SeqWrites,
+				Retries:          c.Retries,
 			},
 		})
 	}
 	// Split out the result-write cost: the writes in the report that
 	// went to the output relation. Conservatively, every write page of
 	// the output was produced exactly once by the sink.
-	res.ResultWriteCost = w.Seq * float64(out.Pages())
+	outPages, err := out.Pages()
+	if err != nil {
+		return nil, err
+	}
+	res.ResultWriteCost = w.Seq * float64(outPages)
 	res.Cost = rep.Cost(w)
 	return res, nil
 }

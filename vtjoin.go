@@ -78,9 +78,7 @@ func Col(name string, kind Kind) Column { return Column{Name: name, Kind: kind} 
 type Schema = schema.Schema
 
 // NewSchema builds a schema; it panics on duplicate or invalid columns
-// (schemas are almost always program constants). Use
-// schema-validation-first construction via MustCreateRelation's error
-// twin CreateRelation when names are dynamic.
+// (schemas are almost always program constants).
 func NewSchema(cols ...Column) *Schema { return schema.MustNew(cols...) }
 
 // Tuple is a valid-time tuple: explicit attribute values plus a
@@ -158,15 +156,44 @@ func (db *DB) IOCounters() IOCounters {
 		SequentialReads:  c.SeqReads,
 		RandomWrites:     c.RandWrites,
 		SequentialWrites: c.SeqWrites,
+		Retries:          c.Retries,
 	}
 }
 
-// IOCounters are page-access counts split by the paper's cost classes.
+// IOCounters are page-access counts split by the paper's cost classes,
+// plus the accesses re-issued after transient storage faults (each
+// retry is also charged in its class; Retries says how many of the
+// class counts were fault-induced extras).
 type IOCounters struct {
 	RandomReads      int64
 	SequentialReads  int64
 	RandomWrites     int64
 	SequentialWrites int64
+	Retries          int64
+}
+
+// PageDamage reports one page that failed checksum verification or
+// could not be read during a Scrub.
+type PageDamage struct {
+	File int32
+	Page int
+	Err  error
+}
+
+// Scrub walks every page of every file in the database verifying the
+// per-page CRC32-C checksums, and reports the damaged pages (nil when
+// the device is clean). Scrubbing is maintenance: its I/O is not
+// charged to the cost counters.
+func (db *DB) Scrub() ([]PageDamage, error) {
+	damage, err := db.d.Scrub()
+	out := make([]PageDamage, 0, len(damage))
+	for _, dm := range damage {
+		out = append(out, PageDamage{File: int32(dm.File), Page: dm.Page, Err: dm.Err})
+	}
+	if len(out) == 0 {
+		out = nil
+	}
+	return out, err
 }
 
 // Relation is a valid-time relation stored in a DB.
@@ -183,23 +210,16 @@ func (db *DB) CreateRelation(s *Schema) (*Relation, error) {
 	return &Relation{db: db, rel: relation.Create(db.d, s)}, nil
 }
 
-// MustCreateRelation is CreateRelation but panics on error.
-func (db *DB) MustCreateRelation(s *Schema) *Relation {
-	r, err := db.CreateRelation(s)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *Schema { return r.rel.Schema() }
 
 // Cardinality returns the number of tuples in the relation.
 func (r *Relation) Cardinality() int64 { return r.rel.Tuples() }
 
-// Pages returns the number of disk pages the relation occupies.
-func (r *Relation) Pages() int { return r.rel.Pages() }
+// Pages returns the number of disk pages the relation occupies, or an
+// error if the backing file is gone (dropped, or lost to a storage
+// fault).
+func (r *Relation) Pages() (int, error) { return r.rel.Pages() }
 
 // Lifespan returns the hull of all tuple timestamps (null if empty).
 func (r *Relation) Lifespan() Interval { return r.rel.Lifespan() }
@@ -225,22 +245,8 @@ func (l *Loader) Append(v Interval, values ...Value) error {
 // AppendTuple adds a prebuilt tuple.
 func (l *Loader) AppendTuple(t Tuple) error { return l.b.Append(t) }
 
-// MustAppend is Append but panics on error.
-func (l *Loader) MustAppend(v Interval, values ...Value) {
-	if err := l.Append(v, values...); err != nil {
-		panic(err)
-	}
-}
-
 // Close flushes buffered tuples to the relation.
 func (l *Loader) Close() error { return l.b.Flush() }
-
-// MustClose is Close but panics on error.
-func (l *Loader) MustClose() {
-	if err := l.Close(); err != nil {
-		panic(err)
-	}
-}
 
 // Load builds a relation from a tuple slice in one call.
 func (db *DB) Load(s *Schema, tuples []Tuple) (*Relation, error) {

@@ -147,14 +147,33 @@ func TestSharedColumns(t *testing.T) {
 	}
 }
 
+func TestScrubCleanDatabase(t *testing.T) {
+	db := Open()
+	buildEmployees(t, db)
+	buildDepartments(t, db)
+	db.ResetIOCounters()
+	damage, err := db.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damage != nil {
+		t.Fatalf("clean database reported damage: %v", damage)
+	}
+	// Scrubbing is maintenance, not evaluation: no I/O charged.
+	c := db.IOCounters()
+	if got := c.RandomReads + c.SequentialReads + c.RandomWrites + c.SequentialWrites; got != 0 {
+		t.Fatalf("scrub charged %d accesses to the cost counters", got)
+	}
+}
+
 func TestRelationAccessors(t *testing.T) {
 	db := Open()
 	emp := buildEmployees(t, db)
 	if emp.Cardinality() != 3 {
 		t.Fatalf("cardinality %d", emp.Cardinality())
 	}
-	if emp.Pages() != 1 {
-		t.Fatalf("pages %d", emp.Pages())
+	if pages, err := emp.Pages(); err != nil || pages != 1 {
+		t.Fatalf("pages %d, err %v", pages, err)
 	}
 	if !emp.Lifespan().Equal(Span(5, 40)) {
 		t.Fatalf("lifespan %v", emp.Lifespan())
