@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz bench
+.PHONY: all build test race vet fmt check fuzz bench bench-smoke
 
 all: check
 
@@ -30,3 +30,8 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Quick micro-benchmark pass (compile + a short run of every
+# benchmark) — catches benchmarks that no longer build or crash.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 50ms ./internal/join/ ./internal/prefetch/ ./internal/page/

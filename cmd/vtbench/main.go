@@ -4,17 +4,23 @@
 //
 // Usage:
 //
-//	vtbench [-figure 4|5|6|7|8|all] [-scale N] [-seed S]
+//	vtbench [-figure 4|5|6|7|8|all] [-scale N] [-seed S] [-workers W]
+//	        [-cpuprofile F] [-memprofile F]
 //
 // Scale divides the paper's tuple counts and memory sizes together
 // (preserving every ratio); -scale 1 runs the full 32 MiB-per-relation
-// configuration and takes correspondingly longer.
+// configuration and takes correspondingly longer. Workers bounds how
+// many figure data points evaluate concurrently; the emitted figures
+// are identical for every setting (each point is self-contained), so
+// -workers only changes wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"vtjoin/internal/experiments"
@@ -24,6 +30,9 @@ func main() {
 	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations or all")
 	scale := flag.Int("scale", 16, "scale divisor on tuple counts and memory (1 = paper scale)")
 	seed := flag.Int64("seed", 1994, "base RNG seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent figure data points (1 = sequential; output is identical at any setting)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	switch *figure {
@@ -31,12 +40,28 @@ func main() {
 	default:
 		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations or all)", *figure))
 	}
+	if *workers < 1 {
+		usage(fmt.Errorf("-workers must be >= 1, got %d", *workers))
+	}
 
 	p, err := experiments.Scaled(*scale)
 	if err != nil {
 		usage(err)
 	}
 	p.Seed = *seed
+	p.Workers = *workers
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	run := func(name string, f func() error) {
 		if *figure != "all" && *figure != name {
@@ -97,6 +122,18 @@ func main() {
 		fmt.Print(experiments.RenderAblations(repl, smpl))
 		return nil
 	})
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(fmt.Errorf("memprofile: %w", err))
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(fmt.Errorf("memprofile: %w", err))
+		}
+	}
 }
 
 // fatal reports a runtime failure (experiment execution) and exits 1.
@@ -109,6 +146,6 @@ func fatal(err error) {
 // package's exit code for unparseable flags.
 func usage(err error) {
 	fmt.Fprintln(os.Stderr, "vtbench:", err)
-	fmt.Fprintln(os.Stderr, "usage: vtbench [-figure 4|5|6|7|8|ablations|all] [-scale N] [-seed S]")
+	fmt.Fprintln(os.Stderr, "usage: vtbench [-figure 4|5|6|7|8|ablations|all] [-scale N] [-seed S] [-workers W] [-cpuprofile F] [-memprofile F]")
 	os.Exit(2)
 }

@@ -15,6 +15,7 @@ package disk
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"vtjoin/internal/page"
 )
@@ -81,8 +82,10 @@ func (c Counters) String() string {
 	return s
 }
 
-// Disk is a simulated paged device. It is not safe for concurrent use;
-// the evaluation algorithms are single-threaded, as in the paper.
+// Disk is a simulated paged device. It is safe for concurrent use: a
+// mutex serializes every page access, so the execution engine may
+// overlap partitioning passes, prefetch pipelines and harness workers
+// on one device.
 //
 // Sequentiality is tracked per file: an access to page i of file f is
 // sequential iff the previous access to f touched page i-1. This
@@ -90,8 +93,13 @@ func (c Counters) String() string {
 // tuple-cache read "a single random seek followed by i-1 sequential
 // reads" even though different streams interleave during evaluation
 // (physically: each file occupies consecutive pages and the device has
-// a track buffer per active stream).
+// a track buffer per active stream). Per-file classification is also
+// what keeps the counters deterministic under concurrency: the class
+// of an access depends only on the sequence of accesses to *its own*
+// file, so as long as each file is driven by one goroutine in a fixed
+// order, the totals are independent of how the streams interleave.
 type Disk struct {
+	mu         sync.Mutex
 	pageSize   int
 	store      store
 	nextID     FileID
@@ -154,17 +162,25 @@ func (d *Disk) SetMaxRetries(n int) {
 	if n < 0 {
 		n = 0
 	}
+	d.mu.Lock()
 	d.maxRetries = n
+	d.mu.Unlock()
 }
 
 // Close releases the device's resources (open files, memory).
-func (d *Disk) Close() error { return d.store.close() }
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.store.close()
+}
 
 // PageSize returns the device's page size in bytes.
 func (d *Disk) PageSize() int { return d.pageSize }
 
 // Create allocates a new empty file and returns its ID.
 func (d *Disk) Create() FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	id := d.nextID
 	d.nextID++
 	if err := d.store.create(id); err != nil {
@@ -178,6 +194,8 @@ func (d *Disk) Create() FileID {
 // Remove deletes a file, freeing its pages. Removing an unknown file is
 // an error.
 func (d *Disk) Remove(f FileID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.store.remove(f); err != nil {
 		return err
 	}
@@ -188,6 +206,8 @@ func (d *Disk) Remove(f FileID) error {
 // NumPages returns the number of pages in file f, or an error if f does
 // not exist.
 func (d *Disk) NumPages(f FileID) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.store.numPages(f)
 }
 
@@ -221,6 +241,8 @@ func (d *Disk) Read(f FileID, idx int, dst *page.Page) error {
 	if dst.Size() != d.pageSize {
 		return fmt.Errorf("disk: read: destination page is %d bytes, device uses %d", dst.Size(), d.pageSize)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	sequential := d.sequentialTo(f, idx)
 	var lastErr error
 	for attempt := 0; attempt <= d.maxRetries; attempt++ {
@@ -260,6 +282,14 @@ func (d *Disk) Write(f FileID, idx int, src *page.Page) error {
 		return fmt.Errorf("disk: write: source page is %d bytes, device uses %d", src.Size(), d.pageSize)
 	}
 	page.StampChecksum(src.Bytes())
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writeLocked(f, idx, src)
+}
+
+// writeLocked is the write path; the caller holds d.mu and has stamped
+// the page checksum.
+func (d *Disk) writeLocked(f FileID, idx int, src *page.Page) error {
 	sequential := d.sequentialTo(f, idx)
 	var lastErr error
 	for attempt := 0; attempt <= d.maxRetries; attempt++ {
@@ -281,13 +311,21 @@ func (d *Disk) Write(f FileID, idx int, src *page.Page) error {
 }
 
 // Append stores the page image after the last page of file f and
-// returns its index.
+// returns its index. The length check and the write are one atomic
+// step, so concurrent appenders to distinct files never interleave
+// badly and appends to a shared file cannot clobber each other.
 func (d *Disk) Append(f FileID, src *page.Page) (int, error) {
-	n, err := d.NumPages(f)
+	if src.Size() != d.pageSize {
+		return 0, fmt.Errorf("disk: append: source page is %d bytes, device uses %d", src.Size(), d.pageSize)
+	}
+	page.StampChecksum(src.Bytes())
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.store.numPages(f)
 	if err != nil {
 		return 0, err
 	}
-	if err := d.Write(f, n, src); err != nil {
+	if err := d.writeLocked(f, n, src); err != nil {
 		return 0, err
 	}
 	return n, nil
@@ -295,17 +333,25 @@ func (d *Disk) Append(f FileID, src *page.Page) (int, error) {
 
 // Truncate discards the contents of file f, keeping the file.
 func (d *Disk) Truncate(f FileID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.store.truncate(f)
 }
 
 // Counters returns a snapshot of the access counters.
-func (d *Disk) Counters() Counters { return d.counters }
+func (d *Disk) Counters() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counters
+}
 
 // ResetCounters zeroes the access counters and forgets all stream
 // positions (the next access to any file is random). Used to exclude
 // setup work — e.g. loading the base relations — from measured costs,
 // as the paper's simulations do.
 func (d *Disk) ResetCounters() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.counters = Counters{}
 	d.last = make(map[FileID]int)
 }
@@ -323,26 +369,36 @@ func (dm Damage) String() string {
 
 // Scrub walks every page of every file, verifying checksums, and
 // reports the damaged pages. It is a maintenance pass, not part of any
-// algorithm's evaluation, so its I/O bypasses the cost counters.
-// Transient read faults are retried like ordinary reads; pages that
-// still cannot be read, and pages whose checksum does not match, are
-// reported as Damage. The error return is reserved for failures of the
-// walk itself (a file vanishing mid-scrub).
+// algorithm's evaluation, so its I/O bypasses the cost counters and
+// does not disturb the per-file stream positions. The device lock is
+// taken per page access, so a scrub can run alongside evaluation
+// traffic on other files. Transient read faults are retried like
+// ordinary reads; pages that still cannot be read, and pages whose
+// checksum does not match, are reported as Damage. The error return is
+// reserved for failures of the walk itself (a file vanishing
+// mid-scrub).
 func (d *Disk) Scrub() ([]Damage, error) {
+	d.mu.Lock()
 	ids := d.store.ids()
+	maxRetries := d.maxRetries
+	d.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	buf := make([]byte, d.pageSize)
 	var damage []Damage
 	for _, id := range ids {
+		d.mu.Lock()
 		n, err := d.store.numPages(id)
+		d.mu.Unlock()
 		if err != nil {
 			return damage, &IOError{Op: "scrub", File: id, Err: err}
 		}
 		for idx := 0; idx < n; idx++ {
 			var lastErr error
 			healthy := false
-			for attempt := 0; attempt <= d.maxRetries; attempt++ {
+			for attempt := 0; attempt <= maxRetries; attempt++ {
+				d.mu.Lock()
 				err := d.store.read(id, idx, buf)
+				d.mu.Unlock()
 				if err == nil {
 					if want, got, ok := page.VerifyChecksum(buf); !ok {
 						lastErr = &ErrCorruptPage{File: id, Page: idx, Want: want, Got: got}

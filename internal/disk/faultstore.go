@@ -10,6 +10,7 @@ package disk
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // FaultKind enumerates the injectable failure modes.
@@ -118,8 +119,15 @@ type faultState struct {
 }
 
 // FaultStore is a store middleware injecting failures per a FaultPlan.
-// Like every store it is driven single-threaded by its Disk.
+// The owning Disk serializes page I/O, but trigger state and stats get
+// their own mutex so Stats() may be read from any goroutine while an
+// evaluation runs. Note that count-triggered faults (After/Count) fire
+// on the N'th *globally ordered* matching operation; under a
+// concurrent evaluation that global order depends on goroutine
+// interleaving, so fault plans that need exact placement should scope
+// faults to a (File, Page) or drive the engine sequentially.
 type FaultStore struct {
+	mu       sync.Mutex
 	inner    store
 	pageSize int
 	rng      *rand.Rand
@@ -158,7 +166,11 @@ func NewFaulty(pageSize int, plan FaultPlan) (*Disk, *FaultStore) {
 }
 
 // Stats returns a snapshot of the injection counters.
-func (fs *FaultStore) Stats() FaultStats { return fs.stats }
+func (fs *FaultStore) Stats() FaultStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
 
 // match advances the trigger state of every fault applicable to the
 // operation and returns the first that fires, if any.
@@ -212,6 +224,8 @@ func (fs *FaultStore) ids() []FileID            { return fs.inner.ids() }
 func (fs *FaultStore) numPages(id FileID) (int, error) { return fs.inner.numPages(id) }
 
 func (fs *FaultStore) read(id FileID, idx int, buf []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	f := fs.match(false, id, idx)
 	if f == nil {
 		return fs.inner.read(id, idx, buf)
@@ -243,6 +257,8 @@ func (fs *FaultStore) read(id FileID, idx int, buf []byte) error {
 }
 
 func (fs *FaultStore) write(id FileID, idx int, buf []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	f := fs.match(true, id, idx)
 	if f == nil {
 		return fs.inner.write(id, idx, buf)

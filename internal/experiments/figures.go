@@ -74,22 +74,25 @@ var (
 // 262144 one-chronon tuples per relation, uniform over the lifespan —
 // no long-lived tuples, isolating the memory effect (Section 4.2).
 func RunFigure6(p Params) ([]Row, error) {
-	d, r, s, err := buildPair(p, 0)
-	if err != nil {
-		return nil, err
-	}
-	_ = d
-	rPages, err := r.Pages()
-	if err != nil {
-		return nil, err
-	}
-	sPages, err := s.Pages()
-	if err != nil {
-		return nil, err
-	}
-	var rows []Row
-	for _, mb := range Figure6MemoryMB {
+	// Each memory point is a self-contained task: it builds its own
+	// (identically seeded) relation pair on its own device, so points
+	// evaluate concurrently under p.Workers with identical rows.
+	perPoint, err := mapTasks(p.Workers, len(Figure6MemoryMB), func(pi int) ([]Row, error) {
+		mb := Figure6MemoryMB[pi]
+		_, r, s, err := buildPair(p, 0)
+		if err != nil {
+			return nil, err
+		}
+		rPages, err := r.Pages()
+		if err != nil {
+			return nil, err
+		}
+		sPages, err := s.Pages()
+		if err != nil {
+			return nil, err
+		}
 		m := p.MemoryPages(mb)
+		var rows []Row
 
 		// Nested loops: the paper used analytical results.
 		for _, ratio := range Figure6Ratios {
@@ -122,6 +125,14 @@ func RunFigure6(p Params) ([]Row, error) {
 				Cost: pjRep.Cost(cost.Ratio(ratio)),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, rs := range perPoint {
+		rows = append(rows, rs...)
 	}
 	return rows, nil
 }
@@ -151,8 +162,9 @@ const (
 func RunFigure7(p Params) ([]Row, error) {
 	m := p.MemoryPages(Figure7MemoryMB)
 	w := cost.Ratio(Figure7Ratio)
-	var rows []Row
-	for _, ll := range Figure7LongLived() {
+	lls := Figure7LongLived()
+	perPoint, err := mapTasks(p.Workers, len(lls), func(pi int) ([]Row, error) {
+		ll := lls[pi]
 		_, r, s, err := buildPair(p, p.ScaleCount(ll))
 		if err != nil {
 			return nil, err
@@ -165,6 +177,7 @@ func RunFigure7(p Params) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		var rows []Row
 		rows = append(rows, Row{
 			Algorithm: AlgoNestedLoop, MemoryMB: Figure7MemoryMB, Ratio: Figure7Ratio, LongLived: ll,
 			Cost: join.NestedLoopCost(rPages, sPages, m, w),
@@ -185,6 +198,14 @@ func RunFigure7(p Params) ([]Row, error) {
 			Algorithm: AlgoPartition, MemoryMB: Figure7MemoryMB, Ratio: Figure7Ratio, LongLived: ll,
 			Cost: pjRep.Cost(w),
 		})
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, rs := range perPoint {
+		rows = append(rows, rs...)
 	}
 	return rows, nil
 }
@@ -207,12 +228,14 @@ var Figure8MemoryMB = []int{1, 2, 4, 8, 16, 32}
 // is fixed at 5:1.
 func RunFigure8(p Params) ([]Row, error) {
 	w := cost.Ratio(5)
-	var rows []Row
-	for _, ll := range Figure8LongLived() {
+	lls := Figure8LongLived()
+	perPoint, err := mapTasks(p.Workers, len(lls), func(pi int) ([]Row, error) {
+		ll := lls[pi]
 		_, r, s, err := buildPair(p, p.ScaleCount(ll))
 		if err != nil {
 			return nil, err
 		}
+		var rows []Row
 		for _, mb := range Figure8MemoryMB {
 			rep, _, err := runPartition(r, s, p.MemoryPages(mb), w, p.Seed+int64(ll+mb))
 			if err != nil {
@@ -223,6 +246,14 @@ func RunFigure8(p Params) ([]Row, error) {
 				Cost: rep.Cost(w),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, rs := range perPoint {
+		rows = append(rows, rs...)
 	}
 	return rows, nil
 }

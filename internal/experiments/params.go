@@ -30,6 +30,12 @@ type Params struct {
 	Lifespan          int64 // relation lifespan in chronons
 	Scale             int   // divisor applied to full-scale counts
 	Seed              int64 // base RNG seed
+	// Workers bounds how many figure data points evaluate concurrently
+	// (0 or 1 = sequential). Every data point is self-contained — its
+	// own simulated device, relations and seeds — so the emitted rows
+	// are identical for every Workers setting; only wall-clock time
+	// changes. The determinism tests assert the equality.
+	Workers int
 }
 
 // FullScale are the paper's parameters at Scale 1.

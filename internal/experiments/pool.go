@@ -1,0 +1,54 @@
+package experiments
+
+import "sync"
+
+// mapTasks evaluates fn(0..n-1) with up to workers goroutines and
+// returns the results in index order. The output is identical for
+// every worker count: results are slotted by index, and when multiple
+// tasks fail the reported error is the lowest-index one — the same
+// error a sequential sweep would have surfaced first. workers <= 1 (or
+// n <= 1) degrades to an exact inline loop, which is the baseline the
+// determinism tests compare against.
+//
+// Each task must be self-contained (build its own relations on its own
+// simulated device): tasks run concurrently, so sharing a disk would
+// interleave counter updates between measured runs.
+func mapTasks[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

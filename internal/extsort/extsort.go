@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"vtjoin/internal/page"
+	"vtjoin/internal/prefetch"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/tuple"
 )
@@ -60,7 +61,21 @@ func (s *Sorted) Drop() error { return s.Rel.Drop() }
 // then combine up to memoryPages-1 runs at a time (one input page per
 // run plus one output page) until a single run remains. All I/O is
 // charged to r's device. The input relation is left untouched.
+//
+// Run-generation reads go through a prefetch pipeline sized against the
+// memory budget; SortDepth exposes the depth for callers that need the
+// fully synchronous schedule.
 func Sort(r *relation.Relation, less Less, memoryPages int) (*Sorted, error) {
+	return SortDepth(r, less, memoryPages, prefetch.DepthFor(memoryPages))
+}
+
+// SortDepth is Sort with an explicit prefetch depth for pass-0 run
+// generation (0 = synchronous reads on the calling goroutine). The
+// input pages are consumed in storage order at every depth, so the
+// counted I/O and the resulting sorted relation are identical across
+// depths; only wall-clock overlap changes. Merge passes interleave
+// reads across many run files under heap control and stay sequential.
+func SortDepth(r *relation.Relation, less Less, memoryPages, depth int) (*Sorted, error) {
 	if memoryPages < 3 {
 		return nil, fmt.Errorf("extsort: need at least 3 buffer pages, got %d", memoryPages)
 	}
@@ -68,8 +83,6 @@ func Sort(r *relation.Relation, less Less, memoryPages int) (*Sorted, error) {
 
 	// Pass 0: run generation.
 	var runs []*Sorted
-	in := page.New(d.PageSize())
-	ps := r.ScanPages()
 	buf := make([]tuple.Tuple, 0, 1024)
 	pagesInBuf := 0
 	flushRun := func() error {
@@ -92,15 +105,25 @@ func Sort(r *relation.Relation, less Less, memoryPages int) (*Sorted, error) {
 		pagesInBuf = 0
 		return nil
 	}
+	rPages, err := r.Pages()
+	if err != nil {
+		return nil, err
+	}
+	pool := page.NewPool(d.PageSize())
+	stream := prefetch.NewStream(pool, rPages, depth, func(idx int, dst *page.Page) error {
+		return r.ReadPage(idx, dst)
+	})
+	defer stream.Close()
 	for {
-		ok, err := ps.Next(in)
+		pg, err := stream.Next()
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if pg == nil {
 			break
 		}
-		ts, err := in.Tuples()
+		ts, err := pg.Tuples()
+		stream.Release(pg)
 		if err != nil {
 			return nil, err
 		}

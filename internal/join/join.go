@@ -77,23 +77,40 @@ func newMatcher(plan *schema.JoinPlan, outer []tuple.Tuple) *matcher {
 }
 
 func newPredMatcher(plan *schema.JoinPlan, pred Predicate, outer []tuple.Tuple) *matcher {
-	m := &matcher{plan: plan, pred: pred, outer: outer}
+	m := &matcher{plan: plan, pred: pred}
 	if len(plan.LeftJoinIdx) > 0 {
 		m.byKey = make(map[uint64][]int32, len(outer))
+	}
+	m.reset(outer)
+	return m
+}
+
+// reset rebuilds the matcher over a new outer batch, reusing the hash
+// buckets / index slice allocated by previous batches. The partition
+// join rebuilds its two matchers once per partition, so the reuse keeps
+// the per-partition allocation churn flat.
+func (m *matcher) reset(outer []tuple.Tuple) {
+	m.outer = outer
+	if m.byKey != nil {
+		// Truncate buckets in place instead of clearing the map: the
+		// bucket slices (and the map's own buckets) are reused across
+		// batches, so steady-state resets allocate almost nothing.
+		for k := range m.byKey {
+			m.byKey[k] = m.byKey[k][:0]
+		}
 		for i, x := range outer {
-			h := tuple.KeyAt(x, plan.LeftJoinIdx).Hash()
+			h := tuple.KeyAt(x, m.plan.LeftJoinIdx).Hash()
 			m.byKey[h] = append(m.byKey[h], int32(i))
 		}
-		return m
+		return
 	}
-	m.byStart = make([]int32, len(outer))
+	m.byStart = m.byStart[:0]
 	for i := range outer {
-		m.byStart[i] = int32(i)
+		m.byStart = append(m.byStart, int32(i))
 	}
 	sort.Slice(m.byStart, func(a, b int) bool {
 		return outer[m.byStart[a]].V.Start < outer[m.byStart[b]].V.Start
 	})
-	return m
 }
 
 // accepts applies the time predicate; the fast path skips Allen

@@ -7,6 +7,7 @@ import (
 	"vtjoin/internal/chronon"
 	"vtjoin/internal/cost"
 	"vtjoin/internal/page"
+	"vtjoin/internal/prefetch"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/schema"
 	"vtjoin/internal/tuple"
@@ -32,6 +33,11 @@ type NestedLoopConfig struct {
 	// (right outer joins via schema.JoinPlan.Swap). Nil derives the
 	// plan from the relation schemas.
 	Plan *schema.JoinPlan
+	// Sequential disables the page-prefetch pipeline, reading every
+	// page inline on the evaluating goroutine. Counters and results are
+	// byte-identical either way; the switch exists for determinism
+	// tests and order-sensitive fault plans.
+	Sequential bool
 }
 
 // NestedLoop evaluates r ⋈V s by block nested loops: each block of
@@ -61,8 +67,11 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 	meter := cost.NewMeter(d, "nested-loop")
 
 	blockPages := cfg.MemoryPages - 2
-	pg := page.New(d.PageSize())
-	inner := page.New(d.PageSize())
+	depth := prefetch.DepthFor(cfg.MemoryPages)
+	if cfg.Sequential {
+		depth = 0
+	}
+	pool := page.NewPool(d.PageSize())
 
 	rPages, err := r.Pages()
 	if err != nil {
@@ -72,28 +81,27 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 	if err != nil {
 		return nil, err
 	}
+	// The outer batch and matcher reuse their allocations across blocks.
+	var outer []tuple.Tuple
+	m := newPredMatcher(plan, pred, nil)
 	for lo := 0; lo < rPages; lo += blockPages {
 		hi := lo + blockPages
 		if hi > rPages {
 			hi = rPages
 		}
-		// Load the outer block: 1 random + (hi-lo-1) sequential reads.
-		block := make([][]tuple.Tuple, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			if err := r.ReadPage(i, pg); err != nil {
-				return nil, err
-			}
-			ts, err := pg.Tuples()
-			if err != nil {
-				return nil, err
-			}
-			block = append(block, ts)
+		// Load the outer block (1 random + (hi-lo-1) sequential reads),
+		// prefetching its pages ahead of the decode.
+		outer = outer[:0]
+		err := forEachPage(pool, hi-lo, depth,
+			func(idx int, dst *page.Page) error { return r.ReadPage(lo+idx, dst) },
+			func(ts []tuple.Tuple) error {
+				outer = append(outer, ts...)
+				return nil
+			})
+		if err != nil {
+			return nil, err
 		}
-		var outer []tuple.Tuple
-		for _, ts := range block {
-			outer = append(outer, ts...)
-		}
-		m := newPredMatcher(plan, pred, outer)
+		m.reset(outer)
 		var cov []chronon.Set
 		if cfg.LeftFragments != nil {
 			cov = make([]chronon.Set, len(outer))
@@ -105,20 +113,20 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 			return sink.Append(z)
 		}
 
-		// One full scan of the inner relation per block.
-		for j := 0; j < sPages; j++ {
-			if err := s.ReadPage(j, inner); err != nil {
-				return nil, err
-			}
-			ts, err := inner.Tuples()
-			if err != nil {
-				return nil, err
-			}
-			for _, y := range ts {
-				if err := m.probeIdx(y, emit); err != nil {
-					return nil, err
+		// One full scan of the inner relation per block, prefetched
+		// ahead of the probing.
+		err = forEachPage(pool, sPages, depth,
+			func(idx int, dst *page.Page) error { return s.ReadPage(idx, dst) },
+			func(ts []tuple.Tuple) error {
+				for _, y := range ts {
+					if err := m.probeIdx(y, emit); err != nil {
+						return err
+					}
 				}
-			}
+				return nil
+			})
+		if err != nil {
+			return nil, err
 		}
 
 		// The block has seen every inner tuple: emit its unmatched

@@ -10,6 +10,7 @@ import (
 	"vtjoin/internal/disk"
 	"vtjoin/internal/page"
 	"vtjoin/internal/partition"
+	"vtjoin/internal/prefetch"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/schema"
 	"vtjoin/internal/tuple"
@@ -51,6 +52,13 @@ type PartitionConfig struct {
 	// (right outer joins via schema.JoinPlan.Swap). Nil derives the
 	// plan from the relation schemas.
 	Plan *schema.JoinPlan
+	// Sequential disables the engine's concurrency (the parallel Grace
+	// passes and the page-prefetch pipeline), running exactly the
+	// paper's single-threaded evaluation. Counters and results are
+	// byte-identical either way — the determinism tests assert it — so
+	// the switch exists for those tests and for fault plans whose
+	// count-based triggers depend on the global operation order.
+	Sequential bool
 }
 
 // PartitionStats describes one partition-join execution.
@@ -124,21 +132,36 @@ func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig)
 	stats.Partitions = parting.N()
 	meter.EndPhase("sample")
 
-	// Phase 2: Grace-partition both relations (Section 3.2).
-	rp, err := partition.DoPartitioning(r, parting)
-	if err != nil {
-		return nil, nil, err
+	// Phase 2: Grace-partition both relations (Section 3.2). The two
+	// passes read disjoint inputs and write disjoint partition files,
+	// so they run concurrently with identical I/O accounting.
+	var rp, sp *partition.Partitioned
+	if cfg.Sequential {
+		rp, err = partition.DoPartitioning(r, parting)
+		if err != nil {
+			return nil, nil, err
+		}
+		sp, err = partition.DoPartitioning(s, parting)
+		if err != nil {
+			_ = rp.Drop()
+			return nil, nil, err
+		}
+	} else {
+		rp, sp, err = partition.DoPartitioningPair(r, s, parting)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	defer rp.Drop()
-	sp, err := partition.DoPartitioning(s, parting)
-	if err != nil {
-		return nil, nil, err
-	}
 	defer sp.Drop()
 	meter.EndPhase("partition")
 
 	// Phase 3: join the partitions (Appendix A.1).
-	if err := joinPartitions(plan, pred, d, parting, rp, sp, sink, cfg.LeftFragments, cfg.MemoryPages, stats); err != nil {
+	depth := prefetch.DepthFor(cfg.MemoryPages)
+	if cfg.Sequential {
+		depth = 0
+	}
+	if err := joinPartitions(plan, pred, d, parting, rp, sp, sink, cfg.LeftFragments, cfg.MemoryPages, depth, stats); err != nil {
 		return nil, nil, err
 	}
 	if err := sink.Flush(); err != nil {
@@ -313,7 +336,7 @@ func (c *tupleCache) drop() error {
 // any pair: the pair (x, y) is produced exactly at
 // i = min(last(x), last(y)), where at least one side is new.)
 func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting partition.Partitioning,
-	rp, sp *partition.Partitioned, sink relation.Sink, leftFrag relation.Sink, memoryPages int, stats *PartitionStats) error {
+	rp, sp *partition.Partitioned, sink relation.Sink, leftFrag relation.Sink, memoryPages, depth int, stats *PartitionStats) error {
 
 	budget := buffer.MustBudget(memoryPages)
 	buffSize := memoryPages - 3
@@ -334,7 +357,21 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting
 	outer := newOuterArea(d.PageSize())
 	outer.trackCov = leftFrag != nil
 	cache := newTupleCache(d, stats) // carries tuples from partition i+1 into i
-	innerBuf := page.New(d.PageSize())
+
+	// pool recycles the page buffers of the prefetch pipelines (and the
+	// thrash scratch page) across partitions.
+	pool := page.NewPool(d.PageSize())
+
+	// On any early error return, release the cache's current spill file
+	// and, mid-handover, the previous partition's spill file — a probe
+	// failing mid-partition must not leak spill files on the device.
+	var oldSpill disk.FileID
+	defer func() {
+		_ = cache.drop()
+		if oldSpill != 0 {
+			_ = d.Remove(oldSpill)
+		}
+	}()
 
 	// retire emits the unmatched fragments of a left tuple leaving the
 	// outer area; by then every partition it overlaps has been joined.
@@ -350,6 +387,13 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting
 		}
 	}
 
+	// The matchers and the spill staging slice are rebuilt every
+	// partition but reuse their allocations (hash buckets, index
+	// slices) across iterations.
+	matchNew := newPredMatcher(plan, pred, nil)
+	matchAll := newPredMatcher(plan, pred, nil)
+	var spillFileTuples []tuple.Tuple
+
 	for i := n - 1; i >= 0; i-- {
 		pi := parting.Interval(i)
 		var prev chronon.Interval // p_{i-1}; null for the first partition
@@ -364,22 +408,22 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting
 		}
 
 		// Purge outer tuples that do not overlap p_i; the survivors are
-		// the carried tuples. Then read r_i from disk into the area.
+		// the carried tuples. Then read r_i from disk into the area,
+		// prefetching its pages ahead of the decode.
 		if err := outer.purge(pi, retire); err != nil {
 			return err
 		}
 		carried := len(outer.tuples)
-		for idx := 0; idx < rp.Pages(i); idx++ {
-			if err := rp.ReadPage(i, idx, innerBuf); err != nil {
-				return err
-			}
-			ts, err := innerBuf.Tuples()
-			if err != nil {
-				return err
-			}
-			for _, t := range ts {
-				outer.add(t)
-			}
+		err := forEachPage(pool, rp.Pages(i), depth,
+			func(idx int, dst *page.Page) error { return rp.ReadPage(i, idx, dst) },
+			func(ts []tuple.Tuple) error {
+				for _, t := range ts {
+					outer.add(t)
+				}
+				return nil
+			})
+		if err != nil {
+			return err
 		}
 
 		// Overflow beyond the buffer budget does not affect correctness
@@ -389,14 +433,14 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting
 			if over > stats.OverflowPages {
 				stats.OverflowPages = over
 			}
-			if err := chargeThrash(d, over, stats); err != nil {
+			if err := chargeThrash(d, pool, over, stats); err != nil {
 				return err
 			}
 		}
 
 		newOuter := outer.tuples[carried:]
-		matchNew := newPredMatcher(plan, pred, newOuter)
-		matchAll := newPredMatcher(plan, pred, outer.tuples)
+		matchNew.reset(newOuter)
+		matchAll.reset(outer.tuples)
 
 		// Sinks that also fold each match's overlap into the left
 		// tuple's coverage when outer-join tracking is on.
@@ -416,27 +460,26 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting
 
 		// Join the carried inner tuples (the tuple cache) against the
 		// new outer tuples, retaining cache tuples that also overlap
-		// p_{i-1}. The in-memory cache page is handled first, then each
-		// spilled page is read through the inner buffer.
+		// p_{i-1}. The in-memory cache page is handled first, then the
+		// spilled pages are staged through a prefetch stream (reusing
+		// the staging slice across partitions).
 		memCached, err := cache.memTuples()
 		if err != nil {
 			return err
 		}
-		spilledPages := cache.pages
-		spillFileTuples := make([]tuple.Tuple, 0)
-		for idx := 0; idx < spilledPages; idx++ {
-			if err := cache.readSpilled(idx, innerBuf); err != nil {
-				return err
-			}
-			ts, err := innerBuf.Tuples()
-			if err != nil {
-				return err
-			}
-			spillFileTuples = append(spillFileTuples, ts...)
+		spillFileTuples = spillFileTuples[:0]
+		err = forEachPage(pool, cache.pages, depth, cache.readSpilled,
+			func(ts []tuple.Tuple) error {
+				spillFileTuples = append(spillFileTuples, ts...)
+				return nil
+			})
+		if err != nil {
+			return err
 		}
-		oldSpillFile := cache.file
 		// Reset the cache for the next partition before re-adding
-		// survivors: the new cache must not mix with the old spill file.
+		// survivors: the new cache must not mix with the old spill
+		// file, which is dropped once its tuples have been probed.
+		oldSpill = cache.file
 		cache.file, cache.pages = 0, 0
 		cache.page.Reset()
 
@@ -450,30 +493,32 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting
 				}
 			}
 		}
-		if oldSpillFile != 0 {
-			if err := d.Remove(oldSpillFile); err != nil {
+		if oldSpill != 0 {
+			f := oldSpill
+			oldSpill = 0
+			if err := d.Remove(f); err != nil {
 				return err
 			}
 		}
 
 		// Join each page of s_i against the whole outer area, retaining
-		// long-lived inner tuples into the (new) tuple cache.
-		for idx := 0; idx < sp.Pages(i); idx++ {
-			if err := sp.ReadPage(i, idx, innerBuf); err != nil {
-				return err
-			}
-			ts, err := innerBuf.Tuples()
-			if err != nil {
-				return err
-			}
-			for _, y := range ts {
-				if err := matchAll.probeIdx(y, emitAll); err != nil {
-					return err
+		// long-lived inner tuples into the (new) tuple cache. The pages
+		// of s_i prefetch ahead of the probing.
+		err = forEachPage(pool, sp.Pages(i), depth,
+			func(idx int, dst *page.Page) error { return sp.ReadPage(i, idx, dst) },
+			func(ts []tuple.Tuple) error {
+				for _, y := range ts {
+					if err := matchAll.probeIdx(y, emitAll); err != nil {
+						return err
+					}
+					if _, err := retain(y); err != nil {
+						return err
+					}
 				}
-				if _, err := retain(y); err != nil {
-					return err
-				}
-			}
+				return nil
+			})
+		if err != nil {
+			return err
 		}
 	}
 	// Retire every remaining outer tuple: the sweep is complete.
@@ -483,14 +528,41 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting
 	return cache.drop()
 }
 
+// forEachPage streams pages [0, n) of one file through a bounded
+// prefetch pipeline, invoking fn with each page's decoded tuples in
+// storage order. The stream is always closed before returning, so the
+// underlying file is quiescent afterwards (safe to remove).
+func forEachPage(pool *page.Pool, n, depth int, read prefetch.ReadFunc, fn func(ts []tuple.Tuple) error) error {
+	s := prefetch.NewStream(pool, n, depth, read)
+	defer s.Close()
+	for {
+		pg, err := s.Next()
+		if err != nil {
+			return err
+		}
+		if pg == nil {
+			return nil
+		}
+		ts, err := pg.Tuples()
+		s.Release(pg) // decode copies; the buffer can recycle immediately
+		if err != nil {
+			return err
+		}
+		if err := fn(ts); err != nil {
+			return err
+		}
+	}
+}
+
 // chargeThrash models outer-area overflow: the excess pages are written
 // to scratch and immediately read back (one random seek plus sequential
 // accesses each way), the minimal price of not fitting the partition in
 // memory. The counters flow through the ordinary disk accounting.
-func chargeThrash(d *disk.Disk, pages int, stats *PartitionStats) error {
+func chargeThrash(d *disk.Disk, pool *page.Pool, pages int, stats *PartitionStats) error {
 	f := d.Create()
 	defer d.Remove(f)
-	scratch := page.New(d.PageSize())
+	scratch := pool.Get()
+	defer pool.Put(scratch)
 	before := d.Counters()
 	for i := 0; i < pages; i++ {
 		if _, err := d.Append(f, scratch); err != nil {

@@ -9,6 +9,7 @@ import (
 	"vtjoin/internal/disk"
 	"vtjoin/internal/extsort"
 	"vtjoin/internal/page"
+	"vtjoin/internal/prefetch"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/schema"
 	"vtjoin/internal/tuple"
@@ -27,6 +28,11 @@ type SortMergeConfig struct {
 	// in the given Allen relations (zero = intersecting intervals).
 	// Must imply intersection.
 	TimePredicate Predicate
+	// Sequential disables the run-formation prefetch pipeline inside
+	// the two external sorts. Counters and results are byte-identical
+	// either way; the switch exists for determinism tests and
+	// order-sensitive fault plans.
+	Sequential bool
 }
 
 // SortMergeStats reports merge-phase behaviour: how much backing up
@@ -62,14 +68,18 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 	d := r.Disk()
 	meter := cost.NewMeter(d, "sort-merge")
 
-	sortedR, err := extsort.Sort(r, extsort.ByStartTime, cfg.MemoryPages)
+	depth := prefetch.DepthFor(cfg.MemoryPages)
+	if cfg.Sequential {
+		depth = 0
+	}
+	sortedR, err := extsort.SortDepth(r, extsort.ByStartTime, cfg.MemoryPages, depth)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer sortedR.Drop()
 	meter.EndPhase("sort outer")
 
-	sortedS, err := extsort.Sort(s, extsort.ByStartTime, cfg.MemoryPages)
+	sortedS, err := extsort.SortDepth(s, extsort.ByStartTime, cfg.MemoryPages, depth)
 	if err != nil {
 		return nil, nil, err
 	}

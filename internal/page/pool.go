@@ -1,0 +1,56 @@
+package page
+
+import "sync"
+
+// Pool recycles fixed-size pages across the hot loops of the execution
+// engine (prefetch pipelines, scratch pages for spill accounting, the
+// per-partition inner buffers). Allocation-free steady state matters
+// because a partition join touches every page of both inputs; without
+// pooling each read re-allocates a page-sized buffer.
+//
+// Pool is safe for concurrent use. Get never blocks: when the free
+// list is empty a fresh page is allocated, so the pool bounds garbage,
+// not concurrency.
+type Pool struct {
+	size int
+	mu   sync.Mutex
+	free []*Page
+}
+
+// NewPool creates a pool handing out pages of the given size.
+func NewPool(size int) *Pool {
+	return &Pool{size: size}
+}
+
+// PageSize returns the size of the pages the pool manages.
+func (p *Pool) PageSize() int { return p.size }
+
+// Get returns an empty page, recycling a released one when available.
+func (p *Pool) Get() *Page {
+	p.mu.Lock()
+	n := len(p.free)
+	var pg *Page
+	if n > 0 {
+		pg = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if pg == nil {
+		return New(p.size)
+	}
+	pg.Reset()
+	return pg
+}
+
+// Put releases a page back to the pool. Putting nil or a page of the
+// wrong size is ignored (the page is simply dropped), so callers can
+// release unconditionally on cleanup paths.
+func (p *Pool) Put(pg *Page) {
+	if pg == nil || pg.Size() != p.size {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, pg)
+	p.mu.Unlock()
+}

@@ -1,0 +1,60 @@
+package page
+
+import (
+	"sync"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool(DefaultSize)
+	a := p.Get()
+	if a.Size() != DefaultSize {
+		t.Fatalf("pool page size = %d", a.Size())
+	}
+	ok, err := a.AppendTuple(tuple.New(chronon.New(1, 5), value.Int(10)))
+	if err != nil || !ok {
+		t.Fatalf("append: ok=%v err=%v", ok, err)
+	}
+	p.Put(a)
+	b := p.Get()
+	if b != a {
+		t.Fatal("pool did not recycle the released page")
+	}
+	if b.Count() != 0 {
+		t.Fatal("recycled page not reset")
+	}
+}
+
+func TestPoolIgnoresForeignPages(t *testing.T) {
+	p := NewPool(DefaultSize)
+	p.Put(nil)
+	p.Put(New(DefaultSize * 2))
+	got := p.Get()
+	if got.Size() != DefaultSize {
+		t.Fatalf("pool handed out a %d-byte page", got.Size())
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(MinSize)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pg := p.Get()
+				if pg.Count() != 0 {
+					t.Error("dirty page from pool")
+					return
+				}
+				p.Put(pg)
+			}
+		}()
+	}
+	wg.Wait()
+}

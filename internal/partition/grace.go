@@ -42,6 +42,47 @@ type Partitioned struct {
 // partitions is small, and therefore, that sufficient main memory is
 // available to perform the partitioning").
 func DoPartitioning(r *relation.Relation, part Partitioning) (*Partitioned, error) {
+	p := newPartitioned(r, part)
+	if err := p.fill(r); err != nil {
+		// Release the partition files: a failed pass must not leak
+		// device space.
+		_ = p.Drop()
+		return nil, err
+	}
+	return p, nil
+}
+
+// DoPartitioningPair Grace-partitions r and s under the same
+// partitioning, running the two passes concurrently — the passes scan
+// disjoint input files and flush to disjoint partition files, so their
+// per-file access sequences (and therefore the counted I/O) are
+// identical to two back-to-back sequential passes. Both sets of
+// partition files are created up front on the caller's goroutine, which
+// keeps file-ID assignment deterministic regardless of scheduling.
+func DoPartitioningPair(r, s *relation.Relation, part Partitioning) (*Partitioned, *Partitioned, error) {
+	rp := newPartitioned(r, part)
+	sp := newPartitioned(s, part)
+	errs := make(chan error, 2)
+	go func() { errs <- rp.fill(r) }()
+	go func() { errs <- sp.fill(s) }()
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		_ = rp.Drop()
+		_ = sp.Drop()
+		return nil, nil, firstErr
+	}
+	return rp, sp, nil
+}
+
+// newPartitioned allocates the partition files and bookkeeping for one
+// Grace pass. Files are created here, before any concurrent work, so
+// IDs are assigned in a deterministic order.
+func newPartitioned(r *relation.Relation, part Partitioning) *Partitioned {
 	d := r.Disk()
 	n := part.N()
 	p := &Partitioned{
@@ -56,18 +97,30 @@ func DoPartitioning(r *relation.Relation, part Partitioning) (*Partitioned, erro
 	for i := range p.minStart {
 		p.minStart[i] = chronon.Forever
 	}
-	buckets := make([]*page.Page, n)
 	for i := range p.files {
 		p.files[i] = d.Create()
+	}
+	return p
+}
+
+// fill runs the Grace scan: route every record of r to the in-memory
+// bucket page of its last overlapping partition, flushing bucket pages
+// as they fill. fill only touches r's file (reads, in storage order)
+// and p's own partition files (appends), so concurrent fills over
+// disjoint relations never share a file.
+func (p *Partitioned) fill(r *relation.Relation) error {
+	d := p.d
+	n := p.Part.N()
+	buckets := make([]*page.Page, n)
+	for i := range buckets {
 		buckets[i] = page.New(d.PageSize())
 	}
-
 	in := page.New(d.PageSize())
 	ps := r.ScanPages()
 	for {
 		ok, err := ps.Next(in)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
 			break
@@ -76,15 +129,15 @@ func DoPartitioning(r *relation.Relation, part Partitioning) (*Partitioned, erro
 			rec := in.Record(s)
 			iv, err := tuple.PeekInterval(rec)
 			if err != nil {
-				return nil, fmt.Errorf("partition: page record %d: %w", s, err)
+				return fmt.Errorf("partition: page record %d: %w", s, err)
 			}
-			i := part.Last(iv)
+			i := p.Part.Last(iv)
 			if !buckets[i].Insert(rec) {
 				if err := p.flushBucket(i, buckets[i]); err != nil {
-					return nil, err
+					return err
 				}
 				if !buckets[i].Insert(rec) {
-					return nil, fmt.Errorf("partition: record of %d bytes does not fit an empty page", len(rec))
+					return fmt.Errorf("partition: record of %d bytes does not fit an empty page", len(rec))
 				}
 			}
 			p.tuples[i]++
@@ -96,11 +149,11 @@ func DoPartitioning(r *relation.Relation, part Partitioning) (*Partitioned, erro
 	for i, b := range buckets {
 		if b.Count() > 0 {
 			if err := p.flushBucket(i, b); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return p, nil
+	return nil
 }
 
 func (p *Partitioned) flushBucket(i int, b *page.Page) error {

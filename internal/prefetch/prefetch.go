@@ -1,0 +1,175 @@
+// Package prefetch implements a bounded page read-ahead pipeline: a
+// single worker goroutine reads the pages of one file in storage order
+// into a small pool of page buffers while the consumer decodes and
+// probes the pages already delivered — overlapping I/O with matcher
+// work the way a real device's track buffer overlaps transfers with
+// the CPU.
+//
+// The pipeline is deliberately deterministic with respect to the
+// paper's cost accounting: the worker issues the file's reads in
+// exactly the order the synchronous code would (0, 1, 2, ...), and the
+// disk layer classifies sequentiality per file, so the counted I/O is
+// byte-identical whether a stream is consumed through a pipeline or
+// read inline. Depth 0 degrades to fully synchronous reads on the
+// caller's goroutine, which is both the fallback for tiny budgets and
+// the switch determinism tests flip to prove the equivalence.
+package prefetch
+
+import (
+	"vtjoin/internal/page"
+)
+
+// ReadFunc reads page idx of some fixed file into dst.
+type ReadFunc func(idx int, dst *page.Page) error
+
+// DepthFor sizes a pipeline's buffer pool against a total page budget:
+// one read-ahead page per eight budgeted pages, at most MaxDepth, and
+// zero (synchronous) for budgets too small to spare overlap buffers.
+// The prefetch buffers ride outside the algorithm's M-page allocation
+// — they change when I/O happens, never how much is counted — but
+// scaling them with the budget keeps the engine's true footprint
+// proportional to the configured experiment.
+func DepthFor(totalPages int) int {
+	d := totalPages / 8
+	if d > MaxDepth {
+		return MaxDepth
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// MaxDepth caps the read-ahead window of any single stream.
+const MaxDepth = 4
+
+type result struct {
+	pg  *page.Page
+	err error
+}
+
+// Stream delivers pages [0, n) of one file in order. With depth > 0 a
+// worker goroutine reads ahead up to depth pages; with depth <= 0 every
+// Next reads inline. Pages handed out by Next must be returned via
+// Release (in any order); Close must be called exactly once when done,
+// whether or not the stream was fully drained.
+type Stream struct {
+	pool  *page.Pool
+	read  ReadFunc
+	n     int
+	async bool
+
+	// synchronous mode
+	next int
+
+	// pipelined mode
+	out    chan result
+	stop   chan struct{}
+	done   chan struct{}
+	closed bool
+	err    error // sticky error once observed by Next
+}
+
+// NewStream starts a stream over pages [0, n) served by read, drawing
+// buffers from pool.
+func NewStream(pool *page.Pool, n, depth int, read ReadFunc) *Stream {
+	s := &Stream{pool: pool, read: read, n: n}
+	if depth <= 0 || n <= 1 {
+		return s
+	}
+	if depth > n {
+		depth = n
+	}
+	s.async = true
+	s.out = make(chan result, depth)
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.worker(depth)
+	return s
+}
+
+// worker reads pages in order, recycling at most depth buffers through
+// the out channel. The channel's capacity is the read-ahead bound: the
+// worker blocks once depth pages are in flight.
+func (s *Stream) worker(depth int) {
+	defer close(s.done)
+	for idx := 0; idx < s.n; idx++ {
+		pg := s.pool.Get()
+		if err := s.read(idx, pg); err != nil {
+			s.pool.Put(pg)
+			select {
+			case s.out <- result{err: err}:
+			case <-s.stop:
+			}
+			return
+		}
+		select {
+		case s.out <- result{pg: pg}:
+		case <-s.stop:
+			s.pool.Put(pg)
+			return
+		}
+	}
+	close(s.out)
+}
+
+// Next returns the next page, or (nil, nil) at end of stream. The page
+// belongs to the caller until Release.
+func (s *Stream) Next() (*page.Page, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.async {
+		if s.next >= s.n {
+			return nil, nil
+		}
+		pg := s.pool.Get()
+		if err := s.read(s.next, pg); err != nil {
+			s.pool.Put(pg)
+			s.err = err
+			return nil, err
+		}
+		s.next++
+		return pg, nil
+	}
+	r, ok := <-s.out
+	if !ok {
+		return nil, nil
+	}
+	if r.err != nil {
+		s.err = r.err
+		return nil, r.err
+	}
+	return r.pg, nil
+}
+
+// Release returns a page obtained from Next to the buffer pool.
+func (s *Stream) Release(pg *page.Page) { s.pool.Put(pg) }
+
+// Close stops the worker (if any), returns all in-flight buffers to
+// the pool, and waits for the worker to exit. After Close the stream's
+// file is guaranteed quiescent — safe to remove or truncate. Closing
+// more than once is a no-op.
+func (s *Stream) Close() {
+	if !s.async || s.closed {
+		return
+	}
+	s.closed = true
+	close(s.stop)
+	<-s.done
+	// The worker has exited; recover whatever it left buffered. The
+	// channel is only closed on a full run, so drain without blocking.
+	for {
+		select {
+		case r, ok := <-s.out:
+			if !ok {
+				return
+			}
+			if r.pg != nil {
+				s.pool.Put(r.pg)
+			}
+		default:
+			return
+		}
+	}
+}

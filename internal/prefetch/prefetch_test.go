@@ -1,0 +1,205 @@
+package prefetch
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+// buildFile writes n pages, each holding one tuple tagged with its page
+// index, and returns the device and file.
+func buildFile(t *testing.T, n int) (*disk.Disk, disk.FileID) {
+	t.Helper()
+	d := disk.New(page.DefaultSize)
+	f := d.Create()
+	pg := page.New(page.DefaultSize)
+	for i := 0; i < n; i++ {
+		pg.Reset()
+		ok, err := pg.AppendTuple(tuple.New(chronon.New(chronon.Chronon(i+1), chronon.Chronon(i+1)), value.Int(int64(i))))
+		if err != nil || !ok {
+			t.Fatalf("append tuple %d: ok=%v err=%v", i, ok, err)
+		}
+		if _, err := d.Append(f, pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, f
+}
+
+// drain reads the whole stream, asserting pages arrive in order.
+func drain(t *testing.T, s *Stream, n int) {
+	t.Helper()
+	for i := 0; ; i++ {
+		pg, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg == nil {
+			if i != n {
+				t.Fatalf("stream ended after %d pages, want %d", i, n)
+			}
+			return
+		}
+		ts, err := pg.Tuples()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ts) != 1 || ts[0].Values[0].AsInt() != int64(i) {
+			t.Fatalf("page %d out of order: %v", i, ts)
+		}
+		s.Release(pg)
+	}
+}
+
+func TestStreamDeliversInOrder(t *testing.T) {
+	const n = 17
+	d, f := buildFile(t, n)
+	for _, depth := range []int{0, 1, 2, 4, 16, 100} {
+		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
+			pool := page.NewPool(page.DefaultSize)
+			s := NewStream(pool, n, depth, func(idx int, dst *page.Page) error {
+				return d.Read(f, idx, dst)
+			})
+			drain(t, s, n)
+			s.Close()
+		})
+	}
+}
+
+// TestStreamCountsMatchSynchronous: the pipelined stream must charge
+// exactly the I/O the inline loop charges — one random read plus n-1
+// sequential reads for a straight scan.
+func TestStreamCountsMatchSynchronous(t *testing.T) {
+	const n = 12
+	run := func(depth int) disk.Counters {
+		d, f := buildFile(t, n)
+		d.ResetCounters()
+		pool := page.NewPool(page.DefaultSize)
+		s := NewStream(pool, n, depth, func(idx int, dst *page.Page) error {
+			return d.Read(f, idx, dst)
+		})
+		drain(t, s, n)
+		s.Close()
+		return d.Counters()
+	}
+	want := run(0)
+	if want.RandReads != 1 || want.SeqReads != n-1 {
+		t.Fatalf("synchronous scan counted %v", want)
+	}
+	for _, depth := range []int{1, 3, MaxDepth} {
+		if got := run(depth); got != want {
+			t.Fatalf("depth %d counters %v != synchronous %v", depth, got, want)
+		}
+	}
+}
+
+func TestStreamPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, depth := range []int{0, 2} {
+		pool := page.NewPool(page.DefaultSize)
+		s := NewStream(pool, 5, depth, func(idx int, dst *page.Page) error {
+			if idx == 3 {
+				return boom
+			}
+			return nil
+		})
+		seen := 0
+		for {
+			pg, err := s.Next()
+			if err != nil {
+				if !errors.Is(err, boom) {
+					t.Fatalf("depth %d: got %v", depth, err)
+				}
+				break
+			}
+			if pg == nil {
+				t.Fatalf("depth %d: stream ended without surfacing the error", depth)
+			}
+			seen++
+			s.Release(pg)
+		}
+		if seen != 3 {
+			t.Fatalf("depth %d: delivered %d pages before the error, want 3", depth, seen)
+		}
+		// The error is sticky.
+		if _, err := s.Next(); !errors.Is(err, boom) {
+			t.Fatalf("depth %d: error not sticky: %v", depth, err)
+		}
+		s.Close()
+	}
+}
+
+// TestStreamEarlyClose: abandoning a stream mid-way must not leak the
+// worker or the buffers, and the underlying file must be quiescent
+// after Close (removable without racing a pending read).
+func TestStreamEarlyClose(t *testing.T) {
+	const n = 64
+	d, f := buildFile(t, n)
+	pool := page.NewPool(page.DefaultSize)
+	s := NewStream(pool, n, 4, func(idx int, dst *page.Page) error {
+		return d.Read(f, idx, dst)
+	})
+	pg, err := s.Next()
+	if err != nil || pg == nil {
+		t.Fatalf("first page: %v %v", pg, err)
+	}
+	s.Release(pg)
+	s.Close()
+	s.Close() // idempotent
+	if err := d.Remove(f); err != nil {
+		t.Fatalf("remove after close: %v", err)
+	}
+}
+
+func benchStream(b *testing.B, depth int) {
+	const n = 256
+	d := disk.New(page.DefaultSize)
+	f := d.Create()
+	pg := page.New(page.DefaultSize)
+	for i := 0; i < n; i++ {
+		pg.Reset()
+		if ok, err := pg.AppendTuple(tuple.New(chronon.New(1, 2), value.Int(int64(i)))); err != nil || !ok {
+			b.Fatalf("append: ok=%v err=%v", ok, err)
+		}
+		if _, err := d.Append(f, pg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pool := page.NewPool(page.DefaultSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewStream(pool, n, depth, func(idx int, dst *page.Page) error {
+			return d.Read(f, idx, dst)
+		})
+		for {
+			pg, err := s.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pg == nil {
+				break
+			}
+			s.Release(pg)
+		}
+		s.Close()
+	}
+}
+
+func BenchmarkStreamSynchronous(b *testing.B) { benchStream(b, 0) }
+func BenchmarkStreamDepth4(b *testing.B)      { benchStream(b, 4) }
+
+func TestDepthFor(t *testing.T) {
+	cases := map[int]int{0: 0, 4: 0, 7: 0, 8: 1, 16: 2, 32: 4, 1024: MaxDepth}
+	for total, want := range cases {
+		if got := DepthFor(total); got != want {
+			t.Errorf("DepthFor(%d) = %d, want %d", total, got, want)
+		}
+	}
+}
