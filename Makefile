@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz bench bench-smoke
+.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare
 
 all: check
 
@@ -35,3 +35,11 @@ bench:
 # benchmark) — catches benchmarks that no longer build or crash.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 50ms ./internal/join/ ./internal/prefetch/ ./internal/page/
+
+# Scan-versus-sweep kernel comparison: Go micro-benchmarks for both
+# kernels plus the vtbench kernel figure, which differentially verifies
+# the kernels against each other and writes BENCH_pr3.json (wall clock,
+# CPU time per phase, allocations via -benchmem).
+bench-compare:
+	$(GO) test -run '^$$' -bench 'ProbeBatch|Matcher' -benchmem ./internal/join/
+	$(GO) run ./cmd/vtbench -figure kernels -scale 64 -benchjson BENCH_pr3.json

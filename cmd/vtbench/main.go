@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	vtbench [-figure 4|5|6|7|8|all] [-scale N] [-seed S] [-workers W]
-//	        [-cpuprofile F] [-memprofile F]
+//	vtbench [-figure 4|5|6|7|8|all|kernels] [-scale N] [-seed S] [-workers W]
+//	        [-benchjson F] [-cpuprofile F] [-memprofile F]
 //
 // Scale divides the paper's tuple counts and memory sizes together
 // (preserving every ratio); -scale 1 runs the full 32 MiB-per-relation
@@ -13,9 +13,17 @@
 // many figure data points evaluate concurrently; the emitted figures
 // are identical for every setting (each point is self-contained), so
 // -workers only changes wall-clock time.
+//
+// -figure kernels compares the scan and sweep matching kernels:
+// in-memory microbenchmarks plus full sort-merge and partition runs
+// with per-phase CPU time next to the I/O counters. Its output
+// contains timings and is therefore not deterministic — it is excluded
+// from "-figure all", whose output the determinism checks diff.
+// -benchjson additionally writes the kernel comparison as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,21 +32,26 @@ import (
 	"time"
 
 	"vtjoin/internal/experiments"
+	"vtjoin/internal/join"
 )
 
 func main() {
-	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations or all")
+	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations, all, or kernels (timing-based, excluded from all)")
 	scale := flag.Int("scale", 16, "scale divisor on tuple counts and memory (1 = paper scale)")
 	seed := flag.Int64("seed", 1994, "base RNG seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent figure data points (1 = sequential; output is identical at any setting)")
+	benchjson := flag.String("benchjson", "", "with -figure kernels: also write the comparison as JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	switch *figure {
-	case "4", "5", "6", "7", "8", "ablations", "all":
+	case "4", "5", "6", "7", "8", "ablations", "all", "kernels":
 	default:
-		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations or all)", *figure))
+		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations, all or kernels)", *figure))
+	}
+	if *benchjson != "" && *figure != "kernels" {
+		usage(fmt.Errorf("-benchjson requires -figure kernels"))
 	}
 	if *workers < 1 {
 		usage(fmt.Errorf("-workers must be >= 1, got %d", *workers))
@@ -64,7 +77,9 @@ func main() {
 	}
 
 	run := func(name string, f func() error) {
-		if *figure != "all" && *figure != name {
+		// "kernels" is timing-based and opt-in only: "all" must stay
+		// byte-identical across runs and worker counts.
+		if *figure != name && (*figure != "all" || name == "kernels") {
 			return
 		}
 		start := time.Now()
@@ -110,6 +125,24 @@ func main() {
 		fmt.Print(experiments.RenderFigure8(rows))
 		return nil
 	})
+	run("kernels", func() error {
+		rows, err := experiments.RunKernelBench(p)
+		if err != nil {
+			return err
+		}
+		phases, err := experiments.RunKernelPhases(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderKernelBench(rows, phases))
+		if *benchjson != "" {
+			if err := writeBenchJSON(*benchjson, p, rows, phases); err != nil {
+				return err
+			}
+			fmt.Printf("\n[kernel comparison written to %s]\n", *benchjson)
+		}
+		return nil
+	})
 	run("ablations", func() error {
 		repl, err := experiments.RunAblationReplication(p)
 		if err != nil {
@@ -136,6 +169,59 @@ func main() {
 	}
 }
 
+// writeBenchJSON records the kernel comparison in the BENCH_*.json
+// format the repo tracks across performance PRs.
+func writeBenchJSON(path string, p experiments.Params, rows []join.KernelBenchResult, phases []experiments.AlgoPhaseTiming) error {
+	type jsonMicro struct {
+		Spec         string  `json:"spec"`
+		Kernel       string  `json:"kernel"`
+		Pairs        int64   `json:"pairs"`
+		WallMS       float64 `json:"wall_ms"`
+		CPUMS        float64 `json:"cpu_ms"`
+		TuplesPerSec float64 `json:"tuples_per_sec"`
+	}
+	type jsonPhase struct {
+		Algorithm string  `json:"algorithm"`
+		Kernel    string  `json:"kernel"`
+		Phase     string  `json:"phase"`
+		IOPages   int64   `json:"io_pages"`
+		WallMS    float64 `json:"wall_ms"`
+		CPUMS     float64 `json:"cpu_ms"`
+	}
+	doc := struct {
+		Description string      `json:"description"`
+		Host        any         `json:"host"`
+		Command     string      `json:"command"`
+		Micro       []jsonMicro `json:"kernel_microbenchmarks"`
+		Phases      []jsonPhase `json:"algorithm_phases"`
+	}{
+		Description: "Scan vs sweep matching-kernel comparison: in-memory microbenchmarks (pair counts differentially verified) and full sort-merge / partition-join runs with per-phase CPU time. Per-phase I/O is asserted identical across kernels.",
+		Host: map[string]any{
+			"os": runtime.GOOS, "arch": runtime.GOARCH,
+			"cores": runtime.NumCPU(), "gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		Command: fmt.Sprintf("vtbench -figure kernels -scale %d -seed %d", p.Scale, p.Seed),
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	for _, r := range rows {
+		doc.Micro = append(doc.Micro, jsonMicro{
+			Spec: r.Spec, Kernel: r.Kernel, Pairs: r.Pairs,
+			WallMS: ms(r.Wall), CPUMS: ms(r.CPU), TuplesPerSec: r.TuplesPerSec,
+		})
+	}
+	for _, ph := range phases {
+		doc.Phases = append(doc.Phases, jsonPhase{
+			Algorithm: ph.Algorithm, Kernel: ph.Kernel, Phase: ph.Phase,
+			IOPages: ph.IO, WallMS: ms(ph.Wall), CPUMS: ms(ph.CPU),
+		})
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 // fatal reports a runtime failure (experiment execution) and exits 1.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vtbench:", err)
@@ -146,6 +232,6 @@ func fatal(err error) {
 // package's exit code for unparseable flags.
 func usage(err error) {
 	fmt.Fprintln(os.Stderr, "vtbench:", err)
-	fmt.Fprintln(os.Stderr, "usage: vtbench [-figure 4|5|6|7|8|ablations|all] [-scale N] [-seed S] [-workers W] [-cpuprofile F] [-memprofile F]")
+	fmt.Fprintln(os.Stderr, "usage: vtbench [-figure 4|5|6|7|8|ablations|all|kernels] [-scale N] [-seed S] [-workers W] [-benchjson F] [-cpuprofile F] [-memprofile F]")
 	os.Exit(2)
 }

@@ -5,6 +5,7 @@ package cost
 
 import (
 	"fmt"
+	"time"
 
 	"vtjoin/internal/disk"
 )
@@ -29,10 +30,20 @@ func (w Weights) Of(c disk.Counters) float64 {
 func (w Weights) String() string { return fmt.Sprintf("%g:%g", w.Rand, w.Seq) }
 
 // Phase names one stage of an evaluation algorithm, e.g. the paper's
-// Csample, Cpartition and Cjoin components.
+// Csample, Cpartition and Cjoin components. Besides the simulated I/O
+// counters it records the real wall-clock and process CPU time the
+// phase consumed, so CPU-bound differences (e.g. between matching
+// kernels) are visible next to the I/O model.
 type Phase struct {
 	Name     string
 	Counters disk.Counters
+	// Wall is the elapsed wall-clock time of the phase.
+	Wall time.Duration
+	// CPU is the process CPU time (user+system) consumed during the
+	// phase, from getrusage where available; zero on platforms without
+	// a CPU clock. Unlike Wall it is unaffected by sleeping on I/O
+	// simulation or scheduling.
+	CPU time.Duration
 }
 
 // Report is a per-phase cost breakdown of one algorithm execution.
@@ -45,6 +56,27 @@ type Report struct {
 // so reports stay comparable across runs.
 func (r *Report) Add(name string, c disk.Counters) {
 	r.Phases = append(r.Phases, Phase{Name: name, Counters: c})
+}
+
+// AddPhase records a fully-populated phase (counters and timings).
+func (r *Report) AddPhase(p Phase) { r.Phases = append(r.Phases, p) }
+
+// WallTotal returns the summed wall-clock time over all phases.
+func (r *Report) WallTotal() time.Duration {
+	var t time.Duration
+	for _, p := range r.Phases {
+		t += p.Wall
+	}
+	return t
+}
+
+// CPUTotal returns the summed process CPU time over all phases.
+func (r *Report) CPUTotal() time.Duration {
+	var t time.Duration
+	for _, p := range r.Phases {
+		t += p.CPU
+	}
+	return t
 }
 
 // Total returns the summed counters over all phases.
@@ -87,23 +119,38 @@ func (r *Report) String() string {
 //	... partitioning ...
 //	m.EndPhase("partition")
 type Meter struct {
-	d      *disk.Disk
-	report *Report
-	mark   disk.Counters
+	d        *disk.Disk
+	report   *Report
+	mark     disk.Counters
+	wallMark time.Time
+	cpuMark  time.Duration
 }
 
 // NewMeter starts measuring the named algorithm on d from the disk's
 // current counter values.
 func NewMeter(d *disk.Disk, algorithm string) *Meter {
-	return &Meter{d: d, report: &Report{Algorithm: algorithm}, mark: d.Counters()}
+	return &Meter{
+		d:        d,
+		report:   &Report{Algorithm: algorithm},
+		mark:     d.Counters(),
+		wallMark: time.Now(),
+		cpuMark:  ProcessCPUTime(),
+	}
 }
 
-// EndPhase closes the current phase, attributing to it every access
-// since the previous EndPhase (or the meter's creation).
+// EndPhase closes the current phase, attributing to it every access —
+// and all wall-clock and CPU time — since the previous EndPhase (or
+// the meter's creation).
 func (m *Meter) EndPhase(name string) {
 	now := m.d.Counters()
-	m.report.Add(name, now.Sub(m.mark))
-	m.mark = now
+	wall, cpu := time.Now(), ProcessCPUTime()
+	m.report.AddPhase(Phase{
+		Name:     name,
+		Counters: now.Sub(m.mark),
+		Wall:     wall.Sub(m.wallMark),
+		CPU:      cpu - m.cpuMark,
+	})
+	m.mark, m.wallMark, m.cpuMark = now, wall, cpu
 }
 
 // Report returns the accumulated report.

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package cost
+
+import "time"
+
+// ProcessCPUTime reports 0 on platforms without a process CPU clock;
+// phase CPU attributions degrade to zero rather than failing.
+func ProcessCPUTime() time.Duration { return 0 }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package cost
+
+import (
+	"syscall"
+	"time"
+)
+
+// ProcessCPUTime returns the CPU time (user + system) consumed by the
+// process so far. Differences between two readings bound the CPU work
+// of the enclosed region independently of wall-clock stalls.
+func ProcessCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -57,19 +57,76 @@ func normalizePredicate(p Predicate) (Predicate, error) {
 	return p, nil
 }
 
-// matcher joins a fixed batch of outer tuples against streamed inner
-// tuples. When the join has explicit attributes it hash-indexes the
-// outer batch by join key; a degenerate pure time-join (no shared
-// attributes) instead orders the batch by start time so inner probes
-// can stop early.
+// Kernel selects the CPU kernel that matches an outer batch against
+// inner tuples inside every join algorithm.
+type Kernel uint8
+
+const (
+	// KernelDefault resolves to KernelSweep.
+	KernelDefault Kernel = iota
+	// KernelSweep is the sweeping interval-join kernel: when an inner
+	// batch is processed it is endpoint-sorted and joined against the
+	// start-ordered outer batch by a forward plane sweep with gapless
+	// active-tuple lists per join-key bucket (after Piatov et al.,
+	// "Cache-Efficient Sweeping-Based Interval Joins"). Each output
+	// pair is touched O(1) amortized times instead of rescanning dead
+	// outer tuples per probe. Results and I/O counters are identical to
+	// KernelScan; only CPU time differs.
+	KernelSweep
+	// KernelScan is the per-probe kernel: each inner tuple hashes its
+	// join key and scans the whole matching outer bucket (or, for pure
+	// time-joins, the start-ordered prefix of the outer batch). It is
+	// the baseline the sweep kernel is benchmarked against.
+	KernelScan
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	switch k.resolve() {
+	case KernelScan:
+		return "scan"
+	default:
+		return "sweep"
+	}
+}
+
+// resolve applies the default.
+func (k Kernel) resolve() Kernel {
+	if k == KernelDefault {
+		return KernelSweep
+	}
+	return k
+}
+
+// matcher joins a fixed batch of outer tuples against inner tuples.
+// When the join has explicit attributes it hash-indexes the outer
+// batch by join key; a degenerate pure time-join (no shared
+// attributes) instead orders the batch by start time. Inner tuples
+// arrive either one at a time (probeIdx — the scan kernel's hash
+// path) or as a batch (probeBatch — which the sweep kernel
+// endpoint-sorts and joins by plane sweep).
 type matcher struct {
-	plan  *schema.JoinPlan
-	pred  Predicate // non-zero, intersection-implying
-	outer []tuple.Tuple
-	// byKey indexes outer positions by join-key hash (non-empty key).
+	plan   *schema.JoinPlan
+	pred   Predicate // non-zero, intersection-implying
+	kernel Kernel    // resolved: KernelSweep or KernelScan
+	outer  []tuple.Tuple
+	// byKey indexes outer positions by join-key hash (non-empty key);
+	// keys counts its non-empty buckets (distinct key hashes of the
+	// current outer batch).
 	byKey map[uint64][]int32
-	// byStart orders outer positions by V.Start (pure time-join).
-	byStart []int32
+	keys  int
+	// outerHash holds the per-position join-key hashes of the outer
+	// batch (non-empty key), computed once per reset and reused by
+	// every kernel instead of re-hashing per probe.
+	outerHash []uint64
+	// byStart orders outer positions by V.Start (pure time-join, and
+	// the sweep kernel's outer event sequence). For keyed matchers it
+	// is built lazily on the first batch the sweep accepts, so batches
+	// the cost guard routes to hash probing never pay the sort.
+	byStart      []int32
+	byStartStale bool
+	sorter       startSorter // reusable, allocation-free index sorter
+	sw           sweepScratch
 }
 
 func newMatcher(plan *schema.JoinPlan, outer []tuple.Tuple) *matcher {
@@ -77,41 +134,84 @@ func newMatcher(plan *schema.JoinPlan, outer []tuple.Tuple) *matcher {
 }
 
 func newPredMatcher(plan *schema.JoinPlan, pred Predicate, outer []tuple.Tuple) *matcher {
-	m := &matcher{plan: plan, pred: pred}
+	return newKernelMatcher(plan, pred, KernelDefault, outer)
+}
+
+func newKernelMatcher(plan *schema.JoinPlan, pred Predicate, kernel Kernel, outer []tuple.Tuple) *matcher {
+	m := &matcher{plan: plan, pred: pred, kernel: kernel.resolve()}
 	if len(plan.LeftJoinIdx) > 0 {
 		m.byKey = make(map[uint64][]int32, len(outer))
+		if m.kernel == KernelSweep {
+			m.sw.init()
+		}
 	}
 	m.reset(outer)
 	return m
 }
 
+// keyed reports whether the join has explicit join attributes.
+func (m *matcher) keyed() bool { return m.byKey != nil }
+
 // reset rebuilds the matcher over a new outer batch, reusing the hash
-// buckets / index slice allocated by previous batches. The partition
+// buckets / index slices allocated by previous batches. The partition
 // join rebuilds its two matchers once per partition, so the reuse keeps
 // the per-partition allocation churn flat.
 func (m *matcher) reset(outer []tuple.Tuple) {
 	m.outer = outer
-	if m.byKey != nil {
+	if m.keyed() {
 		// Truncate buckets in place instead of clearing the map: the
 		// bucket slices (and the map's own buckets) are reused across
 		// batches, so steady-state resets allocate almost nothing.
 		for k := range m.byKey {
 			m.byKey[k] = m.byKey[k][:0]
 		}
+		m.outerHash = m.outerHash[:0]
+		m.keys = 0
 		for i, x := range outer {
-			h := tuple.KeyAt(x, m.plan.LeftJoinIdx).Hash()
-			m.byKey[h] = append(m.byKey[h], int32(i))
+			h := tuple.HashAt(x, m.plan.LeftJoinIdx)
+			m.outerHash = append(m.outerHash, h)
+			b := m.byKey[h]
+			if len(b) == 0 {
+				m.keys++
+			}
+			m.byKey[h] = append(b, int32(i))
 		}
+		m.byStartStale = true
 		return
 	}
+	m.buildByStart()
+}
+
+// buildByStart (re)builds the start-ordered outer event sequence.
+func (m *matcher) buildByStart() {
 	m.byStart = m.byStart[:0]
-	for i := range outer {
+	for i := range m.outer {
 		m.byStart = append(m.byStart, int32(i))
 	}
-	sort.Slice(m.byStart, func(a, b int) bool {
-		return outer[m.byStart[a]].V.Start < outer[m.byStart[b]].V.Start
-	})
+	m.sorter.idx, m.sorter.ts = m.byStart, m.outer
+	sort.Sort(&m.sorter)
+	m.sorter.ts = nil
+	m.byStartStale = false
 }
+
+// startSorter orders an index slice by the start chronon of the tuples
+// it points into, breaking ties by position so the order is a
+// deterministic function of the batch. It implements sort.Interface on
+// a pointer receiver so sorting allocates nothing.
+type startSorter struct {
+	idx []int32
+	ts  []tuple.Tuple
+}
+
+func (s *startSorter) Len() int { return len(s.idx) }
+func (s *startSorter) Less(i, j int) bool {
+	a, b := s.ts[s.idx[i]].V.Start, s.ts[s.idx[j]].V.Start
+	if a != b {
+		return a < b
+	}
+	return s.idx[i] < s.idx[j]
+}
+func (s *startSorter) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
 
 // accepts applies the time predicate; the fast path skips Allen
 // classification for the default intersection predicate (Combine
@@ -129,12 +229,51 @@ func (m *matcher) probe(y tuple.Tuple, emit func(tuple.Tuple) error) error {
 	return m.probeIdx(y, func(_ int32, z tuple.Tuple) error { return emit(z) })
 }
 
+// probeBatch joins a batch of inner tuples (typically one page's
+// worth) against the outer batch. The sweep kernel endpoint-sorts the
+// batch and plane-sweeps it against the start-ordered outer batch; the
+// scan kernel probes tuple by tuple in batch order. Both emit exactly
+// the pairs probeIdx would emit, possibly in a different order.
+func (m *matcher) probeBatch(ys []tuple.Tuple, emit func(outerIdx int32, z tuple.Tuple) error) error {
+	if m.kernel == KernelSweep {
+		if !m.keyed() {
+			return m.sweepTime(ys, emit)
+		}
+		if m.sweepWorthKeyed(len(ys)) {
+			return m.sweepKeyed(ys, emit)
+		}
+	}
+	for i := range ys {
+		if err := m.probeIdx(ys[i], emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepWorthKeyed estimates whether a batch plane sweep beats
+// per-tuple hash probing for a keyed join. The sweep walks every
+// outer and inner event once: ~len(outer) + batch operations per
+// batch. Hash probing walks the matching bucket per inner tuple:
+// ~batch × len(outer)/keys. The sweep pays off only when the batch is
+// large enough to amortize the outer event walk — roughly when the
+// number of distinct keys is below the batch size. Without the guard,
+// a sparse-keyed workload (where the hash probe is already O(1))
+// would pay the full outer walk for every batch.
+func (m *matcher) sweepWorthKeyed(batch int) bool {
+	if m.keys == 0 {
+		return false
+	}
+	return batch*len(m.outer) > (len(m.outer)+batch)*m.keys
+}
+
 // probeIdx is probe exposing which outer-batch position matched; the
 // partition join's outer-coverage tracking (valid-time outer joins)
-// needs it.
+// needs it. This is the hash path: one in-place key hash per probe,
+// zero allocations.
 func (m *matcher) probeIdx(y tuple.Tuple, emit func(outerIdx int32, z tuple.Tuple) error) error {
 	if m.byKey != nil {
-		h := tuple.KeyAt(y, m.plan.RightJoinIdx).Hash()
+		h := tuple.HashAt(y, m.plan.RightJoinIdx)
 		for _, i := range m.byKey[h] {
 			if !m.accepts(m.outer[i], y) {
 				continue

@@ -1,0 +1,148 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/cost"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+// KernelBenchSpec describes one in-memory matching microbenchmark: an
+// outer batch joined against a stream of inner batches, the pure CPU
+// workload both kernels compete on. No disk I/O is involved, so the
+// measured times isolate the kernels themselves.
+type KernelBenchSpec struct {
+	// Name labels the spec in reports.
+	Name string
+	// OuterTuples and InnerTuples are the two cardinalities.
+	OuterTuples, InnerTuples int
+	// Keys is the number of distinct join-key values; 0 builds a pure
+	// time-join (no shared attributes).
+	Keys int64
+	// Lifespan is the span tuple starts are drawn from; Duration is the
+	// (fixed) interval length. Longer durations mean more overlap.
+	Lifespan, Duration int64
+	// Batch is the inner batch size per probeBatch call, emulating the
+	// page-at-a-time arrival of the disk-based algorithms.
+	Batch int
+	// Seed drives generation.
+	Seed int64
+}
+
+// KernelBenchResult is one kernel's measurement on one spec.
+type KernelBenchResult struct {
+	Spec   string
+	Kernel string
+	// Pairs is the number of result pairs emitted (identical across
+	// kernels — verified).
+	Pairs int64
+	// Wall and CPU are the elapsed and process-CPU time of the probe
+	// loop (excluding data generation and matcher construction).
+	Wall, CPU time.Duration
+	// TuplesPerSec is inner tuples processed per wall-clock second.
+	TuplesPerSec float64
+}
+
+func (s KernelBenchSpec) validate() error {
+	if s.OuterTuples <= 0 || s.InnerTuples <= 0 {
+		return fmt.Errorf("join: kernel bench %q: need positive cardinalities", s.Name)
+	}
+	if s.Lifespan <= 0 || s.Duration < 0 {
+		return fmt.Errorf("join: kernel bench %q: need positive lifespan", s.Name)
+	}
+	if s.Batch <= 0 {
+		return fmt.Errorf("join: kernel bench %q: need positive batch size", s.Name)
+	}
+	return nil
+}
+
+// benchSchemas builds the left/right schemas: sharing one "key" column
+// when keyed, sharing nothing for the pure time-join.
+func (s KernelBenchSpec) benchSchemas() (*schema.Schema, *schema.Schema) {
+	if s.Keys > 0 {
+		return schema.MustNew(
+				schema.Column{Name: "key", Kind: value.KindInt},
+				schema.Column{Name: "a", Kind: value.KindInt},
+			), schema.MustNew(
+				schema.Column{Name: "key", Kind: value.KindInt},
+				schema.Column{Name: "b", Kind: value.KindInt},
+			)
+	}
+	return schema.MustNew(schema.Column{Name: "a", Kind: value.KindInt}),
+		schema.MustNew(schema.Column{Name: "b", Kind: value.KindInt})
+}
+
+func (s KernelBenchSpec) generate(rng *rand.Rand, n int) []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		st := chronon.Chronon(rng.Int63n(s.Lifespan))
+		iv := chronon.New(st, st+chronon.Chronon(s.Duration))
+		if s.Keys > 0 {
+			out = append(out, tuple.New(iv, value.Int(rng.Int63n(s.Keys)), value.Int(int64(i))))
+		} else {
+			out = append(out, tuple.New(iv, value.Int(int64(i))))
+		}
+	}
+	return out
+}
+
+// RunKernelBench measures both kernels on identical data, returning
+// the scan result first. It fails if the kernels disagree on the pair
+// count or an order-insensitive result checksum — a cheap differential
+// check riding along with every benchmark run.
+func RunKernelBench(spec KernelBenchSpec) ([]KernelBenchResult, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	ls, rs := spec.benchSchemas()
+	plan, err := schema.PlanNaturalJoin(ls, rs)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	outer := spec.generate(rng, spec.OuterTuples)
+	inner := spec.generate(rng, spec.InnerTuples)
+
+	results := make([]KernelBenchResult, 0, 2)
+	var wantPairs, wantSum int64 = -1, 0
+	for _, k := range []Kernel{KernelScan, KernelSweep} {
+		m := newKernelMatcher(plan, chronon.MaskIntersects, k, outer)
+		var pairs, sum int64
+		emit := func(_ int32, z tuple.Tuple) error {
+			pairs++
+			sum += int64(z.V.Start) ^ int64(z.V.End)<<1
+			return nil
+		}
+		wallStart, cpuStart := time.Now(), cost.ProcessCPUTime()
+		for lo := 0; lo < len(inner); lo += spec.Batch {
+			hi := lo + spec.Batch
+			if hi > len(inner) {
+				hi = len(inner)
+			}
+			if err := m.probeBatch(inner[lo:hi], emit); err != nil {
+				return nil, err
+			}
+		}
+		wall, cpu := time.Since(wallStart), cost.ProcessCPUTime()-cpuStart
+		if wantPairs < 0 {
+			wantPairs, wantSum = pairs, sum
+		} else if pairs != wantPairs || sum != wantSum {
+			return nil, fmt.Errorf("join: kernel bench %q: %v emitted %d pairs (checksum %#x), scan emitted %d (%#x)",
+				spec.Name, k, pairs, sum, wantPairs, wantSum)
+		}
+		tps := 0.0
+		if wall > 0 {
+			tps = float64(spec.InnerTuples) / wall.Seconds()
+		}
+		results = append(results, KernelBenchResult{
+			Spec: spec.Name, Kernel: k.String(),
+			Pairs: pairs, Wall: wall, CPU: cpu, TuplesPerSec: tps,
+		})
+	}
+	return results, nil
+}

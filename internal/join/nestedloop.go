@@ -38,6 +38,9 @@ type NestedLoopConfig struct {
 	// byte-identical either way; the switch exists for determinism
 	// tests and order-sensitive fault plans.
 	Sequential bool
+	// Kernel selects the in-memory matching kernel (default: sweep).
+	// Results and I/O counters are identical across kernels.
+	Kernel Kernel
 }
 
 // NestedLoop evaluates r ⋈V s by block nested loops: each block of
@@ -83,7 +86,7 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 	}
 	// The outer batch and matcher reuse their allocations across blocks.
 	var outer []tuple.Tuple
-	m := newPredMatcher(plan, pred, nil)
+	m := newKernelMatcher(plan, pred, cfg.Kernel, nil)
 	for lo := 0; lo < rPages; lo += blockPages {
 		hi := lo + blockPages
 		if hi > rPages {
@@ -117,14 +120,7 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 		// ahead of the probing.
 		err = forEachPage(pool, sPages, depth,
 			func(idx int, dst *page.Page) error { return s.ReadPage(idx, dst) },
-			func(ts []tuple.Tuple) error {
-				for _, y := range ts {
-					if err := m.probeIdx(y, emit); err != nil {
-						return err
-					}
-				}
-				return nil
-			})
+			func(ts []tuple.Tuple) error { return m.probeBatch(ts, emit) })
 		if err != nil {
 			return nil, err
 		}

@@ -59,6 +59,9 @@ type PartitionConfig struct {
 	// the switch exists for those tests and for fault plans whose
 	// count-based triggers depend on the global operation order.
 	Sequential bool
+	// Kernel selects the in-memory matching kernel (default: sweep).
+	// Results and I/O counters are identical across kernels.
+	Kernel Kernel
 }
 
 // PartitionStats describes one partition-join execution.
@@ -161,7 +164,7 @@ func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig)
 	if cfg.Sequential {
 		depth = 0
 	}
-	if err := joinPartitions(plan, pred, d, parting, rp, sp, sink, cfg.LeftFragments, cfg.MemoryPages, depth, stats); err != nil {
+	if err := joinPartitions(plan, pred, cfg.Kernel, d, parting, rp, sp, sink, cfg.LeftFragments, cfg.MemoryPages, depth, stats); err != nil {
 		return nil, nil, err
 	}
 	if err := sink.Flush(); err != nil {
@@ -335,7 +338,7 @@ func (c *tupleCache) drop() error {
 // cache join to new outer tuples removes the duplicates without losing
 // any pair: the pair (x, y) is produced exactly at
 // i = min(last(x), last(y)), where at least one side is new.)
-func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting partition.Partitioning,
+func joinPartitions(plan *schema.JoinPlan, pred Predicate, kernel Kernel, d *disk.Disk, parting partition.Partitioning,
 	rp, sp *partition.Partitioned, sink relation.Sink, leftFrag relation.Sink, memoryPages, depth int, stats *PartitionStats) error {
 
 	budget := buffer.MustBudget(memoryPages)
@@ -390,8 +393,8 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting
 	// The matchers and the spill staging slice are rebuilt every
 	// partition but reuse their allocations (hash buckets, index
 	// slices) across iterations.
-	matchNew := newPredMatcher(plan, pred, nil)
-	matchAll := newPredMatcher(plan, pred, nil)
+	matchNew := newKernelMatcher(plan, pred, kernel, nil)
+	matchAll := newKernelMatcher(plan, pred, kernel, nil)
 	var spillFileTuples []tuple.Tuple
 
 	for i := n - 1; i >= 0; i-- {
@@ -483,11 +486,14 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting
 		cache.file, cache.pages = 0, 0
 		cache.page.Reset()
 
+		// The probes are CPU-only and the retains run afterwards in the
+		// same storage order as before, so the cache's page packing —
+		// and with it every I/O counter — is independent of the kernel.
 		for _, group := range [][]tuple.Tuple{memCached, spillFileTuples} {
+			if err := matchNew.probeBatch(group, emitNew); err != nil {
+				return err
+			}
 			for _, y := range group {
-				if err := matchNew.probeIdx(y, emitNew); err != nil {
-					return err
-				}
 				if _, err := retain(y); err != nil {
 					return err
 				}
@@ -507,10 +513,10 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, d *disk.Disk, parting
 		err = forEachPage(pool, sp.Pages(i), depth,
 			func(idx int, dst *page.Page) error { return sp.ReadPage(i, idx, dst) },
 			func(ts []tuple.Tuple) error {
+				if err := matchAll.probeBatch(ts, emitAll); err != nil {
+					return err
+				}
 				for _, y := range ts {
-					if err := matchAll.probeIdx(y, emitAll); err != nil {
-						return err
-					}
 					if _, err := retain(y); err != nil {
 						return err
 					}

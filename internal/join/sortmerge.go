@@ -33,6 +33,9 @@ type SortMergeConfig struct {
 	// either way; the switch exists for determinism tests and
 	// order-sensitive fault plans.
 	Sequential bool
+	// Kernel selects the in-memory matching kernel (default: sweep).
+	// Results and I/O counters are identical across kernels.
+	Kernel Kernel
 }
 
 // SortMergeStats reports merge-phase behaviour: how much backing up
@@ -95,6 +98,7 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 	m := &merger{
 		plan:       plan,
 		pred:       pred,
+		kernel:     cfg.Kernel.resolve(),
 		d:          d,
 		sink:       sink,
 		stats:      stats,
@@ -103,6 +107,14 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 	}
 	m.sides[0] = newMergeSide(sortedR, d)
 	m.sides[1] = newMergeSide(sortedS, d)
+	if m.kernel == KernelSweep && len(plan.LeftJoinIdx) > 0 {
+		// The sweep kernel buckets each live window by join-key hash so
+		// a merge step probes only its own key's bucket instead of
+		// scanning the whole window. The pruning, eviction, and spill
+		// bookkeeping — everything that determines I/O — is untouched.
+		m.sides[0].liveIdx = newLiveIndex(plan.LeftJoinIdx)
+		m.sides[1].liveIdx = newLiveIndex(plan.RightJoinIdx)
+	}
 	if err := m.run(); err != nil {
 		return nil, nil, err
 	}
@@ -132,6 +144,22 @@ type mergeSide struct {
 	// other side may still match.
 	live      []tuple.Tuple
 	liveBytes int
+	// liveIdx, under the sweep kernel of a keyed join, buckets the live
+	// window by join-key hash with lazy gapless compaction. It lags
+	// behind prune (pruned tuples linger in their buckets until a probe
+	// walks past them — the probe horizon also excludes them, so they
+	// can never emit) and is rebuilt after evictions, which remove
+	// tuples the lazy criterion cannot see. idxActive gates it by
+	// window size and key repetition: a window below liveIndexMin
+	// tuples — or one whose join keys are mostly unique, leaving
+	// singleton buckets — scans faster than it can pay the per-step
+	// map churn. The index activates only when the window grows past
+	// the threshold with repeating keys (rebuilding from the window)
+	// and retires when it shrinks well below it; idxRetry defers the
+	// next activation attempt after a uniqueness rejection.
+	liveIdx   *liveIndex
+	idxActive bool
+	idxRetry  int
 
 	// spill: live tuples evicted from memory.
 	spillFile   disk.FileID
@@ -186,6 +214,7 @@ func (s *mergeSide) pop() tuple.Tuple {
 type merger struct {
 	plan       *schema.JoinPlan
 	pred       Predicate
+	kernel     Kernel // resolved
 	d          *disk.Disk
 	sink       relation.Sink
 	stats      *SortMergeStats
@@ -264,13 +293,33 @@ func (m *merger) step(b int) error {
 	// every future start, so tuples ending before it are dead for good.
 	other.prune(z.V.Start)
 
-	// Probe the other side's in-memory live window.
-	for _, w := range other.live {
-		if w.V.End < z.V.Start || w.V.Start > z.V.End {
-			continue
+	other.retireIndexIfSmall()
+
+	// Probe the other side's in-memory live window: the sweep kernel
+	// touches only z's key bucket (compacting it in place); the scan
+	// kernel walks the whole window.
+	if other.idxActive {
+		keyIdx := m.plan.LeftJoinIdx
+		if b == 1 {
+			keyIdx = m.plan.RightJoinIdx
 		}
-		if err := m.emitOriented(b, z, w); err != nil {
+		err := other.liveIdx.probe(tuple.HashAt(z, keyIdx), z.V.Start, func(w tuple.Tuple) error {
+			if w.V.Start > z.V.End {
+				return nil
+			}
+			return m.emitOriented(b, z, w)
+		})
+		if err != nil {
 			return err
+		}
+	} else {
+		for _, w := range other.live {
+			if w.V.End < z.V.Start || w.V.Start > z.V.End {
+				continue
+			}
+			if err := m.emitOriented(b, z, w); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -301,6 +350,23 @@ func (m *merger) step(b int) error {
 	return m.addLive(b, z)
 }
 
+// liveIndexMin is the window size at which the live index activates;
+// below it, scanning the window beats the index's map churn.
+const liveIndexMin = 64
+
+// retireIndexIfSmall drops the live index when the window has shrunk
+// far below the activation threshold (hysteresis avoids thrashing at
+// the boundary).
+func (s *mergeSide) retireIndexIfSmall() {
+	if s.idxActive && len(s.live) < liveIndexMin/2 {
+		s.liveIdx.rebuild(nil)
+		s.idxActive = false
+		// Size retirement, not a uniqueness rejection: the window's
+		// keys were repeating, so reactivate as soon as it regrows.
+		s.idxRetry = 0
+	}
+}
+
 // prune drops dead tuples from the live window.
 func (s *mergeSide) prune(minStart chronon.Chronon) {
 	kept := s.live[:0]
@@ -323,6 +389,21 @@ func (m *merger) addLive(b int, z tuple.Tuple) error {
 	s := m.sides[b]
 	s.live = append(s.live, z)
 	s.liveBytes += tupleBytes(z)
+	if s.idxActive {
+		s.liveIdx.add(z)
+	} else if s.liveIdx != nil && len(s.live) >= liveIndexMin && len(s.live) >= s.idxRetry {
+		// Activate only when keys actually repeat in the window (the
+		// average bucket holds at least two tuples): on a unique-key
+		// window every probe's bucket is a singleton, so the index can
+		// only add map churn to what a plain scan already does. After
+		// a failed attempt, don't retry until the window has doubled.
+		if distinct := s.liveIdx.rebuild(s.live); len(s.live) >= 2*distinct {
+			s.idxActive = true
+		} else {
+			s.liveIdx.rebuild(nil)
+			s.idxRetry = 2 * len(s.live)
+		}
+	}
 	if m.sides[0].liveBytes+m.sides[1].liveBytes <= m.liveBudget {
 		return nil
 	}
@@ -348,6 +429,14 @@ func (m *merger) addLive(b int, z tuple.Tuple) error {
 	}
 	victim.live = victim.live[:cut]
 	victim.liveBytes = bytes
+	if victim.idxActive {
+		// Eviction removed window tuples the lazy bucket compaction
+		// cannot detect (their ends are the largest, not the smallest);
+		// without a rebuild they would emit twice — once from their
+		// stale bucket and once from the spill-file probes.
+		victim.liveIdx.rebuild(victim.live)
+		victim.retireIndexIfSmall()
+	}
 
 	// Flush probes pending on this spill before it grows, preserving
 	// the stable-spill invariant.
@@ -399,10 +488,11 @@ func (m *merger) flushPending(si int) error {
 				continue // dead for every pending and future tuple
 			}
 			survivors = append(survivors, w)
-			for _, z := range batch.candidates(w) {
-				if err := m.emitOriented(1-si, z, w); err != nil {
-					return err
-				}
+			err := batch.forCandidates(w, func(z tuple.Tuple) error {
+				return m.emitOriented(1-si, z, w)
+			})
+			if err != nil {
+				return err
 			}
 		}
 	}
@@ -434,33 +524,35 @@ func newOrientedBatch(plan *schema.JoinPlan, batch []tuple.Tuple, side int) *ori
 		}
 		ob.byKey = make(map[uint64][]int32, len(batch))
 		for i, t := range batch {
-			h := tuple.KeyAt(t, idx).Hash()
+			h := tuple.HashAt(t, idx)
 			ob.byKey[h] = append(ob.byKey[h], int32(i))
 		}
 	}
 	return ob
 }
 
-// candidates returns the batch tuples that may match w (exact checks
-// happen in Combine).
-func (ob *orientedBatch) candidates(w tuple.Tuple) []tuple.Tuple {
+// forCandidates calls fn for each batch tuple that may match w (exact
+// checks happen in Combine), hashing w's key in place — no allocation
+// per spilled tuple.
+func (ob *orientedBatch) forCandidates(w tuple.Tuple, fn func(z tuple.Tuple) error) error {
 	if ob.byKey == nil {
-		return ob.batch
+		for _, z := range ob.batch {
+			if err := fn(z); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	idx := ob.plan.RightJoinIdx
 	if ob.side == 1 {
 		idx = ob.plan.LeftJoinIdx
 	}
-	h := tuple.KeyAt(w, idx).Hash()
-	positions := ob.byKey[h]
-	if len(positions) == 0 {
-		return nil
+	for _, p := range ob.byKey[tuple.HashAt(w, idx)] {
+		if err := fn(ob.batch[p]); err != nil {
+			return err
+		}
 	}
-	out := make([]tuple.Tuple, len(positions))
-	for i, p := range positions {
-		out[i] = ob.batch[p]
-	}
-	return out
+	return nil
 }
 
 // spillTuples appends tuples to side s's spill file.

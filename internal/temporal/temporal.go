@@ -183,14 +183,10 @@ func aggregateOverTime(r *relation.Relation, weight func(tuple.Tuple) (int64, er
 	return out, nil
 }
 
-func valuesHash(vs []value.Value) uint64 {
-	h := uint64(1469598103934665603)
-	for _, v := range vs {
-		h ^= v.Hash()
-		h *= 1099511628211
-	}
-	return h
-}
+// valuesHash groups tuples by attribute values; it shares the
+// order-sensitive key combiner of the join layer so permuted or
+// repeated values do not collide.
+func valuesHash(vs []value.Value) uint64 { return tuple.JoinKey(vs).Hash() }
 
 func valuesEqual(a, b []value.Value) bool {
 	if len(a) != len(b) {

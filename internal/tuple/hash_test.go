@@ -1,0 +1,75 @@
+package tuple
+
+import (
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/value"
+)
+
+// TestKeyHashOrderSensitive is the collision regression test for the
+// key combiner: the old XOR fold was commutative in its element hashes
+// (permuted keys collided) and cancelled repeated values pairwise. The
+// multiply-mix chain must keep all permutations and repetitions
+// distinct.
+func TestKeyHashOrderSensitive(t *testing.T) {
+	a, b, c := value.Int(1), value.Int(2), value.String_("x")
+
+	keys := []JoinKey{
+		// All permutations of a 3-attribute key.
+		{a, b, c}, {a, c, b}, {b, a, c}, {b, c, a}, {c, a, b}, {c, b, a},
+		// Repeated values in different positions: a plain XOR fold
+		// cancels the pair {a, a} to the basis, colliding with {b, b}.
+		{a, a}, {b, b}, {a, a, b}, {a, b, a}, {b, a, a},
+		// Prefixes must not collide with their extensions.
+		{a}, {a, b},
+	}
+	seen := make(map[uint64]JoinKey, len(keys))
+	for _, k := range keys {
+		h := k.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("keys %v and %v collide on %#x", prev, k, h)
+		}
+		seen[h] = k
+	}
+}
+
+// TestKeyHashEqualKeysAgree pins the contract the hash-join buckets
+// rely on: equal keys hash equally.
+func TestKeyHashEqualKeysAgree(t *testing.T) {
+	k1 := JoinKey{value.Int(7), value.String_("dept"), value.Bool(true)}
+	k2 := JoinKey{value.Int(7), value.String_("dept"), value.Bool(true)}
+	if !k1.Equal(k2) {
+		t.Fatal("keys should be equal")
+	}
+	if k1.Hash() != k2.Hash() {
+		t.Fatalf("equal keys hash differently: %#x vs %#x", k1.Hash(), k2.Hash())
+	}
+}
+
+// TestHashAtMatchesKeyAt: HashAt is the zero-allocation path; it must
+// agree bit-for-bit with materializing the key and hashing it.
+func TestHashAtMatchesKeyAt(t *testing.T) {
+	tu := New(chronon.New(3, 9),
+		value.Int(42), value.Float(3.5), value.String_("s"), value.Bytes([]byte{1, 2}), value.Null())
+	idxSets := [][]int{{}, {0}, {1, 3}, {4, 0, 2}, {0, 1, 2, 3, 4}, {2, 2}}
+	for _, idx := range idxSets {
+		if got, want := HashAt(tu, idx), KeyAt(tu, idx).Hash(); got != want {
+			t.Fatalf("HashAt(%v) = %#x, KeyAt().Hash() = %#x", idx, got, want)
+		}
+	}
+}
+
+// TestHashAtZeroAllocs: the in-place hash path must not allocate — it
+// runs once per probe in every join kernel.
+func TestHashAtZeroAllocs(t *testing.T) {
+	tu := New(chronon.New(0, 5),
+		value.Int(11), value.String_("abcdefgh"), value.Float(2.25), value.Bool(false))
+	idx := []int{0, 1, 2, 3}
+	var sink uint64
+	allocs := testing.AllocsPerRun(200, func() { sink += HashAt(tu, idx) })
+	if allocs != 0 {
+		t.Fatalf("HashAt allocates %.1f objects per run, want 0", allocs)
+	}
+	_ = sink
+}

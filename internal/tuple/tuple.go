@@ -221,12 +221,37 @@ func (k JoinKey) Equal(o JoinKey) bool {
 	return true
 }
 
-// Hash combines the value hashes of the key.
+// keyBasis seeds the key-hash chain; any odd constant with good bit
+// dispersion works (this is the golden-ratio constant of Fibonacci
+// hashing).
+const keyBasis = 0x9e3779b97f4a7c15
+
+// mixKey folds one value hash into the running key hash. The
+// avalanche between elements makes the combiner order-sensitive: it
+// replaces an XOR fold that was commutative in its element hashes (so
+// permuted multi-attribute keys collided) and cancelled repeated
+// values pairwise.
+func mixKey(h, vh uint64) uint64 { return value.Mix64(h ^ vh) }
+
+// Hash combines the value hashes of the key with an order-sensitive
+// multiply-mix chain. HashAt computes the same hash without
+// materializing a JoinKey.
 func (k JoinKey) Hash() uint64 {
-	h := uint64(1469598103934665603) // FNV offset basis
+	h := uint64(keyBasis)
 	for _, v := range k {
-		h ^= v.Hash()
-		h *= 1099511628211
+		h = mixKey(h, v.Hash())
+	}
+	return h
+}
+
+// HashAt hashes the join key of t at positions idx in place, without
+// building a JoinKey: HashAt(t, idx) == KeyAt(t, idx).Hash() for every
+// tuple, with zero allocations. Join kernels use it on the per-probe
+// hot path.
+func HashAt(t Tuple, idx []int) uint64 {
+	h := uint64(keyBasis)
+	for _, j := range idx {
+		h = mixKey(h, t.Values[j].Hash())
 	}
 	return h
 }

@@ -9,9 +9,7 @@
 package value
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 	"strings"
@@ -219,33 +217,55 @@ func bytesCompare(a, b []byte) int {
 	return 0
 }
 
+// FNV-1a parameters, used for the variable-length payload kinds.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Mix64 is a 64-bit finalizer (the splitmix64 avalanche): every input
+// bit affects every output bit. It is exposed so key combiners built on
+// Hash can reuse the same diffusion step.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // Hash returns a 64-bit hash of the value, suitable for hash-join style
-// bucketing. Equal values hash equally.
+// bucketing. Equal values hash equally. The computation is inline and
+// allocation-free — it sits on the per-probe hot path of every join
+// kernel. Fixed-width payloads go through a single multiply-mix;
+// strings and byte strings fold byte-wise FNV-1a and then avalanche.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
-	buf[0] = byte(v.kind)
 	switch v.kind {
 	case KindInt, KindBool:
-		binary.LittleEndian.PutUint64(buf[1:], uint64(v.i))
-		h.Write(buf[:])
+		return Mix64(uint64(v.kind)<<56 ^ uint64(v.i))
 	case KindFloat:
 		f := v.f
 		if math.IsNaN(f) {
 			f = math.NaN() // canonicalize NaN payloads
 		}
-		binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(f))
-		h.Write(buf[:])
+		return Mix64(uint64(v.kind)<<56 ^ math.Float64bits(f))
 	case KindString:
-		h.Write(buf[:1])
-		h.Write([]byte(v.s))
+		h := uint64(fnvOffset64)
+		h = (h ^ uint64(v.kind)) * fnvPrime64
+		for i := 0; i < len(v.s); i++ {
+			h = (h ^ uint64(v.s[i])) * fnvPrime64
+		}
+		return Mix64(h)
 	case KindBytes:
-		h.Write(buf[:1])
-		h.Write(v.b)
-	default:
-		h.Write(buf[:1])
+		h := uint64(fnvOffset64)
+		h = (h ^ uint64(v.kind)) * fnvPrime64
+		for _, c := range v.b {
+			h = (h ^ uint64(c)) * fnvPrime64
+		}
+		return Mix64(h)
 	}
-	return h.Sum64()
+	return Mix64(uint64(v.kind) << 56)
 }
 
 // String renders the value for humans: 42, 3.14, "text", 0x..., true.

@@ -93,6 +93,37 @@ func (p Predicate) mask() (chronon.Mask, error) {
 	return 0, fmt.Errorf("vtjoin: unknown predicate %d", p)
 }
 
+// Kernel selects the in-memory matching kernel every algorithm uses to
+// join tuples once they are resident. Results and I/O counters are
+// identical across kernels; only CPU time differs.
+type Kernel int
+
+// The available kernels.
+const (
+	// KernelAuto picks the sweep kernel.
+	KernelAuto Kernel = iota
+	// KernelSweep matches batches by an endpoint-sorted forward plane
+	// sweep with gapless active-tuple lists per join-key bucket (after
+	// Piatov et al., "Cache-Efficient Sweeping-Based Interval Joins").
+	KernelSweep
+	// KernelScan probes tuple by tuple against a hash index of the
+	// resident batch — the baseline the sweep kernel is measured
+	// against.
+	KernelScan
+)
+
+// String names the kernel.
+func (k Kernel) String() string { return k.internal().String() }
+
+func (k Kernel) internal() join.Kernel {
+	switch k {
+	case KernelScan:
+		return join.KernelScan
+	default:
+		return join.KernelSweep
+	}
+}
+
 // JoinType selects inner or outer join semantics.
 type JoinType int
 
@@ -148,6 +179,10 @@ type Options struct {
 	RandomCost float64
 	// Seed drives the partition join's sampling (default 1).
 	Seed int64
+	// Kernel selects the in-memory matching kernel (default: sweep).
+	// Join results and every I/O counter are identical across kernels;
+	// the knob exists for benchmarking and differential testing.
+	Kernel Kernel
 }
 
 func (o Options) withDefaults() Options {
@@ -304,11 +339,11 @@ func run(o Options, r, s *Relation, sink relation.Sink) (*cost.Report, Algorithm
 		switch o.Algorithm {
 		case AlgorithmNestedLoop:
 			rep, err := join.NestedLoop(r.internal(), s.internal(), sink,
-				join.NestedLoopConfig{MemoryPages: o.MemoryPages, TimePredicate: mask})
+				join.NestedLoopConfig{MemoryPages: o.MemoryPages, TimePredicate: mask, Kernel: o.Kernel.internal()})
 			return rep, AlgorithmNestedLoop, err
 		case AlgorithmSortMerge:
 			rep, _, err := join.SortMerge(r.internal(), s.internal(), sink,
-				join.SortMergeConfig{MemoryPages: o.MemoryPages, TimePredicate: mask})
+				join.SortMergeConfig{MemoryPages: o.MemoryPages, TimePredicate: mask, Kernel: o.Kernel.internal()})
 			return rep, AlgorithmSortMerge, err
 		case AlgorithmPartition:
 			rep, _, err := join.Partition(r.internal(), s.internal(), sink, join.PartitionConfig{
@@ -316,6 +351,7 @@ func run(o Options, r, s *Relation, sink relation.Sink) (*cost.Report, Algorithm
 				Weights:       cost.Ratio(o.RandomCost),
 				Rng:           rand.New(rand.NewSource(o.Seed)),
 				TimePredicate: mask,
+				Kernel:        o.Kernel.internal(),
 			})
 			return rep, AlgorithmPartition, err
 		}
@@ -342,6 +378,7 @@ func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink) 
 				TimePredicate: mask,
 				LeftFragments: frags,
 				Plan:          plan2,
+				Kernel:        o.Kernel.internal(),
 			})
 		}
 		rep, _, err := join.Partition(left.internal(), right.internal(), matches, join.PartitionConfig{
@@ -351,6 +388,7 @@ func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink) 
 			TimePredicate: mask,
 			LeftFragments: frags,
 			Plan:          plan2,
+			Kernel:        o.Kernel.internal(),
 		})
 		return rep, err
 	}
@@ -385,10 +423,12 @@ func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink) 
 		}
 		combined := &cost.Report{Algorithm: rep1.Algorithm}
 		for _, ph := range rep1.Phases {
-			combined.Add("pass1 "+ph.Name, ph.Counters)
+			ph.Name = "pass1 " + ph.Name
+			combined.AddPhase(ph)
 		}
 		for _, ph := range rep2.Phases {
-			combined.Add("pass2 "+ph.Name, ph.Counters)
+			ph.Name = "pass2 " + ph.Name
+			combined.AddPhase(ph)
 		}
 		return combined, o.Algorithm, nil
 	}
