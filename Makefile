@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare
+.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare explain-smoke
 
 all: check
 
@@ -43,3 +43,17 @@ bench-smoke:
 bench-compare:
 	$(GO) test -run '^$$' -bench 'ProbeBatch|Matcher' -benchmem ./internal/join/
 	$(GO) run ./cmd/vtbench -figure kernels -scale 64 -benchjson BENCH_pr3.json
+
+# End-to-end EXPLAIN/trace smoke: generate a small input pair, run
+# every algorithm with -explain -audit -trace, and let vtjoin's own
+# audit verify the written JSON sums exactly to the device counters.
+explain-smoke:
+	@tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/vtgen -tuples 3000 -longlived 200 -keys 40 -seed 1 -o $$tmp/left.csv; \
+	$(GO) run ./cmd/vtgen -tuples 3000 -longlived 200 -keys 40 -seed 2 -o $$tmp/right.csv; \
+	for algo in partition sortmerge nestedloop; do \
+		echo "== $$algo =="; \
+		$(GO) run ./cmd/vtjoin -algo $$algo -memory 32 -explain -audit \
+			-trace $$tmp/$$algo.json -o /dev/null $$tmp/left.csv $$tmp/right.csv || exit 1; \
+	done

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	vtbench [-figure 4|5|6|7|8|all|kernels] [-scale N] [-seed S] [-workers W]
-//	        [-benchjson F] [-cpuprofile F] [-memprofile F]
+//	        [-audit] [-benchjson F] [-cpuprofile F] [-memprofile F]
+//
+// -audit runs every sort-merge and partition join under the trace
+// invariant audits (exact counter attribution, partition coverage,
+// buffer-budget balance, cache-paging symmetry); the emitted figures
+// are identical, but any accounting violation fails the run.
 //
 // Scale divides the paper's tuple counts and memory sizes together
 // (preserving every ratio); -scale 1 runs the full 32 MiB-per-relation
@@ -40,6 +45,7 @@ func main() {
 	scale := flag.Int("scale", 16, "scale divisor on tuple counts and memory (1 = paper scale)")
 	seed := flag.Int64("seed", 1994, "base RNG seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent figure data points (1 = sequential; output is identical at any setting)")
+	audit := flag.Bool("audit", false, "run every join under the trace invariant audits (figures are identical; violations fail the run)")
 	benchjson := flag.String("benchjson", "", "with -figure kernels: also write the comparison as JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -63,6 +69,7 @@ func main() {
 	}
 	p.Seed = *seed
 	p.Workers = *workers
+	p.Audit = *audit
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

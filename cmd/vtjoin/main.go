@@ -8,13 +8,23 @@
 //	       [-type inner|left|right|full]
 //	       [-predicate intersects|contains|containedin|equal]
 //	       [-memory pages] [-ratio R] [-seed S] [-coalesce]
-//	       [-stats] [-o out.csv] left.csv right.csv
+//	       [-stats] [-explain] [-trace out.json] [-audit]
+//	       [-o out.csv] left.csv right.csv
 //
 // Tuples join when they agree on all shared column names and their
 // valid-time intervals satisfy the predicate; each result carries the
 // maximal overlap. Outer-join types additionally emit null-padded
 // tuples over the unmatched sub-intervals. With -stats, the per-phase
 // I/O cost report goes to standard error.
+//
+// -explain prints the execution trace to standard error: the span tree
+// with per-phase I/O and timings, and — for the partition join — the
+// planner's candidate cost curve (the paper's Figure 4) with the
+// chosen plan marked. -trace writes the same trace as JSON. -audit
+// additionally runs the invariant audits during evaluation (counter
+// attribution, partition coverage, buffer balance, cache-paging
+// symmetry) and, with -trace, re-reads the written JSON and verifies
+// its per-span counters sum exactly to the device's movement.
 package main
 
 import (
@@ -23,7 +33,10 @@ import (
 	"os"
 
 	vtjoin "vtjoin"
+	"vtjoin/internal/cost"
 	"vtjoin/internal/csvio"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/trace"
 )
 
 func main() {
@@ -35,6 +48,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "sampling seed (partition join)")
 	coalesce := flag.Bool("coalesce", false, "coalesce the result before writing")
 	stats := flag.Bool("stats", false, "print the per-phase I/O cost report to stderr")
+	explain := flag.Bool("explain", false, "print the execution trace and planner candidate curve to stderr")
+	traceOut := flag.String("trace", "", "write the execution trace as JSON to this file")
+	audit := flag.Bool("audit", false, "run the trace invariant audits (implies tracing); with -trace, also verify the written JSON sums to the device counters")
 	out := flag.String("o", "-", "output file (- for stdout)")
 	flag.Parse()
 
@@ -46,6 +62,8 @@ func main() {
 		MemoryPages: *memory,
 		RandomCost:  *ratio,
 		Seed:        *seed,
+		Trace:       *explain || *traceOut != "",
+		TraceAudit:  *audit,
 	}
 	switch *algoFlag {
 	case "partition":
@@ -97,6 +115,10 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("join: %w", err))
 	}
+	// Snapshot the counters now, before coalescing or writing the result
+	// adds I/O outside the trace: the -audit self-check below compares
+	// the written trace against exactly this movement.
+	joinIO := db.IOCounters()
 	result := res.Relation
 	if *coalesce {
 		result, err = vtjoin.Coalesce(result)
@@ -131,6 +153,62 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "  %-18s %10.0f\n", "total", res.Cost)
 	}
+
+	if *explain {
+		if err := trace.RenderExplain(os.Stderr, res.Trace, cost.Ratio(*ratio)); err != nil {
+			fatal(fmt.Errorf("explain: %w", err))
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, res.Trace); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		if *audit {
+			if err := validateTrace(*traceOut, joinIO); err != nil {
+				fatal(fmt.Errorf("trace audit: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "trace audit: %s sums exactly to the device counters\n", *traceOut)
+		}
+	}
+}
+
+func writeTrace(path string, span *vtjoin.TraceSpan) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := span.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// validateTrace re-reads a written trace and checks that its per-span
+// I/O counters sum exactly to the device's counter movement during the
+// join — the end-to-end form of the attribution invariant the audits
+// enforce in-process.
+func validateTrace(path string, joinIO vtjoin.IOCounters) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	parsed, err := trace.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	want := disk.Counters{
+		RandReads:  joinIO.RandomReads,
+		SeqReads:   joinIO.SequentialReads,
+		RandWrites: joinIO.RandomWrites,
+		SeqWrites:  joinIO.SequentialWrites,
+		Retries:    joinIO.Retries,
+	}
+	if got := parsed.Total(); got != want {
+		return fmt.Errorf("spans in %s total %+v but the device moved %+v", path, got, want)
+	}
+	return nil
 }
 
 func loadCSV(db *vtjoin.DB, path string) (*vtjoin.Relation, error) {

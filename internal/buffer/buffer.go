@@ -64,6 +64,16 @@ func (b *Budget) Reserve(name string, n int) (*Region, error) {
 	return &Region{b: b, name: name, pages: n}, nil
 }
 
+// CheckBalanced verifies that every reserved region has been released
+// back to the budget — the end-of-run invariant the trace audits
+// enforce. It returns an error naming the leaked regions.
+func (b *Budget) CheckBalanced() error {
+	if b.used == 0 && len(b.regions) == 0 {
+		return nil
+	}
+	return fmt.Errorf("buffer: %d pages still reserved at close (%s)", b.used, b)
+}
+
 // String describes current reservations, for diagnostics.
 func (b *Budget) String() string {
 	names := make([]string, 0, len(b.regions))

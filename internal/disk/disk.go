@@ -36,11 +36,11 @@ const DefaultMaxRetries = 3
 // the access and is charged again in its class; Retries records how
 // many of the class counts were fault-induced extras).
 type Counters struct {
-	RandReads  int64
-	SeqReads   int64
-	RandWrites int64
-	SeqWrites  int64
-	Retries    int64
+	RandReads  int64 `json:"randReads"`
+	SeqReads   int64 `json:"seqReads"`
+	RandWrites int64 `json:"randWrites"`
+	SeqWrites  int64 `json:"seqWrites"`
+	Retries    int64 `json:"retries"`
 }
 
 // Add returns the sum of two counter sets.

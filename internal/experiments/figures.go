@@ -9,6 +9,7 @@ import (
 	"vtjoin/internal/join"
 	"vtjoin/internal/partition"
 	"vtjoin/internal/relation"
+	"vtjoin/internal/trace"
 )
 
 // Algorithm names used across all figure rows.
@@ -43,23 +44,52 @@ func buildPair(p Params, longLivedScaled int) (*disk.Disk, *relation.Relation, *
 	return d, r, s, nil
 }
 
+// auditTracer returns a tracer running the invariant audits over r's
+// device, or nil when auditing is off (a nil tracer is a no-op, so the
+// join runs identically either way).
+func auditTracer(r *relation.Relation, name string, audit bool) *trace.Tracer {
+	if !audit {
+		return nil
+	}
+	return trace.New(r.Disk(), name, trace.Options{Audit: true})
+}
+
 // runSortMerge executes sort-merge once and returns its phase report
 // (counters are ratio-independent; weight them per ratio afterwards).
-func runSortMerge(r, s *relation.Relation, memoryPages int) (*cost.Report, error) {
+func runSortMerge(r, s *relation.Relation, memoryPages int, audit bool) (*cost.Report, error) {
 	var sink relation.CountSink
-	rep, _, err := join.SortMerge(r, s, &sink, join.SortMergeConfig{MemoryPages: memoryPages})
-	return rep, err
+	tr := auditTracer(r, "sort-merge", audit)
+	rep, _, err := join.SortMerge(r, s, &sink, join.SortMergeConfig{
+		MemoryPages: memoryPages,
+		Tracer:      tr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tr.Finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // runPartition executes the partition join under the given weights
 // (weights influence the chosen plan, so each ratio is a separate run).
-func runPartition(r, s *relation.Relation, memoryPages int, w cost.Weights, seed int64) (*cost.Report, *join.PartitionStats, error) {
+func runPartition(r, s *relation.Relation, memoryPages int, w cost.Weights, seed int64, audit bool) (*cost.Report, *join.PartitionStats, error) {
 	var sink relation.CountSink
-	return join.Partition(r, s, &sink, join.PartitionConfig{
+	tr := auditTracer(r, "partition-join", audit)
+	rep, stats, err := join.Partition(r, s, &sink, join.PartitionConfig{
 		MemoryPages: memoryPages,
 		Weights:     w,
 		Rng:         rand.New(rand.NewSource(seed)),
+		Tracer:      tr,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := tr.Finish(); err != nil {
+		return nil, nil, err
+	}
+	return rep, stats, nil
 }
 
 // Figure6MemoryMB and Figure6Ratios are the sweep axes of Figure 6.
@@ -103,7 +133,7 @@ func RunFigure6(p Params) ([]Row, error) {
 		}
 
 		// Sort-merge: one run; re-weight the counters per ratio.
-		smRep, err := runSortMerge(r, s, m)
+		smRep, err := runSortMerge(r, s, m, p.Audit)
 		if err != nil {
 			return nil, fmt.Errorf("figure 6: sort-merge at %d MB: %w", mb, err)
 		}
@@ -116,7 +146,7 @@ func RunFigure6(p Params) ([]Row, error) {
 
 		// Partition join: the plan depends on the ratio, so run each.
 		for _, ratio := range Figure6Ratios {
-			pjRep, _, err := runPartition(r, s, m, cost.Ratio(ratio), p.Seed+int64(mb*100)+int64(ratio))
+			pjRep, _, err := runPartition(r, s, m, cost.Ratio(ratio), p.Seed+int64(mb*100)+int64(ratio), p.Audit)
 			if err != nil {
 				return nil, fmt.Errorf("figure 6: partition join at %d MB %g:1: %w", mb, ratio, err)
 			}
@@ -182,7 +212,7 @@ func RunFigure7(p Params) ([]Row, error) {
 			Algorithm: AlgoNestedLoop, MemoryMB: Figure7MemoryMB, Ratio: Figure7Ratio, LongLived: ll,
 			Cost: join.NestedLoopCost(rPages, sPages, m, w),
 		})
-		smRep, err := runSortMerge(r, s, m)
+		smRep, err := runSortMerge(r, s, m, p.Audit)
 		if err != nil {
 			return nil, fmt.Errorf("figure 7: sort-merge at %d long-lived: %w", ll, err)
 		}
@@ -190,7 +220,7 @@ func RunFigure7(p Params) ([]Row, error) {
 			Algorithm: AlgoSortMerge, MemoryMB: Figure7MemoryMB, Ratio: Figure7Ratio, LongLived: ll,
 			Cost: smRep.Cost(w),
 		})
-		pjRep, _, err := runPartition(r, s, m, w, p.Seed+int64(ll))
+		pjRep, _, err := runPartition(r, s, m, w, p.Seed+int64(ll), p.Audit)
 		if err != nil {
 			return nil, fmt.Errorf("figure 7: partition join at %d long-lived: %w", ll, err)
 		}
@@ -237,7 +267,7 @@ func RunFigure8(p Params) ([]Row, error) {
 		}
 		var rows []Row
 		for _, mb := range Figure8MemoryMB {
-			rep, _, err := runPartition(r, s, p.MemoryPages(mb), w, p.Seed+int64(ll+mb))
+			rep, _, err := runPartition(r, s, p.MemoryPages(mb), w, p.Seed+int64(ll+mb), p.Audit)
 			if err != nil {
 				return nil, fmt.Errorf("figure 8: %d long-lived at %d MB: %w", ll, mb, err)
 			}

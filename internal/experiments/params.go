@@ -36,6 +36,13 @@ type Params struct {
 	// are identical for every Workers setting; only wall-clock time
 	// changes. The determinism tests assert the equality.
 	Workers int
+	// Audit runs every join under a tracing invariant audit (counter
+	// attribution, partition coverage, buffer balance, cache-paging
+	// symmetry); a violation fails the figure. Tracing changes neither
+	// results nor counters, so the emitted figures are identical with
+	// Audit on or off — it only converts silent accounting bugs into
+	// errors.
+	Audit bool
 }
 
 // FullScale are the paper's parameters at Scale 1.

@@ -14,6 +14,7 @@ import (
 	"vtjoin/internal/page"
 	"vtjoin/internal/prefetch"
 	"vtjoin/internal/relation"
+	"vtjoin/internal/trace"
 	"vtjoin/internal/tuple"
 )
 
@@ -76,12 +77,22 @@ func Sort(r *relation.Relation, less Less, memoryPages int) (*Sorted, error) {
 // depths; only wall-clock overlap changes. Merge passes interleave
 // reads across many run files under heap control and stay sequential.
 func SortDepth(r *relation.Relation, less Less, memoryPages, depth int) (*Sorted, error) {
+	return SortDepthTrace(r, less, memoryPages, depth, nil)
+}
+
+// SortDepthTrace is SortDepth recording per-phase spans — run
+// formation plus each merge pass — on tr (nil disables tracing; the
+// sort itself is unchanged). The pass-0 prefetch stream is fully
+// drained before the run-formation span closes, so each span's I/O
+// attribution is exact.
+func SortDepthTrace(r *relation.Relation, less Less, memoryPages, depth int, tr *trace.Tracer) (*Sorted, error) {
 	if memoryPages < 3 {
 		return nil, fmt.Errorf("extsort: need at least 3 buffer pages, got %d", memoryPages)
 	}
 	d := r.Disk()
 
 	// Pass 0: run generation.
+	tr.Begin("run formation")
 	var runs []*Sorted
 	buf := make([]tuple.Tuple, 0, 1024)
 	pagesInBuf := 0
@@ -136,8 +147,13 @@ func SortDepth(r *relation.Relation, less Less, memoryPages, depth int) (*Sorted
 		}
 	}
 	if err := flushRun(); err != nil {
+		tr.End()
 		return nil, err
 	}
+	tr.SetAttr("pagesIn", rPages)
+	tr.SetAttr("runs", len(runs))
+	tr.SetAttr("prefetchDepth", depth)
+	tr.End()
 	if len(runs) == 0 {
 		// Empty input: an empty sorted relation.
 		empty := relation.Create(d, r.Schema())
@@ -146,7 +162,9 @@ func SortDepth(r *relation.Relation, less Less, memoryPages, depth int) (*Sorted
 
 	// Merge passes: fan-in of memoryPages-1.
 	fanIn := memoryPages - 1
-	for len(runs) > 1 {
+	for pass := 1; len(runs) > 1; pass++ {
+		tr.Begin(fmt.Sprintf("merge pass %d", pass))
+		runsIn := len(runs)
 		var next []*Sorted
 		for lo := 0; lo < len(runs); lo += fanIn {
 			hi := lo + fanIn
@@ -155,16 +173,22 @@ func SortDepth(r *relation.Relation, less Less, memoryPages, depth int) (*Sorted
 			}
 			merged, err := mergeRuns(runs[lo:hi], less)
 			if err != nil {
+				tr.End()
 				return nil, err
 			}
 			for _, run := range runs[lo:hi] {
 				if err := run.Drop(); err != nil {
+					tr.End()
 					return nil, err
 				}
 			}
 			next = append(next, merged)
 		}
 		runs = next
+		tr.SetAttr("fanIn", fanIn)
+		tr.SetAttr("runsIn", runsIn)
+		tr.SetAttr("runsOut", len(runs))
+		tr.End()
 	}
 	return runs[0], nil
 }

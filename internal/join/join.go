@@ -127,6 +127,12 @@ type matcher struct {
 	byStartStale bool
 	sorter       startSorter // reusable, allocation-free index sorter
 	sw           sweepScratch
+	// sweepBatches / probeBatches count probeBatch's kernel decisions
+	// over the matcher's lifetime (across resets): batches handled by
+	// the plane sweep vs. per-tuple hash/scan probing. The trace layer
+	// surfaces them so the sweepWorthKeyed cost guard is observable.
+	sweepBatches int64
+	probeBatches int64
 }
 
 func newMatcher(plan *schema.JoinPlan, outer []tuple.Tuple) *matcher {
@@ -237,12 +243,15 @@ func (m *matcher) probe(y tuple.Tuple, emit func(tuple.Tuple) error) error {
 func (m *matcher) probeBatch(ys []tuple.Tuple, emit func(outerIdx int32, z tuple.Tuple) error) error {
 	if m.kernel == KernelSweep {
 		if !m.keyed() {
+			m.sweepBatches++
 			return m.sweepTime(ys, emit)
 		}
 		if m.sweepWorthKeyed(len(ys)) {
+			m.sweepBatches++
 			return m.sweepKeyed(ys, emit)
 		}
 	}
+	m.probeBatches++
 	for i := range ys {
 		if err := m.probeIdx(ys[i], emit); err != nil {
 			return err

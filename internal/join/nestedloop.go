@@ -10,6 +10,7 @@ import (
 	"vtjoin/internal/prefetch"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/schema"
+	"vtjoin/internal/trace"
 	"vtjoin/internal/tuple"
 )
 
@@ -41,6 +42,10 @@ type NestedLoopConfig struct {
 	// Kernel selects the in-memory matching kernel (default: sweep).
 	// Results and I/O counters are identical across kernels.
 	Kernel Kernel
+	// Tracer, when non-nil, records a span per outer block plus the
+	// kernel-guard decision counts. Tracing does not change results or
+	// counters.
+	Tracer *trace.Tracer
 }
 
 // NestedLoop evaluates r ⋈V s by block nested loops: each block of
@@ -84,6 +89,12 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 	if err != nil {
 		return nil, err
 	}
+	tr := cfg.Tracer
+	tr.Begin("join")
+	tr.SetAttr("blockPages", blockPages)
+	tr.SetAttr("prefetchDepth", depth)
+	tr.SetAttr("kernel", cfg.Kernel.String())
+
 	// The outer batch and matcher reuse their allocations across blocks.
 	var outer []tuple.Tuple
 	m := newKernelMatcher(plan, pred, cfg.Kernel, nil)
@@ -92,6 +103,7 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 		if hi > rPages {
 			hi = rPages
 		}
+		tr.Begin(fmt.Sprintf("block[%d..%d)", lo, hi))
 		// Load the outer block (1 random + (hi-lo-1) sequential reads),
 		// prefetching its pages ahead of the decode.
 		outer = outer[:0]
@@ -136,6 +148,8 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 				}
 			}
 		}
+		tr.SetAttr("outerTuples", len(outer))
+		tr.End()
 	}
 	if err := sink.Flush(); err != nil {
 		return nil, err
@@ -145,6 +159,9 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 			return nil, err
 		}
 	}
+	tr.SetAttr("kernelSweepBatches", m.sweepBatches)
+	tr.SetAttr("kernelProbeBatches", m.probeBatches)
+	tr.End()
 	meter.EndPhase("join")
 	return meter.Report(), nil
 }

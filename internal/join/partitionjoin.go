@@ -13,6 +13,7 @@ import (
 	"vtjoin/internal/prefetch"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/schema"
+	"vtjoin/internal/trace"
 	"vtjoin/internal/tuple"
 )
 
@@ -62,17 +63,25 @@ type PartitionConfig struct {
 	// Kernel selects the in-memory matching kernel (default: sweep).
 	// Results and I/O counters are identical across kernels.
 	Kernel Kernel
+	// Tracer, when non-nil, records per-phase and per-partition spans,
+	// the planner's candidate cost curve, tuple-cache volumes and
+	// kernel-guard decisions, and (with trace.Options.Audit) runs the
+	// invariant audits: partition coverage, partitioning structure,
+	// buffer-budget balance and cache paging symmetry. Tracing does not
+	// change results or counters.
+	Tracer *trace.Tracer
 }
 
 // PartitionStats describes one partition-join execution.
 type PartitionStats struct {
-	Partitions    int   // number of partitioning intervals used
-	PartSize      int   // planned outer partition size, pages
-	SamplesDrawn  int   // sample size backing the plan
-	CacheWrites   int64 // tuple-cache pages written
-	CacheReads    int64 // tuple-cache pages read
-	OverflowPages int   // worst-case pages by which the outer area overflowed
-	ThrashIO      int64 // spill/reload accesses caused by overflow
+	Partitions     int   // number of partitioning intervals used
+	PartSize       int   // planned outer partition size, pages
+	SamplesDrawn   int   // sample size backing the plan
+	CacheWrites    int64 // tuple-cache pages written
+	CacheReads     int64 // tuple-cache pages read
+	CachePagesPeak int   // largest spill file any partition handed over, in pages
+	OverflowPages  int   // worst-case pages by which the outer area overflowed
+	ThrashIO       int64 // spill/reload accesses caused by overflow
 }
 
 // Partition evaluates r ⋈V s with the paper's partition-join algorithm
@@ -106,15 +115,19 @@ func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig)
 		return nil, nil, err
 	}
 	d := r.Disk()
+	tr := cfg.Tracer
 	meter := cost.NewMeter(d, "partition-join")
 	stats := &PartitionStats{}
 	buffSize := cfg.MemoryPages - 3
 
 	// Phase 1: determine the partitioning intervals (Appendix A.2).
+	tr.Begin("plan")
 	var parting partition.Partitioning
+	var cacheEstPages []float64
 	if cfg.Partitioning != nil {
 		parting = *cfg.Partitioning
 		stats.PartSize = buffSize
+		tr.SetAttr("preset", true)
 	} else {
 		if cfg.Rng == nil {
 			return nil, nil, fmt.Errorf("join: PartitionConfig.Rng is required when no partitioning is given")
@@ -124,6 +137,7 @@ func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig)
 			Weights:       cfg.Weights,
 			Rng:           cfg.Rng,
 			CandidateStep: cfg.CandidateStep,
+			Tracer:        tr,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -131,13 +145,22 @@ func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig)
 		parting = plan.Partitioning
 		stats.PartSize = plan.PartSize
 		stats.SamplesDrawn = plan.SamplesDrawn
+		cacheEstPages = plan.CachePages
 	}
 	stats.Partitions = parting.N()
+	tr.AuditNow("partitioning-structure", parting.Validate)
+	tr.End()
 	meter.EndPhase("sample")
 
 	// Phase 2: Grace-partition both relations (Section 3.2). The two
 	// passes read disjoint inputs and write disjoint partition files,
 	// so they run concurrently with identical I/O accounting.
+	tr.Begin("partition")
+	engine := "concurrent"
+	if cfg.Sequential {
+		engine = "sequential"
+	}
+	tr.SetAttr("engine", engine)
 	var rp, sp *partition.Partitioned
 	if cfg.Sequential {
 		rp, err = partition.DoPartitioning(r, parting)
@@ -157,6 +180,20 @@ func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig)
 	}
 	defer rp.Drop()
 	defer sp.Drop()
+	recordPartitionTrace(tr, parting, rp, sp)
+	// Coverage/disjointness: last-overlap placement stores every tuple
+	// in exactly one partition, so the partition files must hold exactly
+	// the input cardinalities — no tuple lost, none replicated.
+	tr.AuditNow("partition-coverage", func() error {
+		if got, want := rp.TotalTuples(), r.Tuples(); got != want {
+			return fmt.Errorf("outer partitions hold %d tuples, relation has %d", got, want)
+		}
+		if got, want := sp.TotalTuples(), s.Tuples(); got != want {
+			return fmt.Errorf("inner partitions hold %d tuples, relation has %d", got, want)
+		}
+		return nil
+	})
+	tr.End()
 	meter.EndPhase("partition")
 
 	// Phase 3: join the partitions (Appendix A.1).
@@ -164,7 +201,10 @@ func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig)
 	if cfg.Sequential {
 		depth = 0
 	}
-	if err := joinPartitions(plan, pred, cfg.Kernel, d, parting, rp, sp, sink, cfg.LeftFragments, cfg.MemoryPages, depth, stats); err != nil {
+	tr.Begin("join")
+	tr.SetAttr("prefetchDepth", depth)
+	tr.SetAttr("kernel", cfg.Kernel.String())
+	if err := joinPartitions(plan, pred, cfg.Kernel, d, parting, rp, sp, sink, cfg.LeftFragments, cfg.MemoryPages, depth, stats, tr); err != nil {
 		return nil, nil, err
 	}
 	if err := sink.Flush(); err != nil {
@@ -175,8 +215,62 @@ func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig)
 			return nil, nil, err
 		}
 	}
+	tr.SetAttr("cacheWrites", stats.CacheWrites)
+	tr.SetAttr("cacheReads", stats.CacheReads)
+	tr.SetAttr("cachePagesPeak", stats.CachePagesPeak)
+	if est := maxFloat(cacheEstPages); est >= 0 {
+		// High-water vs. the plan's per-partition estimate: recorded for
+		// inspection (the estimate is statistical, not a bound).
+		tr.SetAttr("cacheEstPagesMax", est)
+	}
+	tr.SetAttr("overflowPages", stats.OverflowPages)
+	tr.SetAttr("thrashIO", stats.ThrashIO)
+	tr.End()
+	// Cache paging symmetry: every spilled cache page is written once
+	// and read back exactly once in the following partition.
+	tr.AuditAtFinish("cache-paging-symmetry", func() error {
+		if stats.CacheReads != stats.CacheWrites {
+			return fmt.Errorf("tuple cache wrote %d pages but read %d", stats.CacheWrites, stats.CacheReads)
+		}
+		return nil
+	})
 	meter.EndPhase("join")
 	return meter.Report(), stats, nil
+}
+
+// recordPartitionTrace attaches per-partition page/tuple counts to the
+// partitioning span.
+func recordPartitionTrace(tr *trace.Tracer, parting partition.Partitioning, rp, sp *partition.Partitioned) {
+	if !tr.Enabled() {
+		return
+	}
+	n := parting.N()
+	outerPages := make([]int, n)
+	innerPages := make([]int, n)
+	outerTuples := make([]int64, n)
+	innerTuples := make([]int64, n)
+	for i := 0; i < n; i++ {
+		outerPages[i] = rp.Pages(i)
+		innerPages[i] = sp.Pages(i)
+		outerTuples[i] = rp.Tuples(i)
+		innerTuples[i] = sp.Tuples(i)
+	}
+	tr.SetAttr("partitions", n)
+	tr.SetAttr("outerPages", outerPages)
+	tr.SetAttr("innerPages", innerPages)
+	tr.SetAttr("outerTuples", outerTuples)
+	tr.SetAttr("innerTuples", innerTuples)
+}
+
+// maxFloat returns the maximum of xs, or -1 when empty.
+func maxFloat(xs []float64) float64 {
+	m := -1.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 // outerArea models the in-memory outer-relation partition buffer of
@@ -303,6 +397,9 @@ func (c *tupleCache) flush() error {
 		return err
 	}
 	c.pages++
+	if c.pages > c.stats.CachePagesPeak {
+		c.stats.CachePagesPeak = c.pages
+	}
 	c.stats.CacheWrites++
 	c.page.Reset()
 	return nil
@@ -339,9 +436,12 @@ func (c *tupleCache) drop() error {
 // any pair: the pair (x, y) is produced exactly at
 // i = min(last(x), last(y)), where at least one side is new.)
 func joinPartitions(plan *schema.JoinPlan, pred Predicate, kernel Kernel, d *disk.Disk, parting partition.Partitioning,
-	rp, sp *partition.Partitioned, sink relation.Sink, leftFrag relation.Sink, memoryPages, depth int, stats *PartitionStats) error {
+	rp, sp *partition.Partitioned, sink relation.Sink, leftFrag relation.Sink, memoryPages, depth int, stats *PartitionStats, tr *trace.Tracer) error {
 
 	budget := buffer.MustBudget(memoryPages)
+	// Budget balance is only checkable after the deferred region
+	// releases below have run, i.e. once this function has returned.
+	tr.AuditAtFinish("buffer-budget-balance", budget.CheckBalanced)
 	buffSize := memoryPages - 3
 	outerRegion, err := budget.Reserve("outer partition", buffSize)
 	if err != nil {
@@ -398,6 +498,10 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, kernel Kernel, d *dis
 	var spillFileTuples []tuple.Tuple
 
 	for i := n - 1; i >= 0; i-- {
+		tr.Begin(fmt.Sprintf("p[%d]", i))
+		tr.SetAttr("outerPages", rp.Pages(i))
+		tr.SetAttr("innerPages", sp.Pages(i))
+		tr.SetAttr("cacheSpillPagesIn", cache.pages)
 		pi := parting.Interval(i)
 		var prev chronon.Interval // p_{i-1}; null for the first partition
 		if i > 0 {
@@ -526,11 +630,15 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, kernel Kernel, d *dis
 		if err != nil {
 			return err
 		}
+		tr.SetAttr("carriedOuterTuples", carried)
+		tr.End()
 	}
 	// Retire every remaining outer tuple: the sweep is complete.
 	if err := outer.purge(chronon.Null(), retire); err != nil {
 		return err
 	}
+	tr.SetAttr("kernelSweepBatches", matchNew.sweepBatches+matchAll.sweepBatches)
+	tr.SetAttr("kernelProbeBatches", matchNew.probeBatches+matchAll.probeBatches)
 	return cache.drop()
 }
 

@@ -12,6 +12,7 @@ import (
 	"vtjoin/internal/prefetch"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/schema"
+	"vtjoin/internal/trace"
 	"vtjoin/internal/tuple"
 )
 
@@ -36,6 +37,11 @@ type SortMergeConfig struct {
 	// Kernel selects the in-memory matching kernel (default: sweep).
 	// Results and I/O counters are identical across kernels.
 	Kernel Kernel
+	// Tracer, when non-nil, records per-phase spans (both sorts with
+	// their run-formation and merge passes, plus the merge) and the
+	// merge-phase statistics. Tracing does not change results or
+	// counters.
+	Tracer *trace.Tracer
 }
 
 // SortMergeStats reports merge-phase behaviour: how much backing up
@@ -44,6 +50,9 @@ type SortMergeStats struct {
 	InnerPageReads   int64 // input page fetches during the merge (both sides)
 	InnerPageRereads int64 // spill-file fetches (pages revisited after eviction)
 	SpillPagesPeak   int   // largest spill file seen, in pages
+	// LiveIndexActivations counts how often a live window's key index
+	// switched on (the sweep kernel's window-size/key-repetition guard).
+	LiveIndexActivations int64
 }
 
 // SortMerge evaluates r ⋈V s by sorting both relations on valid-time
@@ -71,22 +80,27 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 	d := r.Disk()
 	meter := cost.NewMeter(d, "sort-merge")
 
+	tr := cfg.Tracer
 	depth := prefetch.DepthFor(cfg.MemoryPages)
 	if cfg.Sequential {
 		depth = 0
 	}
-	sortedR, err := extsort.SortDepth(r, extsort.ByStartTime, cfg.MemoryPages, depth)
+	tr.Begin("sort outer")
+	sortedR, err := extsort.SortDepthTrace(r, extsort.ByStartTime, cfg.MemoryPages, depth, tr)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer sortedR.Drop()
+	tr.End()
 	meter.EndPhase("sort outer")
 
-	sortedS, err := extsort.SortDepth(s, extsort.ByStartTime, cfg.MemoryPages, depth)
+	tr.Begin("sort inner")
+	sortedS, err := extsort.SortDepthTrace(s, extsort.ByStartTime, cfg.MemoryPages, depth, tr)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer sortedS.Drop()
+	tr.End()
 	meter.EndPhase("sort inner")
 
 	stats := &SortMergeStats{}
@@ -115,12 +129,20 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 		m.sides[0].liveIdx = newLiveIndex(plan.LeftJoinIdx)
 		m.sides[1].liveIdx = newLiveIndex(plan.RightJoinIdx)
 	}
+	tr.Begin("merge")
 	if err := m.run(); err != nil {
 		return nil, nil, err
 	}
 	if err := sink.Flush(); err != nil {
 		return nil, nil, err
 	}
+	tr.SetAttr("kernel", cfg.Kernel.String())
+	tr.SetAttr("liveBudgetBytes", liveBudget)
+	tr.SetAttr("inputPageReads", stats.InnerPageReads)
+	tr.SetAttr("spillPageRereads", stats.InnerPageRereads)
+	tr.SetAttr("spillPagesPeak", stats.SpillPagesPeak)
+	tr.SetAttr("liveIndexActivations", stats.LiveIndexActivations)
+	tr.End()
 	meter.EndPhase("merge")
 	return meter.Report(), stats, nil
 }
@@ -399,6 +421,7 @@ func (m *merger) addLive(b int, z tuple.Tuple) error {
 		// a failed attempt, don't retry until the window has doubled.
 		if distinct := s.liveIdx.rebuild(s.live); len(s.live) >= 2*distinct {
 			s.idxActive = true
+			m.stats.LiveIndexActivations++
 		} else {
 			s.liveIdx.rebuild(nil)
 			s.idxRetry = 2 * len(s.live)

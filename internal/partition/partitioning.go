@@ -89,6 +89,26 @@ func (p Partitioning) Last(iv chronon.Interval) int {
 	return last
 }
 
+// Validate re-checks the structural invariants behind coverage and
+// disjointness: the interior cuts must be strictly increasing and lie
+// strictly inside (Beginning, Forever). Given that, the partitioning's
+// intervals are contiguous and cover the whole time-line by
+// construction. FromCuts enforces this at build time; Validate exists
+// for the trace audits, which re-verify rather than trust.
+func (p Partitioning) Validate() error {
+	prev := chronon.Beginning
+	for i, c := range p.cuts {
+		if c <= chronon.Beginning || c >= chronon.Forever {
+			return fmt.Errorf("partition: cut %d (%d) outside the representable time-line", i, c)
+		}
+		if i > 0 && c <= prev {
+			return fmt.Errorf("partition: cuts not strictly increasing at %d (%d <= %d)", i, c, prev)
+		}
+		prev = c
+	}
+	return nil
+}
+
 // Cuts returns a copy of the interior cut chronons.
 func (p Partitioning) Cuts() []chronon.Chronon {
 	out := make([]chronon.Chronon, len(p.cuts))

@@ -9,6 +9,7 @@ import (
 	"vtjoin/internal/cost"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/sampling"
+	"vtjoin/internal/trace"
 )
 
 // PlanConfig configures determinePartIntervals.
@@ -38,6 +39,9 @@ type PlanConfig struct {
 	// started from before discovering the Section 4.2 optimization.
 	// Exists for the ablation benchmarks; leave false in production.
 	DisableScanOptimization bool
+	// Tracer, when non-nil, records the candidate cost curve, sampler
+	// strategy switches and chosen plan on the current trace span.
+	Tracer *trace.Tracer
 }
 
 // Plan is the output of determinePartIntervals: the chosen partitioning
@@ -76,14 +80,22 @@ type Candidate struct {
 // sequential scan, it switches to the Section 4.2 optimization: scan
 // the relation once and serve any number of samples from it.
 type incrementalSampler struct {
-	r        *relation.Relation
-	w        cost.Weights
-	rng      *rand.Rand
-	drawn    []chronon.Interval
+	r     *relation.Relation
+	w     cost.Weights
+	rng   *rand.Rand
+	drawn []chronon.Interval
+	// drawer performs the per-sample random reads. It is created once
+	// and kept across top-ups so its taken-set makes the *cumulative*
+	// sample without-replacement; drawing each top-up independently
+	// would re-admit earlier tuples and bias later candidates'
+	// quantiles toward a with-replacement distribution.
+	drawer   *sampling.Drawer
 	scanned  bool
 	scanCost float64
 	spent    float64 // weighted I/O spent on sampling so far
+	topUps   int     // random-strategy Draw calls served
 	noScan   bool    // ablation: never switch to the scan strategy
+	tr       *trace.Tracer
 }
 
 func newIncrementalSampler(r *relation.Relation, w cost.Weights, rng *rand.Rand) (*incrementalSampler, error) {
@@ -99,10 +111,14 @@ func newIncrementalSampler(r *relation.Relation, w cost.Weights, rng *rand.Rand)
 }
 
 // planAhead tells the sampler the largest sample size any candidate
-// will request. If serving that demand by random reads would exceed a
-// scan anyway, the sampler scans immediately — the global form of the
-// Section 4.2 optimization, avoiding random draws that a later, larger
-// request would render redundant.
+// will request. If serving that outstanding demand by random reads
+// would cost strictly more than a scan anyway, the sampler scans
+// immediately — the global form of the Section 4.2 optimization,
+// avoiding random draws that a later, larger request would render
+// redundant. The predicate (remaining demand × Rand > scanCost,
+// strictly, ties keeping the random strategy) is identical to
+// sampling.Draw's and ensure's, so the boundary case is classified the
+// same on every path.
 func (s *incrementalSampler) planAhead(maxM int) error {
 	if s.scanned || s.noScan {
 		return nil
@@ -110,7 +126,8 @@ func (s *incrementalSampler) planAhead(maxM int) error {
 	if total := int(s.r.Tuples()); maxM > total {
 		maxM = total
 	}
-	if float64(maxM)*s.w.Rand > s.scanCost {
+	remaining := maxM - len(s.drawn)
+	if float64(remaining)*s.w.Rand > s.scanCost {
 		_, err := s.ensure(int(s.r.Tuples()))
 		return err
 	}
@@ -127,14 +144,23 @@ func (s *incrementalSampler) ensure(m int) ([]chronon.Interval, error) {
 		return s.drawn[:len(s.drawn)], nil
 	}
 	need := m - len(s.drawn)
-	if !s.scanned && !s.noScan && s.spent+float64(need)*s.w.Rand > s.scanCost {
+	// Same strategy predicate as sampling.Draw, over the *outstanding*
+	// demand: switch to one scan exactly when serving `need` by random
+	// reads costs strictly more; ties keep random. Cost already spent
+	// on earlier top-ups is sunk and deliberately excluded — counting
+	// it would flip the incremental path to scanning earlier than the
+	// one-shot path for the same cumulative demand.
+	if !s.scanned && !s.noScan && float64(need)*s.w.Rand > s.scanCost {
 		// Cheaper to scan everything once: do so, keep every timestamp
 		// in random order, and serve all future requests for free.
+		prior := len(s.drawn)
+		s.tr.Begin("sampler scan")
 		sc := s.r.Scan()
 		all := make([]chronon.Interval, 0, s.r.Tuples())
 		for {
 			t, ok, err := sc.Next()
 			if err != nil {
+				s.tr.End()
 				return nil, err
 			}
 			if !ok {
@@ -146,17 +172,30 @@ func (s *incrementalSampler) ensure(m int) ([]chronon.Interval, error) {
 		s.drawn = all
 		s.scanned = true
 		s.spent += s.scanCost
+		s.tr.SetAttr("tuples", len(all))
+		s.tr.SetAttr("randomDrawsBeforeSwitch", prior)
+		s.tr.End()
 		return s.drawn[:m], nil
 	}
 	if s.scanned {
 		return s.drawn[:m], nil
 	}
-	sub, err := sampling.Draw(s.r, need, cost.Weights{Rand: s.w.Rand, Seq: math.Inf(1)}, s.rng)
+	if s.drawer == nil {
+		dr, err := sampling.NewDrawer(s.r, s.rng)
+		if err != nil {
+			return nil, err
+		}
+		s.drawer = dr
+	}
+	sub, err := s.drawer.Draw(need)
 	if err != nil {
 		return nil, err
 	}
-	s.drawn = append(s.drawn, sub.Intervals()...)
-	s.spent += float64(len(sub.Tuples)) * s.w.Rand
+	for _, t := range sub {
+		s.drawn = append(s.drawn, t.V)
+	}
+	s.spent += float64(len(sub)) * s.w.Rand
+	s.topUps++
 	return s.drawn, nil
 }
 
@@ -199,6 +238,7 @@ func DeterminePartIntervals(r *relation.Relation, cfg PlanConfig) (*Plan, []Cand
 		return nil, nil, err
 	}
 	sampler.noScan = cfg.DisableScanOptimization
+	sampler.tr = cfg.Tracer
 	scanCost := sampler.scanCost
 
 	// The largest candidate partSize leaves the smallest error margin
@@ -312,5 +352,41 @@ func DeterminePartIntervals(r *relation.Relation, cfg PlanConfig) (*Plan, []Cand
 			}
 		}
 	}
+	recordPlanTrace(cfg.Tracer, best, candidates, sampler, step)
 	return best, candidates, nil
+}
+
+// recordPlanTrace attaches the Figure-4 candidate curve and the chosen
+// plan to the tracer's current span.
+func recordPlanTrace(tr *trace.Tracer, best *Plan, candidates []Candidate, sampler *incrementalSampler, step int) {
+	if !tr.Enabled() {
+		return
+	}
+	pts := make([]trace.CandidatePoint, len(candidates))
+	for i, c := range candidates {
+		pts[i] = trace.CandidatePoint{
+			PartSize:    c.PartSize,
+			Csample:     c.Csample,
+			Cjoin:       c.Cjoin,
+			CachePaging: c.CachePaging,
+			Chosen:      best != nil && c.PartSize == best.PartSize,
+		}
+	}
+	tr.SetAttr(trace.CandidatesAttr, pts)
+	tr.SetAttr("candidateStep", step)
+	strategy := "random"
+	if sampler.scanned {
+		strategy = "scan"
+	}
+	tr.SetAttr("samplerStrategy", strategy)
+	tr.SetAttr("samplerTopUps", sampler.topUps)
+	tr.SetAttr("samplerSpentCost", sampler.spent)
+	if best != nil {
+		tr.SetAttr("partSize", best.PartSize)
+		tr.SetAttr("errorSize", best.ErrorSize)
+		tr.SetAttr("numPartitions", best.Partitioning.N())
+		tr.SetAttr("samplesDrawn", best.SamplesDrawn)
+		tr.SetAttr("csampleEst", best.Csample)
+		tr.SetAttr("cjoinEst", best.Cjoin)
+	}
 }

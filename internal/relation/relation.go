@@ -25,6 +25,14 @@ type Relation struct {
 	schema   *schema.Schema
 	tuples   int64
 	lifespan chronon.Interval // hull of all tuple timestamps; null if empty
+	// pageStarts[i] is the ordinal of the first tuple stored on page i;
+	// stored counts tuples persisted to disk (tuples still buffered in
+	// an unflushed builder page are excluded). Slotted pages hold
+	// varying tuple counts, so this catalog is what lets samplers map a
+	// uniform tuple ordinal to its (page, slot) — indexing by uniform
+	// page would over-weight tuples on under-full pages.
+	pageStarts []int64
+	stored     int64
 }
 
 // Create allocates a new empty relation with the given schema on d.
@@ -54,6 +62,20 @@ func (r *Relation) Pages() (int, error) {
 
 // Tuples returns the relation's cardinality.
 func (r *Relation) Tuples() int64 { return r.tuples }
+
+// StoredTuples returns the number of tuples persisted to disk pages
+// (excluding any still buffered in an unflushed builder page).
+func (r *Relation) StoredTuples() int64 { return r.stored }
+
+// PageOrdinals returns the relation's page catalog: for each stored
+// page, the ordinal of its first tuple, with a trailing sentinel equal
+// to StoredTuples(). The catalog is maintained by builders as pages
+// flush; callers must not modify the returned slice.
+func (r *Relation) PageOrdinals() []int64 {
+	out := make([]int64, 0, len(r.pageStarts)+1)
+	out = append(out, r.pageStarts...)
+	return append(out, r.stored)
+}
 
 // Lifespan returns the hull of all tuple timestamps (null if the
 // relation is empty).
@@ -127,6 +149,8 @@ func (b *Builder) flushPage() error {
 	if _, err := b.r.d.Append(b.r.file, b.cur); err != nil {
 		return fmt.Errorf("relation: flush: %w", err)
 	}
+	b.r.pageStarts = append(b.r.pageStarts, b.r.stored)
+	b.r.stored += int64(b.cur.Count())
 	b.cur.Reset()
 	return nil
 }

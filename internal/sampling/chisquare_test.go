@@ -1,0 +1,217 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/tuple"
+)
+
+// chiSquare returns the goodness-of-fit statistic of observed counts
+// against a uniform expectation.
+func chiSquare(counts []int, draws int) float64 {
+	e := float64(draws) / float64(len(counts))
+	x := 0.0
+	for _, o := range counts {
+		d := float64(o) - e
+		x += d * d / e
+	}
+	return x
+}
+
+// chiSquareCritical approximates the chi-square quantile at normal
+// deviate z via the Wilson–Hilferty transform; z = 3.09 puts the
+// false-positive probability of each uniformity assertion near 0.1%
+// (the tests are seeded, so in practice they are deterministic).
+func chiSquareCritical(dof int, z float64) float64 {
+	k := float64(dof)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t
+}
+
+// tuplesPerPage measures how many test-schema tuples fit a page, via
+// the page catalog of a throwaway relation.
+func tuplesPerPage(t *testing.T) int {
+	t.Helper()
+	d := disk.New(page.DefaultSize)
+	r := buildRelation(t, d, 1000, func(i int) chronon.Interval {
+		return chronon.At(chronon.Chronon(i))
+	})
+	starts := r.PageOrdinals()
+	if len(starts) < 3 {
+		t.Fatalf("probe relation too small: %d pages", len(starts)-1)
+	}
+	return int(starts[1])
+}
+
+// partialTailRelation builds a relation of two full pages plus a
+// partially filled tail page — the shape on which uniform-page-first
+// sampling over-weights the tail tuples.
+func partialTailRelation(t *testing.T) (*disk.Disk, *relation.Relation, int) {
+	t.Helper()
+	perPage := tuplesPerPage(t)
+	n := 2*perPage + perPage/3
+	d := disk.New(page.DefaultSize)
+	r := buildRelation(t, d, n, func(i int) chronon.Interval {
+		return chronon.At(chronon.Chronon(i))
+	})
+	return d, r, n
+}
+
+// oldDrawRandom reimplements the pre-fix random-draw algorithm this
+// package replaced: pick a uniform page, then a uniform slot on it,
+// linear-probing past already-taken slots. Kept in the tests as the
+// documented counter-example: TestOldDrawFailsChiSquare shows its bias
+// against the same statistic the fixed drawer passes.
+func oldDrawRandom(t *testing.T, r *relation.Relation, m int, rng *rand.Rand) []tuple.Tuple {
+	t.Helper()
+	pages, err := r.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := page.New(r.Disk().PageSize())
+	taken := make(map[[2]int]bool)
+	out := make([]tuple.Tuple, 0, m)
+	for len(out) < m {
+		pi := rng.Intn(pages)
+		if err := r.ReadPage(pi, pg); err != nil {
+			t.Fatal(err)
+		}
+		n := pg.Count()
+		if n == 0 {
+			continue
+		}
+		slot := rng.Intn(n)
+		for taken[[2]int{pi, slot}] {
+			slot = (slot + 1) % n
+		}
+		taken[[2]int{pi, slot}] = true
+		tp, err := pg.Tuple(slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tp)
+	}
+	return out
+}
+
+const (
+	chiTrials    = 2000
+	chiDrawsEach = 5
+	chiZ         = 3.09
+)
+
+// TestDrawerPassesChiSquare: the fixed ordinal-based drawer samples
+// every tuple — full pages and the under-full tail page alike — with
+// equal probability.
+func TestDrawerPassesChiSquare(t *testing.T) {
+	_, r, n := partialTailRelation(t)
+	rng := rand.New(rand.NewSource(41))
+	counts := make([]int, n)
+	for trial := 0; trial < chiTrials; trial++ {
+		dr, err := NewDrawer(r, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := dr.Draw(chiDrawsEach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range ts {
+			counts[tp.Values[0].AsInt()]++
+		}
+	}
+	x := chiSquare(counts, chiTrials*chiDrawsEach)
+	crit := chiSquareCritical(n-1, chiZ)
+	if x > crit {
+		t.Fatalf("fixed drawer fails uniformity: chi2 = %.1f > critical %.1f (n=%d)", x, crit, n)
+	}
+}
+
+// TestOldDrawFailsChiSquare: the pre-fix page-then-slot draw is
+// demonstrably non-uniform on the same relation and the same statistic
+// — tail-page tuples are drawn with probability pageCount/tailCount
+// times their fair share.
+func TestOldDrawFailsChiSquare(t *testing.T) {
+	_, r, n := partialTailRelation(t)
+	rng := rand.New(rand.NewSource(41))
+	counts := make([]int, n)
+	for trial := 0; trial < chiTrials; trial++ {
+		for _, tp := range oldDrawRandom(t, r, chiDrawsEach, rng) {
+			counts[tp.Values[0].AsInt()]++
+		}
+	}
+	x := chiSquare(counts, chiTrials*chiDrawsEach)
+	crit := chiSquareCritical(n-1, chiZ)
+	if x <= crit {
+		t.Fatalf("old draw passes uniformity (chi2 = %.1f <= critical %.1f); the regression test lost its teeth", x, crit)
+	}
+}
+
+// TestDrawerReadAccounting: every accepted sample costs exactly one
+// counted page read — rejected (already-taken) ordinals cost nothing —
+// preserving the paper's one-random-read-per-sample cost model.
+func TestDrawerReadAccounting(t *testing.T) {
+	d, r, n := partialTailRelation(t)
+	rng := rand.New(rand.NewSource(5))
+	dr, err := NewDrawer(r, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ResetCounters()
+	// Draw the whole relation in two top-ups: collisions against the
+	// taken set are guaranteed, and none of them may touch the disk.
+	first, err := dr.Draw(n / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := dr.Draw(n) // clipped to the remainder
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first)+len(rest) != n {
+		t.Fatalf("drew %d+%d of %d tuples", len(first), len(rest), n)
+	}
+	c := d.Counters()
+	if reads := c.RandReads + c.SeqReads; reads != int64(n) {
+		t.Fatalf("%d tuples cost %d reads (%v)", n, reads, c)
+	}
+	if c.RandWrites+c.SeqWrites != 0 {
+		t.Fatalf("sampling wrote pages: %v", c)
+	}
+	if dr.Remaining() != 0 || dr.Drawn() != n {
+		t.Fatalf("drawer bookkeeping: remaining=%d drawn=%d", dr.Remaining(), dr.Drawn())
+	}
+}
+
+// TestDrawerCumulativeWithoutReplacement: top-ups on one drawer never
+// repeat a tuple — the origin of the planner's duplicate-sample bug.
+func TestDrawerCumulativeWithoutReplacement(t *testing.T) {
+	_, r, n := partialTailRelation(t)
+	dr, err := NewDrawer(r, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for _, m := range []int{10, 50, n} {
+		ts, err := dr.Draw(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range ts {
+			id := tp.Values[0].AsInt()
+			if seen[id] {
+				t.Fatalf("tuple %d drawn twice across top-ups", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("drew %d distinct of %d", len(seen), n)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"vtjoin/internal/chronon"
 	"vtjoin/internal/cost"
@@ -78,11 +79,18 @@ func (s *Sample) Intervals() []chronon.Interval {
 
 // Draw draws m tuples uniformly without replacement from r, charging
 // the I/O to r's device. It implements the cost-based strategy choice
-// of Section 4.2: if m per-sample random reads would cost more than one
-// full sequential scan of the relation (under weights w), the relation
-// is instead scanned once and the sample drawn by reservoir sampling,
-// making the sampling cost proportional to the relation's page count
-// rather than the (possibly much larger) sample count.
+// of Section 4.2: if m per-sample random reads would cost strictly more
+// than one full sequential scan of the relation (under weights w), the
+// relation is instead scanned once and the sample drawn by reservoir
+// sampling, making the sampling cost proportional to the relation's
+// page count rather than the (possibly much larger) sample count.
+//
+// Tie-break: at exact cost equality the per-sample random strategy is
+// kept (randomCost > scanCost, strictly). The incremental planner
+// (partition.DeterminePartIntervals) and its planAhead use the same
+// strict predicate over the outstanding sample demand, so the default
+// path and the DisableScanOptimization ablation classify the boundary
+// case identically.
 func Draw(r *relation.Relation, m int, w cost.Weights, rng *rand.Rand) (*Sample, error) {
 	total := int(r.Tuples())
 	if m >= total {
@@ -103,53 +111,113 @@ func Draw(r *relation.Relation, m int, w cost.Weights, rng *rand.Rand) (*Sample,
 	return drawRandom(r, m, rng)
 }
 
-// drawRandom draws m tuples via per-sample random page reads. Each
-// sampled tuple is distinct; pages may be revisited (each visit is a
-// counted random read, matching the paper's one-random-access-per-
-// sample accounting). The caller guarantees m <= r.Tuples().
+// drawRandom draws m tuples via per-sample random page reads: a fresh
+// Drawer picks uniform tuple ordinals and maps each to its (page,
+// slot) through the relation's page catalog, paying exactly one
+// counted random read per sample.
 func drawRandom(r *relation.Relation, m int, rng *rand.Rand) (*Sample, error) {
-	npages, err := r.Pages()
+	dr, err := NewDrawer(r, rng)
 	if err != nil {
 		return nil, err
 	}
-	if npages == 0 {
-		return &Sample{}, nil
+	ts, err := dr.Draw(m)
+	if err != nil {
+		return nil, err
 	}
-	pg := page.New(r.Disk().PageSize())
-	taken := make(map[int]map[int]bool) // page -> slots already drawn
-	counts := make(map[int]int)         // page -> record count, once known
-	s := &Sample{Tuples: make([]tuple.Tuple, 0, m)}
-	for len(s.Tuples) < m {
-		pi := rng.Intn(npages)
-		if n, known := counts[pi]; known && len(taken[pi]) == n {
-			continue // page exhausted; retry costs no I/O
+	s := &Sample{Tuples: ts}
+	if r.Tuples() > 0 {
+		s.Fraction = float64(len(ts)) / float64(r.Tuples())
+	}
+	return s, nil
+}
+
+// Drawer draws tuples uniformly at random, without replacement, via
+// per-sample random page reads. It keeps its taken-set across Draw
+// calls, so incremental top-ups (the planner growing its sample as
+// candidate partition sizes shrink) stay without-replacement
+// cumulatively — per-call without-replacement alone would make the
+// union a with-replacement sample and bias later quantiles.
+//
+// Uniformity: each sample is a uniform ordinal in [0, StoredTuples())
+// mapped to its (page, slot) through the relation's page catalog.
+// Drawing a uniform page first would over-weight tuples on under-full
+// pages (every relation's tail page), and linear-probing past taken
+// slots would further bias toward slots following taken runs — the
+// two defects this replaces. Already-taken ordinals are rejected and
+// redrawn at no I/O cost; each accepted sample costs exactly one
+// counted random page read, matching the paper's accounting.
+type Drawer struct {
+	r      *relation.Relation
+	rng    *rand.Rand
+	starts []int64 // page catalog; starts[i] = first ordinal of page i
+	total  int64   // stored tuples = trailing catalog sentinel
+	taken  map[int64]bool
+	pg     *page.Page
+	drawn  int
+}
+
+// NewDrawer prepares a drawer over r's stored tuples. It fails if the
+// relation's page catalog does not cover its on-disk pages (a relation
+// populated outside the builder path).
+func NewDrawer(r *relation.Relation, rng *rand.Rand) (*Drawer, error) {
+	pages, err := r.Pages()
+	if err != nil {
+		return nil, err
+	}
+	starts := r.PageOrdinals()
+	if len(starts)-1 != pages {
+		return nil, fmt.Errorf("sampling: page catalog covers %d pages, relation has %d",
+			len(starts)-1, pages)
+	}
+	return &Drawer{
+		r:      r,
+		rng:    rng,
+		starts: starts,
+		total:  starts[len(starts)-1],
+		taken:  make(map[int64]bool),
+		pg:     page.New(r.Disk().PageSize()),
+	}, nil
+}
+
+// Remaining returns how many tuples are still drawable.
+func (dr *Drawer) Remaining() int64 { return dr.total - int64(len(dr.taken)) }
+
+// Drawn returns how many tuples have been drawn so far.
+func (dr *Drawer) Drawn() int { return dr.drawn }
+
+// Draw draws up to m further tuples (fewer when the relation is
+// nearly exhausted), distinct from every tuple of every earlier Draw
+// on this drawer.
+func (dr *Drawer) Draw(m int) ([]tuple.Tuple, error) {
+	if rem := dr.Remaining(); int64(m) > rem {
+		m = int(rem)
+	}
+	out := make([]tuple.Tuple, 0, m)
+	for len(out) < m {
+		u := dr.rng.Int63n(dr.total)
+		if dr.taken[u] {
+			continue // rejection costs no I/O
 		}
-		if err := r.ReadPage(pi, pg); err != nil {
+		dr.taken[u] = true
+		// Locate the page holding ordinal u: the last page whose first
+		// ordinal is <= u.
+		pi := sort.Search(len(dr.starts)-1, func(i int) bool { return dr.starts[i+1] > u })
+		if err := dr.r.ReadPage(pi, dr.pg); err != nil {
 			return nil, err
 		}
-		n := pg.Count()
-		counts[pi] = n
-		used := taken[pi]
-		if used == nil {
-			used = make(map[int]bool)
-			taken[pi] = used
+		slot := int(u - dr.starts[pi])
+		if slot >= dr.pg.Count() {
+			return nil, fmt.Errorf("sampling: catalog maps ordinal %d to page %d slot %d, but page holds %d tuples",
+				u, pi, slot, dr.pg.Count())
 		}
-		if len(used) == n {
-			continue
-		}
-		slot := rng.Intn(n)
-		for used[slot] {
-			slot = (slot + 1) % n
-		}
-		used[slot] = true
-		t, err := pg.Tuple(slot)
+		t, err := dr.pg.Tuple(slot)
 		if err != nil {
 			return nil, err
 		}
-		s.Tuples = append(s.Tuples, t)
+		out = append(out, t)
 	}
-	s.Fraction = float64(len(s.Tuples)) / float64(r.Tuples())
-	return s, nil
+	dr.drawn += len(out)
+	return out, nil
 }
 
 // drawSequential scans the relation once and reservoir-samples m tuples

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"vtjoin/internal/cost"
+)
+
+// CandidatePoint is one point of the partition-planner's candidate
+// cost curve (the paper's Figure 4): the estimated sampling and join
+// cost of evaluating the join with partSize-page partitions. The
+// planner records the full curve as the "candidates" attribute of its
+// span; the renderer plots it.
+type CandidatePoint struct {
+	PartSize    int     `json:"partSize"`
+	Csample     float64 `json:"csample"`
+	Cjoin       float64 `json:"cjoin"`
+	CachePaging float64 `json:"cachePaging"`
+	Chosen      bool    `json:"chosen,omitempty"`
+}
+
+// CandidatesAttr is the span attribute key under which the planner
+// stores []CandidatePoint.
+const CandidatesAttr = "candidates"
+
+// candidatePoints extracts a candidate curve from an attribute value,
+// tolerating both the in-memory []CandidatePoint and the generic
+// []any/map[string]any shape produced by a JSON round-trip.
+func candidatePoints(v any) []CandidatePoint {
+	if pts, ok := v.([]CandidatePoint); ok {
+		return pts
+	}
+	// Re-marshal through JSON: cheap, and handles the decoded shape.
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil
+	}
+	var pts []CandidatePoint
+	if err := json.Unmarshal(raw, &pts); err != nil {
+		return nil
+	}
+	return pts
+}
+
+// RenderExplain writes a human-readable rendering of a trace: the
+// span tree with per-span weighted cost, I/O counts and timings, and —
+// when the planner recorded one — the candidate cost curve with the
+// chosen plan marked.
+func RenderExplain(w io.Writer, root *Span, weights cost.Weights) error {
+	if root == nil {
+		_, err := fmt.Fprintln(w, "EXPLAIN: no trace collected")
+		return err
+	}
+	bw := &errWriter{w: w}
+	fmt.Fprintf(bw, "EXPLAIN %s  (cost weights %s, total cost %.1f)\n",
+		root.Name, weights, weights.Of(root.Total()))
+	renderSpan(bw, root, weights, "", true)
+	for _, sp := range spansWithCandidates(root) {
+		renderCurve(bw, sp, weights)
+	}
+	return bw.err
+}
+
+func spansWithCandidates(s *Span) []*Span {
+	var out []*Span
+	if _, ok := s.Attrs[CandidatesAttr]; ok {
+		out = append(out, s)
+	}
+	for _, c := range s.Children {
+		out = append(out, spansWithCandidates(c)...)
+	}
+	return out
+}
+
+func renderSpan(w io.Writer, s *Span, weights cost.Weights, prefix string, last bool) {
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	if prefix == "" && last { // root
+		branch, childPrefix = "", "   "
+	}
+	tot := s.Total()
+	fmt.Fprintf(w, "%s%s%-24s cost=%-9.1f io[%s] wall=%s cpu=%s\n",
+		prefix, branch, s.Name, weights.Of(tot), tot,
+		s.TotalWall().Round(time.Microsecond),
+		s.TotalCPU().Round(time.Microsecond))
+	keys := make([]string, 0, len(s.Attrs))
+	for k := range s.Attrs {
+		if k == CandidatesAttr {
+			continue // rendered as a curve below the tree
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s· %s: %s\n", childPrefix, k, renderAttr(s.Attrs[k]))
+	}
+	for i, c := range s.Children {
+		renderSpan(w, c, weights, childPrefix, i == len(s.Children)-1)
+	}
+}
+
+func renderAttr(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%g", x)
+	case string:
+		return x
+	default:
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Sprintf("%v", v)
+		}
+		return string(raw)
+	}
+}
+
+// renderCurve plots the Figure-4 candidate curve: per candidate
+// partition size, the estimated sampling cost, join cost, and total,
+// with a bar proportional to the total and the chosen plan marked.
+func renderCurve(w io.Writer, sp *Span, weights cost.Weights) {
+	pts := candidatePoints(sp.Attrs[CandidatesAttr])
+	if len(pts) == 0 {
+		return
+	}
+	maxTotal := 0.0
+	for _, p := range pts {
+		if t := p.Csample + p.Cjoin; t > maxTotal {
+			maxTotal = t
+		}
+	}
+	fmt.Fprintf(w, "\ncandidate cost curve (%s):\n", sp.Name)
+	fmt.Fprintf(w, "  %8s %10s %10s %10s %10s\n", "partSize", "Csample", "Cjoin", "total", "cachePg")
+	const barWidth = 28
+	for _, p := range pts {
+		total := p.Csample + p.Cjoin
+		n := 0
+		if maxTotal > 0 {
+			n = int(total / maxTotal * barWidth)
+		}
+		mark := " "
+		if p.Chosen {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%s %8d %10.1f %10.1f %10.1f %10.1f  %s\n",
+			mark, p.PartSize, p.Csample, p.Cjoin, total, p.CachePaging,
+			strings.Repeat("#", n))
+	}
+	fmt.Fprintf(w, "  (* = chosen plan)\n")
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, nil
+}

@@ -1,0 +1,288 @@
+// Package trace implements a hierarchical execution trace for join
+// runs: a tree of named spans, each carrying the I/O counter deltas,
+// wall-clock time and process CPU time attributed to it, plus free-form
+// attributes (chosen plan, candidate cost curve, kernel decisions,
+// prefetch depth, ...).
+//
+// Attribution is exact by construction: the tracer snapshots the
+// device counters at every span boundary and charges the delta since
+// the previous boundary to the span that was current in between. All
+// span boundaries sit at quiescent points of the driver goroutine
+// (prefetch streams are closed, partitioning workers joined), so the
+// self-counters of all spans sum exactly to the device's global
+// counter movement over the traced run — an invariant the Audit option
+// re-checks at Finish and tests enforce across all algorithms.
+//
+// All Tracer methods are safe on a nil receiver, so instrumented code
+// can thread an optional tracer without guarding every call site.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"vtjoin/internal/cost"
+	"vtjoin/internal/disk"
+)
+
+// Span is one node of the execution trace. IO, Wall and CPU are the
+// span's *self* costs — what happened while the span was current and
+// no child was open; Total adds the descendants back in.
+type Span struct {
+	Name string `json:"name"`
+	// Attrs holds structured facts about the span (plan parameters,
+	// kernel decisions, audit observations). Values must be
+	// JSON-serializable.
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// IO is the counter delta charged to this span alone.
+	IO disk.Counters `json:"io"`
+	// WallNS and CPUNS are this span's self wall-clock and process CPU
+	// time in nanoseconds.
+	WallNS   int64   `json:"wallNs"`
+	CPUNS    int64   `json:"cpuNs"`
+	Children []*Span `json:"children,omitempty"`
+}
+
+// Total returns the span's I/O counters including all descendants.
+func (s *Span) Total() disk.Counters {
+	t := s.IO
+	for _, c := range s.Children {
+		t = t.Add(c.Total())
+	}
+	return t
+}
+
+// TotalWall returns the span's wall time including all descendants.
+func (s *Span) TotalWall() time.Duration {
+	t := time.Duration(s.WallNS)
+	for _, c := range s.Children {
+		t += c.TotalWall()
+	}
+	return t
+}
+
+// TotalCPU returns the span's CPU time including all descendants.
+func (s *Span) TotalCPU() time.Duration {
+	t := time.Duration(s.CPUNS)
+	for _, c := range s.Children {
+		t += c.TotalCPU()
+	}
+	return t
+}
+
+// Find returns the first span named name in a depth-first walk rooted
+// at s, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the span tree as indented JSON.
+func (s *Span) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON parses a span tree previously written with WriteJSON.
+func ReadJSON(r io.Reader) (*Span, error) {
+	var s Span
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &s, nil
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// Audit enables the invariant checks registered by instrumented
+	// code (buffer-budget balance, partition coverage, cache paging
+	// symmetry, counter-sum exactness). Violations surface as an error
+	// from Finish; with Audit off the checks are skipped entirely.
+	Audit bool
+}
+
+type deferredCheck struct {
+	name string
+	fn   func() error
+}
+
+// Tracer builds a span tree over a device's counters. Create one with
+// New, thread it through instrumented code (Begin/End/SetAttr), and
+// call Finish to close the tree. A nil *Tracer is a valid no-op tracer.
+//
+// A Tracer is not safe for concurrent use: span boundaries must occur
+// on the driver goroutine, which is also what makes counter
+// attribution exact (see the package comment).
+type Tracer struct {
+	d    *disk.Disk
+	opts Options
+	root *Span
+	// stack[len-1] is the current span; stack[0] is root.
+	stack []*Span
+	// start is the device counter snapshot at New; mark/wallMark/
+	// cpuMark advance at every boundary so each delta is charged once.
+	start      disk.Counters
+	mark       disk.Counters
+	wallMark   time.Time
+	cpuMark    time.Duration
+	deferred   []deferredCheck
+	violations []string
+	finished   bool
+}
+
+// New starts a trace named name over d's counters.
+func New(d *disk.Disk, name string, opts Options) *Tracer {
+	c := d.Counters()
+	root := &Span{Name: name}
+	return &Tracer{
+		d:        d,
+		opts:     opts,
+		root:     root,
+		stack:    []*Span{root},
+		start:    c,
+		mark:     c,
+		wallMark: time.Now(),
+		cpuMark:  cost.ProcessCPUTime(),
+	}
+}
+
+// Enabled reports whether the tracer is collecting (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Auditing reports whether invariant audits are enabled.
+func (t *Tracer) Auditing() bool { return t != nil && t.opts.Audit }
+
+// advance charges everything since the previous boundary to the
+// current span and moves the marks.
+func (t *Tracer) advance() {
+	now := t.d.Counters()
+	wall, cpu := time.Now(), cost.ProcessCPUTime()
+	cur := t.stack[len(t.stack)-1]
+	cur.IO = cur.IO.Add(now.Sub(t.mark))
+	cur.WallNS += wall.Sub(t.wallMark).Nanoseconds()
+	cur.CPUNS += (cpu - t.cpuMark).Nanoseconds()
+	t.mark, t.wallMark, t.cpuMark = now, wall, cpu
+}
+
+// Begin opens a child span of the current span and makes it current.
+func (t *Tracer) Begin(name string) {
+	if t == nil || t.finished {
+		return
+	}
+	t.advance()
+	child := &Span{Name: name}
+	cur := t.stack[len(t.stack)-1]
+	cur.Children = append(cur.Children, child)
+	t.stack = append(t.stack, child)
+}
+
+// End closes the current span, returning to its parent. Ending the
+// root is a no-op (Finish closes it).
+func (t *Tracer) End() {
+	if t == nil || t.finished || len(t.stack) == 1 {
+		return
+	}
+	t.advance()
+	t.stack = t.stack[:len(t.stack)-1]
+}
+
+// SetAttr records an attribute on the current span.
+func (t *Tracer) SetAttr(key string, v any) {
+	if t == nil || t.finished {
+		return
+	}
+	cur := t.stack[len(t.stack)-1]
+	if cur.Attrs == nil {
+		cur.Attrs = make(map[string]any)
+	}
+	cur.Attrs[key] = v
+}
+
+// AuditNow runs an invariant check immediately (if auditing); a
+// non-nil error is recorded as a violation reported by Finish.
+func (t *Tracer) AuditNow(name string, fn func() error) {
+	if !t.Auditing() {
+		return
+	}
+	if err := fn(); err != nil {
+		t.violations = append(t.violations, fmt.Sprintf("%s: %v", name, err))
+	}
+}
+
+// AuditAtFinish registers an invariant check to run during Finish,
+// after all spans are closed — for invariants that only hold once
+// deferred cleanup (e.g. buffer-region releases) has run.
+func (t *Tracer) AuditAtFinish(name string, fn func() error) {
+	if !t.Auditing() {
+		return
+	}
+	t.deferred = append(t.deferred, deferredCheck{name: name, fn: fn})
+}
+
+// Violations returns the audit violations recorded so far.
+func (t *Tracer) Violations() []string {
+	if t == nil {
+		return nil
+	}
+	return t.violations
+}
+
+// Root returns the root span (partial until Finish). Nil-safe.
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish closes all open spans, runs deferred audits, and returns the
+// root span. If auditing, it re-checks the counter-sum invariant (the
+// per-span self counters must sum exactly to the device's counter
+// movement since New) and returns an error describing every recorded
+// violation. A nil tracer returns (nil, nil).
+func (t *Tracer) Finish() (*Span, error) {
+	if t == nil {
+		return nil, nil
+	}
+	if t.finished {
+		return t.root, t.violationError()
+	}
+	for len(t.stack) > 1 {
+		t.End()
+	}
+	t.advance()
+	t.finished = true
+	for _, c := range t.deferred {
+		if err := c.fn(); err != nil {
+			t.violations = append(t.violations, fmt.Sprintf("%s: %v", c.name, err))
+		}
+	}
+	if t.opts.Audit {
+		want := t.d.Counters().Sub(t.start)
+		if got := t.root.Total(); got != want {
+			t.violations = append(t.violations, fmt.Sprintf(
+				"counter-sum: spans total %+v but device moved %+v", got, want))
+		}
+	}
+	return t.root, t.violationError()
+}
+
+func (t *Tracer) violationError() error {
+	if len(t.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("trace: %d audit violation(s): %v", len(t.violations), t.violations)
+}

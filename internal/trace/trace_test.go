@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/cost"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+var testSchema = schema.MustNew(schema.Column{Name: "id", Kind: value.KindInt})
+
+// write appends n tuples to a fresh relation, generating counted I/O.
+func write(t *testing.T, d *disk.Disk, n int) *relation.Relation {
+	t.Helper()
+	r := relation.Create(d, testSchema)
+	b := r.NewBuilder()
+	for i := 0; i < n; i++ {
+		if err := b.Append(tuple.New(chronon.At(chronon.Chronon(i)), value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func readAll(t *testing.T, r *relation.Relation) {
+	t.Helper()
+	if _, err := r.All(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Begin("a")
+	tr.SetAttr("k", 1)
+	tr.AuditNow("x", func() error { return errors.New("never run") })
+	tr.AuditAtFinish("y", func() error { return errors.New("never run") })
+	tr.End()
+	if tr.Enabled() || tr.Auditing() {
+		t.Fatal("nil tracer claims to be enabled")
+	}
+	if tr.Root() != nil || tr.Violations() != nil {
+		t.Fatal("nil tracer has state")
+	}
+	span, err := tr.Finish()
+	if span != nil || err != nil {
+		t.Fatalf("nil Finish = (%v, %v)", span, err)
+	}
+}
+
+func TestAttributionIsExact(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	tr := New(d, "root", Options{Audit: true})
+
+	tr.Begin("write")
+	r := write(t, d, 2000)
+	tr.End()
+
+	tr.Begin("read")
+	tr.Begin("inner")
+	readAll(t, r)
+	tr.End()
+	tr.End()
+
+	root, err := tr.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := root.Total(), d.Counters(); got != want {
+		t.Fatalf("spans total %+v, device moved %+v", got, want)
+	}
+	w := root.Find("write")
+	if w == nil || w.IO.SeqWrites+w.IO.RandWrites == 0 {
+		t.Fatalf("write span missing its writes: %+v", w)
+	}
+	if w.IO.SeqReads+w.IO.RandReads != 0 {
+		t.Fatalf("write span charged reads: %+v", w.IO)
+	}
+	inner := root.Find("inner")
+	if inner == nil || inner.IO.SeqReads+inner.IO.RandReads == 0 {
+		t.Fatalf("inner span missing its reads: %+v", inner)
+	}
+	// The "read" parent did no I/O of its own; its total includes the
+	// child's.
+	rd := root.Find("read")
+	if rd.IO != (disk.Counters{}) {
+		t.Fatalf("read parent has self I/O: %+v", rd.IO)
+	}
+	if rd.Total() != inner.IO {
+		t.Fatalf("parent total %+v != child self %+v", rd.Total(), inner.IO)
+	}
+}
+
+func TestFinishClosesOpenSpans(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	tr := New(d, "root", Options{Audit: true})
+	tr.Begin("a")
+	tr.Begin("b") // never ended
+	write(t, d, 100)
+	root, err := tr.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := root.Total(), d.Counters(); got != want {
+		t.Fatalf("spans total %+v, device moved %+v", got, want)
+	}
+	// Finish is idempotent.
+	again, err := tr.Finish()
+	if again != root || err != nil {
+		t.Fatal("second Finish differs")
+	}
+	// Post-finish instrumentation is ignored, not a panic.
+	tr.Begin("late")
+	tr.End()
+	if root.Find("late") != nil {
+		t.Fatal("span recorded after Finish")
+	}
+}
+
+func TestAuditViolationsSurface(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	tr := New(d, "root", Options{Audit: true})
+	tr.AuditNow("eager", func() error { return errors.New("eager boom") })
+	ran := false
+	tr.AuditAtFinish("deferred", func() error { ran = true; return errors.New("late boom") })
+	_, err := tr.Finish()
+	if err == nil || !ran {
+		t.Fatalf("violations not reported: err=%v ran=%v", err, ran)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "eager boom") || !strings.Contains(msg, "late boom") {
+		t.Fatalf("error drops violations: %v", msg)
+	}
+
+	// With auditing off, the checks never run.
+	tr = New(d, "root", Options{})
+	tr.AuditNow("eager", func() error { t.Fatal("ran with audit off"); return nil })
+	tr.AuditAtFinish("deferred", func() error { t.Fatal("ran with audit off"); return nil })
+	if _, err := tr.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	tr := New(d, "root", Options{})
+	tr.Begin("plan")
+	tr.SetAttr(CandidatesAttr, []CandidatePoint{
+		{PartSize: 1, Csample: 10, Cjoin: 90},
+		{PartSize: 5, Csample: 40, Cjoin: 20, CachePaging: 3, Chosen: true},
+	})
+	tr.SetAttr("partSize", 5)
+	write(t, d, 500)
+	tr.End()
+	root, err := tr.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := root.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Total() != root.Total() {
+		t.Fatalf("totals diverge: %+v vs %+v", parsed.Total(), root.Total())
+	}
+	if parsed.Find("plan") == nil {
+		t.Fatal("child span lost")
+	}
+	// The candidate curve survives the generic JSON decoding.
+	pts := candidatePoints(parsed.Find("plan").Attrs[CandidatesAttr])
+	if len(pts) != 2 || !pts[1].Chosen || pts[1].PartSize != 5 {
+		t.Fatalf("candidate curve mangled: %+v", pts)
+	}
+}
+
+func TestRenderExplain(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	tr := New(d, "partition-join", Options{})
+	tr.Begin("plan")
+	tr.SetAttr(CandidatesAttr, []CandidatePoint{
+		{PartSize: 1, Csample: 10, Cjoin: 90},
+		{PartSize: 5, Csample: 40, Cjoin: 20, Chosen: true},
+	})
+	tr.End()
+	tr.Begin("join")
+	write(t, d, 300)
+	tr.End()
+	root, err := tr.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderExplain(&buf, root, cost.Ratio(5)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EXPLAIN partition-join", "plan", "join", "candidate cost curve", "* "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Nil root renders a note rather than crashing.
+	buf.Reset()
+	if err := RenderExplain(&buf, nil, cost.Ratio(5)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no trace") {
+		t.Fatalf("nil render: %q", buf.String())
+	}
+}

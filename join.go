@@ -9,6 +9,7 @@ import (
 	"vtjoin/internal/join"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/schema"
+	"vtjoin/internal/trace"
 )
 
 // Algorithm selects a join evaluation strategy.
@@ -183,6 +184,20 @@ type Options struct {
 	// Join results and every I/O counter are identical across kernels;
 	// the knob exists for benchmarking and differential testing.
 	Kernel Kernel
+	// Trace collects a hierarchical execution trace of the run — per
+	// phase (and per partition / block / merge pass) spans carrying
+	// exact I/O counter deltas, wall and CPU time, the planner's
+	// candidate cost curve and kernel decisions. Retrieve it from
+	// Result.Trace (Join); JoinInto honors the flag but discards the
+	// spans. Tracing changes neither join results nor I/O counters.
+	Trace bool
+	// TraceAudit implies Trace and additionally runs the invariant
+	// audits during evaluation: per-span I/O must sum exactly to the
+	// device's counter movement, partitions must cover the input
+	// exactly, the buffer budget must balance on close, and tuple-cache
+	// paging must be symmetric. Violations fail the join with a
+	// descriptive error.
+	TraceAudit bool
 }
 
 func (o Options) withDefaults() Options {
@@ -208,6 +223,11 @@ type PhaseCost struct {
 	IO   IOCounters
 }
 
+// TraceSpan is one node of an execution trace: a named phase with its
+// I/O counter delta, timings, attributes and child spans. See
+// Options.Trace.
+type TraceSpan = trace.Span
+
 // Result holds a materialized join result and its execution report.
 type Result struct {
 	// Relation holds the result tuples, stored in the same DB.
@@ -222,6 +242,9 @@ type Result struct {
 	ResultWriteCost float64
 	// Phases breaks Cost down by evaluation phase.
 	Phases []PhaseCost
+	// Trace is the execution trace (nil unless Options.Trace or
+	// Options.TraceAudit was set).
+	Trace *TraceSpan
 }
 
 // Join evaluates r ⋈V s — the valid-time natural join — materializing
@@ -246,7 +269,7 @@ func Join(r, s *Relation, opts Options) (*Result, error) {
 	out := relation.Create(db.d, outSchema)
 	sink := out.NewBuilder()
 
-	rep, algo, err := run(o, r, s, sink)
+	rep, span, algo, err := run(o, r, s, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +278,7 @@ func Join(r, s *Relation, opts Options) (*Result, error) {
 	res := &Result{
 		Relation:  &Relation{db: db, rel: out},
 		Algorithm: algo,
+		Trace:     span,
 	}
 	for _, ph := range rep.Phases {
 		c := ph.Counters
@@ -295,7 +319,7 @@ func JoinInto(r, s *Relation, opts Options, fn func(Tuple) error) ([]PhaseCost, 
 		return nil, fmt.Errorf("vtjoin: relations belong to different DBs")
 	}
 	o := opts.withDefaults()
-	rep, _, err := run(o, r, s, funcSink(fn))
+	rep, _, _, err := run(o, r, s, funcSink(fn))
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +354,26 @@ func outputSchema(r, s *Relation) (*Schema, error) {
 	return plan.Output, nil
 }
 
-func run(o Options, r, s *Relation, sink relation.Sink) (*cost.Report, Algorithm, error) {
+// run dispatches the evaluation, wrapping it in an execution trace
+// when requested. Audit violations surface as errors even when the
+// evaluation itself succeeded.
+func run(o Options, r, s *Relation, sink relation.Sink) (*cost.Report, *trace.Span, Algorithm, error) {
+	var tr *trace.Tracer
+	if o.Trace || o.TraceAudit {
+		tr = trace.New(r.db.d, o.Algorithm.String(), trace.Options{Audit: o.TraceAudit})
+	}
+	rep, algo, err := dispatch(o, r, s, sink, tr)
+	span, auditErr := tr.Finish()
+	if err != nil {
+		return nil, nil, algo, err
+	}
+	if auditErr != nil {
+		return nil, nil, algo, auditErr
+	}
+	return rep, span, algo, nil
+}
+
+func dispatch(o Options, r, s *Relation, sink relation.Sink, tr *trace.Tracer) (*cost.Report, Algorithm, error) {
 	mask, err := o.Predicate.mask()
 	if err != nil {
 		return nil, o.Algorithm, err
@@ -339,11 +382,11 @@ func run(o Options, r, s *Relation, sink relation.Sink) (*cost.Report, Algorithm
 		switch o.Algorithm {
 		case AlgorithmNestedLoop:
 			rep, err := join.NestedLoop(r.internal(), s.internal(), sink,
-				join.NestedLoopConfig{MemoryPages: o.MemoryPages, TimePredicate: mask, Kernel: o.Kernel.internal()})
+				join.NestedLoopConfig{MemoryPages: o.MemoryPages, TimePredicate: mask, Kernel: o.Kernel.internal(), Tracer: tr})
 			return rep, AlgorithmNestedLoop, err
 		case AlgorithmSortMerge:
 			rep, _, err := join.SortMerge(r.internal(), s.internal(), sink,
-				join.SortMergeConfig{MemoryPages: o.MemoryPages, TimePredicate: mask, Kernel: o.Kernel.internal()})
+				join.SortMergeConfig{MemoryPages: o.MemoryPages, TimePredicate: mask, Kernel: o.Kernel.internal(), Tracer: tr})
 			return rep, AlgorithmSortMerge, err
 		case AlgorithmPartition:
 			rep, _, err := join.Partition(r.internal(), s.internal(), sink, join.PartitionConfig{
@@ -352,17 +395,18 @@ func run(o Options, r, s *Relation, sink relation.Sink) (*cost.Report, Algorithm
 				Rng:           rand.New(rand.NewSource(o.Seed)),
 				TimePredicate: mask,
 				Kernel:        o.Kernel.internal(),
+				Tracer:        tr,
 			})
 			return rep, AlgorithmPartition, err
 		}
 		return nil, o.Algorithm, fmt.Errorf("vtjoin: unknown algorithm %d", o.Algorithm)
 	}
-	return runOuter(o, mask, r, s, sink)
+	return runOuter(o, mask, r, s, sink, tr)
 }
 
 // runOuter evaluates left, right and full outer joins by composing the
 // coverage-tracking passes of the partition or nested-loop algorithms.
-func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink) (*cost.Report, Algorithm, error) {
+func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink, tr *trace.Tracer) (*cost.Report, Algorithm, error) {
 	switch o.Algorithm {
 	case AlgorithmPartition, AlgorithmNestedLoop:
 	case AlgorithmSortMerge:
@@ -379,6 +423,7 @@ func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink) 
 				LeftFragments: frags,
 				Plan:          plan2,
 				Kernel:        o.Kernel.internal(),
+				Tracer:        tr,
 			})
 		}
 		rep, _, err := join.Partition(left.internal(), right.internal(), matches, join.PartitionConfig{
@@ -389,6 +434,7 @@ func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink) 
 			LeftFragments: frags,
 			Plan:          plan2,
 			Kernel:        o.Kernel.internal(),
+			Tracer:        tr,
 		})
 		return rep, err
 	}
@@ -408,7 +454,9 @@ func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink) 
 		// Pass 1: inner matches plus left fragments. Pass 2 (inputs
 		// swapped): matches discarded (already emitted), right
 		// fragments kept.
+		tr.Begin("pass1")
 		rep1, err := pass(r, s, nil, sink, sink, o.Seed)
+		tr.End()
 		if err != nil {
 			return nil, o.Algorithm, err
 		}
@@ -417,7 +465,9 @@ func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink) 
 			return nil, o.Algorithm, err
 		}
 		var discard relation.CountSink
+		tr.Begin("pass2")
 		rep2, err := pass(s, r, plan.Swap(), &discard, sink, o.Seed+1)
+		tr.End()
 		if err != nil {
 			return nil, o.Algorithm, err
 		}
