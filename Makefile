@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare explain-smoke
+.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare explain-smoke chaos-smoke
 
 all: check
 
@@ -43,6 +43,23 @@ bench-smoke:
 bench-compare:
 	$(GO) test -run '^$$' -bench 'ProbeBatch|Matcher' -benchmem ./internal/join/
 	$(GO) run ./cmd/vtbench -figure kernels -scale 64 -benchjson BENCH_pr3.json
+
+# Mid-query abort smoke: the chaos matrix (every algorithm × engine ×
+# kernel aborted by cancellation, deadline and permanent faults) under
+# the race detector, then an end-to-end vtbench run with a deadline it
+# cannot meet — which must exit with the cancellation code (3) and
+# leave no temporary files behind (the in-process audits enforce the
+# file half; the exit code is asserted here).
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaos|TestJoinsSurviveMidJoin|TestJoinsFailCleanlyOnMidJoin|TestSortDrops|TestDoPartitioningDrops|TestDoPartitioningPairCleans' \
+		./internal/join/ ./internal/extsort/ ./internal/partition/
+	@$(GO) build -o /tmp/vtbench-chaos ./cmd/vtbench; \
+	/tmp/vtbench-chaos -figure 7 -scale 8 -timeout 50ms; code=$$?; \
+	rm -f /tmp/vtbench-chaos; \
+	if [ $$code -ne 3 ]; then \
+		echo "vtbench under an unmeetable deadline exited $$code, want 3"; exit 1; \
+	fi; \
+	echo "chaos-smoke: deadline abort exited 3 as required"
 
 # End-to-end EXPLAIN/trace smoke: generate a small input pair, run
 # every algorithm with -explain -audit -trace, and let vtjoin's own

@@ -18,7 +18,7 @@ func ablationReplication(r *Relation) (lastOverlap, replicated int, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	a, err := partition.DoPartitioning(r.internal(), plan.Partitioning)
+	a, err := partition.DoPartitioning(nil, r.internal(), plan.Partitioning)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	vtbench [-figure 4|5|6|7|8|all|kernels] [-scale N] [-seed S] [-workers W]
-//	        [-audit] [-benchjson F] [-cpuprofile F] [-memprofile F]
+//	        [-timeout duration] [-audit] [-benchjson F]
+//	        [-cpuprofile F] [-memprofile F]
 //
 // -audit runs every sort-merge and partition join under the trace
 // invariant audits (exact counter attribution, partition coverage,
@@ -25,20 +26,35 @@
 // contains timings and is therefore not deterministic — it is excluded
 // from "-figure all", whose output the determinism checks diff.
 // -benchjson additionally writes the kernel comparison as JSON.
+//
+// -timeout bounds the whole run: once the deadline passes (or the
+// process is interrupted), in-flight joins abort cooperatively at the
+// next page boundary and the process exits with a distinct code.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error,
+// 3 deadline exceeded or interrupted.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
+	"vtjoin/internal/execctx"
 	"vtjoin/internal/experiments"
 	"vtjoin/internal/join"
 )
+
+// exitAborted is the exit code for a run cut short by -timeout or a
+// termination signal — distinct from usage (2) and runtime failure (1).
+const exitAborted = 3
 
 func main() {
 	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations, all, or kernels (timing-based, excluded from all)")
@@ -46,6 +62,7 @@ func main() {
 	seed := flag.Int64("seed", 1994, "base RNG seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent figure data points (1 = sequential; output is identical at any setting)")
 	audit := flag.Bool("audit", false, "run every join under the trace invariant audits (figures are identical; violations fail the run)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); exits 3 on expiry")
 	benchjson := flag.String("benchjson", "", "with -figure kernels: also write the comparison as JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -70,6 +87,15 @@ func main() {
 	p.Seed = *seed
 	p.Workers = *workers
 	p.Audit = *audit
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+		defer cancelTimeout()
+	}
+	p.Ctx = ctx
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -229,9 +255,13 @@ func writeBenchJSON(path string, p experiments.Params, rows []join.KernelBenchRe
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
-// fatal reports a runtime failure (experiment execution) and exits 1.
+// fatal reports a runtime failure (experiment execution) and exits 1 —
+// or exitAborted when the failure is a cancellation or expired deadline.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vtbench:", err)
+	if execctx.IsAbort(err) {
+		os.Exit(exitAborted)
+	}
 	os.Exit(1)
 }
 

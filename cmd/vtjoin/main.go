@@ -8,6 +8,7 @@
 //	       [-type inner|left|right|full]
 //	       [-predicate intersects|contains|containedin|equal]
 //	       [-memory pages] [-ratio R] [-seed S] [-coalesce]
+//	       [-timeout duration]
 //	       [-stats] [-explain] [-trace out.json] [-audit]
 //	       [-o out.csv] left.csv right.csv
 //
@@ -25,19 +26,36 @@
 // attribution, partition coverage, buffer balance, cache-paging
 // symmetry) and, with -trace, re-reads the written JSON and verifies
 // its per-span counters sum exactly to the device's movement.
+//
+// -timeout bounds the evaluation: when the deadline passes (or the
+// process receives SIGINT/SIGTERM), the join aborts cooperatively at
+// the next page boundary, releases every temporary file, and the
+// process exits with a distinct code.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error,
+// 3 deadline exceeded or interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	vtjoin "vtjoin"
 	"vtjoin/internal/cost"
 	"vtjoin/internal/csvio"
 	"vtjoin/internal/disk"
+	"vtjoin/internal/execctx"
 	"vtjoin/internal/trace"
 )
+
+// exitAborted is the exit code for a run cut short by -timeout or a
+// termination signal — distinct from usage (2) and runtime failure (1)
+// so scripts can tell "too slow / interrupted" from "wrong".
+const exitAborted = 3
 
 func main() {
 	algoFlag := flag.String("algo", "partition", "algorithm: partition, sortmerge or nestedloop")
@@ -51,6 +69,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the execution trace and planner candidate curve to stderr")
 	traceOut := flag.String("trace", "", "write the execution trace as JSON to this file")
 	audit := flag.Bool("audit", false, "run the trace invariant audits (implies tracing); with -trace, also verify the written JSON sums to the device counters")
+	timeout := flag.Duration("timeout", 0, "abort the join after this long (0 = no deadline); exits 3 on expiry")
 	out := flag.String("o", "-", "output file (- for stdout)")
 	flag.Parse()
 
@@ -100,6 +119,14 @@ func main() {
 		usage(fmt.Errorf("unknown predicate %q", *predFlag))
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+		defer cancelTimeout()
+	}
+
 	db := vtjoin.Open()
 	left, err := loadCSV(db, flag.Arg(0))
 	if err != nil {
@@ -111,7 +138,7 @@ func main() {
 	}
 	db.ResetIOCounters()
 
-	res, err := vtjoin.Join(left, right, opts)
+	res, err := vtjoin.JoinContext(ctx, left, right, opts)
 	if err != nil {
 		fatal(fmt.Errorf("join: %w", err))
 	}
@@ -236,9 +263,13 @@ func writeCSV(w *os.File, r *vtjoin.Relation) error {
 	return csvio.WriteTuples(w, r.Schema(), ts)
 }
 
-// fatal reports a runtime failure (I/O, join evaluation) and exits 1.
+// fatal reports a runtime failure (I/O, join evaluation) and exits 1 —
+// or exitAborted when the failure is a cancellation or expired deadline.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vtjoin:", err)
+	if execctx.IsAbort(err) {
+		os.Exit(exitAborted)
+	}
 	os.Exit(1)
 }
 

@@ -1,0 +1,78 @@
+package vtjoin
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vtjoin/internal/execctx"
+)
+
+// TestJoinContextCancellation: a cancelled context aborts every
+// algorithm with an error wrapping context.Canceled, and the aborted
+// join leaves nothing behind on the database's device — no partial
+// output relation, no partition or spill files.
+func TestJoinContextCancellation(t *testing.T) {
+	for _, algo := range []Algorithm{AlgorithmPartition, AlgorithmSortMerge, AlgorithmNestedLoop} {
+		t.Run(algo.String(), func(t *testing.T) {
+			db := Open()
+			emp := buildEmployees(t, db)
+			dept := buildDepartments(t, db)
+			before := db.d.LiveFiles()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := JoinContext(ctx, emp, dept, Options{Algorithm: algo, MemoryPages: 8})
+			if err == nil {
+				t.Fatal("join completed under a cancelled context")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error %v does not wrap context.Canceled", err)
+			}
+			var abort *execctx.AbortError
+			if !errors.As(err, &abort) {
+				t.Fatalf("error %v (type %T) does not wrap *execctx.AbortError", err, err)
+			}
+			if after := db.d.LiveFiles(); len(after) != len(before) {
+				t.Fatalf("aborted join leaked files: %v -> %v", before, after)
+			}
+		})
+	}
+}
+
+// TestJoinContextNilAndBackground: nil and background contexts are
+// both "never cancelled" — the join runs to completion identically.
+func TestJoinContextNilAndBackground(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		db := Open()
+		emp := buildEmployees(t, db)
+		dept := buildDepartments(t, db)
+		res, err := JoinContext(ctx, emp, dept, Options{MemoryPages: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.Relation.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(wantJoinResult()) {
+			t.Fatalf("%d results, want %d", len(got), len(wantJoinResult()))
+		}
+	}
+}
+
+// TestJoinIntoContextCancellation covers the streaming entry point.
+func TestJoinIntoContextCancellation(t *testing.T) {
+	db := Open()
+	emp := buildEmployees(t, db)
+	dept := buildDepartments(t, db)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := JoinIntoContext(ctx, emp, dept, Options{MemoryPages: 8}, func(tu Tuple) error {
+		t.Fatal("tuple emitted under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}

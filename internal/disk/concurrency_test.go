@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vtjoin/internal/page"
+	"vtjoin/internal/testutil"
 )
 
 // fileWorkload drives one file through a deterministic access pattern:
@@ -44,6 +45,7 @@ func fileWorkload(d *Disk, f FileID, pages int) error {
 // scheduling must not matter. Run under -race this doubles as the
 // device's race-stress test.
 func TestConcurrentCountersOrderIndependent(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	const (
 		workers = 8
 		pages   = 24
@@ -122,6 +124,7 @@ func TestConcurrentCountersOrderIndependent(t *testing.T) {
 // TestConcurrentCreateRemove hammers file-table mutation from many
 // goroutines; it exists to fail under -race if the table is unlocked.
 func TestConcurrentCreateRemove(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	d := New(page.MinSize)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -153,6 +156,7 @@ func TestConcurrentCreateRemove(t *testing.T) {
 // traffic through a FaultStore-backed device (transient faults
 // absorbed by retries); a data race here fails under -race.
 func TestFaultStoreStatsConcurrent(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	d, fs := NewFaulty(page.MinSize, FaultPlan{
 		Seed: 7,
 		Faults: []Fault{

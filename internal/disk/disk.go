@@ -356,6 +356,18 @@ func (d *Disk) ResetCounters() {
 	d.last = make(map[FileID]int)
 }
 
+// LiveFiles returns the IDs of every file currently existing on the
+// device, sorted. It is bookkeeping, not I/O: nothing is charged. The
+// abort machinery uses before/after snapshots of this set to assert
+// that a cancelled run removed every temporary file it created.
+func (d *Disk) LiveFiles() []FileID {
+	d.mu.Lock()
+	ids := d.store.ids()
+	d.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Damage describes one page that failed verification during a Scrub.
 type Damage struct {
 	File FileID

@@ -1,0 +1,52 @@
+package disk
+
+// PageOp describes one backend page transfer about to be attempted:
+// which file and page, and whether it is a write. Retried attempts are
+// observed individually, exactly as they are charged.
+type PageOp struct {
+	Write bool
+	File  FileID
+	Page  int
+}
+
+// OpHook observes every backend page transfer of a hooked device, in
+// the exact order the store executes them. The hook runs with the
+// device lock held, so it must be fast and must not call back into the
+// Disk; cancelling a context, counting, or recording a schedule are the
+// intended uses. The chaos harness uses a hook to fire cancellation at
+// a chosen ordinal deep inside a join.
+type OpHook func(op PageOp)
+
+// hookStore wraps a store, reporting every read and write attempt to
+// the hook before forwarding it. Metadata operations (create, remove,
+// truncate, numPages) are not page transfers and pass through silently.
+type hookStore struct {
+	inner store
+	hook  OpHook
+}
+
+func (h *hookStore) create(id FileID) error          { return h.inner.create(id) }
+func (h *hookStore) remove(id FileID) error          { return h.inner.remove(id) }
+func (h *hookStore) numPages(id FileID) (int, error) { return h.inner.numPages(id) }
+func (h *hookStore) truncate(id FileID) error        { return h.inner.truncate(id) }
+func (h *hookStore) ids() []FileID                   { return h.inner.ids() }
+func (h *hookStore) close() error                    { return h.inner.close() }
+
+func (h *hookStore) read(id FileID, idx int, buf []byte) error {
+	h.hook(PageOp{File: id, Page: idx})
+	return h.inner.read(id, idx, buf)
+}
+
+func (h *hookStore) write(id FileID, idx int, buf []byte) error {
+	h.hook(PageOp{Write: true, File: id, Page: idx})
+	return h.inner.write(id, idx, buf)
+}
+
+// NewHooked creates an in-memory device that reports every page
+// transfer attempt to hook before executing it. Costs and behavior are
+// otherwise identical to New.
+func NewHooked(pageSize int, hook OpHook) *Disk {
+	d := New(pageSize)
+	d.store = &hookStore{inner: d.store, hook: hook}
+	return d
+}

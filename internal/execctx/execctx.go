@@ -1,0 +1,89 @@
+// Package execctx defines the execution stack's cancellation and
+// panic-containment conventions. Every operator threads a
+// context.Context (page-oriented loops call Check once per page-granular
+// unit of work) and surfaces an abort as an *AbortError wrapping
+// context.Canceled or context.DeadlineExceeded, so callers can test the
+// cause with errors.Is while still seeing which operator noticed the
+// abort — the same shape as the disk layer's *IOError taxonomy.
+//
+// A nil context means "never cancelled": configuration structs carry an
+// optional Ctx field, and all helpers here treat nil as
+// context.Background(), so existing call sites keep working unchanged.
+package execctx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// AbortError reports that an operator observed a cancelled or expired
+// context and stopped. Op names the operator ("partition: fill",
+// "extsort: merge", ...). Unwrap exposes the context error, so
+// errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) hold.
+type AbortError struct {
+	Op  string
+	Err error
+}
+
+func (e *AbortError) Error() string { return fmt.Sprintf("%s: aborted: %v", e.Op, e.Err) }
+
+// Unwrap exposes the underlying context error.
+func (e *AbortError) Unwrap() error { return e.Err }
+
+// Check returns nil while ctx is live, and an *AbortError wrapping
+// ctx.Err() once it is cancelled or past its deadline. A nil ctx never
+// aborts. Operators call this at page-granularity boundaries: once per
+// input page scanned, per block fetched, per spill page flushed.
+func Check(ctx context.Context, op string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &AbortError{Op: op, Err: err}
+	}
+	return nil
+}
+
+// Value returns ctx, or context.Background() for nil — for handing an
+// optional context to APIs that require a non-nil one.
+func Value(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// IsAbort reports whether err stems from context cancellation or
+// deadline expiry, however deeply wrapped.
+func IsAbort(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// PanicError is a panic recovered at a goroutine boundary and converted
+// into an error, preserving the panic value and the goroutine's stack.
+// Worker panics must never crash the process: the driver goroutine gets
+// this error back through the normal error path and aborts cleanly.
+type PanicError struct {
+	Op    string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: worker panic: %v\n%s", e.Op, e.Value, e.Stack)
+}
+
+// RecoverTo is deferred at the top of worker goroutines: it converts a
+// panic into a *PanicError stored in *errp (only overwriting a nil
+// error). It must be deferred directly, not called from another deferred
+// function, so recover() observes the in-flight panic.
+func RecoverTo(op string, errp *error) {
+	if p := recover(); p != nil {
+		if *errp == nil {
+			*errp = &PanicError{Op: op, Value: p, Stack: debug.Stack()}
+		}
+	}
+}

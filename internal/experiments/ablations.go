@@ -37,7 +37,7 @@ func RunAblationReplication(p Params) ([]ReplicationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		a, err := partition.DoPartitioning(r, plan.Partitioning)
+		a, err := partition.DoPartitioning(p.Ctx, r, plan.Partitioning)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -56,10 +57,11 @@ func auditTracer(r *relation.Relation, name string, audit bool) *trace.Tracer {
 
 // runSortMerge executes sort-merge once and returns its phase report
 // (counters are ratio-independent; weight them per ratio afterwards).
-func runSortMerge(r, s *relation.Relation, memoryPages int, audit bool) (*cost.Report, error) {
+func runSortMerge(ctx context.Context, r, s *relation.Relation, memoryPages int, audit bool) (*cost.Report, error) {
 	var sink relation.CountSink
 	tr := auditTracer(r, "sort-merge", audit)
 	rep, _, err := join.SortMerge(r, s, &sink, join.SortMergeConfig{
+		Ctx:         ctx,
 		MemoryPages: memoryPages,
 		Tracer:      tr,
 	})
@@ -74,10 +76,11 @@ func runSortMerge(r, s *relation.Relation, memoryPages int, audit bool) (*cost.R
 
 // runPartition executes the partition join under the given weights
 // (weights influence the chosen plan, so each ratio is a separate run).
-func runPartition(r, s *relation.Relation, memoryPages int, w cost.Weights, seed int64, audit bool) (*cost.Report, *join.PartitionStats, error) {
+func runPartition(ctx context.Context, r, s *relation.Relation, memoryPages int, w cost.Weights, seed int64, audit bool) (*cost.Report, *join.PartitionStats, error) {
 	var sink relation.CountSink
 	tr := auditTracer(r, "partition-join", audit)
 	rep, stats, err := join.Partition(r, s, &sink, join.PartitionConfig{
+		Ctx:         ctx,
 		MemoryPages: memoryPages,
 		Weights:     w,
 		Rng:         rand.New(rand.NewSource(seed)),
@@ -107,7 +110,7 @@ func RunFigure6(p Params) ([]Row, error) {
 	// Each memory point is a self-contained task: it builds its own
 	// (identically seeded) relation pair on its own device, so points
 	// evaluate concurrently under p.Workers with identical rows.
-	perPoint, err := mapTasks(p.Workers, len(Figure6MemoryMB), func(pi int) ([]Row, error) {
+	perPoint, err := mapTasks(p.Ctx, p.Workers, len(Figure6MemoryMB), func(pi int) ([]Row, error) {
 		mb := Figure6MemoryMB[pi]
 		_, r, s, err := buildPair(p, 0)
 		if err != nil {
@@ -133,7 +136,7 @@ func RunFigure6(p Params) ([]Row, error) {
 		}
 
 		// Sort-merge: one run; re-weight the counters per ratio.
-		smRep, err := runSortMerge(r, s, m, p.Audit)
+		smRep, err := runSortMerge(p.Ctx, r, s, m, p.Audit)
 		if err != nil {
 			return nil, fmt.Errorf("figure 6: sort-merge at %d MB: %w", mb, err)
 		}
@@ -146,7 +149,7 @@ func RunFigure6(p Params) ([]Row, error) {
 
 		// Partition join: the plan depends on the ratio, so run each.
 		for _, ratio := range Figure6Ratios {
-			pjRep, _, err := runPartition(r, s, m, cost.Ratio(ratio), p.Seed+int64(mb*100)+int64(ratio), p.Audit)
+			pjRep, _, err := runPartition(p.Ctx, r, s, m, cost.Ratio(ratio), p.Seed+int64(mb*100)+int64(ratio), p.Audit)
 			if err != nil {
 				return nil, fmt.Errorf("figure 6: partition join at %d MB %g:1: %w", mb, ratio, err)
 			}
@@ -193,7 +196,7 @@ func RunFigure7(p Params) ([]Row, error) {
 	m := p.MemoryPages(Figure7MemoryMB)
 	w := cost.Ratio(Figure7Ratio)
 	lls := Figure7LongLived()
-	perPoint, err := mapTasks(p.Workers, len(lls), func(pi int) ([]Row, error) {
+	perPoint, err := mapTasks(p.Ctx, p.Workers, len(lls), func(pi int) ([]Row, error) {
 		ll := lls[pi]
 		_, r, s, err := buildPair(p, p.ScaleCount(ll))
 		if err != nil {
@@ -212,7 +215,7 @@ func RunFigure7(p Params) ([]Row, error) {
 			Algorithm: AlgoNestedLoop, MemoryMB: Figure7MemoryMB, Ratio: Figure7Ratio, LongLived: ll,
 			Cost: join.NestedLoopCost(rPages, sPages, m, w),
 		})
-		smRep, err := runSortMerge(r, s, m, p.Audit)
+		smRep, err := runSortMerge(p.Ctx, r, s, m, p.Audit)
 		if err != nil {
 			return nil, fmt.Errorf("figure 7: sort-merge at %d long-lived: %w", ll, err)
 		}
@@ -220,7 +223,7 @@ func RunFigure7(p Params) ([]Row, error) {
 			Algorithm: AlgoSortMerge, MemoryMB: Figure7MemoryMB, Ratio: Figure7Ratio, LongLived: ll,
 			Cost: smRep.Cost(w),
 		})
-		pjRep, _, err := runPartition(r, s, m, w, p.Seed+int64(ll), p.Audit)
+		pjRep, _, err := runPartition(p.Ctx, r, s, m, w, p.Seed+int64(ll), p.Audit)
 		if err != nil {
 			return nil, fmt.Errorf("figure 7: partition join at %d long-lived: %w", ll, err)
 		}
@@ -259,7 +262,7 @@ var Figure8MemoryMB = []int{1, 2, 4, 8, 16, 32}
 func RunFigure8(p Params) ([]Row, error) {
 	w := cost.Ratio(5)
 	lls := Figure8LongLived()
-	perPoint, err := mapTasks(p.Workers, len(lls), func(pi int) ([]Row, error) {
+	perPoint, err := mapTasks(p.Ctx, p.Workers, len(lls), func(pi int) ([]Row, error) {
 		ll := lls[pi]
 		_, r, s, err := buildPair(p, p.ScaleCount(ll))
 		if err != nil {
@@ -267,7 +270,7 @@ func RunFigure8(p Params) ([]Row, error) {
 		}
 		var rows []Row
 		for _, mb := range Figure8MemoryMB {
-			rep, _, err := runPartition(r, s, p.MemoryPages(mb), w, p.Seed+int64(ll+mb), p.Audit)
+			rep, _, err := runPartition(p.Ctx, r, s, p.MemoryPages(mb), w, p.Seed+int64(ll+mb), p.Audit)
 			if err != nil {
 				return nil, fmt.Errorf("figure 8: %d long-lived at %d MB: %w", ll, mb, err)
 			}
@@ -308,6 +311,7 @@ func RunFigure4(p Params) ([]Figure4Point, error) {
 		return nil, err
 	}
 	plan, cands, err := partition.DeterminePartIntervals(r, partition.PlanConfig{
+		Ctx:      p.Ctx,
 		BuffSize: p.MemoryPages(Figure7MemoryMB) - 3,
 		Weights:  cost.Ratio(Figure7Ratio),
 		Rng:      rand.New(rand.NewSource(p.Seed + 4)),

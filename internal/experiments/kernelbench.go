@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -13,14 +14,15 @@ import (
 
 // runSortMergeKernel and runPartitionKernel are the kernel-pinned
 // variants of the figure runners.
-func runSortMergeKernel(r, s *relation.Relation, memoryPages int, k join.Kernel) (*cost.Report, *join.SortMergeStats, error) {
+func runSortMergeKernel(ctx context.Context, r, s *relation.Relation, memoryPages int, k join.Kernel) (*cost.Report, *join.SortMergeStats, error) {
 	var sink relation.CountSink
-	return join.SortMerge(r, s, &sink, join.SortMergeConfig{MemoryPages: memoryPages, Kernel: k})
+	return join.SortMerge(r, s, &sink, join.SortMergeConfig{Ctx: ctx, MemoryPages: memoryPages, Kernel: k})
 }
 
-func runPartitionKernel(r, s *relation.Relation, memoryPages int, w cost.Weights, seed int64, k join.Kernel) (*cost.Report, *join.PartitionStats, error) {
+func runPartitionKernel(ctx context.Context, r, s *relation.Relation, memoryPages int, w cost.Weights, seed int64, k join.Kernel) (*cost.Report, *join.PartitionStats, error) {
 	var sink relation.CountSink
 	return join.Partition(r, s, &sink, join.PartitionConfig{
+		Ctx:         ctx,
 		MemoryPages: memoryPages,
 		Weights:     w,
 		Rng:         rand.New(rand.NewSource(seed)),
@@ -110,7 +112,7 @@ func RunKernelPhases(p Params) ([]AlgoPhaseTiming, error) {
 		if err != nil {
 			return nil, err
 		}
-		smRep, _, err := runSortMergeKernel(r, s, memoryPages, kernel)
+		smRep, _, err := runSortMergeKernel(p.Ctx, r, s, memoryPages, kernel)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +122,7 @@ func RunKernelPhases(p Params) ([]AlgoPhaseTiming, error) {
 				IO: ph.Counters.Total(), Wall: ph.Wall, CPU: ph.CPU,
 			})
 		}
-		pjRep, _, err := runPartitionKernel(r, s, memoryPages, cost.Ratio(5), p.Seed, kernel)
+		pjRep, _, err := runPartitionKernel(p.Ctx, r, s, memoryPages, cost.Ratio(5), p.Seed, kernel)
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vtjoin/internal/workload"
@@ -24,6 +25,10 @@ import (
 // taken as 4 KiB, which makes the reported cost magnitudes line up
 // with whole-relation scan counts.
 type Params struct {
+	// Ctx cancels a figure run cooperatively: it is threaded into every
+	// join and partitioning pass, checked between data points and at
+	// page-granularity inside them. Nil means never cancelled.
+	Ctx               context.Context
 	PageSize          int   // bytes per disk page
 	RecordBytes       int   // encoded tuple size
 	TuplesPerRelation int   // |r| = |s|

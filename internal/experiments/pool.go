@@ -1,6 +1,11 @@
 package experiments
 
-import "sync"
+import (
+	"context"
+	"sync"
+
+	"vtjoin/internal/execctx"
+)
 
 // mapTasks evaluates fn(0..n-1) with up to workers goroutines and
 // returns the results in index order. The output is identical for
@@ -10,14 +15,27 @@ import "sync"
 // n <= 1) degrades to an exact inline loop, which is the baseline the
 // determinism tests compare against.
 //
+// ctx is checked before each task is started; once it is done,
+// remaining tasks abort with an error wrapping ctx.Err() (in-flight
+// tasks additionally see the context through their own plumbing). A
+// panicking task is recovered into an *execctx.PanicError rather than
+// taking down the process from a worker goroutine.
+//
 // Each task must be self-contained (build its own relations on its own
 // simulated device): tasks run concurrently, so sharing a disk would
 // interleave counter updates between measured runs.
-func mapTasks[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+func mapTasks[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	run := func(i int) (v T, err error) {
+		defer execctx.RecoverTo("experiments: task", &err)
+		if err = execctx.Check(ctx, "experiments"); err != nil {
+			return v, err
+		}
+		return fn(i)
+	}
 	out := make([]T, n)
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := run(i)
 			if err != nil {
 				return nil, err
 			}
@@ -36,7 +54,7 @@ func mapTasks[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i], errs[i] = fn(i)
+				out[i], errs[i] = run(i)
 			}
 		}()
 	}

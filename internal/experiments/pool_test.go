@@ -7,7 +7,7 @@ import (
 
 func TestMapTasksOrderAndParallel(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 16} {
-		got, err := mapTasks(workers, 10, func(i int) (int, error) { return i * i, nil })
+		got, err := mapTasks(nil, workers, 10, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -22,7 +22,7 @@ func TestMapTasksOrderAndParallel(t *testing.T) {
 func TestMapTasksLowestIndexError(t *testing.T) {
 	boom2 := errors.New("task 2")
 	boom7 := errors.New("task 7")
-	_, err := mapTasks(4, 10, func(i int) (int, error) {
+	_, err := mapTasks(nil, 4, 10, func(i int) (int, error) {
 		switch i {
 		case 2:
 			return 0, boom2

@@ -1,0 +1,112 @@
+package extsort
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vtjoin/internal/disk"
+	"vtjoin/internal/execctx"
+	"vtjoin/internal/page"
+)
+
+// The external sort creates temporary files at two points — run
+// formation and merge-pass outputs — and each error path must drop
+// everything created so far. These regressions pin the cleanup per
+// path by striking a fault (or cancelling) at the exact phase and then
+// diffing the device's live files.
+
+func TestSortDropsRunsOnMidRunFormationFault(t *testing.T) {
+	// Run formation writes the sorted runs; a permanent write fault
+	// landing past the input load strikes while some runs already exist
+	// on disk. They must all be dropped.
+	probe := disk.New(page.DefaultSize)
+	buildRandom(t, probe, 400, 5)
+	loadWrites := int(probe.Counters().RandWrites + probe.Counters().SeqWrites)
+
+	faulty, fs := disk.NewFaulty(page.DefaultSize, disk.FaultPlan{
+		Faults: []disk.Fault{
+			// Several runs in: each run is ~4 pages at memoryPages=4.
+			{Kind: disk.FaultPermanentWrite, Page: -1, After: loadWrites + 9},
+		},
+	})
+	r := buildRandom(t, faulty, 400, 5)
+	before := faulty.LiveFiles()
+
+	_, err := Sort(nil, r, ByStartTime, 4)
+	if err == nil {
+		t.Fatal("sort succeeded over a permanently failing device")
+	}
+	var ioe *disk.IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("error %v (type %T) does not wrap *disk.IOError", err, err)
+	}
+	if fs.Stats().PermanentWrites == 0 {
+		t.Fatal("fault never fired")
+	}
+	if after := faulty.LiveFiles(); len(after) != len(before) {
+		t.Fatalf("run files leaked on the run-formation error path: %v -> %v", before, after)
+	}
+}
+
+func TestSortDropsRunsOnMidMergeFault(t *testing.T) {
+	// The merge pass reads completed runs and writes merged outputs; a
+	// read fault placed past the input scan strikes inside the merge,
+	// where the input runs and a partial output coexist. All of them
+	// must be dropped. Building only writes, so the sort's reads are the
+	// input scan (run formation, inputPages reads) followed by the
+	// merge's run reads — a strike past inputPages lands in the merge.
+	const tuples = 4000 // >> memoryPages pages of input, forcing a real merge
+	probe := disk.New(page.DefaultSize)
+	inputPages := mustPages(t, buildRandom(t, probe, tuples, 6))
+	if inputPages <= 4 {
+		t.Fatalf("input fits in memory (%d pages); no merge pass to strike", inputPages)
+	}
+	faulty, fs := disk.NewFaulty(page.DefaultSize, disk.FaultPlan{
+		Faults: []disk.Fault{
+			{Kind: disk.FaultPermanentRead, Page: -1, After: inputPages + 3},
+		},
+	})
+	fr := buildRandom(t, faulty, tuples, 6)
+	before := faulty.LiveFiles()
+
+	_, err := Sort(nil, fr, ByStartTime, 4)
+	if err == nil {
+		t.Fatal("sort succeeded over a permanently failing device")
+	}
+	var ioe *disk.IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("error %v (type %T) does not wrap *disk.IOError", err, err)
+	}
+	if fs.Stats().PermanentReads == 0 {
+		t.Fatal("fault never fired")
+	}
+	if after := faulty.LiveFiles(); len(after) != len(before) {
+		t.Fatalf("run files leaked on the merge error path: %v -> %v", before, after)
+	}
+}
+
+func TestSortDropsRunsOnCancellation(t *testing.T) {
+	// Cancellation mid-sort takes the same cleanup paths as a device
+	// error; cancel immediately so the abort lands in run formation.
+	d := disk.New(page.DefaultSize)
+	r := buildRandom(t, d, 400, 7)
+	before := d.LiveFiles()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Sort(ctx, r, ByStartTime, 4)
+	if err == nil {
+		t.Fatal("sort completed under a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	var abort *execctx.AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("error %v (type %T) does not wrap *execctx.AbortError", err, err)
+	}
+	if after := d.LiveFiles(); len(after) != len(before) {
+		t.Fatalf("run files leaked on cancellation: %v -> %v", before, after)
+	}
+}

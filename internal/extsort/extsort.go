@@ -8,9 +8,11 @@ package extsort
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
+	"vtjoin/internal/execctx"
 	"vtjoin/internal/page"
 	"vtjoin/internal/prefetch"
 	"vtjoin/internal/relation"
@@ -66,8 +68,13 @@ func (s *Sorted) Drop() error { return s.Rel.Drop() }
 // Run-generation reads go through a prefetch pipeline sized against the
 // memory budget; SortDepth exposes the depth for callers that need the
 // fully synchronous schedule.
-func Sort(r *relation.Relation, less Less, memoryPages int) (*Sorted, error) {
-	return SortDepth(r, less, memoryPages, prefetch.DepthFor(memoryPages))
+//
+// The sort checks ctx (nil = never cancelled) once per input page
+// during run formation and about once per output page during merges; an
+// aborted or failed sort drops every run file it created before
+// returning, so no temporary space leaks.
+func Sort(ctx context.Context, r *relation.Relation, less Less, memoryPages int) (*Sorted, error) {
+	return SortDepth(ctx, r, less, memoryPages, prefetch.DepthFor(memoryPages))
 }
 
 // SortDepth is Sort with an explicit prefetch depth for pass-0 run
@@ -76,8 +83,8 @@ func Sort(r *relation.Relation, less Less, memoryPages int) (*Sorted, error) {
 // counted I/O and the resulting sorted relation are identical across
 // depths; only wall-clock overlap changes. Merge passes interleave
 // reads across many run files under heap control and stay sequential.
-func SortDepth(r *relation.Relation, less Less, memoryPages, depth int) (*Sorted, error) {
-	return SortDepthTrace(r, less, memoryPages, depth, nil)
+func SortDepth(ctx context.Context, r *relation.Relation, less Less, memoryPages, depth int) (*Sorted, error) {
+	return SortDepthTrace(ctx, r, less, memoryPages, depth, nil)
 }
 
 // SortDepthTrace is SortDepth recording per-phase spans — run
@@ -85,11 +92,22 @@ func SortDepth(r *relation.Relation, less Less, memoryPages, depth int) (*Sorted
 // sort itself is unchanged). The pass-0 prefetch stream is fully
 // drained before the run-formation span closes, so each span's I/O
 // attribution is exact.
-func SortDepthTrace(r *relation.Relation, less Less, memoryPages, depth int, tr *trace.Tracer) (*Sorted, error) {
+func SortDepthTrace(ctx context.Context, r *relation.Relation, less Less, memoryPages, depth int, tr *trace.Tracer) (*Sorted, error) {
 	if memoryPages < 3 {
 		return nil, fmt.Errorf("extsort: need at least 3 buffer pages, got %d", memoryPages)
 	}
 	d := r.Disk()
+
+	// dropRuns releases run files on abort paths, best-effort: a failed
+	// sort must not leak device space, and a secondary removal error
+	// must not mask the original failure.
+	dropRuns := func(rs []*Sorted) {
+		for _, run := range rs {
+			if run != nil {
+				_ = run.Drop()
+			}
+		}
+	}
 
 	// Pass 0: run generation.
 	tr.Begin("run formation")
@@ -105,10 +123,12 @@ func SortDepthTrace(r *relation.Relation, less Less, memoryPages, depth int, tr 
 		b := run.NewBuilder()
 		for _, t := range buf {
 			if err := b.AppendUnchecked(t); err != nil {
+				_ = run.Drop()
 				return err
 			}
 		}
 		if err := b.Flush(); err != nil {
+			_ = run.Drop()
 			return err
 		}
 		runs = append(runs, &Sorted{Rel: run, PageStart: b.PageStarts()})
@@ -118,16 +138,19 @@ func SortDepthTrace(r *relation.Relation, less Less, memoryPages, depth int, tr 
 	}
 	rPages, err := r.Pages()
 	if err != nil {
+		tr.End()
 		return nil, err
 	}
 	pool := page.NewPool(d.PageSize())
-	stream := prefetch.NewStream(pool, rPages, depth, func(idx int, dst *page.Page) error {
+	stream := prefetch.NewStream(ctx, pool, rPages, depth, func(idx int, dst *page.Page) error {
 		return r.ReadPage(idx, dst)
 	})
 	defer stream.Close()
 	for {
 		pg, err := stream.Next()
 		if err != nil {
+			dropRuns(runs)
+			tr.End()
 			return nil, err
 		}
 		if pg == nil {
@@ -136,17 +159,22 @@ func SortDepthTrace(r *relation.Relation, less Less, memoryPages, depth int, tr 
 		ts, err := pg.Tuples()
 		stream.Release(pg)
 		if err != nil {
+			dropRuns(runs)
+			tr.End()
 			return nil, err
 		}
 		buf = append(buf, ts...)
 		pagesInBuf++
 		if pagesInBuf == memoryPages {
 			if err := flushRun(); err != nil {
+				dropRuns(runs)
+				tr.End()
 				return nil, err
 			}
 		}
 	}
 	if err := flushRun(); err != nil {
+		dropRuns(runs)
 		tr.End()
 		return nil, err
 	}
@@ -171,13 +199,20 @@ func SortDepthTrace(r *relation.Relation, less Less, memoryPages, depth int, tr 
 			if hi > len(runs) {
 				hi = len(runs)
 			}
-			merged, err := mergeRuns(runs[lo:hi], less)
+			merged, err := mergeRuns(ctx, runs[lo:hi], less)
 			if err != nil {
+				// The un-merged tail of this pass and the outputs already
+				// produced are all still on disk; release them.
+				dropRuns(runs[lo:])
+				dropRuns(next)
 				tr.End()
 				return nil, err
 			}
 			for _, run := range runs[lo:hi] {
 				if err := run.Drop(); err != nil {
+					dropRuns(runs[hi:])
+					dropRuns(next)
+					_ = merged.Drop()
 					tr.End()
 					return nil, err
 				}
@@ -231,32 +266,47 @@ func (h *mergeHeap) Pop() any {
 	return it
 }
 
-func mergeRuns(runs []*Sorted, less Less) (*Sorted, error) {
+// mergeCheckEvery is how many merged tuples go by between cancellation
+// checks — about one output page's worth at the default page size, so
+// an abort is noticed within roughly one page boundary.
+const mergeCheckEvery = 32
+
+func mergeRuns(ctx context.Context, runs []*Sorted, less Less) (*Sorted, error) {
 	if len(runs) == 0 {
 		return nil, fmt.Errorf("extsort: merge of zero runs")
 	}
 	d := runs[0].Rel.Disk()
 	out := relation.Create(d, runs[0].Rel.Schema())
 	b := out.NewBuilder()
+	// On any failure the partially written output must not leak.
+	fail := func(err error) (*Sorted, error) {
+		_ = out.Drop()
+		return nil, err
+	}
 
 	h := &mergeHeap{less: less}
 	for _, run := range runs {
 		c := &mergeCursor{sc: run.Rel.Scan()}
 		if err := c.advance(); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if !c.done {
 			h.items = append(h.items, c)
 		}
 	}
 	heap.Init(h)
-	for h.Len() > 0 {
+	for n := 0; h.Len() > 0; n++ {
+		if n%mergeCheckEvery == 0 {
+			if err := execctx.Check(ctx, "extsort: merge"); err != nil {
+				return fail(err)
+			}
+		}
 		c := h.items[0]
 		if err := b.AppendUnchecked(c.cur); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if err := c.advance(); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if c.done {
 			heap.Pop(h)
@@ -265,7 +315,7 @@ func mergeRuns(runs []*Sorted, less Less) (*Sorted, error) {
 		}
 	}
 	if err := b.Flush(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	return &Sorted{Rel: out, PageStart: b.PageStarts()}, nil
 }

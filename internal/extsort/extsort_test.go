@@ -60,7 +60,7 @@ func assertSorted(t *testing.T, s *Sorted, wantCount int64) {
 func TestSortValidation(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildRandom(t, d, 10, 1)
-	if _, err := Sort(r, ByStartTime, 2); err == nil {
+	if _, err := Sort(nil, r, ByStartTime, 2); err == nil {
 		t.Fatal("memoryPages=2 accepted")
 	}
 }
@@ -68,7 +68,7 @@ func TestSortValidation(t *testing.T) {
 func TestSortEmpty(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := relation.Create(d, testSchema)
-	s, err := Sort(r, ByStartTime, 4)
+	s, err := Sort(nil, r, ByStartTime, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestSortSingleRun(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildRandom(t, d, 50, 2)
 	// Memory exceeds the relation: one run, no merge pass.
-	s, err := Sort(r, ByStartTime, mustPages(t, r)+3)
+	s, err := Sort(nil, r, ByStartTime, mustPages(t, r)+3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestSortMultiRunSinglePass(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildRandom(t, d, 3000, 3)
 	m := mustPages(t, r)/3 + 1 // ~3 runs, fan-in covers them in one pass
-	s, err := Sort(r, ByStartTime, m)
+	s, err := Sort(nil, r, ByStartTime, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestSortMultiPass(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildRandom(t, d, 4000, 4)
 	// Tiny memory: many runs, fan-in 2 forces multiple merge passes.
-	s, err := Sort(r, ByStartTime, 3)
+	s, err := Sort(nil, r, ByStartTime, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestSortPreservesMultiset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Sort(r, ByStartTime, 5)
+	s, err := Sort(nil, r, ByStartTime, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestSortPreservesMultiset(t *testing.T) {
 func TestPageStartCatalog(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildRandom(t, d, 1500, 6)
-	s, err := Sort(r, ByStartTime, 4)
+	s, err := Sort(nil, r, ByStartTime, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestPageStartCatalog(t *testing.T) {
 func TestPageOfRejectsOutOfRange(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildRandom(t, d, 10, 7)
-	s, err := Sort(r, ByStartTime, 4)
+	s, err := Sort(nil, r, ByStartTime, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestSortLeavesInputIntact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Sort(r, ByStartTime, 4)
+	s, err := Sort(nil, r, ByStartTime, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestSortIOCost(t *testing.T) {
 	r := buildRandom(t, d, 3000, 9)
 	m := mustPages(t, r)/3 + 2
 	d.ResetCounters()
-	s, err := Sort(r, ByStartTime, m)
+	s, err := Sort(nil, r, ByStartTime, m)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package incremental
 
 import (
+	"context"
 	"fmt"
 
 	"vtjoin/internal/cost"
@@ -60,11 +61,11 @@ func New(r, s *relation.Relation, cfg Config) (*View, error) {
 	d := r.Disk()
 	v := &View{d: d, plan: plan, parting: cfg.Partitioning}
 
-	v.left, err = partition.DoPartitioning(r, cfg.Partitioning)
+	v.left, err = partition.DoPartitioning(context.Background(), r, cfg.Partitioning)
 	if err != nil {
 		return nil, err
 	}
-	v.right, err = partition.DoPartitioning(s, cfg.Partitioning)
+	v.right, err = partition.DoPartitioning(context.Background(), s, cfg.Partitioning)
 	if err != nil {
 		return nil, err
 	}

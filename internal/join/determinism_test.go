@@ -9,6 +9,7 @@ import (
 	"vtjoin/internal/disk"
 	"vtjoin/internal/page"
 	"vtjoin/internal/relation"
+	"vtjoin/internal/testutil"
 )
 
 // tuple2 is a comparable rendering of a result tuple, so result sets
@@ -26,6 +27,7 @@ type tuple2 struct {
 // device counters (down to every field) and the canonicalized results
 // must match exactly.
 func TestConcurrentEngineMatchesSequential(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	w := workload{keys: 24, n: 2500, longEvery: 6, lifespan: 200000}
 	rng := rand.New(rand.NewSource(77))
 	rTuples := w.generate(rng, 0)

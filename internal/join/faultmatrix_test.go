@@ -9,6 +9,7 @@ import (
 	"vtjoin/internal/disk"
 	"vtjoin/internal/page"
 	"vtjoin/internal/relation"
+	"vtjoin/internal/testutil"
 	"vtjoin/internal/tuple"
 )
 
@@ -160,6 +161,126 @@ func TestJoinsSurfaceCorruption(t *testing.T) {
 			}
 			if corrupt.Page < 0 {
 				t.Fatalf("corruption coordinates missing: %+v", corrupt)
+			}
+		})
+	}
+}
+
+// TestJoinsSurviveMidJoinTransientFaults extends the transient matrix
+// with faults placed by I/O ordinal *inside* the join: the load phase
+// is measured and the strikes are offset past it, so every glitch hits
+// the evaluation itself (partitioning passes, sort runs, merge scans).
+// The result must stay byte-identical and the counter identity must
+// hold exactly: every retry re-issues one access, so the faulty run's
+// total equals the clean run's total plus its retries.
+func TestJoinsSurviveMidJoinTransientFaults(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	rTuples, sTuples := faultMatrixInputs(14)
+	const memoryPages = 10
+
+	for _, algo := range []string{"nested-loop", "sort-merge", "partition"} {
+		t.Run(algo, func(t *testing.T) {
+			clean := disk.New(page.DefaultSize)
+			r := load(t, clean, empSchema, rTuples)
+			s := load(t, clean, deptSchema, sTuples)
+			afterLoad := clean.Counters()
+			want, err := runAlgorithm(algo, r, s, memoryPages)
+			if err != nil {
+				t.Fatalf("fault-free run failed: %v", err)
+			}
+			joinIO := clean.Counters().Sub(afterLoad)
+			loadReads := int(afterLoad.RandReads + afterLoad.SeqReads)
+			loadWrites := int(afterLoad.RandWrites + afterLoad.SeqWrites)
+			joinReads := int(joinIO.RandReads + joinIO.SeqReads)
+			joinWrites := int(joinIO.RandWrites + joinIO.SeqWrites)
+
+			// Strikes at the first, middle and last quarters of the join's
+			// own read and write schedules, each firing once and spaced
+			// wider than the retry budget.
+			var plan disk.FaultPlan
+			plan.Seed = 2
+			for _, frac := range []int{4, 2, 1} {
+				if n := joinReads - joinReads/frac; joinReads > 0 {
+					plan.Faults = append(plan.Faults, disk.Fault{
+						Kind: disk.FaultTransientRead, Page: -1, After: loadReads + n,
+					})
+				}
+				if n := joinWrites - joinWrites/frac; joinWrites > 0 {
+					plan.Faults = append(plan.Faults, disk.Fault{
+						Kind: disk.FaultTransientWrite, Page: -1, After: loadWrites + n,
+					})
+				}
+			}
+			faulty, fs := disk.NewFaulty(page.DefaultSize, plan)
+			fr := load(t, faulty, empSchema, rTuples)
+			fsRel := load(t, faulty, deptSchema, sTuples)
+			afterFaultyLoad := faulty.Counters()
+			got, err := runAlgorithm(algo, fr, fsRel, memoryPages)
+			if err != nil {
+				t.Fatalf("join over mid-join transient faults failed: %v", err)
+			}
+			if fs.Stats().Total() == 0 {
+				t.Fatal("no mid-join fault fired; the test proves nothing")
+			}
+			assertSameResult(t, algo+" under mid-join transient faults", got, want)
+
+			// Counter identity: the faulty join did exactly the clean
+			// join's accesses plus one re-issue per retry.
+			faultyJoinIO := faulty.Counters().Sub(afterFaultyLoad)
+			if faultyJoinIO.Retries == 0 {
+				t.Fatal("no retries charged despite injected mid-join faults")
+			}
+			if got, want := faultyJoinIO.Total(), joinIO.Total()+faultyJoinIO.Retries; got != want {
+				t.Errorf("counter identity broken: faulty total %d, clean total %d + %d retries = %d",
+					got, joinIO.Total(), faultyJoinIO.Retries, want)
+			}
+		})
+	}
+}
+
+// TestJoinsFailCleanlyOnMidJoinPermanentFaults places a permanent
+// write fault inside the join (loading never reads, so the read-fault
+// variant is covered by the chaos harness; a write fault exercises the
+// spill/partition/run creation paths): the join must surface a wrapped
+// *disk.IOError and release every file it created.
+func TestJoinsFailCleanlyOnMidJoinPermanentFaults(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	rTuples, sTuples := faultMatrixInputs(15)
+	const memoryPages = 10
+
+	// Measure the load phase's writes so the fault can be offset past
+	// them, landing on the join's own output.
+	probe := disk.New(page.DefaultSize)
+	load(t, probe, empSchema, rTuples)
+	load(t, probe, deptSchema, sTuples)
+	loadWrites := int(probe.Counters().RandWrites + probe.Counters().SeqWrites)
+
+	for _, algo := range []string{"sort-merge", "partition"} { // nested-loop never writes
+		t.Run(algo, func(t *testing.T) {
+			faulty, fs := disk.NewFaulty(page.DefaultSize, disk.FaultPlan{
+				Faults: []disk.Fault{
+					// Offset past the load's writes so the fault lands on
+					// the join's own spill/partition/run output.
+					{Kind: disk.FaultPermanentWrite, Page: -1, After: loadWrites + 10},
+				},
+			})
+			r := load(t, faulty, empSchema, rTuples)
+			s := load(t, faulty, deptSchema, sTuples)
+			before := faulty.LiveFiles()
+
+			_, err := runAlgorithm(algo, r, s, memoryPages)
+			if err == nil {
+				t.Fatal("join succeeded over a permanently failing device")
+			}
+			var ioe *disk.IOError
+			if !errors.As(err, &ioe) {
+				t.Fatalf("error %v (type %T) does not wrap *disk.IOError", err, err)
+			}
+			if fs.Stats().PermanentWrites == 0 {
+				t.Fatal("permanent write fault never fired")
+			}
+			if after := faulty.LiveFiles(); len(after) != len(before) {
+				t.Errorf("file leak after permanent-fault abort: %v -> %v", before, after)
 			}
 		})
 	}

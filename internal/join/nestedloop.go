@@ -1,11 +1,13 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"vtjoin/internal/chronon"
 	"vtjoin/internal/cost"
+	"vtjoin/internal/execctx"
 	"vtjoin/internal/page"
 	"vtjoin/internal/prefetch"
 	"vtjoin/internal/relation"
@@ -16,6 +18,10 @@ import (
 
 // NestedLoopConfig configures the block nested-loop join.
 type NestedLoopConfig struct {
+	// Ctx cancels the join cooperatively: it is checked per outer block
+	// and per streamed page, aborting with an error wrapping ctx.Err().
+	// Nil means never cancelled.
+	Ctx context.Context
 	// MemoryPages is the total buffer allocation M. The outer relation
 	// is processed in blocks of M-2 pages; one page buffers the inner
 	// relation scan and one the result.
@@ -99,6 +105,9 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 	var outer []tuple.Tuple
 	m := newKernelMatcher(plan, pred, cfg.Kernel, nil)
 	for lo := 0; lo < rPages; lo += blockPages {
+		if err := execctx.Check(cfg.Ctx, "join: nested loop"); err != nil {
+			return nil, err
+		}
 		hi := lo + blockPages
 		if hi > rPages {
 			hi = rPages
@@ -107,7 +116,7 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 		// Load the outer block (1 random + (hi-lo-1) sequential reads),
 		// prefetching its pages ahead of the decode.
 		outer = outer[:0]
-		err := forEachPage(pool, hi-lo, depth,
+		err := forEachPage(cfg.Ctx, pool, hi-lo, depth,
 			func(idx int, dst *page.Page) error { return r.ReadPage(lo+idx, dst) },
 			func(ts []tuple.Tuple) error {
 				outer = append(outer, ts...)
@@ -130,7 +139,7 @@ func NestedLoop(r, s *relation.Relation, sink relation.Sink, cfg NestedLoopConfi
 
 		// One full scan of the inner relation per block, prefetched
 		// ahead of the probing.
-		err = forEachPage(pool, sPages, depth,
+		err = forEachPage(cfg.Ctx, pool, sPages, depth,
 			func(idx int, dst *page.Page) error { return s.ReadPage(idx, dst) },
 			func(ts []tuple.Tuple) error { return m.probeBatch(ts, emit) })
 		if err != nil {

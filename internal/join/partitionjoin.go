@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +9,7 @@ import (
 	"vtjoin/internal/chronon"
 	"vtjoin/internal/cost"
 	"vtjoin/internal/disk"
+	"vtjoin/internal/execctx"
 	"vtjoin/internal/page"
 	"vtjoin/internal/partition"
 	"vtjoin/internal/prefetch"
@@ -19,6 +21,13 @@ import (
 
 // PartitionConfig configures the valid-time partition join.
 type PartitionConfig struct {
+	// Ctx cancels the join cooperatively: every phase checks it at
+	// page-granularity boundaries (per sampled candidate, per Grace
+	// input page, per partition and per streamed page during
+	// evaluation) and aborts with an error wrapping ctx.Err(). All
+	// partition, cache-spill and scratch files are removed on abort.
+	// Nil means never cancelled.
+	Ctx context.Context
 	// MemoryPages is the total buffer allocation M. Per Figure 3,
 	// M-3 pages hold the outer-relation partition and one page each
 	// buffers the inner relation, the tuple cache, and the result.
@@ -133,6 +142,7 @@ func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig)
 			return nil, nil, fmt.Errorf("join: PartitionConfig.Rng is required when no partitioning is given")
 		}
 		plan, _, err := partition.DeterminePartIntervals(r, partition.PlanConfig{
+			Ctx:           cfg.Ctx,
 			BuffSize:      buffSize,
 			Weights:       cfg.Weights,
 			Rng:           cfg.Rng,
@@ -163,17 +173,17 @@ func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig)
 	tr.SetAttr("engine", engine)
 	var rp, sp *partition.Partitioned
 	if cfg.Sequential {
-		rp, err = partition.DoPartitioning(r, parting)
+		rp, err = partition.DoPartitioning(cfg.Ctx, r, parting)
 		if err != nil {
 			return nil, nil, err
 		}
-		sp, err = partition.DoPartitioning(s, parting)
+		sp, err = partition.DoPartitioning(cfg.Ctx, s, parting)
 		if err != nil {
 			_ = rp.Drop()
 			return nil, nil, err
 		}
 	} else {
-		rp, sp, err = partition.DoPartitioningPair(r, s, parting)
+		rp, sp, err = partition.DoPartitioningPair(cfg.Ctx, r, s, parting)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -204,7 +214,7 @@ func Partition(r, s *relation.Relation, sink relation.Sink, cfg PartitionConfig)
 	tr.Begin("join")
 	tr.SetAttr("prefetchDepth", depth)
 	tr.SetAttr("kernel", cfg.Kernel.String())
-	if err := joinPartitions(plan, pred, cfg.Kernel, d, parting, rp, sp, sink, cfg.LeftFragments, cfg.MemoryPages, depth, stats, tr); err != nil {
+	if err := joinPartitions(cfg.Ctx, plan, pred, cfg.Kernel, d, parting, rp, sp, sink, cfg.LeftFragments, cfg.MemoryPages, depth, stats, tr); err != nil {
 		return nil, nil, err
 	}
 	if err := sink.Flush(); err != nil {
@@ -435,7 +445,7 @@ func (c *tupleCache) drop() error {
 // cache join to new outer tuples removes the duplicates without losing
 // any pair: the pair (x, y) is produced exactly at
 // i = min(last(x), last(y)), where at least one side is new.)
-func joinPartitions(plan *schema.JoinPlan, pred Predicate, kernel Kernel, d *disk.Disk, parting partition.Partitioning,
+func joinPartitions(ctx context.Context, plan *schema.JoinPlan, pred Predicate, kernel Kernel, d *disk.Disk, parting partition.Partitioning,
 	rp, sp *partition.Partitioned, sink relation.Sink, leftFrag relation.Sink, memoryPages, depth int, stats *PartitionStats, tr *trace.Tracer) error {
 
 	budget := buffer.MustBudget(memoryPages)
@@ -498,6 +508,9 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, kernel Kernel, d *dis
 	var spillFileTuples []tuple.Tuple
 
 	for i := n - 1; i >= 0; i-- {
+		if err := execctx.Check(ctx, "join: partitions"); err != nil {
+			return err
+		}
 		tr.Begin(fmt.Sprintf("p[%d]", i))
 		tr.SetAttr("outerPages", rp.Pages(i))
 		tr.SetAttr("innerPages", sp.Pages(i))
@@ -521,7 +534,7 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, kernel Kernel, d *dis
 			return err
 		}
 		carried := len(outer.tuples)
-		err := forEachPage(pool, rp.Pages(i), depth,
+		err := forEachPage(ctx, pool, rp.Pages(i), depth,
 			func(idx int, dst *page.Page) error { return rp.ReadPage(i, idx, dst) },
 			func(ts []tuple.Tuple) error {
 				for _, t := range ts {
@@ -575,7 +588,7 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, kernel Kernel, d *dis
 			return err
 		}
 		spillFileTuples = spillFileTuples[:0]
-		err = forEachPage(pool, cache.pages, depth, cache.readSpilled,
+		err = forEachPage(ctx, pool, cache.pages, depth, cache.readSpilled,
 			func(ts []tuple.Tuple) error {
 				spillFileTuples = append(spillFileTuples, ts...)
 				return nil
@@ -614,7 +627,7 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, kernel Kernel, d *dis
 		// Join each page of s_i against the whole outer area, retaining
 		// long-lived inner tuples into the (new) tuple cache. The pages
 		// of s_i prefetch ahead of the probing.
-		err = forEachPage(pool, sp.Pages(i), depth,
+		err = forEachPage(ctx, pool, sp.Pages(i), depth,
 			func(idx int, dst *page.Page) error { return sp.ReadPage(i, idx, dst) },
 			func(ts []tuple.Tuple) error {
 				if err := matchAll.probeBatch(ts, emitAll); err != nil {
@@ -644,10 +657,11 @@ func joinPartitions(plan *schema.JoinPlan, pred Predicate, kernel Kernel, d *dis
 
 // forEachPage streams pages [0, n) of one file through a bounded
 // prefetch pipeline, invoking fn with each page's decoded tuples in
-// storage order. The stream is always closed before returning, so the
-// underlying file is quiescent afterwards (safe to remove).
-func forEachPage(pool *page.Pool, n, depth int, read prefetch.ReadFunc, fn func(ts []tuple.Tuple) error) error {
-	s := prefetch.NewStream(pool, n, depth, read)
+// storage order. The stream checks ctx before every page read. It is
+// always closed before returning — worker joined, buffers recovered —
+// so the underlying file is quiescent afterwards (safe to remove).
+func forEachPage(ctx context.Context, pool *page.Pool, n, depth int, read prefetch.ReadFunc, fn func(ts []tuple.Tuple) error) error {
+	s := prefetch.NewStream(ctx, pool, n, depth, read)
 	defer s.Close()
 	for {
 		pg, err := s.Next()

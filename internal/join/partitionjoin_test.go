@@ -242,7 +242,7 @@ func TestPartitionJoinNoReplicationOnDisk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pt, err := partition.DoPartitioning(rr, plan.Partitioning)
+	pt, err := partition.DoPartitioning(nil, rr, plan.Partitioning)
 	if err != nil {
 		t.Fatal(err)
 	}

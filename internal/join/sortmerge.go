@@ -1,12 +1,14 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"vtjoin/internal/chronon"
 	"vtjoin/internal/cost"
 	"vtjoin/internal/disk"
+	"vtjoin/internal/execctx"
 	"vtjoin/internal/extsort"
 	"vtjoin/internal/page"
 	"vtjoin/internal/prefetch"
@@ -18,6 +20,11 @@ import (
 
 // SortMergeConfig configures the sort-merge valid-time join.
 type SortMergeConfig struct {
+	// Ctx cancels the join cooperatively: both external sorts and the
+	// merge check it at page-granularity boundaries and abort with an
+	// error wrapping ctx.Err(). Sorted temporaries and spill files are
+	// removed on abort. Nil means never cancelled.
+	Ctx context.Context
 	// MemoryPages is the total buffer allocation M: both relations are
 	// externally sorted with M pages; the merge keeps one page per
 	// input cursor, one result page and one spill-probe page, and
@@ -86,7 +93,7 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 		depth = 0
 	}
 	tr.Begin("sort outer")
-	sortedR, err := extsort.SortDepthTrace(r, extsort.ByStartTime, cfg.MemoryPages, depth, tr)
+	sortedR, err := extsort.SortDepthTrace(cfg.Ctx, r, extsort.ByStartTime, cfg.MemoryPages, depth, tr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -95,7 +102,7 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 	meter.EndPhase("sort outer")
 
 	tr.Begin("sort inner")
-	sortedS, err := extsort.SortDepthTrace(s, extsort.ByStartTime, cfg.MemoryPages, depth, tr)
+	sortedS, err := extsort.SortDepthTrace(cfg.Ctx, s, extsort.ByStartTime, cfg.MemoryPages, depth, tr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -110,6 +117,7 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 		liveBudget = pageCap // floor of one page keeps tiny budgets sane
 	}
 	m := &merger{
+		ctx:        cfg.Ctx,
 		plan:       plan,
 		pred:       pred,
 		kernel:     cfg.Kernel.resolve(),
@@ -121,6 +129,13 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 	}
 	m.sides[0] = newMergeSide(sortedR, d)
 	m.sides[1] = newMergeSide(sortedS, d)
+	// A merge that stops early — error or abort — leaves both sides'
+	// spill files on disk (the normal drain drops them at end of
+	// stream); release them unconditionally, a no-op after a full run.
+	defer func() {
+		_ = m.dropSpill(m.sides[0])
+		_ = m.dropSpill(m.sides[1])
+	}()
 	if m.kernel == KernelSweep && len(plan.LeftJoinIdx) > 0 {
 		// The sweep kernel buckets each live window by join-key hash so
 		// a merge step probes only its own key's bucket instead of
@@ -234,6 +249,7 @@ func (s *mergeSide) pop() tuple.Tuple {
 
 // merger runs the symmetric stream merge.
 type merger struct {
+	ctx        context.Context
 	plan       *schema.JoinPlan
 	pred       Predicate
 	kernel     Kernel // resolved
@@ -266,8 +282,19 @@ func (m *merger) emitOriented(b int, z, w tuple.Tuple) error {
 	return m.emit(w, z)
 }
 
+// mergeStepCheckEvery is how many merge steps go by between
+// cancellation checks — about one page's worth of tuples, so a long
+// CPU-only stretch between page reads still notices an abort within
+// roughly one page boundary.
+const mergeStepCheckEvery = 32
+
 func (m *merger) run() error {
-	for {
+	for steps := 0; ; steps++ {
+		if steps%mergeStepCheckEvery == 0 {
+			if err := execctx.Check(m.ctx, "join: merge"); err != nil {
+				return err
+			}
+		}
 		h0, ok0, err := m.sides[0].head(m.stats)
 		if err != nil {
 			return err

@@ -1,0 +1,158 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vtjoin/internal/disk"
+	"vtjoin/internal/execctx"
+	"vtjoin/internal/page"
+	"vtjoin/internal/testutil"
+)
+
+// Grace partitioning creates one file per partition up front; every
+// early-error path (device fault or cancellation, in the single and
+// paired passes) must remove all of them. These regressions diff the
+// device's live files around each failing call.
+
+func loadIO(t *testing.T, n int, span int64) (reads, writes int) {
+	t.Helper()
+	d := disk.New(page.DefaultSize)
+	buildUniform(t, d, n, span)
+	c := d.Counters()
+	return int(c.RandReads + c.SeqReads), int(c.RandWrites + c.SeqWrites)
+}
+
+func TestDoPartitioningDropsFilesOnWriteFault(t *testing.T) {
+	const n, span = 2000, 10000
+	_, loadWrites := loadIO(t, n, span)
+	faulty, fs := disk.NewFaulty(page.DefaultSize, disk.FaultPlan{
+		Faults: []disk.Fault{
+			// Strike after a few partition pages have been written, so
+			// files with real content exist when the pass dies.
+			{Kind: disk.FaultPermanentWrite, Page: -1, After: loadWrites + 3},
+		},
+	})
+	r := buildUniform(t, faulty, n, span)
+	before := faulty.LiveFiles()
+
+	_, err := DoPartitioning(nil, r, mustCuts(t, 2500, 5000, 7500))
+	if err == nil {
+		t.Fatal("partitioning succeeded over a permanently failing device")
+	}
+	var ioe *disk.IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("error %v (type %T) does not wrap *disk.IOError", err, err)
+	}
+	if fs.Stats().PermanentWrites == 0 {
+		t.Fatal("fault never fired")
+	}
+	if after := faulty.LiveFiles(); len(after) != len(before) {
+		t.Fatalf("partition files leaked on the error path: %v -> %v", before, after)
+	}
+}
+
+func TestDoPartitioningDropsFilesOnReadFault(t *testing.T) {
+	// A read fault strikes the input scan itself — the earliest error
+	// path, where the partition files are still mostly empty.
+	const n, span = 2000, 10000
+	faulty, fs := disk.NewFaulty(page.DefaultSize, disk.FaultPlan{
+		Faults: []disk.Fault{
+			{Kind: disk.FaultPermanentRead, Page: -1, After: 2},
+		},
+	})
+	r := buildUniform(t, faulty, n, span)
+	before := faulty.LiveFiles()
+
+	_, err := DoPartitioning(nil, r, mustCuts(t, 2500, 5000, 7500))
+	if err == nil {
+		t.Fatal("partitioning succeeded over a permanently failing device")
+	}
+	if fs.Stats().PermanentReads == 0 {
+		t.Fatal("fault never fired")
+	}
+	if after := faulty.LiveFiles(); len(after) != len(before) {
+		t.Fatalf("partition files leaked on the error path: %v -> %v", before, after)
+	}
+}
+
+func TestDoPartitioningDropsFilesOnCancellation(t *testing.T) {
+	d := disk.New(page.DefaultSize)
+	r := buildUniform(t, d, 2000, 10000)
+	before := d.LiveFiles()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := DoPartitioning(ctx, r, mustCuts(t, 2500, 5000, 7500))
+	if err == nil {
+		t.Fatal("partitioning completed under a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	var abort *execctx.AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("error %v (type %T) does not wrap *execctx.AbortError", err, err)
+	}
+	if after := d.LiveFiles(); len(after) != len(before) {
+		t.Fatalf("partition files leaked on cancellation: %v -> %v", before, after)
+	}
+}
+
+func TestDoPartitioningPairCleansUpWhenOnePassFails(t *testing.T) {
+	// The paired pass runs both fills concurrently; when one pass dies
+	// on a device fault, both passes' files must be removed and both
+	// worker goroutines joined.
+	testutil.VerifyNoLeaks(t)
+	const n, span = 2000, 10000
+	_, loadWrites := loadIO(t, n, span)
+	faulty, fs := disk.NewFaulty(page.DefaultSize, disk.FaultPlan{
+		Faults: []disk.Fault{
+			// One strike, past both loads: exactly one of the two
+			// concurrent fills hits it.
+			{Kind: disk.FaultPermanentWrite, Page: -1, After: 2*loadWrites + 5},
+		},
+	})
+	r := buildUniform(t, faulty, n, span)
+	s := buildUniform(t, faulty, n, span)
+	before := faulty.LiveFiles()
+
+	rp, sp, err := DoPartitioningPair(nil, r, s, mustCuts(t, 2500, 5000, 7500))
+	if err == nil {
+		rp.Drop()
+		sp.Drop()
+		t.Fatal("paired partitioning succeeded over a permanently failing device")
+	}
+	var ioe *disk.IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("error %v (type %T) does not wrap *disk.IOError", err, err)
+	}
+	if fs.Stats().PermanentWrites == 0 {
+		t.Fatal("fault never fired")
+	}
+	if after := faulty.LiveFiles(); len(after) != len(before) {
+		t.Fatalf("partition files leaked on the paired error path: %v -> %v", before, after)
+	}
+}
+
+func TestDoPartitioningPairCleansUpOnCancellation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	d := disk.New(page.DefaultSize)
+	r := buildUniform(t, d, 2000, 10000)
+	s := buildUniform(t, d, 2000, 10000)
+	before := d.LiveFiles()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := DoPartitioningPair(ctx, r, s, mustCuts(t, 2500, 5000, 7500))
+	if err == nil {
+		t.Fatal("paired partitioning completed under a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if after := d.LiveFiles(); len(after) != len(before) {
+		t.Fatalf("partition files leaked on paired cancellation: %v -> %v", before, after)
+	}
+}

@@ -1,10 +1,12 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 
 	"vtjoin/internal/chronon"
 	"vtjoin/internal/disk"
+	"vtjoin/internal/execctx"
 	"vtjoin/internal/page"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/schema"
@@ -41,9 +43,13 @@ type Partitioned struct {
 // partition is assumed to fit in memory ("we assume that the number of
 // partitions is small, and therefore, that sufficient main memory is
 // available to perform the partitioning").
-func DoPartitioning(r *relation.Relation, part Partitioning) (*Partitioned, error) {
+//
+// The pass checks ctx between input pages (nil = never cancelled) and
+// aborts with an *execctx.AbortError; an aborted or failed pass drops
+// every partition file it created before returning.
+func DoPartitioning(ctx context.Context, r *relation.Relation, part Partitioning) (*Partitioned, error) {
 	p := newPartitioned(r, part)
-	if err := p.fill(r); err != nil {
+	if err := p.fill(ctx, r); err != nil {
 		// Release the partition files: a failed pass must not leak
 		// device space.
 		_ = p.Drop()
@@ -59,12 +65,22 @@ func DoPartitioning(r *relation.Relation, part Partitioning) (*Partitioned, erro
 // identical to two back-to-back sequential passes. Both sets of
 // partition files are created up front on the caller's goroutine, which
 // keeps file-ID assignment deterministic regardless of scheduling.
-func DoPartitioningPair(r, s *relation.Relation, part Partitioning) (*Partitioned, *Partitioned, error) {
+// Both fill goroutines check ctx between input pages and recover their
+// own panics, so a cancelled or crashing pass joins cleanly: the
+// goroutines exit, the error surfaces on the caller's goroutine, and
+// all partition files of both sides are dropped.
+func DoPartitioningPair(ctx context.Context, r, s *relation.Relation, part Partitioning) (*Partitioned, *Partitioned, error) {
 	rp := newPartitioned(r, part)
 	sp := newPartitioned(s, part)
 	errs := make(chan error, 2)
-	go func() { errs <- rp.fill(r) }()
-	go func() { errs <- sp.fill(s) }()
+	pass := func(p *Partitioned, rel *relation.Relation) {
+		var err error
+		defer func() { errs <- err }()
+		defer execctx.RecoverTo("partition: fill", &err)
+		err = p.fill(ctx, rel)
+	}
+	go pass(rp, r)
+	go pass(sp, s)
 	var firstErr error
 	for i := 0; i < 2; i++ {
 		if err := <-errs; err != nil && firstErr == nil {
@@ -108,7 +124,7 @@ func newPartitioned(r *relation.Relation, part Partitioning) *Partitioned {
 // as they fill. fill only touches r's file (reads, in storage order)
 // and p's own partition files (appends), so concurrent fills over
 // disjoint relations never share a file.
-func (p *Partitioned) fill(r *relation.Relation) error {
+func (p *Partitioned) fill(ctx context.Context, r *relation.Relation) error {
 	d := p.d
 	n := p.Part.N()
 	buckets := make([]*page.Page, n)
@@ -118,6 +134,9 @@ func (p *Partitioned) fill(r *relation.Relation) error {
 	in := page.New(d.PageSize())
 	ps := r.ScanPages()
 	for {
+		if err := execctx.Check(ctx, "partition: fill"); err != nil {
+			return err
+		}
 		ok, err := ps.Next(in)
 		if err != nil {
 			return err
@@ -270,13 +289,16 @@ func (p *Partitioned) noteInsert(i int, t tuple.Tuple) {
 	}
 }
 
-// Drop removes all partition files.
+// Drop removes all partition files. Removal is best-effort across the
+// whole set — one failing file must not strand the rest — and the first
+// failure is reported. Dropping twice is a no-op.
 func (p *Partitioned) Drop() error {
+	var first error
 	for _, f := range p.files {
-		if err := p.d.Remove(f); err != nil {
-			return err
+		if err := p.d.Remove(f); err != nil && first == nil {
+			first = err
 		}
 	}
 	p.files = nil
-	return nil
+	return first
 }

@@ -41,7 +41,7 @@ func TestDoPartitioningLastOverlapPlacement(t *testing.T) {
 		chronon.New(0, 25),  // overlaps all -> stored in 2
 	}
 	r := buildRel(t, d, ivs)
-	pt, err := DoPartitioning(r, p)
+	pt, err := DoPartitioning(nil, r, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestDoPartitioningPreservesEveryTuple(t *testing.T) {
 	}
 	r := buildRel(t, d, ivs)
 	p := mustCuts(t, 1000, 2500, 5000, 7500)
-	pt, err := DoPartitioning(r, p)
+	pt, err := DoPartitioning(nil, r, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestDoPartitioningPreservesEveryTuple(t *testing.T) {
 func TestDoPartitioningEmptyRelation(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := relation.Create(d, testSchema)
-	pt, err := DoPartitioning(r, mustCuts(t, 10))
+	pt, err := DoPartitioning(nil, r, mustCuts(t, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestDoPartitioningEmptyRelation(t *testing.T) {
 func TestDoPartitioningSinglePartition(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	r := buildRel(t, d, []chronon.Interval{chronon.New(0, 1), chronon.New(5, 9)})
-	pt, err := DoPartitioning(r, Single())
+	pt, err := DoPartitioning(nil, r, Single())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestDoPartitioningIOPattern(t *testing.T) {
 	}
 	r := buildRel(t, d, ivs)
 	d.ResetCounters()
-	pt, err := DoPartitioning(r, mustCuts(t, 250, 500, 750))
+	pt, err := DoPartitioning(nil, r, mustCuts(t, 250, 500, 750))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestPartitionedReadAllIsSequentialPerPartition(t *testing.T) {
 		ivs = append(ivs, chronon.At(chronon.Chronon(i%100)))
 	}
 	r := buildRel(t, d, ivs)
-	pt, err := DoPartitioning(r, mustCuts(t, 49))
+	pt, err := DoPartitioning(nil, r, mustCuts(t, 49))
 	if err != nil {
 		t.Fatal(err)
 	}

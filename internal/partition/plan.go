@@ -1,12 +1,14 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"vtjoin/internal/chronon"
 	"vtjoin/internal/cost"
+	"vtjoin/internal/execctx"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/sampling"
 	"vtjoin/internal/trace"
@@ -14,6 +16,10 @@ import (
 
 // PlanConfig configures determinePartIntervals.
 type PlanConfig struct {
+	// Ctx cancels the planning phase cooperatively: it is checked per
+	// candidate partition size and per page of the sampler's scan. Nil
+	// means never cancelled.
+	Ctx context.Context
 	// BuffSize is the number of buffer pages available to hold an outer
 	// relation partition (Figure 3's "buffSize" area; the inner page,
 	// tuple-cache page and result page are budgeted separately).
@@ -95,6 +101,7 @@ type incrementalSampler struct {
 	spent    float64 // weighted I/O spent on sampling so far
 	topUps   int     // random-strategy Draw calls served
 	noScan   bool    // ablation: never switch to the scan strategy
+	ctx      context.Context
 	tr       *trace.Tracer
 }
 
@@ -158,6 +165,10 @@ func (s *incrementalSampler) ensure(m int) ([]chronon.Interval, error) {
 		sc := s.r.Scan()
 		all := make([]chronon.Interval, 0, s.r.Tuples())
 		for {
+			if err := execctx.Check(s.ctx, "partition: sampler scan"); err != nil {
+				s.tr.End()
+				return nil, err
+			}
 			t, ok, err := sc.Next()
 			if err != nil {
 				s.tr.End()
@@ -238,6 +249,7 @@ func DeterminePartIntervals(r *relation.Relation, cfg PlanConfig) (*Plan, []Cand
 		return nil, nil, err
 	}
 	sampler.noScan = cfg.DisableScanOptimization
+	sampler.ctx = cfg.Ctx
 	sampler.tr = cfg.Tracer
 	scanCost := sampler.scanCost
 
@@ -266,6 +278,9 @@ func DeterminePartIntervals(r *relation.Relation, cfg PlanConfig) (*Plan, []Cand
 		candidates []Candidate
 	)
 	for partSize := 1; partSize <= cfg.BuffSize; partSize += step {
+		if err := execctx.Check(cfg.Ctx, "partition: plan"); err != nil {
+			return nil, nil, err
+		}
 		errorSize := cfg.BuffSize - partSize
 		var wantSamples int
 		if errorSize <= 0 {

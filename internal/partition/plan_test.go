@@ -82,7 +82,7 @@ func TestDeterminePartIntervalsProducesFittingPartitions(t *testing.T) {
 	// Physically partition and verify partitions fit in buffSize pages
 	// (the Kolmogorov bound holds with 99% certainty; the fixed seed
 	// makes this deterministic).
-	pt, err := DoPartitioning(r, plan.Partitioning)
+	pt, err := DoPartitioning(nil, r, plan.Partitioning)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,7 +54,7 @@ func TestReplicationStorageBlowup(t *testing.T) {
 		}
 		r := buildRel(t, d, ivs)
 		parting := mustCuts(t, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000)
-		a, err := DoPartitioning(r, parting)
+		a, err := DoPartitioning(nil, r, parting)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -16,6 +16,9 @@
 package prefetch
 
 import (
+	"context"
+
+	"vtjoin/internal/execctx"
 	"vtjoin/internal/page"
 )
 
@@ -54,6 +57,7 @@ type result struct {
 // Release (in any order); Close must be called exactly once when done,
 // whether or not the stream was fully drained.
 type Stream struct {
+	ctx   context.Context
 	pool  *page.Pool
 	read  ReadFunc
 	n     int
@@ -71,9 +75,11 @@ type Stream struct {
 }
 
 // NewStream starts a stream over pages [0, n) served by read, drawing
-// buffers from pool.
-func NewStream(pool *page.Pool, n, depth int, read ReadFunc) *Stream {
-	s := &Stream{pool: pool, read: read, n: n}
+// buffers from pool. The stream checks ctx before every page read (nil
+// = never cancelled): once ctx is done, Next returns an *AbortError and
+// the worker, if any, stops issuing reads and exits.
+func NewStream(ctx context.Context, pool *page.Pool, n, depth int, read ReadFunc) *Stream {
+	s := &Stream{ctx: ctx, pool: pool, read: read, n: n}
 	if depth <= 0 || n <= 1 {
 		return s
 	}
@@ -90,27 +96,44 @@ func NewStream(pool *page.Pool, n, depth int, read ReadFunc) *Stream {
 
 // worker reads pages in order, recycling at most depth buffers through
 // the out channel. The channel's capacity is the read-ahead bound: the
-// worker blocks once depth pages are in flight.
+// worker blocks once depth pages are in flight. A panic anywhere in the
+// read path is recovered here and delivered to the consumer as an
+// ordinary error — a worker must never crash the process.
 func (s *Stream) worker(depth int) {
 	defer close(s.done)
-	for idx := 0; idx < s.n; idx++ {
-		pg := s.pool.Get()
-		if err := s.read(idx, pg); err != nil {
-			s.pool.Put(pg)
-			select {
-			case s.out <- result{err: err}:
-			case <-s.stop:
+	var aborted error
+	completed := false
+	func() {
+		defer execctx.RecoverTo("prefetch: worker", &aborted)
+		for idx := 0; idx < s.n; idx++ {
+			if err := execctx.Check(s.ctx, "prefetch"); err != nil {
+				aborted = err
+				return
 			}
-			return
+			pg := s.pool.Get()
+			if err := s.read(idx, pg); err != nil {
+				s.pool.Put(pg)
+				aborted = err
+				return
+			}
+			select {
+			case s.out <- result{pg: pg}:
+			case <-s.stop:
+				s.pool.Put(pg)
+				return
+			}
 		}
+		completed = true
+	}()
+	switch {
+	case aborted != nil:
 		select {
-		case s.out <- result{pg: pg}:
+		case s.out <- result{err: aborted}:
 		case <-s.stop:
-			s.pool.Put(pg)
-			return
 		}
+	case completed:
+		close(s.out)
 	}
-	close(s.out)
 }
 
 // Next returns the next page, or (nil, nil) at end of stream. The page
@@ -120,6 +143,10 @@ func (s *Stream) Next() (*page.Page, error) {
 		return nil, s.err
 	}
 	if !s.async {
+		if err := execctx.Check(s.ctx, "prefetch"); err != nil {
+			s.err = err
+			return nil, err
+		}
 		if s.next >= s.n {
 			return nil, nil
 		}

@@ -8,6 +8,7 @@ import (
 	"vtjoin/internal/chronon"
 	"vtjoin/internal/disk"
 	"vtjoin/internal/page"
+	"vtjoin/internal/testutil"
 	"vtjoin/internal/tuple"
 	"vtjoin/internal/value"
 )
@@ -58,12 +59,13 @@ func drain(t *testing.T, s *Stream, n int) {
 }
 
 func TestStreamDeliversInOrder(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	const n = 17
 	d, f := buildFile(t, n)
 	for _, depth := range []int{0, 1, 2, 4, 16, 100} {
 		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
 			pool := page.NewPool(page.DefaultSize)
-			s := NewStream(pool, n, depth, func(idx int, dst *page.Page) error {
+			s := NewStream(nil, pool, n, depth, func(idx int, dst *page.Page) error {
 				return d.Read(f, idx, dst)
 			})
 			drain(t, s, n)
@@ -76,12 +78,13 @@ func TestStreamDeliversInOrder(t *testing.T) {
 // exactly the I/O the inline loop charges — one random read plus n-1
 // sequential reads for a straight scan.
 func TestStreamCountsMatchSynchronous(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	const n = 12
 	run := func(depth int) disk.Counters {
 		d, f := buildFile(t, n)
 		d.ResetCounters()
 		pool := page.NewPool(page.DefaultSize)
-		s := NewStream(pool, n, depth, func(idx int, dst *page.Page) error {
+		s := NewStream(nil, pool, n, depth, func(idx int, dst *page.Page) error {
 			return d.Read(f, idx, dst)
 		})
 		drain(t, s, n)
@@ -100,10 +103,11 @@ func TestStreamCountsMatchSynchronous(t *testing.T) {
 }
 
 func TestStreamPropagatesError(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	boom := errors.New("boom")
 	for _, depth := range []int{0, 2} {
 		pool := page.NewPool(page.DefaultSize)
-		s := NewStream(pool, 5, depth, func(idx int, dst *page.Page) error {
+		s := NewStream(nil, pool, 5, depth, func(idx int, dst *page.Page) error {
 			if idx == 3 {
 				return boom
 			}
@@ -139,10 +143,11 @@ func TestStreamPropagatesError(t *testing.T) {
 // worker or the buffers, and the underlying file must be quiescent
 // after Close (removable without racing a pending read).
 func TestStreamEarlyClose(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	const n = 64
 	d, f := buildFile(t, n)
 	pool := page.NewPool(page.DefaultSize)
-	s := NewStream(pool, n, 4, func(idx int, dst *page.Page) error {
+	s := NewStream(nil, pool, n, 4, func(idx int, dst *page.Page) error {
 		return d.Read(f, idx, dst)
 	})
 	pg, err := s.Next()
@@ -175,7 +180,7 @@ func benchStream(b *testing.B, depth int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := NewStream(pool, n, depth, func(idx int, dst *page.Page) error {
+		s := NewStream(nil, pool, n, depth, func(idx int, dst *page.Page) error {
 			return d.Read(f, idx, dst)
 		})
 		for {

@@ -1,0 +1,94 @@
+// Package testutil holds shared test helpers. It must not be imported
+// from non-test code.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks registers a cleanup that fails the test if goroutines
+// running this module's code outlive it. Call it at the top of any test
+// that exercises concurrency (prefetch pipelines, partitioning workers,
+// experiment pools); an abort or error path that forgets to join a
+// worker then fails loudly instead of silently stranding it.
+//
+// The check compares goroutine IDs against a baseline taken now, so
+// goroutines started by other tests or the runtime are ignored; only
+// new goroutines whose stack mentions a vtjoin package count. Because
+// legitimate workers may still be draining when the test body returns,
+// the check retries for a grace period before failing.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	baseline := goroutineIDs()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedSince(baseline)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("testutil: %d goroutine(s) leaked:\n%s",
+			len(leaked), strings.Join(leaked, "\n"))
+	})
+}
+
+// leakedSince returns the stacks of goroutines not in baseline that are
+// executing this module's code.
+func leakedSince(baseline map[string]bool) []string {
+	var leaked []string
+	for _, g := range goroutineStacks() {
+		if baseline[goroutineID(g)] {
+			continue
+		}
+		if !strings.Contains(g, "vtjoin/") {
+			continue
+		}
+		leaked = append(leaked, strings.TrimSpace(g))
+	}
+	return leaked
+}
+
+// goroutineStacks returns one stack dump per live goroutine.
+func goroutineStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(string(buf), "\n\n")
+}
+
+// goroutineID extracts the numeric ID from a stack dump's "goroutine N
+// [state]:" header line.
+func goroutineID(stack string) string {
+	var id uint64
+	var state string
+	if _, err := fmt.Sscanf(stack, "goroutine %d %s", &id, &state); err != nil {
+		return ""
+	}
+	return fmt.Sprint(id)
+}
+
+func goroutineIDs() map[string]bool {
+	ids := make(map[string]bool)
+	for _, g := range goroutineStacks() {
+		if id := goroutineID(g); id != "" {
+			ids[id] = true
+		}
+	}
+	return ids
+}

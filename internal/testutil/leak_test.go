@@ -1,0 +1,54 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGoroutineIDParsing(t *testing.T) {
+	ids := goroutineIDs()
+	if len(ids) == 0 {
+		t.Fatal("no goroutine IDs parsed from a live stack dump")
+	}
+	for id := range ids {
+		if id == "" {
+			t.Fatal("empty goroutine ID in baseline")
+		}
+	}
+}
+
+func TestLeakedSinceFindsStragglers(t *testing.T) {
+	baseline := goroutineIDs()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() { // a goroutine in this module that outlives the baseline
+		close(started)
+		<-block
+	}()
+	<-started
+	leaked := leakedSince(baseline)
+	if len(leaked) != 1 {
+		t.Fatalf("want 1 leaked goroutine, got %d: %v", len(leaked), leaked)
+	}
+	if !strings.Contains(leaked[0], "vtjoin/internal/testutil") {
+		t.Fatalf("leak report lost the culprit frame:\n%s", leaked[0])
+	}
+	close(block)
+	// After release, the straggler drains and the report empties.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(leakedSince(baseline)) == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("released goroutine still reported as leaked")
+}
+
+func TestVerifyNoLeaksPassesOnCleanTest(t *testing.T) {
+	VerifyNoLeaks(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

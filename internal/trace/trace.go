@@ -109,8 +109,9 @@ func ReadJSON(r io.Reader) (*Span, error) {
 type Options struct {
 	// Audit enables the invariant checks registered by instrumented
 	// code (buffer-budget balance, partition coverage, cache paging
-	// symmetry, counter-sum exactness). Violations surface as an error
-	// from Finish; with Audit off the checks are skipped entirely.
+	// symmetry, counter-sum exactness, temp-file reclamation).
+	// Violations surface as an error from Finish; with Audit off the
+	// checks are skipped entirely.
 	Audit bool
 }
 
@@ -141,13 +142,20 @@ type Tracer struct {
 	deferred   []deferredCheck
 	violations []string
 	finished   bool
+	// startFiles snapshots the device's live files at New (audit mode
+	// only): any file still live at Finish that was not live at New is
+	// a leaked temporary — every file a traced run creates (partitions,
+	// sort runs, spill files, scratch) must be removed by the time the
+	// run ends, aborted or not. Output relations are exempt by
+	// construction: callers create them before starting the trace.
+	startFiles map[disk.FileID]bool
 }
 
 // New starts a trace named name over d's counters.
 func New(d *disk.Disk, name string, opts Options) *Tracer {
 	c := d.Counters()
 	root := &Span{Name: name}
-	return &Tracer{
+	t := &Tracer{
 		d:        d,
 		opts:     opts,
 		root:     root,
@@ -157,6 +165,13 @@ func New(d *disk.Disk, name string, opts Options) *Tracer {
 		wallMark: time.Now(),
 		cpuMark:  cost.ProcessCPUTime(),
 	}
+	if opts.Audit {
+		t.startFiles = make(map[disk.FileID]bool)
+		for _, id := range d.LiveFiles() {
+			t.startFiles[id] = true
+		}
+	}
+	return t
 }
 
 // Enabled reports whether the tracer is collecting (false for nil).
@@ -275,6 +290,16 @@ func (t *Tracer) Finish() (*Span, error) {
 		if got := t.root.Total(); got != want {
 			t.violations = append(t.violations, fmt.Sprintf(
 				"counter-sum: spans total %+v but device moved %+v", got, want))
+		}
+		var leaked []disk.FileID
+		for _, id := range t.d.LiveFiles() {
+			if !t.startFiles[id] {
+				leaked = append(leaked, id)
+			}
+		}
+		if len(leaked) > 0 {
+			t.violations = append(t.violations, fmt.Sprintf(
+				"temp-files: %d file(s) created during the traced run still live: %v", len(leaked), leaked))
 		}
 	}
 	return t.root, t.violationError()

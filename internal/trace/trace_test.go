@@ -18,10 +18,11 @@ import (
 
 var testSchema = schema.MustNew(schema.Column{Name: "id", Kind: value.KindInt})
 
-// write appends n tuples to a fresh relation, generating counted I/O.
-func write(t *testing.T, d *disk.Disk, n int) *relation.Relation {
+// write appends n tuples to r, generating counted I/O. Relations are
+// created before tracing starts, matching the engine convention that
+// the temp-file audit relies on (output files predate the trace).
+func write(t *testing.T, r *relation.Relation, n int) {
 	t.Helper()
-	r := relation.Create(d, testSchema)
 	b := r.NewBuilder()
 	for i := 0; i < n; i++ {
 		if err := b.Append(tuple.New(chronon.At(chronon.Chronon(i)), value.Int(int64(i)))); err != nil {
@@ -31,7 +32,6 @@ func write(t *testing.T, d *disk.Disk, n int) *relation.Relation {
 	if err := b.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	return r
 }
 
 func readAll(t *testing.T, r *relation.Relation) {
@@ -62,10 +62,11 @@ func TestNilTracerIsNoOp(t *testing.T) {
 
 func TestAttributionIsExact(t *testing.T) {
 	d := disk.New(page.DefaultSize)
+	r := relation.Create(d, testSchema)
 	tr := New(d, "root", Options{Audit: true})
 
 	tr.Begin("write")
-	r := write(t, d, 2000)
+	write(t, r, 2000)
 	tr.End()
 
 	tr.Begin("read")
@@ -105,10 +106,11 @@ func TestAttributionIsExact(t *testing.T) {
 
 func TestFinishClosesOpenSpans(t *testing.T) {
 	d := disk.New(page.DefaultSize)
+	r := relation.Create(d, testSchema)
 	tr := New(d, "root", Options{Audit: true})
 	tr.Begin("a")
 	tr.Begin("b") // never ended
-	write(t, d, 100)
+	write(t, r, 100)
 	root, err := tr.Finish()
 	if err != nil {
 		t.Fatal(err)
@@ -154,6 +156,7 @@ func TestAuditViolationsSurface(t *testing.T) {
 
 func TestSpanJSONRoundTrip(t *testing.T) {
 	d := disk.New(page.DefaultSize)
+	r := relation.Create(d, testSchema)
 	tr := New(d, "root", Options{})
 	tr.Begin("plan")
 	tr.SetAttr(CandidatesAttr, []CandidatePoint{
@@ -161,7 +164,7 @@ func TestSpanJSONRoundTrip(t *testing.T) {
 		{PartSize: 5, Csample: 40, Cjoin: 20, CachePaging: 3, Chosen: true},
 	})
 	tr.SetAttr("partSize", 5)
-	write(t, d, 500)
+	write(t, r, 500)
 	tr.End()
 	root, err := tr.Finish()
 	if err != nil {
@@ -191,6 +194,7 @@ func TestSpanJSONRoundTrip(t *testing.T) {
 
 func TestRenderExplain(t *testing.T) {
 	d := disk.New(page.DefaultSize)
+	r := relation.Create(d, testSchema)
 	tr := New(d, "partition-join", Options{})
 	tr.Begin("plan")
 	tr.SetAttr(CandidatesAttr, []CandidatePoint{
@@ -199,7 +203,7 @@ func TestRenderExplain(t *testing.T) {
 	})
 	tr.End()
 	tr.Begin("join")
-	write(t, d, 300)
+	write(t, r, 300)
 	tr.End()
 	root, err := tr.Finish()
 	if err != nil {

@@ -1,6 +1,7 @@
 package vtjoin
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -253,6 +254,18 @@ type Result struct {
 // result timestamp is the maximal overlap. The output schema is r's
 // columns followed by s's non-shared columns.
 func Join(r, s *Relation, opts Options) (*Result, error) {
+	return JoinContext(context.Background(), r, s, opts)
+}
+
+// JoinContext is Join honoring a context: cancellation and deadline
+// expiry are checked cooperatively at page-granularity boundaries in
+// every phase of every algorithm, and an aborted join returns an error
+// wrapping context.Canceled or context.DeadlineExceeded (test with
+// errors.Is). The abort is clean: worker goroutines exit, every
+// temporary file (partitions, sort runs, spill files) is removed, and
+// buffer accounting balances — only the partially written output
+// relation remains, and it is dropped here before returning.
+func JoinContext(ctx context.Context, r, s *Relation, opts Options) (*Result, error) {
 	if r == nil || s == nil {
 		return nil, fmt.Errorf("vtjoin: nil relation")
 	}
@@ -269,8 +282,9 @@ func Join(r, s *Relation, opts Options) (*Result, error) {
 	out := relation.Create(db.d, outSchema)
 	sink := out.NewBuilder()
 
-	rep, span, algo, err := run(o, r, s, sink)
+	rep, span, algo, err := run(ctx, o, r, s, sink)
 	if err != nil {
+		_ = out.Drop()
 		return nil, err
 	}
 	w := cost.Ratio(o.RandomCost)
@@ -312,6 +326,12 @@ func Join(r, s *Relation, opts Options) (*Result, error) {
 // cost report. Use this form for the paper's measurement configuration
 // (result writing excluded) or for pipelined consumers.
 func JoinInto(r, s *Relation, opts Options, fn func(Tuple) error) ([]PhaseCost, error) {
+	return JoinIntoContext(context.Background(), r, s, opts, fn)
+}
+
+// JoinIntoContext is JoinInto honoring a context, with the same
+// cancellation semantics as JoinContext.
+func JoinIntoContext(ctx context.Context, r, s *Relation, opts Options, fn func(Tuple) error) ([]PhaseCost, error) {
 	if r == nil || s == nil {
 		return nil, fmt.Errorf("vtjoin: nil relation")
 	}
@@ -319,7 +339,7 @@ func JoinInto(r, s *Relation, opts Options, fn func(Tuple) error) ([]PhaseCost, 
 		return nil, fmt.Errorf("vtjoin: relations belong to different DBs")
 	}
 	o := opts.withDefaults()
-	rep, _, _, err := run(o, r, s, funcSink(fn))
+	rep, _, _, err := run(ctx, o, r, s, funcSink(fn))
 	if err != nil {
 		return nil, err
 	}
@@ -357,12 +377,12 @@ func outputSchema(r, s *Relation) (*Schema, error) {
 // run dispatches the evaluation, wrapping it in an execution trace
 // when requested. Audit violations surface as errors even when the
 // evaluation itself succeeded.
-func run(o Options, r, s *Relation, sink relation.Sink) (*cost.Report, *trace.Span, Algorithm, error) {
+func run(ctx context.Context, o Options, r, s *Relation, sink relation.Sink) (*cost.Report, *trace.Span, Algorithm, error) {
 	var tr *trace.Tracer
 	if o.Trace || o.TraceAudit {
 		tr = trace.New(r.db.d, o.Algorithm.String(), trace.Options{Audit: o.TraceAudit})
 	}
-	rep, algo, err := dispatch(o, r, s, sink, tr)
+	rep, algo, err := dispatch(ctx, o, r, s, sink, tr)
 	span, auditErr := tr.Finish()
 	if err != nil {
 		return nil, nil, algo, err
@@ -373,7 +393,7 @@ func run(o Options, r, s *Relation, sink relation.Sink) (*cost.Report, *trace.Sp
 	return rep, span, algo, nil
 }
 
-func dispatch(o Options, r, s *Relation, sink relation.Sink, tr *trace.Tracer) (*cost.Report, Algorithm, error) {
+func dispatch(ctx context.Context, o Options, r, s *Relation, sink relation.Sink, tr *trace.Tracer) (*cost.Report, Algorithm, error) {
 	mask, err := o.Predicate.mask()
 	if err != nil {
 		return nil, o.Algorithm, err
@@ -382,14 +402,15 @@ func dispatch(o Options, r, s *Relation, sink relation.Sink, tr *trace.Tracer) (
 		switch o.Algorithm {
 		case AlgorithmNestedLoop:
 			rep, err := join.NestedLoop(r.internal(), s.internal(), sink,
-				join.NestedLoopConfig{MemoryPages: o.MemoryPages, TimePredicate: mask, Kernel: o.Kernel.internal(), Tracer: tr})
+				join.NestedLoopConfig{Ctx: ctx, MemoryPages: o.MemoryPages, TimePredicate: mask, Kernel: o.Kernel.internal(), Tracer: tr})
 			return rep, AlgorithmNestedLoop, err
 		case AlgorithmSortMerge:
 			rep, _, err := join.SortMerge(r.internal(), s.internal(), sink,
-				join.SortMergeConfig{MemoryPages: o.MemoryPages, TimePredicate: mask, Kernel: o.Kernel.internal(), Tracer: tr})
+				join.SortMergeConfig{Ctx: ctx, MemoryPages: o.MemoryPages, TimePredicate: mask, Kernel: o.Kernel.internal(), Tracer: tr})
 			return rep, AlgorithmSortMerge, err
 		case AlgorithmPartition:
 			rep, _, err := join.Partition(r.internal(), s.internal(), sink, join.PartitionConfig{
+				Ctx:           ctx,
 				MemoryPages:   o.MemoryPages,
 				Weights:       cost.Ratio(o.RandomCost),
 				Rng:           rand.New(rand.NewSource(o.Seed)),
@@ -401,12 +422,12 @@ func dispatch(o Options, r, s *Relation, sink relation.Sink, tr *trace.Tracer) (
 		}
 		return nil, o.Algorithm, fmt.Errorf("vtjoin: unknown algorithm %d", o.Algorithm)
 	}
-	return runOuter(o, mask, r, s, sink, tr)
+	return runOuter(ctx, o, mask, r, s, sink, tr)
 }
 
 // runOuter evaluates left, right and full outer joins by composing the
 // coverage-tracking passes of the partition or nested-loop algorithms.
-func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink, tr *trace.Tracer) (*cost.Report, Algorithm, error) {
+func runOuter(ctx context.Context, o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink, tr *trace.Tracer) (*cost.Report, Algorithm, error) {
 	switch o.Algorithm {
 	case AlgorithmPartition, AlgorithmNestedLoop:
 	case AlgorithmSortMerge:
@@ -418,6 +439,7 @@ func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink, 
 	pass := func(left, right *Relation, plan2 *schema.JoinPlan, matches, frags relation.Sink, seed int64) (*cost.Report, error) {
 		if o.Algorithm == AlgorithmNestedLoop {
 			return join.NestedLoop(left.internal(), right.internal(), matches, join.NestedLoopConfig{
+				Ctx:           ctx,
 				MemoryPages:   o.MemoryPages,
 				TimePredicate: mask,
 				LeftFragments: frags,
@@ -427,6 +449,7 @@ func runOuter(o Options, mask chronon.Mask, r, s *Relation, sink relation.Sink, 
 			})
 		}
 		rep, _, err := join.Partition(left.internal(), right.internal(), matches, join.PartitionConfig{
+			Ctx:           ctx,
 			MemoryPages:   o.MemoryPages,
 			Weights:       cost.Ratio(o.RandomCost),
 			Rng:           rand.New(rand.NewSource(seed)),
