@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare explain-smoke chaos-smoke
+.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare explain-smoke chaos-smoke shard-smoke
 
 all: check
 
@@ -60,6 +60,16 @@ chaos-smoke:
 		echo "vtbench under an unmeetable deadline exited $$code, want 3"; exit 1; \
 	fi; \
 	echo "chaos-smoke: deadline abort exited 3 as required"
+
+# Time-sharded execution smoke: the shard test matrix (differential
+# identity vs the unsharded reference across algorithms × kernels ×
+# predicates, ordering determinism, per-shard I/O vs a composed
+# reference, and the K-device chaos strikes) under the race detector,
+# then the multi-core scaling figure end to end, whose checksum column
+# self-verifies sharded-vs-unsharded result identity.
+shard-smoke:
+	$(GO) test -race -count=1 ./internal/shard/
+	$(GO) run ./cmd/vtbench -figure shards -scale 8 -benchjson BENCH_pr7.json
 
 # End-to-end EXPLAIN/trace smoke: generate a small input pair, run
 # every algorithm with -explain -audit -trace, and let vtjoin's own

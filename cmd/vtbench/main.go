@@ -57,24 +57,28 @@ import (
 const exitAborted = 3
 
 func main() {
-	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations, all, or kernels (timing-based, excluded from all)")
+	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations, all, kernels, or shards (timing-based, excluded from all)")
 	scale := flag.Int("scale", 16, "scale divisor on tuple counts and memory (1 = paper scale)")
 	seed := flag.Int64("seed", 1994, "base RNG seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent figure data points (1 = sequential; output is identical at any setting)")
 	audit := flag.Bool("audit", false, "run every join under the trace invariant audits (figures are identical; violations fail the run)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); exits 3 on expiry")
-	benchjson := flag.String("benchjson", "", "with -figure kernels: also write the comparison as JSON to this file")
+	benchjson := flag.String("benchjson", "", "with -figure kernels or shards: also write the results as JSON to this file")
+	shards := flag.Int("shards", 8, "with -figure shards: largest shard count in the K sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	switch *figure {
-	case "4", "5", "6", "7", "8", "ablations", "all", "kernels":
+	case "4", "5", "6", "7", "8", "ablations", "all", "kernels", "shards":
 	default:
-		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations, all or kernels)", *figure))
+		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations, all, kernels or shards)", *figure))
 	}
-	if *benchjson != "" && *figure != "kernels" {
-		usage(fmt.Errorf("-benchjson requires -figure kernels"))
+	if *benchjson != "" && *figure != "kernels" && *figure != "shards" {
+		usage(fmt.Errorf("-benchjson requires -figure kernels or -figure shards"))
+	}
+	if *shards < 1 {
+		usage(fmt.Errorf("-shards must be >= 1, got %d", *shards))
 	}
 	if *workers < 1 {
 		usage(fmt.Errorf("-workers must be >= 1, got %d", *workers))
@@ -110,9 +114,9 @@ func main() {
 	}
 
 	run := func(name string, f func() error) {
-		// "kernels" is timing-based and opt-in only: "all" must stay
-		// byte-identical across runs and worker counts.
-		if *figure != name && (*figure != "all" || name == "kernels") {
+		// "kernels" and "shards" are timing-based and opt-in only:
+		// "all" must stay byte-identical across runs and worker counts.
+		if *figure != name && (*figure != "all" || name == "kernels" || name == "shards") {
 			return
 		}
 		start := time.Now()
@@ -176,6 +180,20 @@ func main() {
 		}
 		return nil
 	})
+	run("shards", func() error {
+		rows, err := experiments.RunFigureShards(p, *shards)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigureShards(rows))
+		if *benchjson != "" {
+			if err := writeShardsJSON(*benchjson, p, *shards, rows); err != nil {
+				return err
+			}
+			fmt.Printf("\n[shard scaling written to %s]\n", *benchjson)
+		}
+		return nil
+	})
 	run("ablations", func() error {
 		repl, err := experiments.RunAblationReplication(p)
 		if err != nil {
@@ -222,18 +240,15 @@ func writeBenchJSON(path string, p experiments.Params, rows []join.KernelBenchRe
 		CPUMS     float64 `json:"cpu_ms"`
 	}
 	doc := struct {
-		Description string      `json:"description"`
-		Host        any         `json:"host"`
-		Command     string      `json:"command"`
-		Micro       []jsonMicro `json:"kernel_microbenchmarks"`
-		Phases      []jsonPhase `json:"algorithm_phases"`
+		Description string               `json:"description"`
+		Host        experiments.HostInfo `json:"host"`
+		Command     string               `json:"command"`
+		Micro       []jsonMicro          `json:"kernel_microbenchmarks"`
+		Phases      []jsonPhase          `json:"algorithm_phases"`
 	}{
 		Description: "Scan vs sweep matching-kernel comparison: in-memory microbenchmarks (pair counts differentially verified) and full sort-merge / partition-join runs with per-phase CPU time. Per-phase I/O is asserted identical across kernels.",
-		Host: map[string]any{
-			"os": runtime.GOOS, "arch": runtime.GOARCH,
-			"cores": runtime.NumCPU(), "gomaxprocs": runtime.GOMAXPROCS(0),
-		},
-		Command: fmt.Sprintf("vtbench -figure kernels -scale %d -seed %d", p.Scale, p.Seed),
+		Host:        experiments.Host(),
+		Command:     fmt.Sprintf("vtbench -figure kernels -scale %d -seed %d", p.Scale, p.Seed),
 	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	for _, r := range rows {
@@ -246,6 +261,53 @@ func writeBenchJSON(path string, p experiments.Params, rows []join.KernelBenchRe
 		doc.Phases = append(doc.Phases, jsonPhase{
 			Algorithm: ph.Algorithm, Kernel: ph.Kernel, Phase: ph.Phase,
 			IOPages: ph.IO, WallMS: ms(ph.Wall), CPUMS: ms(ph.CPU),
+		})
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// writeShardsJSON records the multi-core shard-scaling sweep in the
+// BENCH_*.json format the repo tracks across performance PRs. The host
+// block carries the parallelism context (cores, GOMAXPROCS and the
+// single_core_host flag) a reader needs to judge the speedup column.
+func writeShardsJSON(path string, p experiments.Params, maxShards int, rows []experiments.ShardRow) error {
+	type jsonRow struct {
+		Config          string  `json:"config"`
+		Shards          int     `json:"shards"`
+		EffectiveShards int     `json:"effective_shards"`
+		Workers         int     `json:"workers"`
+		WallMS          float64 `json:"wall_ms"`
+		CPUMS           float64 `json:"cpu_ms"`
+		IOPages         int64   `json:"io_pages"`
+		Results         int64   `json:"results"`
+		Checksum        string  `json:"checksum"`
+		Speedup         float64 `json:"speedup"`
+	}
+	doc := struct {
+		Description string               `json:"description"`
+		Host        experiments.HostInfo `json:"host"`
+		Command     string               `json:"command"`
+		Rows        []jsonRow            `json:"shard_scaling"`
+	}{
+		Description: "Time-sharded partition join, multi-core scaling: per-shard pipelines over private devices with a deterministic merge. Checksums are order-insensitive over the result multiset and asserted identical across every row, so speedups are measured against a verified-equal answer.",
+		Host:        experiments.Host(),
+		Command:     fmt.Sprintf("vtbench -figure shards -scale %d -seed %d -shards %d", p.Scale, p.Seed, maxShards),
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	for _, r := range rows {
+		name := "unsharded"
+		if r.Shards > 0 {
+			name = "sharded"
+		}
+		doc.Rows = append(doc.Rows, jsonRow{
+			Config: name, Shards: r.Shards, EffectiveShards: r.EffectiveShards,
+			Workers: r.Workers, WallMS: ms(r.Wall), CPUMS: ms(r.CPU),
+			IOPages: r.IOPages, Results: r.Results,
+			Checksum: fmt.Sprintf("%016x", r.Checksum), Speedup: r.Speedup,
 		})
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")

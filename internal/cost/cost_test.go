@@ -45,7 +45,7 @@ func TestReport(t *testing.T) {
 func TestMeterAttributesPhases(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	f := d.Create()
-	p := page.New(page.DefaultSize)
+	p := page.MustNew(page.DefaultSize)
 
 	m := NewMeter(d, "algo")
 	for i := 0; i < 3; i++ {
@@ -77,7 +77,7 @@ func TestMeterAttributesPhases(t *testing.T) {
 func TestMeterIgnoresPriorAccesses(t *testing.T) {
 	d := disk.New(page.DefaultSize)
 	f := d.Create()
-	p := page.New(page.DefaultSize)
+	p := page.MustNew(page.DefaultSize)
 	if _, err := d.Append(f, p); err != nil { // before the meter exists
 		t.Fatal(err)
 	}

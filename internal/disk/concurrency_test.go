@@ -14,7 +14,7 @@ import (
 // classification its counter contribution is independent of how other
 // files' accesses interleave with it.
 func fileWorkload(d *Disk, f FileID, pages int) error {
-	pg := page.New(d.PageSize())
+	pg := page.MustNew(d.PageSize())
 	for i := 0; i < pages; i++ {
 		if _, err := d.Append(f, pg); err != nil {
 			return err
@@ -131,7 +131,7 @@ func TestConcurrentCreateRemove(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pg := page.New(page.MinSize)
+			pg := page.MustNew(page.MinSize)
 			for i := 0; i < 100; i++ {
 				f := d.Create()
 				if _, err := d.Append(f, pg); err != nil {

@@ -8,7 +8,7 @@ import (
 
 func newPage(t *testing.T, d *Disk, payload string) *page.Page {
 	t.Helper()
-	p := page.New(d.PageSize())
+	p := page.MustNew(d.PageSize())
 	if !p.Insert([]byte(payload)) {
 		t.Fatalf("payload %q does not fit", payload)
 	}
@@ -26,11 +26,11 @@ func TestCreateReadWrite(t *testing.T) {
 	if err != nil || n != 1 {
 		t.Fatalf("NumPages = %d, %v", n, err)
 	}
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	if err := d.Read(f, 0, dst); err != nil {
 		t.Fatal(err)
 	}
-	if string(dst.Record(0)) != "hello" {
+	if string(mustRecord(t, dst, 0)) != "hello" {
 		t.Fatal("read back wrong data")
 	}
 }
@@ -44,18 +44,18 @@ func TestWriteIsCopy(t *testing.T) {
 	}
 	p.Reset()
 	p.Insert([]byte("mutated"))
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	if err := d.Read(f, 0, dst); err != nil {
 		t.Fatal(err)
 	}
-	if string(dst.Record(0)) != "orig" {
+	if string(mustRecord(t, dst, 0)) != "orig" {
 		t.Fatal("disk aliases the caller's page buffer")
 	}
 }
 
 func TestErrors(t *testing.T) {
 	d := New(page.DefaultSize)
-	p := page.New(page.DefaultSize)
+	p := page.MustNew(page.DefaultSize)
 	if err := d.Read(99, 0, p); err == nil {
 		t.Fatal("read from unknown file accepted")
 	}
@@ -69,7 +69,7 @@ func TestErrors(t *testing.T) {
 	if err := d.Write(f, 1, p); err == nil {
 		t.Fatal("write with a gap accepted")
 	}
-	small := page.New(page.MinSize)
+	small := page.MustNew(page.MinSize)
 	if err := d.Write(f, 0, small); err == nil {
 		t.Fatal("page-size mismatch accepted on write")
 	}
@@ -96,7 +96,7 @@ func TestErrors(t *testing.T) {
 func TestSequentialVsRandomClassification(t *testing.T) {
 	d := New(page.DefaultSize)
 	f := d.Create()
-	p := page.New(page.DefaultSize)
+	p := page.MustNew(page.DefaultSize)
 	// Appending 5 pages: first write is random (head unset), the
 	// remaining 4 follow the head sequentially.
 	for i := 0; i < 5; i++ {
@@ -141,7 +141,7 @@ func TestInterleavedFilesTrackedPerStream(t *testing.T) {
 	// partition/run/cache" accounting even under interleaving.
 	d := New(page.DefaultSize)
 	f1, f2 := d.Create(), d.Create()
-	p := page.New(page.DefaultSize)
+	p := page.MustNew(page.DefaultSize)
 	for i := 0; i < 3; i++ {
 		if _, err := d.Append(f1, p); err != nil {
 			t.Fatal(err)
@@ -159,7 +159,7 @@ func TestInterleavedFilesTrackedPerStream(t *testing.T) {
 func TestRereadOfFileAfterInterleavingStaysSequential(t *testing.T) {
 	d := New(page.DefaultSize)
 	f1, f2 := d.Create(), d.Create()
-	p := page.New(page.DefaultSize)
+	p := page.MustNew(page.DefaultSize)
 	for i := 0; i < 4; i++ {
 		if _, err := d.Append(f1, p); err != nil {
 			t.Fatal(err)
@@ -188,7 +188,7 @@ func TestRereadOfFileAfterInterleavingStaysSequential(t *testing.T) {
 func TestReadAfterWriteSameSpotIsRandom(t *testing.T) {
 	d := New(page.DefaultSize)
 	f := d.Create()
-	p := page.New(page.DefaultSize)
+	p := page.MustNew(page.DefaultSize)
 	if _, err := d.Append(f, p); err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestCountersArithmetic(t *testing.T) {
 func TestTruncate(t *testing.T) {
 	d := New(page.DefaultSize)
 	f := d.Create()
-	p := page.New(page.DefaultSize)
+	p := page.MustNew(page.DefaultSize)
 	for i := 0; i < 3; i++ {
 		if _, err := d.Append(f, p); err != nil {
 			t.Fatal(err)
@@ -248,7 +248,7 @@ func TestTruncate(t *testing.T) {
 func TestRemoveInvalidatesHead(t *testing.T) {
 	d := New(page.DefaultSize)
 	f := d.Create()
-	p := page.New(page.DefaultSize)
+	p := page.MustNew(page.DefaultSize)
 	if _, err := d.Append(f, p); err != nil {
 		t.Fatal(err)
 	}
@@ -287,11 +287,22 @@ func TestOverwriteInPlace(t *testing.T) {
 	if n, _ := d.NumPages(f); n != 1 {
 		t.Fatalf("overwrite grew the file to %d pages", n)
 	}
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	if err := d.Read(f, 0, dst); err != nil {
 		t.Fatal(err)
 	}
-	if string(dst.Record(0)) != "two" {
+	if string(mustRecord(t, dst, 0)) != "two" {
 		t.Fatal("overwrite did not take effect")
 	}
+}
+
+// mustRecord is page.Page.Record for tests indexing known counts,
+// where an out-of-range error is a test bug.
+func mustRecord(t testing.TB, p *page.Page, i int) []byte {
+	t.Helper()
+	rec, err := p.Record(i)
+	if err != nil {
+		t.Fatalf("Record(%d): %v", i, err)
+	}
+	return rec
 }

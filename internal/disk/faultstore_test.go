@@ -24,11 +24,11 @@ func TestTransientReadIsRetried(t *testing.T) {
 	f, _ := faultyPageWith(t, d, "payload")
 	d.ResetCounters()
 
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	if err := d.Read(f, 0, dst); err != nil {
 		t.Fatalf("read with transient faults failed: %v", err)
 	}
-	if string(dst.Record(0)) != "payload" {
+	if string(mustRecord(t, dst, 0)) != "payload" {
 		t.Fatal("retried read returned wrong data")
 	}
 	c := d.Counters()
@@ -59,11 +59,11 @@ func TestTransientWriteIsRetried(t *testing.T) {
 	if fs.Stats().TransientWrites != 1 {
 		t.Fatalf("stats = %+v", fs.Stats())
 	}
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	if err := d.Read(f, 0, dst); err != nil {
 		t.Fatal(err)
 	}
-	if string(dst.Record(0)) != "payload" {
+	if string(mustRecord(t, dst, 0)) != "payload" {
 		t.Fatal("retried write stored wrong data")
 	}
 }
@@ -74,7 +74,7 @@ func TestRetryBudgetExhausted(t *testing.T) {
 	}})
 	f, _ := faultyPageWith(t, d, "x")
 
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	err := d.Read(f, 0, dst)
 	if err == nil {
 		t.Fatal("read succeeded despite inexhaustible transient faults")
@@ -100,7 +100,7 @@ func TestSetMaxRetriesZeroDisablesRetrying(t *testing.T) {
 	}})
 	f, _ := faultyPageWith(t, d, "x")
 	d.SetMaxRetries(0)
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	if err := d.Read(f, 0, dst); err == nil {
 		t.Fatal("single transient fault not surfaced with retries disabled")
 	}
@@ -115,7 +115,7 @@ func TestPermanentReadFaultLatches(t *testing.T) {
 	}})
 	f, _ := faultyPageWith(t, d, "x")
 
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	err := d.Read(f, 0, dst)
 	var ioe *IOError
 	if !errors.As(err, &ioe) {
@@ -160,7 +160,7 @@ func TestBitFlipDetectedByReadAndScrub(t *testing.T) {
 	}})
 	f, _ := faultyPageWith(t, d, "precious data")
 
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	err := d.Read(f, 0, dst)
 	var corrupt *ErrCorruptPage
 	if !errors.As(err, &corrupt) {
@@ -204,7 +204,7 @@ func TestTornWriteCaughtByChecksum(t *testing.T) {
 		t.Fatalf("stats = %+v", fs.Stats())
 	}
 
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	err := d.Read(f, 0, dst)
 	var corrupt *ErrCorruptPage
 	if !errors.As(err, &corrupt) {
@@ -270,7 +270,7 @@ func TestFaultScoping(t *testing.T) {
 	d, fs := NewFaulty(page.DefaultSize, FaultPlan{Faults: []Fault{
 		{Kind: FaultTransientRead, File: 2, Page: 1, After: 1, Count: 1},
 	}})
-	p := page.New(page.DefaultSize)
+	p := page.MustNew(page.DefaultSize)
 	f1, f2 := d.Create(), d.Create()
 	for i := 0; i < 3; i++ {
 		if err := d.Write(f1, i, p); err != nil {
@@ -280,7 +280,7 @@ func TestFaultScoping(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	// Reads of f1 and of other pages of f2 never match.
 	for i := 0; i < 3; i++ {
 		if err := d.Read(f1, i, dst); err != nil {

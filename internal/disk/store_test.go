@@ -27,7 +27,7 @@ func TestBackendsBehaveIdentically(t *testing.T) {
 			f := d.Create()
 			// Write three pages, overwrite the middle one, read back.
 			mk := func(payload string) *page.Page {
-				p := page.New(d.PageSize())
+				p := page.MustNew(d.PageSize())
 				if !p.Insert([]byte(payload)) {
 					t.Fatal("payload does not fit")
 				}
@@ -46,12 +46,12 @@ func TestBackendsBehaveIdentically(t *testing.T) {
 				t.Fatalf("pages = %d, %v", n, err)
 			}
 			want := []string{"one", "TWO", "three"}
-			dst := page.New(d.PageSize())
+			dst := page.MustNew(d.PageSize())
 			for i, w := range want {
 				if err := d.Read(f, i, dst); err != nil {
 					t.Fatal(err)
 				}
-				if got := string(dst.Record(0)); got != w {
+				if got := string(mustRecord(t, dst, 0)); got != w {
 					t.Fatalf("page %d = %q, want %q", i, got, w)
 				}
 			}
@@ -88,7 +88,7 @@ func TestBackendsCountIdentically(t *testing.T) {
 		func() {
 			defer d.Close()
 			f := d.Create()
-			p := page.New(d.PageSize())
+			p := page.MustNew(d.PageSize())
 			for i := 0; i < 10; i++ {
 				if _, err := d.Append(f, p); err != nil {
 					t.Fatal(err)
@@ -125,7 +125,7 @@ func TestFileBackedJoinEndToEnd(t *testing.T) {
 
 	run := func(d *Disk) []string {
 		f := d.Create()
-		p := page.New(d.PageSize())
+		p := page.MustNew(d.PageSize())
 		var out []string
 		for i := 0; i < 200; i++ {
 			p.Reset()
@@ -134,12 +134,12 @@ func TestFileBackedJoinEndToEnd(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		dst := page.New(d.PageSize())
+		dst := page.MustNew(d.PageSize())
 		for i := 0; i < 200; i++ {
 			if err := d.Read(f, i, dst); err != nil {
 				t.Fatal(err)
 			}
-			out = append(out, string(dst.Record(0)))
+			out = append(out, string(mustRecord(t, dst, 0)))
 		}
 		return out
 	}

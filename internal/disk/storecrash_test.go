@@ -15,7 +15,7 @@ func TestReopenRecoversFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	mk := func(payload string) *page.Page {
-		p := page.New(page.DefaultSize)
+		p := page.MustNew(page.DefaultSize)
 		if !p.Insert([]byte(payload)) {
 			t.Fatal("payload does not fit")
 		}
@@ -46,12 +46,12 @@ func TestReopenRecoversFiles(t *testing.T) {
 	if n, err := d2.NumPages(f2); err != nil || n != 1 {
 		t.Fatalf("file 2 pages = %d, %v", n, err)
 	}
-	dst := page.New(page.DefaultSize)
+	dst := page.MustNew(page.DefaultSize)
 	if err := d2.Read(f1, 1, dst); err != nil {
 		t.Fatal(err)
 	}
-	if string(dst.Record(0)) != "beta" {
-		t.Fatalf("recovered page holds %q", dst.Record(0))
+	if string(mustRecord(t, dst, 0)) != "beta" {
+		t.Fatalf("recovered page holds %q", mustRecord(t, dst, 0))
 	}
 	// Checksums written before the restart still verify.
 	if damage, err := d2.Scrub(); err != nil || len(damage) != 0 {
@@ -70,7 +70,7 @@ func TestReopenRejectsTruncatedFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := d.Create()
-	p := page.New(page.DefaultSize)
+	p := page.MustNew(page.DefaultSize)
 	if _, err := d.Append(f, p); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,30 @@
+package experiments
+
+import "runtime"
+
+// HostInfo describes the machine a benchmark ran on. Every BENCH_*.json
+// document embeds it so scaling results can be judged against the
+// parallelism that was actually available: a flat multi-core curve on a
+// SingleCoreHost is a host limitation, not a regression.
+type HostInfo struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// SingleCoreHost is the loud flag: true when the process cannot run
+	// two pipelines in parallel (one CPU, or GOMAXPROCS pinned to 1), so
+	// no speedup from sharding or worker pools should be expected.
+	SingleCoreHost bool `json:"single_core_host"`
+}
+
+// Host snapshots the current process's parallelism.
+func Host() HostInfo {
+	procs := runtime.GOMAXPROCS(0)
+	return HostInfo{
+		OS:             runtime.GOOS,
+		Arch:           runtime.GOARCH,
+		Cores:          runtime.NumCPU(),
+		GOMAXPROCS:     procs,
+		SingleCoreHost: runtime.NumCPU() < 2 || procs < 2,
+	}
+}

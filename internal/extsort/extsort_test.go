@@ -154,7 +154,7 @@ func TestPageStartCatalog(t *testing.T) {
 		t.Fatalf("catalog endpoints: %v", s.PageStart)
 	}
 	// Verify the catalog against the physical pages.
-	pg := page.New(page.DefaultSize)
+	pg := page.MustNew(page.DefaultSize)
 	var ordinal int64
 	for i := 0; i < s.NumPages(); i++ {
 		if s.PageStart[i] != ordinal {

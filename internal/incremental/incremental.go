@@ -102,7 +102,7 @@ func New(r, s *relation.Relation, cfg Config) (*View, error) {
 func (v *View) probe(x tuple.Tuple, other *partition.Partitioned, flipped bool) error {
 	first, _ := v.parting.Range(x.V)
 	n := other.N()
-	pg := page.New(v.d.PageSize())
+	pg := page.MustNew(v.d.PageSize())
 	for l := first; l < n; l++ {
 		if other.MinStart(l) > x.V.End {
 			continue // every tuple stored here starts after x ends

@@ -6,9 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"testing"
-	"time"
 
 	"vtjoin/internal/cost"
 	"vtjoin/internal/disk"
@@ -28,36 +26,10 @@ import (
 // device, buffer accounting balanced, and only a bounded amount of I/O
 // after the trigger (cancellation is page-granular, not best-effort).
 
-// triggerCtx is a context.Context whose expiry is driven by the test:
-// fire(err) closes Done and makes Err return err. It lets the harness
-// simulate a cancellation or an exactly-placed deadline expiry at the
-// Nth disk operation, deterministically — no real timers involved.
-type triggerCtx struct {
-	done chan struct{}
-	mu   sync.Mutex
-	err  error
-}
-
-func newTriggerCtx() *triggerCtx { return &triggerCtx{done: make(chan struct{})} }
-
-func (c *triggerCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
-func (c *triggerCtx) Done() <-chan struct{}       { return c.done }
-func (c *triggerCtx) Value(key any) any           { return nil }
-
-func (c *triggerCtx) Err() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.err
-}
-
-func (c *triggerCtx) fire(err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err == nil {
-		c.err = err
-		close(c.done)
-	}
-}
+// The trigger context and the armed operation counter the strikes are
+// built from live in internal/testutil (testutil.TriggerCtx,
+// testutil.ArmedCounter) so the sharded executor's chaos harness can
+// reuse them.
 
 // chaosCombo is one engine configuration under chaos: an algorithm, an
 // execution mode and a matching kernel.
@@ -119,50 +91,21 @@ func runChaos(ctx context.Context, cc chaosCombo, r, s *relation.Relation, tr *t
 	return sink.Tuples, nil
 }
 
-// armedCounter counts device page operations once armed, firing fn
-// exactly when the count reaches the threshold. Arming after the
-// relations are loaded scopes both the count and the trigger to the
-// join itself.
-type armedCounter struct {
-	armed   atomic.Bool
-	ops     atomic.Int64
-	trigger int64
-	fn      func()
-}
-
-func (a *armedCounter) hook(disk.PageOp) {
-	if !a.armed.Load() {
-		return
-	}
-	n := a.ops.Add(1)
-	if a.fn != nil && n == a.trigger {
-		a.fn()
-	}
-}
-
-// arm starts counting, firing fn at the n'th subsequent operation
-// (n <= 0 never fires).
-func (a *armedCounter) arm(n int64, fn func()) {
-	a.trigger, a.fn = n, fn
-	a.ops.Store(0)
-	a.armed.Store(true)
-}
-
 // chaosBaseline runs a combo cleanly on a hooked device and returns
 // its canonical result and the number of page operations the join
 // performs — the schedule length the trigger points are drawn from.
 func chaosBaseline(t *testing.T, cc chaosCombo, rTuples, sTuples []tuple.Tuple) ([]tuple.Tuple, int64) {
 	t.Helper()
-	ac := &armedCounter{}
-	d := disk.NewHooked(page.DefaultSize, ac.hook)
+	ac := &testutil.ArmedCounter{}
+	d := disk.NewHooked(page.DefaultSize, func(disk.PageOp) { ac.Tick() })
 	r := load(t, d, empSchema, rTuples)
 	s := load(t, d, deptSchema, sTuples)
-	ac.arm(0, nil)
+	ac.Arm(0, nil)
 	got, err := runChaos(nil, cc, r, s, nil)
 	if err != nil {
 		t.Fatalf("baseline %s failed: %v", cc, err)
 	}
-	ops := ac.ops.Load()
+	ops := ac.Ops()
 	if ops == 0 {
 		t.Fatalf("baseline %s performed no I/O; trigger points are meaningless", cc)
 	}
@@ -217,15 +160,15 @@ func TestChaosMidQueryAbort(t *testing.T) {
 					at := 1 + rng.Int63n(schedule)
 					t.Run(fmt.Sprintf("%s@%d", cause.name, at), func(t *testing.T) {
 						testutil.VerifyNoLeaks(t)
-						ac := &armedCounter{}
-						d := disk.NewHooked(page.DefaultSize, ac.hook)
+						ac := &testutil.ArmedCounter{}
+						d := disk.NewHooked(page.DefaultSize, func(disk.PageOp) { ac.Tick() })
 						r := load(t, d, empSchema, rTuples)
 						s := load(t, d, deptSchema, sTuples)
 
 						before := d.LiveFiles()
 						tr := trace.New(d, "chaos", trace.Options{Audit: true})
-						ctx := newTriggerCtx()
-						ac.arm(at, func() { ctx.fire(cause.err) })
+						ctx := testutil.NewTriggerCtx()
+						ac.Arm(at, func() { ctx.Fire(cause.err) })
 
 						_, err := runChaos(ctx, cc, r, s, tr)
 						if err == nil {
@@ -238,7 +181,7 @@ func TestChaosMidQueryAbort(t *testing.T) {
 						if !errors.As(err, &abort) {
 							t.Errorf("error %v (type %T) does not wrap *execctx.AbortError", err, err)
 						}
-						if over := ac.ops.Load() - at; over > maxPostTriggerOps {
+						if over := ac.Ops() - at; over > maxPostTriggerOps {
 							t.Errorf("join performed %d page ops after the trigger (bound %d): cancellation is not page-granular",
 								over, maxPostTriggerOps)
 						}
@@ -337,9 +280,9 @@ func TestChaosHookedDeviceIsTransparent(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			ac := &armedCounter{}
-			hooked := disk.NewHooked(page.DefaultSize, ac.hook)
-			ctx := newTriggerCtx() // live context that never fires
+			ac := &testutil.ArmedCounter{}
+			hooked := disk.NewHooked(page.DefaultSize, func(disk.PageOp) { ac.Tick() })
+			ctx := testutil.NewTriggerCtx() // live context that never fires
 			got, err := runChaos(ctx, cc,
 				load(t, hooked, empSchema, rTuples),
 				load(t, hooked, deptSchema, sTuples), nil)

@@ -374,7 +374,7 @@ type tupleCache struct {
 }
 
 func newTupleCache(d *disk.Disk, stats *PartitionStats) *tupleCache {
-	return &tupleCache{d: d, page: page.New(d.PageSize()), stats: stats}
+	return &tupleCache{d: d, page: page.MustNew(d.PageSize()), stats: stats}
 }
 
 // add retains y for the next partition's evaluation.

@@ -213,7 +213,7 @@ type mergeSide struct {
 }
 
 func newMergeSide(s *extsort.Sorted, d *disk.Disk) *mergeSide {
-	return &mergeSide{sorted: s, d: d, pg: page.New(d.PageSize())}
+	return &mergeSide{sorted: s, d: d, pg: page.MustNew(d.PageSize())}
 }
 
 // head returns the next tuple without consuming it; ok is false at end
@@ -521,7 +521,7 @@ func (m *merger) flushPending(si int) error {
 	minStart := pending[0].V.Start // pending is in start order
 	var survivors []tuple.Tuple
 	total := 0
-	pg := page.New(m.d.PageSize())
+	pg := page.MustNew(m.d.PageSize())
 	for i := 0; i < s.spillPages; i++ {
 		if err := m.d.Read(s.spillFile, i, pg); err != nil {
 			return err
@@ -615,7 +615,7 @@ func (m *merger) spillTuples(s *mergeSide, ts []tuple.Tuple) error {
 		s.spillPages = 0
 		s.spillMaxEnd = chronon.Beginning
 	}
-	pg := page.New(m.d.PageSize())
+	pg := page.MustNew(m.d.PageSize())
 	flush := func() error {
 		if pg.Count() == 0 {
 			return nil

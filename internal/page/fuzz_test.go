@@ -18,7 +18,7 @@ func FuzzChecksumRoundTrip(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xAB}, 64), uint16(checksumOff*8))
 
 	f.Fuzz(func(t *testing.T, rec []byte, bitSeed uint16) {
-		p := New(MinSize + 64)
+		p := MustNew(MinSize + 64)
 		// Fill the page with records carved from the fuzz input.
 		for len(rec) > 0 {
 			n := len(rec)
@@ -62,7 +62,7 @@ func FuzzChecksumRoundTrip(f *testing.F) {
 			t.Fatalf("round trip changed record count: %d != %d", q.Count(), p.Count())
 		}
 		for i := 0; i < p.Count(); i++ {
-			if !bytes.Equal(q.Record(i), p.Record(i)) {
+			if !bytes.Equal(mustRecord(t, q, i), mustRecord(t, p, i)) {
 				t.Fatalf("record %d changed across stamp/parse", i)
 			}
 		}

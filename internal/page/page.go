@@ -73,19 +73,52 @@ func VerifyChecksum(buf []byte) (want, got uint32, ok bool) {
 	return want, got, want == got
 }
 
-// Page is a single slotted page. The zero value is unusable; call New.
+// SizeError reports a page size outside [MinSize, 65535] (slot offsets
+// are uint16, so larger pages cannot be addressed).
+type SizeError struct {
+	Size int
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("page: illegal page size %d (want %d..65535)", e.Size, MinSize)
+}
+
+// RangeError reports a record index outside a page's populated slots.
+type RangeError struct {
+	Index int
+	Count int
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("page: record index %d out of range [0, %d)", e.Index, e.Count)
+}
+
+// Page is a single slotted page. The zero value is unusable; call New
+// or MustNew.
 type Page struct {
 	buf []byte
 }
 
-// New allocates an empty page of the given size in bytes.
-// It panics if size < MinSize or size > 65535 (offsets are uint16).
-func New(size int) *Page {
+// New allocates an empty page of the given size in bytes. It returns a
+// *SizeError if size < MinSize or size > 65535 (offsets are uint16).
+func New(size int) (*Page, error) {
 	if size < MinSize || size > 65535 {
-		panic(fmt.Sprintf("page: illegal page size %d", size))
+		return nil, &SizeError{Size: size}
 	}
 	p := &Page{buf: make([]byte, size)}
 	p.Reset()
+	return p, nil
+}
+
+// MustNew is New panicking on an illegal size — for sizes already
+// validated elsewhere (a device's PageSize is checked at construction)
+// or program constants, where an error return would only add dead
+// handling paths.
+func MustNew(size int) *Page {
+	p, err := New(size)
+	if err != nil {
+		panic(err.Error())
+	}
 	return p
 }
 
@@ -135,15 +168,15 @@ func (p *Page) Insert(rec []byte) bool {
 }
 
 // Record returns the i'th record's bytes (aliasing the page buffer; do
-// not modify). It panics if i is out of range.
-func (p *Page) Record(i int) []byte {
+// not modify). It returns a *RangeError if i is out of range.
+func (p *Page) Record(i int) ([]byte, error) {
 	if i < 0 || i >= p.Count() {
-		panic(fmt.Sprintf("page: record index %d out of range [0, %d)", i, p.Count()))
+		return nil, &RangeError{Index: i, Count: p.Count()}
 	}
 	slotOff := headerSize + i*slotSize
 	off := int(binary.LittleEndian.Uint16(p.buf[slotOff:]))
 	length := int(binary.LittleEndian.Uint16(p.buf[slotOff+2:]))
-	return p.buf[off : off+length]
+	return p.buf[off : off+length], nil
 }
 
 // Bytes returns the raw page image (aliasing the internal buffer).
@@ -162,7 +195,7 @@ func (p *Page) CopyFrom(src *Page) {
 // every slot. The page aliases buf.
 func FromBytes(buf []byte) (*Page, error) {
 	if len(buf) < MinSize || len(buf) > 65535 {
-		return nil, fmt.Errorf("page: illegal page image size %d", len(buf))
+		return nil, &SizeError{Size: len(buf)}
 	}
 	p := &Page{buf: buf}
 	n := p.Count()
@@ -198,7 +231,11 @@ func (p *Page) AppendTuple(t tuple.Tuple) (bool, error) {
 
 // Tuple decodes the i'th record as a tuple.
 func (p *Page) Tuple(i int) (tuple.Tuple, error) {
-	t, _, err := tuple.Decode(p.Record(i))
+	rec, err := p.Record(i)
+	if err != nil {
+		return tuple.Tuple{}, err
+	}
+	t, _, err := tuple.Decode(rec)
 	return t, err
 }
 

@@ -1,6 +1,7 @@
 package page
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -9,21 +10,45 @@ import (
 	"vtjoin/internal/value"
 )
 
-func TestNewPanicsOnBadSize(t *testing.T) {
+func TestNewRejectsBadSize(t *testing.T) {
 	for _, size := range []int{0, MinSize - 1, 70000} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("New(%d) did not panic", size)
-				}
-			}()
-			New(size)
-		}()
+		p, err := New(size)
+		if err == nil {
+			t.Errorf("New(%d) accepted an illegal size", size)
+			continue
+		}
+		if p != nil {
+			t.Errorf("New(%d) returned a page alongside the error", size)
+		}
+		var se *SizeError
+		if !errors.As(err, &se) || se.Size != size {
+			t.Errorf("New(%d) error %v is not a *SizeError carrying the size", size, err)
+		}
 	}
 }
 
+func TestMustNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+// mustRecord is Record for tests that construct the index from known
+// counts, where an error is a test bug.
+func mustRecord(t testing.TB, p *Page, i int) []byte {
+	t.Helper()
+	rec, err := p.Record(i)
+	if err != nil {
+		t.Fatalf("Record(%d): %v", i, err)
+	}
+	return rec
+}
+
 func TestInsertAndRecord(t *testing.T) {
-	p := New(128)
+	p := MustNew(128)
 	if p.Count() != 0 {
 		t.Fatal("new page not empty")
 	}
@@ -37,14 +62,14 @@ func TestInsertAndRecord(t *testing.T) {
 		t.Fatalf("count = %d", p.Count())
 	}
 	for i, want := range recs {
-		if got := string(p.Record(i)); got != string(want) {
+		if got := string(mustRecord(t, p, i)); got != string(want) {
 			t.Fatalf("record %d = %q, want %q", i, got, want)
 		}
 	}
 }
 
 func TestInsertUntilFull(t *testing.T) {
-	p := New(128)
+	p := MustNew(128)
 	rec := make([]byte, 10)
 	n := 0
 	for p.Insert(rec) {
@@ -65,7 +90,7 @@ func TestInsertUntilFull(t *testing.T) {
 }
 
 func TestResetEmptiesPage(t *testing.T) {
-	p := New(128)
+	p := MustNew(128)
 	p.Insert([]byte("x"))
 	p.Reset()
 	if p.Count() != 0 {
@@ -76,23 +101,27 @@ func TestResetEmptiesPage(t *testing.T) {
 	}
 }
 
-func TestRecordPanicsOutOfRange(t *testing.T) {
-	p := New(128)
+func TestRecordOutOfRange(t *testing.T) {
+	p := MustNew(128)
 	p.Insert([]byte("x"))
 	for _, i := range []int{-1, 1} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Record(%d) did not panic", i)
-				}
-			}()
-			p.Record(i)
-		}()
+		rec, err := p.Record(i)
+		if err == nil {
+			t.Errorf("Record(%d) accepted an out-of-range index", i)
+			continue
+		}
+		if rec != nil {
+			t.Errorf("Record(%d) returned bytes alongside the error", i)
+		}
+		var re *RangeError
+		if !errors.As(err, &re) || re.Index != i || re.Count != 1 {
+			t.Errorf("Record(%d) error %v is not a *RangeError carrying the coordinates", i, err)
+		}
 	}
 }
 
 func TestFromBytesRoundTrip(t *testing.T) {
-	p := New(256)
+	p := MustNew(256)
 	p.Insert([]byte("hello"))
 	p.Insert([]byte("world"))
 	img := make([]byte, 256)
@@ -101,13 +130,13 @@ func TestFromBytesRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.Count() != 2 || string(q.Record(0)) != "hello" || string(q.Record(1)) != "world" {
+	if q.Count() != 2 || string(mustRecord(t, q, 0)) != "hello" || string(mustRecord(t, q, 1)) != "world" {
 		t.Fatal("round trip through page image failed")
 	}
 }
 
 func TestFromBytesRejectsCorruption(t *testing.T) {
-	p := New(256)
+	p := MustNew(256)
 	p.Insert([]byte("hello"))
 	// Corrupt count.
 	img := make([]byte, 256)
@@ -132,14 +161,14 @@ func TestFromBytesRejectsCorruption(t *testing.T) {
 }
 
 func TestCopyFrom(t *testing.T) {
-	a := New(128)
+	a := MustNew(128)
 	a.Insert([]byte("data"))
-	b := New(128)
+	b := MustNew(128)
 	b.CopyFrom(a)
-	if b.Count() != 1 || string(b.Record(0)) != "data" {
+	if b.Count() != 1 || string(mustRecord(t, b, 0)) != "data" {
 		t.Fatal("CopyFrom failed")
 	}
-	c := New(256)
+	c := MustNew(256)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("CopyFrom size mismatch did not panic")
@@ -149,7 +178,7 @@ func TestCopyFrom(t *testing.T) {
 }
 
 func TestAppendTupleAndTuples(t *testing.T) {
-	p := New(DefaultSize)
+	p := MustNew(DefaultSize)
 	want := []tuple.Tuple{
 		tuple.New(chronon.New(1, 5), value.Int(10), value.String_("a")),
 		tuple.New(chronon.New(2, 9), value.Int(20), value.String_("b")),
@@ -175,7 +204,7 @@ func TestAppendTupleAndTuples(t *testing.T) {
 }
 
 func TestAppendTupleTooLargeForAnyPage(t *testing.T) {
-	p := New(128)
+	p := MustNew(128)
 	big := tuple.New(chronon.New(0, 1), value.Bytes(make([]byte, 4096)))
 	ok, err := p.AppendTuple(big)
 	if ok || err == nil {
@@ -184,7 +213,7 @@ func TestAppendTupleTooLargeForAnyPage(t *testing.T) {
 }
 
 func TestAppendTupleFullPageIsNotError(t *testing.T) {
-	p := New(64)
+	p := MustNew(64)
 	tp := tuple.New(chronon.New(0, 1), value.Int(1))
 	for {
 		ok, err := p.AppendTuple(tp)
@@ -203,7 +232,7 @@ func TestAppendTupleFullPageIsNotError(t *testing.T) {
 func TestFillRandomRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 50; trial++ {
-		p := New(DefaultSize)
+		p := MustNew(DefaultSize)
 		var want []tuple.Tuple
 		for {
 			tp := tuple.New(

@@ -37,7 +37,7 @@ func (p *Pool) Get() *Page {
 	}
 	p.mu.Unlock()
 	if pg == nil {
-		return New(p.size)
+		return MustNew(p.size)
 	}
 	pg.Reset()
 	return pg

@@ -32,7 +32,7 @@ func TestPoolRecycles(t *testing.T) {
 func TestPoolIgnoresForeignPages(t *testing.T) {
 	p := NewPool(DefaultSize)
 	p.Put(nil)
-	p.Put(New(DefaultSize * 2))
+	p.Put(MustNew(DefaultSize * 2))
 	got := p.Get()
 	if got.Size() != DefaultSize {
 		t.Fatalf("pool handed out a %d-byte page", got.Size())

@@ -129,9 +129,9 @@ func (p *Partitioned) fill(ctx context.Context, r *relation.Relation) error {
 	n := p.Part.N()
 	buckets := make([]*page.Page, n)
 	for i := range buckets {
-		buckets[i] = page.New(d.PageSize())
+		buckets[i] = page.MustNew(d.PageSize())
 	}
-	in := page.New(d.PageSize())
+	in := page.MustNew(d.PageSize())
 	ps := r.ScanPages()
 	for {
 		if err := execctx.Check(ctx, "partition: fill"); err != nil {
@@ -145,7 +145,10 @@ func (p *Partitioned) fill(ctx context.Context, r *relation.Relation) error {
 			break
 		}
 		for s := 0; s < in.Count(); s++ {
-			rec := in.Record(s)
+			rec, err := in.Record(s)
+			if err != nil {
+				return err
+			}
 			iv, err := tuple.PeekInterval(rec)
 			if err != nil {
 				return fmt.Errorf("partition: page record %d: %w", s, err)
@@ -220,7 +223,7 @@ func (p *Partitioned) ReadPage(i, idx int, dst *page.Page) error {
 // random seek plus sequential reads).
 func (p *Partitioned) ReadAll(i int) ([]tuple.Tuple, error) {
 	out := make([]tuple.Tuple, 0, p.tuples[i])
-	pg := page.New(p.d.PageSize())
+	pg := page.MustNew(p.d.PageSize())
 	for idx := 0; idx < p.pages[i]; idx++ {
 		if err := p.ReadPage(i, idx, pg); err != nil {
 			return nil, err
@@ -248,7 +251,7 @@ func (p *Partitioned) Insert(t tuple.Tuple) error {
 		return err
 	}
 	i := p.Part.Last(t.V)
-	pg := page.New(p.d.PageSize())
+	pg := page.MustNew(p.d.PageSize())
 	if p.pages[i] > 0 {
 		last := p.pages[i] - 1
 		if err := p.d.Read(p.files[i], last, pg); err != nil {

@@ -48,6 +48,11 @@ type PlanConfig struct {
 	// Tracer, when non-nil, records the candidate cost curve, sampler
 	// strategy switches and chosen plan on the current trace span.
 	Tracer *trace.Tracer
+	// Shards, when > 1, floors every candidate's requested partition
+	// count at this value so the chosen partitioning can be coarsened
+	// into that many time-shards (each shard boundary must coincide
+	// with a partition boundary). Zero or one imposes no floor.
+	Shards int
 }
 
 // Plan is the output of determinePartIntervals: the chosen partitioning
@@ -304,6 +309,9 @@ func DeterminePartIntervals(r *relation.Relation, cfg PlanConfig) (*Plan, []Cand
 		}
 
 		numPartitions := (relPages + partSize - 1) / partSize
+		if numPartitions < cfg.Shards {
+			numPartitions = cfg.Shards
+		}
 		sampleSet, err := sampler.ensure(wantSamples)
 		if err != nil {
 			return nil, nil, err

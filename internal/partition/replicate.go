@@ -42,9 +42,9 @@ func DoPartitioningReplicated(r *relation.Relation, part Partitioning) (*Partiti
 	buckets := make([]*page.Page, n)
 	for i := range p.files {
 		p.files[i] = d.Create()
-		buckets[i] = page.New(d.PageSize())
+		buckets[i] = page.MustNew(d.PageSize())
 	}
-	in := page.New(d.PageSize())
+	in := page.MustNew(d.PageSize())
 	ps := r.ScanPages()
 	for {
 		ok, err := ps.Next(in)
@@ -55,7 +55,10 @@ func DoPartitioningReplicated(r *relation.Relation, part Partitioning) (*Partiti
 			break
 		}
 		for s := 0; s < in.Count(); s++ {
-			rec := in.Record(s)
+			rec, err := in.Record(s)
+			if err != nil {
+				return nil, err
+			}
 			iv, err := tuple.PeekInterval(rec)
 			if err != nil {
 				return nil, fmt.Errorf("partition: page record %d: %w", s, err)

@@ -19,7 +19,7 @@ func buildFile(t *testing.T, n int) (*disk.Disk, disk.FileID) {
 	t.Helper()
 	d := disk.New(page.DefaultSize)
 	f := d.Create()
-	pg := page.New(page.DefaultSize)
+	pg := page.MustNew(page.DefaultSize)
 	for i := 0; i < n; i++ {
 		pg.Reset()
 		ok, err := pg.AppendTuple(tuple.New(chronon.New(chronon.Chronon(i+1), chronon.Chronon(i+1)), value.Int(int64(i))))
@@ -166,7 +166,7 @@ func benchStream(b *testing.B, depth int) {
 	const n = 256
 	d := disk.New(page.DefaultSize)
 	f := d.Create()
-	pg := page.New(page.DefaultSize)
+	pg := page.MustNew(page.DefaultSize)
 	for i := 0; i < n; i++ {
 		pg.Reset()
 		if ok, err := pg.AppendTuple(tuple.New(chronon.New(1, 2), value.Int(int64(i)))); err != nil || !ok {

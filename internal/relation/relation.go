@@ -107,7 +107,7 @@ type Builder struct {
 // Flush()ed to persist the trailing partial page. Appending to a
 // relation that already has pages continues after them.
 func (r *Relation) NewBuilder() *Builder {
-	return &Builder{r: r, cur: page.New(r.d.PageSize())}
+	return &Builder{r: r, cur: page.MustNew(r.d.PageSize())}
 }
 
 // Append validates t against the relation schema and adds it.
@@ -231,7 +231,7 @@ type Scanner struct {
 
 // Scan returns a sequential tuple scanner over r.
 func (r *Relation) Scan() *Scanner {
-	return &Scanner{ps: r.ScanPages(), pg: page.New(r.d.PageSize())}
+	return &Scanner{ps: r.ScanPages(), pg: page.MustNew(r.d.PageSize())}
 }
 
 // Next returns the next tuple; the boolean is false at the end.

@@ -178,7 +178,7 @@ func TestPageScanner(t *testing.T) {
 		t.Fatal(err)
 	}
 	ps := r.ScanPages()
-	pg := page.New(page.DefaultSize)
+	pg := page.MustNew(page.DefaultSize)
 	seen := 0
 	pages := 0
 	for {

@@ -74,7 +74,7 @@ func oldDrawRandom(t *testing.T, r *relation.Relation, m int, rng *rand.Rand) []
 	if err != nil {
 		t.Fatal(err)
 	}
-	pg := page.New(r.Disk().PageSize())
+	pg := page.MustNew(r.Disk().PageSize())
 	taken := make(map[[2]int]bool)
 	out := make([]tuple.Tuple, 0, m)
 	for len(out) < m {

@@ -175,7 +175,7 @@ func NewDrawer(r *relation.Relation, rng *rand.Rand) (*Drawer, error) {
 		starts: starts,
 		total:  starts[len(starts)-1],
 		taken:  make(map[int64]bool),
-		pg:     page.New(r.Disk().PageSize()),
+		pg:     page.MustNew(r.Disk().PageSize()),
 	}, nil
 }
 

@@ -1,0 +1,55 @@
+package shard
+
+import (
+	"context"
+	"sync"
+
+	"vtjoin/internal/execctx"
+)
+
+// runPool runs fn(0..n-1) on at most workers goroutines, returning the
+// lowest-index error (after every task has finished — no task is left
+// running when runPool returns). With workers <= 1 the tasks run inline
+// on the caller's goroutine. Panics in a task are converted to errors
+// by execctx.RecoverTo, so one failing pipeline cannot take down the
+// process or strand its siblings.
+func runPool(ctx context.Context, workers, n int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for j := 0; j < n; j++ {
+			if err := runTask(ctx, fn, j); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[j] = runTask(ctx, fn, j)
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runTask(ctx context.Context, fn func(int) error, j int) (err error) {
+	defer execctx.RecoverTo("shard: pipeline", &err)
+	if err := execctx.Check(ctx, "shard: pipeline"); err != nil {
+		return err
+	}
+	return fn(j)
+}

@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"vtjoin/internal/disk"
+	"vtjoin/internal/execctx"
+	"vtjoin/internal/partition"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/tuple"
+)
+
+// split routes both inputs onto the shard devices. A tuple is owned by
+// the last shard its interval overlaps (the shard containing its end
+// chronon) and replicated backward into every earlier overlapped shard
+// — the split-time realization of the paper's backward tuple-cache
+// migration, exchanging boundary-spanning tuples once so the shard
+// pipelines never need to communicate.
+func split(ctx context.Context, r, s *relation.Relation, devs []*disk.Disk, bounds partition.Partitioning, stats *Stats) ([]*relation.Relation, []*relation.Relation, error) {
+	rLoc, err := route(ctx, r, devs, bounds, func(j int, repl bool) {
+		if repl {
+			stats.PerShard[j].ReplicatedLeft++
+		} else {
+			stats.PerShard[j].OwnLeft++
+		}
+	})
+	if err != nil {
+		return rLoc, nil, err
+	}
+	sLoc, err := route(ctx, s, devs, bounds, func(j int, repl bool) {
+		if repl {
+			stats.PerShard[j].ReplicatedRight++
+		} else {
+			stats.PerShard[j].OwnRight++
+		}
+	})
+	return rLoc, sLoc, err
+}
+
+// route copies rel onto the shard devices per the ownership rule.
+// Partially built locals are returned even on error so the caller can
+// reclaim them.
+func route(ctx context.Context, rel *relation.Relation, devs []*disk.Disk, bounds partition.Partitioning, count func(j int, repl bool)) ([]*relation.Relation, error) {
+	locals := make([]*relation.Relation, len(devs))
+	builders := make([]*relation.Builder, len(devs))
+	for j, d := range devs {
+		locals[j] = relation.Create(d, rel.Schema())
+		builders[j] = locals[j].NewBuilder()
+	}
+	sc := rel.Scan()
+	for {
+		if err := execctx.Check(ctx, "shard: split"); err != nil {
+			return locals, err
+		}
+		t, ok, err := sc.Next()
+		if err != nil {
+			return locals, err
+		}
+		if !ok {
+			break
+		}
+		first, last := bounds.Range(t.V)
+		for j := first; j <= last; j++ {
+			if err := builders[j].AppendUnchecked(t); err != nil {
+				return locals, fmt.Errorf("shard: route to shard %d: %w", j, err)
+			}
+			count(j, j != last)
+		}
+	}
+	for j := range builders {
+		if err := builders[j].Flush(); err != nil {
+			return locals, err
+		}
+	}
+	return locals, nil
+}
+
+// boundSink passes through exactly the results owned by one shard: a
+// result interval is the overlap of its input pair, so its end chronon
+// falls in exactly one shard, and only that shard emits the pair. All
+// other shards that hold both inputs (via replication) recompute and
+// discard the pair here.
+type boundSink struct {
+	next    relation.Sink
+	bounds  partition.Partitioning
+	shard   int
+	emitted int64
+}
+
+func (b *boundSink) Append(t tuple.Tuple) error {
+	if b.bounds.Last(t.V) != b.shard {
+		return nil
+	}
+	b.emitted++
+	return b.next.Append(t)
+}
+
+func (b *boundSink) Flush() error { return b.next.Flush() }

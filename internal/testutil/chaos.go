@@ -1,0 +1,84 @@
+package testutil
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TriggerCtx is a context.Context whose expiry is driven by the test:
+// Fire(err) closes Done and makes Err return err. It lets chaos
+// harnesses simulate a cancellation or an exactly-placed deadline
+// expiry at the Nth disk operation, deterministically — no real timers
+// involved.
+type TriggerCtx struct {
+	done chan struct{}
+	mu   sync.Mutex
+	err  error
+}
+
+// NewTriggerCtx returns a live TriggerCtx that never expires until
+// Fire is called.
+func NewTriggerCtx() *TriggerCtx { return &TriggerCtx{done: make(chan struct{})} }
+
+// Deadline implements context.Context; a TriggerCtx has no deadline.
+func (c *TriggerCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// Done implements context.Context.
+func (c *TriggerCtx) Done() <-chan struct{} { return c.done }
+
+// Value implements context.Context; a TriggerCtx carries no values.
+func (c *TriggerCtx) Value(key any) any { return nil }
+
+// Err implements context.Context: nil until Fire, then the fired error.
+func (c *TriggerCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Fire expires the context with err. Subsequent calls are no-ops.
+func (c *TriggerCtx) Fire(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+}
+
+// ArmedCounter counts device page operations once armed, firing a
+// callback exactly when the count reaches the threshold. Arming after
+// the relations are loaded scopes both the count and the trigger to
+// the join itself. Wire it to a hooked device with
+// disk.NewHooked(size, func(disk.PageOp) { ac.Tick() }). (The counter
+// is deliberately untyped on the operation so this package stays
+// import-cycle-free with the disk package's own tests.)
+type ArmedCounter struct {
+	armed   atomic.Bool
+	ops     atomic.Int64
+	trigger int64
+	fn      func()
+}
+
+// Tick records one device page operation.
+func (a *ArmedCounter) Tick() {
+	if !a.armed.Load() {
+		return
+	}
+	n := a.ops.Add(1)
+	if a.fn != nil && n == a.trigger {
+		a.fn()
+	}
+}
+
+// Arm starts counting, firing fn at the n'th subsequent operation
+// (n <= 0 never fires).
+func (a *ArmedCounter) Arm(n int64, fn func()) {
+	a.trigger, a.fn = n, fn
+	a.ops.Store(0)
+	a.armed.Store(true)
+}
+
+// Ops returns the operations counted since the last Arm.
+func (a *ArmedCounter) Ops() int64 { return a.ops.Load() }

@@ -105,6 +105,36 @@ func ReadJSON(r io.Reader) (*Span, error) {
 	return &s, nil
 }
 
+// ForeignDeviceAttr marks a span (and its subtree) as recorded against
+// a different device than its adopting tracer's — e.g. a time-shard's
+// private device adopted into the global trace. Counter-sum audits and
+// end-to-end trace validation must subtract such subtrees (see
+// ForeignTotal) before comparing against the adopting device's
+// movement.
+const ForeignDeviceAttr = "foreignDevice"
+
+// ForeignTotal sums the I/O counters of every foreign-device subtree
+// under s — the amount a counter-sum check against s's own device must
+// subtract from s.Total(). Subtrees are counted once at their marked
+// root; nested marks inside an already-foreign subtree are not
+// double-counted.
+func ForeignTotal(s *Span) disk.Counters {
+	var zero disk.Counters
+	if s == nil {
+		return zero
+	}
+	if f, ok := s.Attrs[ForeignDeviceAttr]; ok {
+		if b, ok := f.(bool); ok && b {
+			return s.Total()
+		}
+	}
+	t := zero
+	for _, c := range s.Children {
+		t = t.Add(ForeignTotal(c))
+	}
+	return t
+}
+
 // Options configures a Tracer.
 type Options struct {
 	// Audit enables the invariant checks registered by instrumented
@@ -135,10 +165,15 @@ type Tracer struct {
 	stack []*Span
 	// start is the device counter snapshot at New; mark/wallMark/
 	// cpuMark advance at every boundary so each delta is charged once.
-	start      disk.Counters
-	mark       disk.Counters
-	wallMark   time.Time
-	cpuMark    time.Duration
+	start    disk.Counters
+	mark     disk.Counters
+	wallMark time.Time
+	cpuMark  time.Duration
+	// foreign accumulates the I/O totals of adopted foreign-device
+	// subtrees (see Adopt): counters that appear in the span tree but
+	// never moved on d, and so must be excluded from the counter-sum
+	// audit.
+	foreign    disk.Counters
 	deferred   []deferredCheck
 	violations []string
 	finished   bool
@@ -214,6 +249,24 @@ func (t *Tracer) End() {
 	t.stack = t.stack[:len(t.stack)-1]
 }
 
+// Adopt attaches a finished span tree recorded against a *different*
+// device (by another Tracer) as a child of the current span — how
+// per-shard traces join the global tree. The adopted root is marked
+// with ForeignDeviceAttr and its totals are excluded from this
+// tracer's counter-sum audit, since they never moved on this device.
+func (t *Tracer) Adopt(s *Span) {
+	if t == nil || t.finished || s == nil {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]any)
+	}
+	s.Attrs[ForeignDeviceAttr] = true
+	cur := t.stack[len(t.stack)-1]
+	cur.Children = append(cur.Children, s)
+	t.foreign = t.foreign.Add(s.Total())
+}
+
 // SetAttr records an attribute on the current span.
 func (t *Tracer) SetAttr(key string, v any) {
 	if t == nil || t.finished {
@@ -287,7 +340,7 @@ func (t *Tracer) Finish() (*Span, error) {
 	}
 	if t.opts.Audit {
 		want := t.d.Counters().Sub(t.start)
-		if got := t.root.Total(); got != want {
+		if got := t.root.Total().Sub(t.foreign); got != want {
 			t.violations = append(t.violations, fmt.Sprintf(
 				"counter-sum: spans total %+v but device moved %+v", got, want))
 		}

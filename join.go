@@ -10,6 +10,7 @@ import (
 	"vtjoin/internal/join"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/schema"
+	"vtjoin/internal/shard"
 	"vtjoin/internal/trace"
 )
 
@@ -185,6 +186,17 @@ type Options struct {
 	// Join results and every I/O counter are identical across kernels;
 	// the knob exists for benchmarking and differential testing.
 	Kernel Kernel
+	// Shards, when > 1, time-shards the execution: the valid-time line
+	// is split into Shards slices along planned partition boundaries,
+	// each slice's full pipeline runs against a private in-memory
+	// device on its own goroutine with MemoryPages/Shards buffer pages,
+	// and the outputs merge deterministically. Results are identical to
+	// the unsharded run; only wall-clock time changes (inner joins
+	// only). 0 or 1 runs unsharded.
+	Shards int
+	// ShardWorkers bounds how many shard pipelines run concurrently
+	// (default: NumCPU). Results are identical at any setting.
+	ShardWorkers int
 	// Trace collects a hierarchical execution trace of the run — per
 	// phase (and per partition / block / merge pass) spans carrying
 	// exact I/O counter deltas, wall and CPU time, the planner's
@@ -397,6 +409,34 @@ func dispatch(ctx context.Context, o Options, r, s *Relation, sink relation.Sink
 	mask, err := o.Predicate.mask()
 	if err != nil {
 		return nil, o.Algorithm, err
+	}
+	if o.Shards > 1 {
+		if o.Type != JoinInner {
+			return nil, o.Algorithm, fmt.Errorf("vtjoin: sharded execution supports inner joins only (outer coverage cannot be decided per shard)")
+		}
+		var salgo shard.Algorithm
+		switch o.Algorithm {
+		case AlgorithmPartition:
+			salgo = shard.AlgorithmPartition
+		case AlgorithmSortMerge:
+			salgo = shard.AlgorithmSortMerge
+		case AlgorithmNestedLoop:
+			salgo = shard.AlgorithmNestedLoop
+		default:
+			return nil, o.Algorithm, fmt.Errorf("vtjoin: unknown algorithm %d", o.Algorithm)
+		}
+		rep, _, err := shard.Join(salgo, r.internal(), s.internal(), sink, shard.Config{
+			Ctx:           ctx,
+			Shards:        o.Shards,
+			Workers:       o.ShardWorkers,
+			MemoryPages:   o.MemoryPages,
+			Weights:       cost.Ratio(o.RandomCost),
+			Seed:          o.Seed,
+			TimePredicate: mask,
+			Kernel:        o.Kernel.internal(),
+			Tracer:        tr,
+		})
+		return rep, o.Algorithm, err
 	}
 	if o.Type == JoinInner {
 		switch o.Algorithm {
