@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare explain-smoke chaos-smoke shard-smoke
+.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare explain-smoke chaos-smoke shard-smoke codec-smoke
 
 all: check
 
@@ -70,6 +70,21 @@ chaos-smoke:
 shard-smoke:
 	$(GO) test -race -count=1 ./internal/shard/
 	$(GO) run ./cmd/vtbench -figure shards -scale 8 -benchjson BENCH_pr7.json
+
+# Compressed page codec smoke: the v2 codec unit suite, the
+# format differential matrix (3 algorithms × 2 kernels × 8 predicate
+# masks, run twice under v1 for byte + counter identity and once under
+# v2 for result identity), the v2 fault matrix, short runs of both v2
+# fuzz targets, then the codec figure end to end — which stores every
+# workload under both formats and refuses to report a compression
+# ratio unless the result checksums agree.
+codec-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestV2|TestCodecDifferential|TestFromBytesRejects|TestParseFormat|TestFigureCodec' \
+		./internal/page/ ./internal/join/ ./internal/experiments/
+	$(GO) test ./internal/page -fuzz FuzzV2RoundTrip -fuzztime 10s
+	$(GO) test ./internal/page -fuzz FuzzV2CorruptImage -fuzztime 10s
+	$(GO) run ./cmd/vtbench -figure codec -scale 64 -benchjson BENCH_pr8.json
 
 # End-to-end EXPLAIN/trace smoke: generate a small input pair, run
 # every algorithm with -explain -audit -trace, and let vtjoin's own

@@ -50,6 +50,7 @@ import (
 	"vtjoin/internal/execctx"
 	"vtjoin/internal/experiments"
 	"vtjoin/internal/join"
+	"vtjoin/internal/page"
 )
 
 // exitAborted is the exit code for a run cut short by -timeout or a
@@ -57,25 +58,26 @@ import (
 const exitAborted = 3
 
 func main() {
-	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations, all, kernels, or shards (timing-based, excluded from all)")
+	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations, all, kernels, shards, or codec (timing-based, excluded from all)")
 	scale := flag.Int("scale", 16, "scale divisor on tuple counts and memory (1 = paper scale)")
 	seed := flag.Int64("seed", 1994, "base RNG seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent figure data points (1 = sequential; output is identical at any setting)")
 	audit := flag.Bool("audit", false, "run every join under the trace invariant audits (figures are identical; violations fail the run)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); exits 3 on expiry")
-	benchjson := flag.String("benchjson", "", "with -figure kernels or shards: also write the results as JSON to this file")
+	benchjson := flag.String("benchjson", "", "with -figure kernels, shards or codec: also write the results as JSON to this file (codec default: BENCH_pr8.json)")
+	pageFormat := flag.String("page-format", "v1", "page codec relations are written in: v1 (slotted) or v2 (delta intervals + per-page dictionaries); -figure codec sweeps both and ignores this")
 	shards := flag.Int("shards", 8, "with -figure shards: largest shard count in the K sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	switch *figure {
-	case "4", "5", "6", "7", "8", "ablations", "all", "kernels", "shards":
+	case "4", "5", "6", "7", "8", "ablations", "all", "kernels", "shards", "codec":
 	default:
-		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations, all, kernels or shards)", *figure))
+		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations, all, kernels, shards or codec)", *figure))
 	}
-	if *benchjson != "" && *figure != "kernels" && *figure != "shards" {
-		usage(fmt.Errorf("-benchjson requires -figure kernels or -figure shards"))
+	if *benchjson != "" && *figure != "kernels" && *figure != "shards" && *figure != "codec" {
+		usage(fmt.Errorf("-benchjson requires -figure kernels, shards or codec"))
 	}
 	if *shards < 1 {
 		usage(fmt.Errorf("-shards must be >= 1, got %d", *shards))
@@ -91,6 +93,9 @@ func main() {
 	p.Seed = *seed
 	p.Workers = *workers
 	p.Audit = *audit
+	if p.PageFormat, err = page.ParseFormat(*pageFormat); err != nil {
+		usage(err)
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -192,6 +197,22 @@ func main() {
 			}
 			fmt.Printf("\n[shard scaling written to %s]\n", *benchjson)
 		}
+		return nil
+	})
+	run("codec", func() error {
+		rows, sums, err := experiments.RunFigureCodec(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigureCodec(rows, sums))
+		out := *benchjson
+		if out == "" {
+			out = "BENCH_pr8.json"
+		}
+		if err := writeCodecJSON(out, p, rows, sums); err != nil {
+			return err
+		}
+		fmt.Printf("\n[codec comparison written to %s]\n", out)
 		return nil
 	})
 	run("ablations", func() error {
@@ -317,6 +338,84 @@ func writeShardsJSON(path string, p experiments.Params, maxShards int, rows []ex
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// writeCodecJSON records the page-codec comparison in the BENCH_*.json
+// format the repo tracks across performance PRs: per-(workload, format)
+// storage occupancy and join cost — page counts, bytes moved, per-phase
+// CPU — plus the derived compression summaries. Checksums are asserted
+// identical across formats before this is written, so every ratio in
+// the file was bought with a verified-equal answer.
+func writeCodecJSON(path string, p experiments.Params, rows []experiments.CodecRow, sums []experiments.CodecSummary) error {
+	type jsonPhase struct {
+		Phase   string  `json:"phase"`
+		IOPages int64   `json:"io_pages"`
+		IOBytes int64   `json:"io_bytes"`
+		WallMS  float64 `json:"wall_ms"`
+		CPUMS   float64 `json:"cpu_ms"`
+	}
+	type jsonRow struct {
+		Workload      string      `json:"workload"`
+		Format        string      `json:"format"`
+		InputTuples   int64       `json:"input_tuples"`
+		InputPages    int         `json:"input_pages"`
+		TuplesPerPage float64     `json:"tuples_per_page"`
+		JoinIOPages   int64       `json:"join_io_pages"`
+		JoinIOBytes   int64       `json:"join_io_bytes"`
+		Results       int64       `json:"results"`
+		Checksum      string      `json:"checksum"`
+		WallMS        float64     `json:"wall_ms"`
+		CPUMS         float64     `json:"cpu_ms"`
+		Phases        []jsonPhase `json:"phases"`
+	}
+	type jsonSummary struct {
+		Workload           string  `json:"workload"`
+		TuplesPerPageRatio float64 `json:"tuples_per_page_ratio"`
+		CompressionRatio   float64 `json:"compression_ratio"`
+		PageReductionPct   float64 `json:"page_reduction_pct"`
+	}
+	doc := struct {
+		Description string               `json:"description"`
+		Host        experiments.HostInfo `json:"host"`
+		Command     string               `json:"command"`
+		Rows        []jsonRow            `json:"codec_comparison"`
+		Summaries   []jsonSummary        `json:"summaries"`
+	}{
+		Description: "Page codec comparison: v1 slotted pages vs v2 (delta-encoded intervals + per-page value dictionaries) over high-overlap keyed, time-join and sparse workloads. Result checksums are order-insensitive over the result multiset and asserted identical across formats; the sparse workload asserts the dictionary fallback causes no page-count regression.",
+		Host:        experiments.Host(),
+		Command:     fmt.Sprintf("vtbench -figure codec -scale %d -seed %d", p.Scale, p.Seed),
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	for _, r := range rows {
+		jr := jsonRow{
+			Workload: r.Workload, Format: r.Format.String(),
+			InputTuples: r.InputTuples, InputPages: r.InputPages,
+			TuplesPerPage: r.TuplesPerPage,
+			JoinIOPages:   r.JoinIOPages, JoinIOBytes: r.JoinIOBytes,
+			Results: r.Results, Checksum: fmt.Sprintf("%016x", r.Checksum),
+			WallMS: ms(r.Wall), CPUMS: ms(r.CPU),
+		}
+		for _, ph := range r.Phases {
+			jr.Phases = append(jr.Phases, jsonPhase{
+				Phase: ph.Name, IOPages: ph.IOPages, IOBytes: ph.IOBytes,
+				WallMS: ms(ph.Wall), CPUMS: ms(ph.CPU),
+			})
+		}
+		doc.Rows = append(doc.Rows, jr)
+	}
+	for _, s := range sums {
+		doc.Summaries = append(doc.Summaries, jsonSummary{
+			Workload:           s.Workload,
+			TuplesPerPageRatio: s.TuplesPerPageRatio,
+			CompressionRatio:   s.CompressionRatio,
+			PageReductionPct:   100 * s.PageReduction,
+		})
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 // fatal reports a runtime failure (experiment execution) and exits 1 —
 // or exitAborted when the failure is a cancellation or expired deadline.
 func fatal(err error) {
@@ -331,6 +430,6 @@ func fatal(err error) {
 // package's exit code for unparseable flags.
 func usage(err error) {
 	fmt.Fprintln(os.Stderr, "vtbench:", err)
-	fmt.Fprintln(os.Stderr, "usage: vtbench [-figure 4|5|6|7|8|ablations|all|kernels] [-scale N] [-seed S] [-workers W] [-benchjson F] [-cpuprofile F] [-memprofile F]")
+	fmt.Fprintln(os.Stderr, "usage: vtbench [-figure 4|5|6|7|8|ablations|all|kernels|shards|codec] [-scale N] [-seed S] [-workers W] [-page-format v1|v2] [-benchjson F] [-cpuprofile F] [-memprofile F]")
 	os.Exit(2)
 }

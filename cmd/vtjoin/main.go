@@ -78,6 +78,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write the execution trace as JSON to this file")
 	audit := flag.Bool("audit", false, "run the trace invariant audits (implies tracing); with -trace, also verify the written JSON sums to the device counters")
 	timeout := flag.Duration("timeout", 0, "abort the join after this long (0 = no deadline); exits 3 on expiry")
+	pageFormat := flag.String("page-format", "v1", "page codec relations are stored in: v1 (slotted) or v2 (delta-encoded intervals + per-page value dictionaries)")
 	out := flag.String("o", "-", "output file (- for stdout)")
 	flag.Parse()
 
@@ -143,7 +144,11 @@ func main() {
 		defer cancelTimeout()
 	}
 
-	db := vtjoin.Open()
+	format, err := vtjoin.ParsePageFormat(*pageFormat)
+	if err != nil {
+		usage(err)
+	}
+	db := vtjoin.Open(vtjoin.WithPageFormat(format))
 	left, err := loadCSV(db, flag.Arg(0))
 	if err != nil {
 		fatal(err)

@@ -34,13 +34,18 @@ const DefaultMaxRetries = 3
 // Counters accumulates the four access classes of the cost model, plus
 // the retries forced by transient storage faults (each retry re-issues
 // the access and is charged again in its class; Retries records how
-// many of the class counts were fault-induced extras).
+// many of the class counts were fault-induced extras) and the raw bytes
+// moved (page size x accesses, retries included). BytesMoved makes
+// codec compression auditable: a run that stores the same relation in
+// fewer pages shows the saving here even when per-access weights hide
+// it.
 type Counters struct {
 	RandReads  int64 `json:"randReads"`
 	SeqReads   int64 `json:"seqReads"`
 	RandWrites int64 `json:"randWrites"`
 	SeqWrites  int64 `json:"seqWrites"`
 	Retries    int64 `json:"retries"`
+	BytesMoved int64 `json:"bytesMoved"`
 }
 
 // Add returns the sum of two counter sets.
@@ -51,6 +56,7 @@ func (c Counters) Add(o Counters) Counters {
 		RandWrites: c.RandWrites + o.RandWrites,
 		SeqWrites:  c.SeqWrites + o.SeqWrites,
 		Retries:    c.Retries + o.Retries,
+		BytesMoved: c.BytesMoved + o.BytesMoved,
 	}
 }
 
@@ -62,6 +68,7 @@ func (c Counters) Sub(o Counters) Counters {
 		RandWrites: c.RandWrites - o.RandWrites,
 		SeqWrites:  c.SeqWrites - o.SeqWrites,
 		Retries:    c.Retries - o.Retries,
+		BytesMoved: c.BytesMoved - o.BytesMoved,
 	}
 }
 
@@ -78,6 +85,9 @@ func (c Counters) String() string {
 		c.RandReads, c.RandWrites, c.SeqReads, c.SeqWrites)
 	if c.Retries > 0 {
 		s += fmt.Sprintf(" retries=%d", c.Retries)
+	}
+	if c.BytesMoved > 0 {
+		s += fmt.Sprintf(" bytes=%d", c.BytesMoved)
 	}
 	return s
 }
@@ -101,6 +111,7 @@ func (c Counters) String() string {
 type Disk struct {
 	mu         sync.Mutex
 	pageSize   int
+	pageFormat page.Format
 	store      store
 	nextID     FileID
 	counters   Counters
@@ -118,6 +129,7 @@ func New(pageSize int) *Disk {
 	}
 	return &Disk{
 		pageSize:   pageSize,
+		pageFormat: page.FormatV1,
 		store:      newMemStore(pageSize),
 		nextID:     1,
 		maxRetries: DefaultMaxRetries,
@@ -148,6 +160,7 @@ func NewFileBacked(pageSize int, dir string) (*Disk, error) {
 	}
 	return &Disk{
 		pageSize:   pageSize,
+		pageFormat: page.FormatV1,
 		store:      st,
 		nextID:     next,
 		maxRetries: DefaultMaxRetries,
@@ -176,6 +189,39 @@ func (d *Disk) Close() error {
 
 // PageSize returns the device's page size in bytes.
 func (d *Disk) PageSize() int { return d.pageSize }
+
+// PageFormat returns the device's default page codec — the format new
+// relations and temporary files on this device are written in. Reads
+// are format-oblivious (every image is self-describing), so mixed
+// formats coexist on one device regardless of this setting.
+func (d *Disk) PageFormat() page.Format {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pageFormat
+}
+
+// SetPageFormat changes the device's default page codec for pages
+// created after the call. Existing pages are untouched.
+func (d *Disk) SetPageFormat(f page.Format) {
+	if !f.Valid() {
+		panic(fmt.Sprintf("disk: unknown page format %d", uint8(f)))
+	}
+	d.mu.Lock()
+	d.pageFormat = f
+	d.mu.Unlock()
+}
+
+// NewPage allocates an empty page of the device's size and default
+// format.
+func (d *Disk) NewPage() *page.Page {
+	return page.MustNewFormat(d.pageSize, d.PageFormat())
+}
+
+// NewPool creates a page pool matching the device's size and default
+// format.
+func (d *Disk) NewPool() *page.Pool {
+	return page.NewPoolFormat(d.pageSize, d.PageFormat())
+}
 
 // Create allocates a new empty file and returns its ID.
 func (d *Disk) Create() FileID {
@@ -218,7 +264,7 @@ func (d *Disk) sequentialTo(f FileID, idx int) bool {
 	return seen && idx == prev+1
 }
 
-// charge counts one access attempt in its class.
+// charge counts one access attempt in its class and its bytes.
 func (d *Disk) charge(sequential, write bool) {
 	switch {
 	case write && sequential:
@@ -230,6 +276,7 @@ func (d *Disk) charge(sequential, write bool) {
 	default:
 		d.counters.RandReads++
 	}
+	d.counters.BytesMoved += int64(d.pageSize)
 }
 
 // Read copies page idx of file f into dst and verifies its checksum.
@@ -241,6 +288,10 @@ func (d *Disk) Read(f FileID, idx int, dst *page.Page) error {
 	if dst.Size() != d.pageSize {
 		return fmt.Errorf("disk: read: destination page is %d bytes, device uses %d", dst.Size(), d.pageSize)
 	}
+	// The store fills dst's raw image buffer in place; drop any staged
+	// codec state first so Bytes() is the raw buffer, and so the loaded
+	// image (whatever its format) is authoritative afterwards.
+	dst.ReloadImage()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	sequential := d.sequentialTo(f, idx)

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"vtjoin/internal/page"
 )
 
 // FaultKind enumerates the injectable failure modes.
@@ -158,6 +160,7 @@ func NewFaulty(pageSize int, plan FaultPlan) (*Disk, *FaultStore) {
 	fs := NewFaultStore(newMemStore(pageSize), pageSize, plan)
 	return &Disk{
 		pageSize:   pageSize,
+		pageFormat: page.FormatV1,
 		store:      fs,
 		nextID:     1,
 		maxRetries: DefaultMaxRetries,

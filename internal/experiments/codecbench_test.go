@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestFigureCodec runs the codec figure at test scale and checks the
+// claims the figure exists to make: identical results across formats
+// (asserted inside RunFigureCodec), a real occupancy win on the
+// high-overlap keyed workload, and no page-count regression when the
+// dictionary cannot pay.
+func TestFigureCodec(t *testing.T) {
+	p, err := Scaled(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed = 1994
+	rows, sums, err := RunFigureCodec(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || len(sums) != 3 {
+		t.Fatalf("got %d rows / %d summaries, want 6 / 3", len(rows), len(sums))
+	}
+	bySum := map[string]CodecSummary{}
+	for _, s := range sums {
+		bySum[s.Workload] = s
+	}
+	if r := bySum["high-overlap keyed"].TuplesPerPageRatio; r < 1.3 {
+		t.Errorf("high-overlap keyed tuples-per-page ratio %.2f, want >= 1.3", r)
+	}
+	if r := bySum["sparse"].PageReduction; r < 0 {
+		t.Errorf("sparse workload regressed under v2: page reduction %.3f", r)
+	}
+	for _, row := range rows {
+		if row.Results == 0 {
+			t.Errorf("%s/%s produced no results — the workload is degenerate", row.Workload, row.Format)
+		}
+		if row.JoinIOBytes == 0 {
+			t.Errorf("%s/%s reports zero bytes moved", row.Workload, row.Format)
+		}
+	}
+}

@@ -33,7 +33,7 @@ type Row struct {
 
 // buildPair constructs the two input relations for one run.
 func buildPair(p Params, longLivedScaled int) (*disk.Disk, *relation.Relation, *relation.Relation, error) {
-	d := disk.New(p.PageSize)
+	d := p.NewDevice()
 	r, err := p.Spec(longLivedScaled, p.Seed+1).Build(d)
 	if err != nil {
 		return nil, nil, nil, err

@@ -9,7 +9,6 @@ import (
 
 	"vtjoin/internal/chronon"
 	"vtjoin/internal/cost"
-	"vtjoin/internal/disk"
 	"vtjoin/internal/join"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/schema"
@@ -113,7 +112,7 @@ func genShardSide(p Params, longLived int, seed, side int64) []tuple.Tuple {
 
 // buildShardPair loads the figure's keyed input pair onto one device.
 func buildShardPair(p Params, longLived int) (*relation.Relation, *relation.Relation, error) {
-	d := disk.New(p.PageSize)
+	d := p.NewDevice()
 	r, err := relation.FromTuples(d, shardLeftSchema, genShardSide(p, longLived, p.Seed+1, 1))
 	if err != nil {
 		return nil, nil, err

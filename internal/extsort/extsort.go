@@ -119,7 +119,7 @@ func SortDepthTrace(ctx context.Context, r *relation.Relation, less Less, memory
 			return nil
 		}
 		sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
-		run := relation.Create(d, r.Schema())
+		run := relation.CreateFormat(d, r.Schema(), r.Format())
 		b := run.NewBuilder()
 		for _, t := range buf {
 			if err := b.AppendUnchecked(t); err != nil {
@@ -184,7 +184,7 @@ func SortDepthTrace(ctx context.Context, r *relation.Relation, less Less, memory
 	tr.End()
 	if len(runs) == 0 {
 		// Empty input: an empty sorted relation.
-		empty := relation.Create(d, r.Schema())
+		empty := relation.CreateFormat(d, r.Schema(), r.Format())
 		return &Sorted{Rel: empty, PageStart: []int64{0}}, nil
 	}
 
@@ -276,7 +276,7 @@ func mergeRuns(ctx context.Context, runs []*Sorted, less Less) (*Sorted, error) 
 		return nil, fmt.Errorf("extsort: merge of zero runs")
 	}
 	d := runs[0].Rel.Disk()
-	out := relation.Create(d, runs[0].Rel.Schema())
+	out := relation.CreateFormat(d, runs[0].Rel.Schema(), runs[0].Rel.Format())
 	b := out.NewBuilder()
 	// On any failure the partially written output must not leak.
 	fail := func(err error) (*Sorted, error) {

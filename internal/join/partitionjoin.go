@@ -289,25 +289,25 @@ func maxFloat(xs []float64) float64 {
 // the budget is detected (and charged as spill I/O).
 type outerArea struct {
 	tuples  []tuple.Tuple
-	bytes   int // encoded payload bytes incl. slot overhead
-	pageCap int // usable payload bytes per page
+	bytes   int         // modeled page bytes per tuple under the area's codec
+	pageCap int         // usable payload bytes per page
+	format  page.Format // page codec the occupancy model assumes
 	// cov, when coverage tracking is on, holds the union of matched
 	// overlaps per resident tuple (aligned with tuples).
 	cov      []chronon.Set
 	trackCov bool
 }
 
-const slotOverhead = 4
-
-func newOuterArea(pageSize int) *outerArea {
-	// Each record consumes its encoding + one slot on top of the fixed
-	// page header.
-	return &outerArea{pageCap: pageSize - page.HeaderSize}
+func newOuterArea(pageSize int, f page.Format) *outerArea {
+	// Each record's footprint is codec-dependent: under v1 its encoding
+	// plus one slot on top of the fixed header, under v2 the modeled
+	// delta-encoded record bytes.
+	return &outerArea{pageCap: pageSize - page.Overhead(f), format: f}
 }
 
 func (o *outerArea) add(t tuple.Tuple) {
 	o.tuples = append(o.tuples, t)
-	o.bytes += t.EncodedSize() + slotOverhead
+	o.bytes += page.TupleFootprint(o.format, t)
 	if o.trackCov {
 		o.cov = append(o.cov, chronon.NewSet())
 	}
@@ -324,7 +324,7 @@ func (o *outerArea) purge(iv chronon.Interval, retire func(t tuple.Tuple, cov ch
 	for i, t := range o.tuples {
 		if !iv.IsNull() && t.V.Overlaps(iv) {
 			kept = append(kept, t)
-			bytes += t.EncodedSize() + slotOverhead
+			bytes += page.TupleFootprint(o.format, t)
 			if o.trackCov {
 				keptCov = append(keptCov, o.cov[i])
 			}
@@ -373,8 +373,8 @@ type tupleCache struct {
 	stats *PartitionStats
 }
 
-func newTupleCache(d *disk.Disk, stats *PartitionStats) *tupleCache {
-	return &tupleCache{d: d, page: page.MustNew(d.PageSize()), stats: stats}
+func newTupleCache(d *disk.Disk, f page.Format, stats *PartitionStats) *tupleCache {
+	return &tupleCache{d: d, page: page.MustNewFormat(d.PageSize(), f), stats: stats}
 }
 
 // add retains y for the next partition's evaluation.
@@ -467,9 +467,11 @@ func joinPartitions(ctx context.Context, plan *schema.JoinPlan, pred Predicate, 
 	}
 
 	n := parting.N()
-	outer := newOuterArea(d.PageSize())
+	outer := newOuterArea(d.PageSize(), rp.Format())
 	outer.trackCov = leftFrag != nil
-	cache := newTupleCache(d, stats) // carries tuples from partition i+1 into i
+	// The cache carries tuples from partition i+1 into i; it stores inner
+	// tuples, so it inherits the inner partitioning's codec.
+	cache := newTupleCache(d, sp.Format(), stats)
 
 	// pool recycles the page buffers of the prefetch pipelines (and the
 	// thrash scratch page) across partitions.

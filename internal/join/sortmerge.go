@@ -111,7 +111,12 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 	meter.EndPhase("sort inner")
 
 	stats := &SortMergeStats{}
-	pageCap := d.PageSize() - page.HeaderSize
+	// The live-window budget and pending-probe threshold model page
+	// occupancy under the outer relation's codec (per-tuple footprints
+	// are format-dependent: v2 pages have a larger header but no slot
+	// array and delta-encoded intervals).
+	format := r.Format()
+	pageCap := d.PageSize() - page.Overhead(format)
 	liveBudget := (cfg.MemoryPages - 4) * pageCap
 	if liveBudget < pageCap {
 		liveBudget = pageCap // floor of one page keeps tiny budgets sane
@@ -126,6 +131,7 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 		stats:      stats,
 		liveBudget: liveBudget,
 		pageCap:    pageCap,
+		format:     format,
 	}
 	m.sides[0] = newMergeSide(sortedR, d)
 	m.sides[1] = newMergeSide(sortedS, d)
@@ -162,7 +168,9 @@ func SortMerge(r, s *relation.Relation, sink relation.Sink, cfg SortMergeConfig)
 	return meter.Report(), stats, nil
 }
 
-func tupleBytes(t tuple.Tuple) int { return t.EncodedSize() + 4 }
+// tupleBytes is the modeled page footprint of one tuple under the
+// merger's page format (for v1, encoded bytes plus one slot entry).
+func (m *merger) tupleBytes(t tuple.Tuple) int { return page.TupleFootprint(m.format, t) }
 
 // mergeSide is one input stream of the merge plus its live window,
 // spill file, and the probes pending against that spill.
@@ -259,6 +267,7 @@ type merger struct {
 	sides      [2]*mergeSide
 	liveBudget int // shared byte budget across both live windows
 	pageCap    int
+	format     page.Format // codec for spill pages and footprint modeling
 }
 
 // emit combines a left tuple and a right tuple under the plan and
@@ -340,7 +349,7 @@ func (m *merger) step(b int) error {
 
 	// Prune the other side's live window: z.V.Start is a lower bound on
 	// every future start, so tuples ending before it are dead for good.
-	other.prune(z.V.Start)
+	other.prune(z.V.Start, m.tupleBytes)
 
 	other.retireIndexIfSmall()
 
@@ -386,7 +395,7 @@ func (m *merger) step(b int) error {
 			}
 		} else {
 			other.pending = append(other.pending, z)
-			other.pendingBytes += tupleBytes(z)
+			other.pendingBytes += m.tupleBytes(z)
 			if other.pendingBytes >= m.pageCap {
 				if err := m.flushPending(1 - b); err != nil {
 					return err
@@ -416,14 +425,15 @@ func (s *mergeSide) retireIndexIfSmall() {
 	}
 }
 
-// prune drops dead tuples from the live window.
-func (s *mergeSide) prune(minStart chronon.Chronon) {
+// prune drops dead tuples from the live window; footprint is the
+// merger's per-tuple page-byte model.
+func (s *mergeSide) prune(minStart chronon.Chronon, footprint func(tuple.Tuple) int) {
 	kept := s.live[:0]
 	bytes := 0
 	for _, y := range s.live {
 		if y.V.End >= minStart {
 			kept = append(kept, y)
-			bytes += tupleBytes(y)
+			bytes += footprint(y)
 		}
 	}
 	for i := len(kept); i < len(s.live); i++ {
@@ -437,7 +447,7 @@ func (s *mergeSide) prune(minStart chronon.Chronon) {
 func (m *merger) addLive(b int, z tuple.Tuple) error {
 	s := m.sides[b]
 	s.live = append(s.live, z)
-	s.liveBytes += tupleBytes(z)
+	s.liveBytes += m.tupleBytes(z)
 	if s.idxActive {
 		s.liveIdx.add(z)
 	} else if s.liveIdx != nil && len(s.live) >= liveIndexMin && len(s.live) >= s.idxRetry {
@@ -470,7 +480,7 @@ func (m *merger) addLive(b int, z tuple.Tuple) error {
 	bytes := victim.liveBytes
 	for cut > 0 && bytes > target {
 		cut--
-		bytes -= tupleBytes(victim.live[cut])
+		bytes -= m.tupleBytes(victim.live[cut])
 	}
 	evicted := make([]tuple.Tuple, len(victim.live)-cut)
 	copy(evicted, victim.live[cut:])
@@ -615,7 +625,7 @@ func (m *merger) spillTuples(s *mergeSide, ts []tuple.Tuple) error {
 		s.spillPages = 0
 		s.spillMaxEnd = chronon.Beginning
 	}
-	pg := page.MustNew(m.d.PageSize())
+	pg := page.MustNewFormat(m.d.PageSize(), m.format)
 	flush := func() error {
 		if pg.Count() == 0 {
 			return nil

@@ -2,7 +2,12 @@ package page
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
 )
 
 // FuzzChecksumRoundTrip drives the storage-boundary integrity
@@ -65,6 +70,107 @@ func FuzzChecksumRoundTrip(f *testing.F) {
 			if !bytes.Equal(mustRecord(t, q, i), mustRecord(t, p, i)) {
 				t.Fatalf("record %d changed across stamp/parse", i)
 			}
+		}
+	})
+}
+
+// FuzzV2RoundTrip drives the v2 codec with arbitrary tuple content:
+// whatever the writer accepts must serialize to an image that parses
+// back to byte-equal tuples, dictionary or not.
+func FuzzV2RoundTrip(f *testing.F) {
+	f.Add(int64(0), uint16(3), []byte("aaaabbbbcccc"))
+	f.Add(int64(-1000), uint16(9), bytes.Repeat([]byte{0xEE}, 200))
+	f.Add(int64(1<<40), uint16(1), []byte{})
+	f.Fuzz(func(t *testing.T, base int64, n uint16, payload []byte) {
+		p := MustNewFormat(MinSize+128, FormatV2)
+		var want []tuple.Tuple
+		for i := 0; i < int(n%32); i++ {
+			// Carve a (possibly repeating) payload slice for the value:
+			// repetition exercises the dictionary, uniqueness the inline
+			// path.
+			var val []byte
+			if len(payload) > 0 {
+				lo := (i * 7) % len(payload)
+				hi := lo + (i*13)%(len(payload)-lo+1)
+				val = payload[lo:hi]
+			}
+			start := chronon.Chronon(base + int64(i)*int64(n+1))
+			tp := tuple.New(chronon.New(start, start+chronon.Chronon(i%5)),
+				value.Int(int64(i%3)), value.Bytes(val))
+			ok, err := p.AppendTuple(tp)
+			if err != nil {
+				// Legitimate only when the tuple can never fit a page of
+				// this size.
+				if len(want) != 0 {
+					t.Fatalf("append %d errored on a non-empty page: %v", i, err)
+				}
+				return
+			}
+			if !ok {
+				break
+			}
+			want = append(want, tp)
+		}
+		img := append([]byte(nil), p.Bytes()...)
+		q, err := FromBytes(img)
+		if err != nil {
+			t.Fatalf("serialized v2 image rejected: %v", err)
+		}
+		got, err := q.Tuples()
+		if err != nil {
+			t.Fatalf("serialized v2 image fails decode: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round trip kept %d tuples, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("tuple %d changed across v2 round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzV2CorruptImage feeds mutated v2 images (and arbitrary garbage)
+// to the parser: it must never panic, and every rejection must be one
+// of the package's typed errors. Seeds cover dictionary and delta
+// stream damage specifically.
+func FuzzV2CorruptImage(f *testing.F) {
+	// A healthy dictionary-bearing image as mutation substrate.
+	p := MustNewFormat(MinSize+64, FormatV2)
+	pad := bytes.Repeat([]byte{0x42}, 24)
+	for i := 0; ; i++ {
+		start := chronon.Chronon(50 + i*3)
+		ok, err := p.AppendTuple(tuple.New(chronon.New(start, start+2),
+			value.Int(int64(i)), value.Bytes(pad)))
+		if err != nil || !ok {
+			break
+		}
+	}
+	healthy := append([]byte(nil), p.Bytes()...)
+	f.Add(healthy, 0, byte(0))
+	f.Add(healthy, v2DictCountOff, byte(0xFF)) // corrupt dictionary count
+	f.Add(healthy, v2DictLenOff, byte(0xFF))   // corrupt dictionary length
+	f.Add(healthy, v2HeaderSize, byte(0xEE))   // corrupt dictionary blob
+	f.Add(healthy, len(healthy)-8, byte(0x81)) // corrupt delta stream tail
+	f.Add(bytes.Repeat([]byte{0x02, 0x00}, MinSize), 1, byte(7))
+
+	f.Fuzz(func(t *testing.T, img []byte, off int, val byte) {
+		buf := append([]byte(nil), img...)
+		if len(buf) > 0 {
+			buf[((off%len(buf))+len(buf))%len(buf)] ^= val
+		}
+		pg, err := FromBytes(buf)
+		if err == nil {
+			_, err = pg.Tuples()
+		}
+		if err == nil {
+			return // mutation happened to stay structurally valid
+		}
+		var ce *CorruptError
+		var se *SizeError
+		if !errors.As(err, &ce) && !errors.As(err, &se) {
+			t.Fatalf("untyped parse error %T: %v", err, err)
 		}
 	})
 }

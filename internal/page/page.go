@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"vtjoin/internal/chronon"
 	"vtjoin/internal/tuple"
 )
 
@@ -93,19 +94,39 @@ func (e *RangeError) Error() string {
 	return fmt.Sprintf("page: record index %d out of range [0, %d)", e.Index, e.Count)
 }
 
-// Page is a single slotted page. The zero value is unusable; call New
-// or MustNew.
+// Page is a single page. The zero value is unusable; call New, MustNew,
+// or their format-explicit variants.
+//
+// A page always has a default format (installed by Reset) and a stored
+// format (what the current image or staged state holds); they differ
+// only on a page that was constructed for one format and then loaded
+// with an image of the other — reads follow the stored format, Reset
+// restores the default. For v2 the staged writer state is authoritative
+// while writing; Bytes serializes it into the image lazily.
 type Page struct {
 	buf []byte
+	def Format // format Reset installs
+
+	w     *v2Writer // staged v2 state; authoritative when non-nil
+	dirty bool      // staged appends not yet serialized into buf
+
+	dec   []tuple.Tuple // decode cache for a loaded v2 image
+	decOK bool
 }
 
-// New allocates an empty page of the given size in bytes. It returns a
-// *SizeError if size < MinSize or size > 65535 (offsets are uint16).
-func New(size int) (*Page, error) {
+// New allocates an empty v1 page of the given size in bytes. It returns
+// a *SizeError if size < MinSize or size > 65535 (offsets are uint16).
+func New(size int) (*Page, error) { return NewFormat(size, FormatV1) }
+
+// NewFormat allocates an empty page of the given size and codec format.
+func NewFormat(size int, f Format) (*Page, error) {
 	if size < MinSize || size > 65535 {
 		return nil, &SizeError{Size: size}
 	}
-	p := &Page{buf: make([]byte, size)}
+	if !f.Valid() {
+		return nil, fmt.Errorf("page: unknown page format %d", uint8(f))
+	}
+	p := &Page{buf: make([]byte, size), def: f}
 	p.Reset()
 	return p, nil
 }
@@ -114,8 +135,11 @@ func New(size int) (*Page, error) {
 // validated elsewhere (a device's PageSize is checked at construction)
 // or program constants, where an error return would only add dead
 // handling paths.
-func MustNew(size int) *Page {
-	p, err := New(size)
+func MustNew(size int) *Page { return MustNewFormat(size, FormatV1) }
+
+// MustNewFormat is NewFormat panicking on an illegal size or format.
+func MustNewFormat(size int, f Format) *Page {
+	p, err := NewFormat(size, f)
 	if err != nil {
 		panic(err.Error())
 	}
@@ -125,14 +149,105 @@ func MustNew(size int) *Page {
 // Size returns the page size in bytes.
 func (p *Page) Size() int { return len(p.buf) }
 
-// Reset empties the page.
+// DefaultFormat returns the format Reset installs.
+func (p *Page) DefaultFormat() Format { return p.def }
+
+// StoredFormat returns the codec of the page's current contents — the
+// staged writer state if one is live, otherwise the format recovered
+// from the image header.
+func (p *Page) StoredFormat() Format {
+	if p.w != nil {
+		return FormatV2
+	}
+	if binary.LittleEndian.Uint16(p.buf[2:4]) == v2Marker {
+		return FormatV2
+	}
+	return FormatV1
+}
+
+// Reset empties the page, restoring its default format.
 func (p *Page) Reset() {
+	p.dec, p.decOK = nil, false
+	if p.def == FormatV2 {
+		if p.w == nil {
+			p.w = newV2Writer(len(p.buf))
+		} else {
+			p.w.reset()
+		}
+		p.dirty = true
+		return
+	}
+	p.w = nil
+	p.dirty = false
 	binary.LittleEndian.PutUint16(p.buf[0:2], 0)
 	binary.LittleEndian.PutUint16(p.buf[2:4], uint16(len(p.buf)))
 }
 
+// ResetTo switches the page's default format and empties it. The pool
+// uses it to hand out pages of its configured format regardless of what
+// a recycled page held before.
+func (p *Page) ResetTo(f Format) {
+	p.def = f
+	p.Reset()
+}
+
+// ReloadImage tells the page its raw image buffer was rewritten in
+// place — the storage layer fills Bytes() directly on every read — so
+// staged writer state and decode caches are dropped and the stored
+// image becomes authoritative again.
+func (p *Page) ReloadImage() {
+	p.w = nil
+	p.dirty = false
+	p.dec, p.decOK = nil, false
+}
+
+// ensureDecoded returns the page's tuples under the v2 codec, decoding
+// the image once and caching the result. Callers must not mutate the
+// returned slice.
+func (p *Page) ensureDecoded() ([]tuple.Tuple, error) {
+	if p.w != nil {
+		return p.w.tuples, nil
+	}
+	if !p.decOK {
+		ts, err := decodeV2(p.buf)
+		if err != nil {
+			return nil, err
+		}
+		p.dec, p.decOK = ts, true
+	}
+	return p.dec, nil
+}
+
+// ensureWriter rebuilds v2 staging state from a loaded v2 image so the
+// page can accept further appends. Replaying the decoded tuples through
+// the (deterministic) writer reproduces the image's dictionary and byte
+// accounting exactly.
+func (p *Page) ensureWriter() error {
+	if p.w != nil {
+		return nil
+	}
+	ts, err := p.ensureDecoded()
+	if err != nil {
+		return err
+	}
+	w := newV2Writer(len(p.buf))
+	for i, t := range ts {
+		ok, err := w.append(t)
+		if err != nil || !ok {
+			return corruptf(FormatV2, "image record %d does not replay into writer state", i)
+		}
+	}
+	p.w = w
+	p.dirty = false
+	p.dec, p.decOK = nil, false
+	return nil
+}
+
 // Count returns the number of records on the page.
 func (p *Page) Count() int {
+	if p.w != nil {
+		return len(p.w.tuples)
+	}
 	return int(binary.LittleEndian.Uint16(p.buf[0:2]))
 }
 
@@ -141,8 +256,14 @@ func (p *Page) freeEnd() int {
 }
 
 // FreeSpace returns the number of payload bytes that can still be
-// inserted (accounting for the slot entry a new record needs).
+// inserted (for v1, accounting for the slot entry a new record needs).
 func (p *Page) FreeSpace() int {
+	if p.StoredFormat() == FormatV2 {
+		if err := p.ensureWriter(); err != nil {
+			return 0
+		}
+		return len(p.buf) - p.w.size
+	}
 	free := p.freeEnd() - (headerSize + p.Count()*slotSize) - slotSize
 	if free < 0 {
 		return 0
@@ -150,9 +271,14 @@ func (p *Page) FreeSpace() int {
 	return free
 }
 
-// Insert appends a record to the page. It returns false if the record
-// does not fit. Empty records are legal.
+// Insert appends a raw v1 record to the page. It returns false if the
+// record does not fit. Empty records are legal. Insert is a v1
+// operation: on a v2 page it reports no space (v2 records are not
+// position-independent — use AppendTuple or CopyRecordTo instead).
 func (p *Page) Insert(rec []byte) bool {
+	if p.StoredFormat() == FormatV2 {
+		return false
+	}
 	if len(rec) > p.FreeSpace() {
 		return false
 	}
@@ -167,9 +293,18 @@ func (p *Page) Insert(rec []byte) bool {
 	return true
 }
 
-// Record returns the i'th record's bytes (aliasing the page buffer; do
-// not modify). It returns a *RangeError if i is out of range.
+// Record returns the i'th record's bytes in the v1 record encoding. For
+// a v1 page the bytes alias the page buffer (do not modify); for a v2
+// page the record is materialized by re-encoding the tuple. It returns
+// a *RangeError if i is out of range.
 func (p *Page) Record(i int) ([]byte, error) {
+	if p.StoredFormat() == FormatV2 {
+		t, err := p.Tuple(i)
+		if err != nil {
+			return nil, err
+		}
+		return t.Append(nil)
+	}
 	if i < 0 || i >= p.Count() {
 		return nil, &RangeError{Index: i, Count: p.Count()}
 	}
@@ -179,46 +314,135 @@ func (p *Page) Record(i int) ([]byte, error) {
 	return p.buf[off : off+length], nil
 }
 
-// Bytes returns the raw page image (aliasing the internal buffer).
-func (p *Page) Bytes() []byte { return p.buf }
+// RecordInterval returns the timestamp of record i without decoding the
+// attribute payload (v1) or materializing a v1 record (v2). The
+// partition layers use it to route records cheaply under either format.
+func (p *Page) RecordInterval(i int) (chronon.Interval, error) {
+	if p.StoredFormat() == FormatV2 {
+		ts, err := p.ensureDecoded()
+		if err != nil {
+			return chronon.Interval{}, err
+		}
+		if i < 0 || i >= len(ts) {
+			return chronon.Interval{}, &RangeError{Index: i, Count: len(ts)}
+		}
+		return ts[i].V, nil
+	}
+	rec, err := p.Record(i)
+	if err != nil {
+		return chronon.Interval{}, err
+	}
+	return tuple.PeekInterval(rec)
+}
+
+// CopyRecordTo appends record i of this page to dst, preserving dst's
+// stored format. Between two v1 pages the raw record bytes transplant
+// directly; any path through a v2 page decodes and re-encodes against
+// dst's base chronon and dictionary. Like AppendTuple it returns false
+// without error when dst is full, and an error when the record can
+// never fit an empty page of dst's size.
+func (p *Page) CopyRecordTo(i int, dst *Page) (bool, error) {
+	if p.StoredFormat() == FormatV1 && dst.StoredFormat() == FormatV1 {
+		rec, err := p.Record(i)
+		if err != nil {
+			return false, err
+		}
+		if len(rec) > dst.Size()-headerSize-slotSize {
+			return false, fmt.Errorf("page: record of %d bytes can never fit a %d-byte page", len(rec), dst.Size())
+		}
+		return dst.Insert(rec), nil
+	}
+	t, err := p.Tuple(i)
+	if err != nil {
+		return false, err
+	}
+	return dst.AppendTuple(t)
+}
+
+// Bytes returns the raw page image (aliasing the internal buffer),
+// serializing any staged v2 state first.
+func (p *Page) Bytes() []byte {
+	if p.w != nil && p.dirty {
+		p.w.serialize(p.buf)
+		p.dirty = false
+	}
+	return p.buf
+}
 
 // CopyFrom overwrites this page with the contents of src. The sizes
-// must match.
+// must match. The copy takes src's stored format; this page's default
+// format is unchanged.
 func (p *Page) CopyFrom(src *Page) {
 	if len(p.buf) != len(src.buf) {
 		panic(fmt.Sprintf("page: CopyFrom size mismatch %d vs %d", len(p.buf), len(src.buf)))
 	}
-	copy(p.buf, src.buf)
+	copy(p.buf, src.Bytes())
+	p.ReloadImage()
 }
 
-// FromBytes interprets buf as a page image, validating the header and
-// every slot. The page aliases buf.
+// FromBytes interprets buf as a page image of either format, validating
+// its structure. The page aliases buf; its default format follows the
+// image. Structural damage is reported as a *CorruptError.
 func FromBytes(buf []byte) (*Page, error) {
 	if len(buf) < MinSize || len(buf) > 65535 {
 		return nil, &SizeError{Size: len(buf)}
 	}
-	p := &Page{buf: buf}
+	p := &Page{buf: buf, def: FormatV1}
 	n := p.Count()
 	freeEnd := p.freeEnd()
+	if freeEnd < headerSize {
+		// A legal v1 free-space end is never below the header, so this
+		// field doubles as the format marker.
+		if freeEnd != v2Marker {
+			return nil, corruptf(0, "unknown format marker %d", freeEnd)
+		}
+		p.def = FormatV2
+		if _, err := p.ensureDecoded(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
 	slotTop := headerSize + n*slotSize
 	if freeEnd > len(buf) || freeEnd < slotTop {
-		return nil, fmt.Errorf("page: corrupt header (count=%d freeEnd=%d)", n, freeEnd)
+		return nil, corruptf(FormatV1, "corrupt header (count=%d freeEnd=%d)", n, freeEnd)
 	}
+	// Records inserted by Insert tile the heap exactly: record i ends
+	// where record i-1 begins, and the last one begins at freeEnd.
+	// Checking each slot only against [freeEnd, len(buf)) would accept
+	// overlapping or duplicate slot ranges, so validate the tiling.
+	prevOff := len(buf)
 	for i := 0; i < n; i++ {
 		slotOff := headerSize + i*slotSize
 		off := int(binary.LittleEndian.Uint16(buf[slotOff:]))
 		length := int(binary.LittleEndian.Uint16(buf[slotOff+2:]))
-		if off < freeEnd || off+length > len(buf) {
-			return nil, fmt.Errorf("page: corrupt slot %d (off=%d len=%d)", i, off, length)
+		if off+length != prevOff {
+			return nil, corruptf(FormatV1, "slot %d (off=%d len=%d) does not tile the record heap (want end %d)", i, off, length, prevOff)
 		}
+		prevOff = off
+	}
+	if prevOff != freeEnd {
+		return nil, corruptf(FormatV1, "record heap top %d disagrees with freeEnd %d", prevOff, freeEnd)
 	}
 	return p, nil
 }
 
-// AppendTuple encodes t and inserts it. It returns false (with no
-// error) when the page is full, and an error only when the tuple itself
-// cannot be encoded or can never fit on an empty page of this size.
+// AppendTuple encodes t and appends it under the page's stored format.
+// It returns false (with no error) when the page is full, and an error
+// only when the tuple itself cannot be encoded or can never fit on an
+// empty page of this size.
 func (p *Page) AppendTuple(t tuple.Tuple) (bool, error) {
+	if p.w == nil && p.StoredFormat() == FormatV2 {
+		if err := p.ensureWriter(); err != nil {
+			return false, err
+		}
+	}
+	if p.w != nil {
+		ok, err := p.w.append(t)
+		if ok {
+			p.dirty = true
+		}
+		return ok, err
+	}
 	rec, err := t.Append(nil)
 	if err != nil {
 		return false, err
@@ -231,6 +455,16 @@ func (p *Page) AppendTuple(t tuple.Tuple) (bool, error) {
 
 // Tuple decodes the i'th record as a tuple.
 func (p *Page) Tuple(i int) (tuple.Tuple, error) {
+	if p.StoredFormat() == FormatV2 {
+		ts, err := p.ensureDecoded()
+		if err != nil {
+			return tuple.Tuple{}, err
+		}
+		if i < 0 || i >= len(ts) {
+			return tuple.Tuple{}, &RangeError{Index: i, Count: len(ts)}
+		}
+		return ts[i], nil
+	}
 	rec, err := p.Record(i)
 	if err != nil {
 		return tuple.Tuple{}, err
@@ -239,8 +473,19 @@ func (p *Page) Tuple(i int) (tuple.Tuple, error) {
 	return t, err
 }
 
-// Tuples decodes every record on the page.
+// Tuples decodes every record on the page. The returned slice is the
+// caller's to keep (and reorder); the tuples' Values are shared and
+// must be treated as immutable, as everywhere else.
 func (p *Page) Tuples() ([]tuple.Tuple, error) {
+	if p.StoredFormat() == FormatV2 {
+		ts, err := p.ensureDecoded()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]tuple.Tuple, len(ts))
+		copy(out, ts)
+		return out, nil
+	}
 	out := make([]tuple.Tuple, 0, p.Count())
 	for i := 0; i < p.Count(); i++ {
 		t, err := p.Tuple(i)

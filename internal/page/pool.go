@@ -12,18 +12,29 @@ import "sync"
 // list is empty a fresh page is allocated, so the pool bounds garbage,
 // not concurrency.
 type Pool struct {
-	size int
-	mu   sync.Mutex
-	free []*Page
+	size   int
+	format Format
+	mu     sync.Mutex
+	free   []*Page
 }
 
-// NewPool creates a pool handing out pages of the given size.
+// NewPool creates a pool handing out v1 pages of the given size.
 func NewPool(size int) *Pool {
-	return &Pool{size: size}
+	return NewPoolFormat(size, FormatV1)
+}
+
+// NewPoolFormat creates a pool handing out pages of the given size and
+// default format. Recycled pages are reset to the pool's format on Get
+// regardless of what they held before.
+func NewPoolFormat(size int, f Format) *Pool {
+	return &Pool{size: size, format: f}
 }
 
 // PageSize returns the size of the pages the pool manages.
 func (p *Pool) PageSize() int { return p.size }
+
+// Format returns the default format of the pages the pool hands out.
+func (p *Pool) Format() Format { return p.format }
 
 // Get returns an empty page, recycling a released one when available.
 func (p *Pool) Get() *Page {
@@ -37,9 +48,9 @@ func (p *Pool) Get() *Page {
 	}
 	p.mu.Unlock()
 	if pg == nil {
-		return MustNew(p.size)
+		return MustNewFormat(p.size, p.format)
 	}
-	pg.Reset()
+	pg.ResetTo(p.format)
 	return pg
 }
 

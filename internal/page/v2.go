@@ -1,0 +1,443 @@
+// Page format v2: a compressed codec behind the same Page API.
+//
+// Layout (little-endian):
+//
+//	[0:2)   uint16 record count
+//	[2:4)   uint16 format marker = 2 (a legal v1 free-space end is
+//	        always >= the v1 header size, so small values in this field
+//	        unambiguously identify non-v1 formats)
+//	[4:8)   uint32 CRC32-C checksum (same field as v1: the storage
+//	        boundary stamps and verifies without knowing the format)
+//	[8:16)  int64 base chronon (the first record's Vs)
+//	[16:18) uint16 dictionary entry count
+//	[18:20) uint16 dictionary blob length in bytes
+//	[20:22) uint16 record stream length in bytes (the decoder checks
+//	        the stream decodes to exactly this many bytes, so a forged
+//	        record count cannot silently mint records from the padding)
+//	[22:..) dictionary blob: value-codec encodings back to back, in
+//	        index order
+//	(...)   record stream: per record a zigzag-uvarint Vs delta against
+//	        the base chronon, a uvarint interval length, a uvarint
+//	        attribute count, then per attribute either an inline
+//	        value-codec encoding or a dictionary reference
+//	        (0xF7 tag byte + uvarint index)
+//	(..N]   zero padding
+//
+// Records are written densely in append order; there is no slot array.
+// Intervals cost 2-4 bytes instead of 16 on clustered data, and a
+// value repeated on one page (a hot join key, a shared pad) is stored
+// once in the dictionary and referenced in 2 bytes. The dictionary is
+// strictly opportunistic: a value is promoted only once it has appeared
+// twice and the reference is at most half the inline encoding, so the
+// entry has paid for itself at the moment it is created. On pages where
+// nothing repeats (sparse/unique workloads) the dictionary stays empty
+// and the stream degenerates to plain encoding — v2 is then still
+// smaller than v1 by the interval deltas and the absent slot array.
+package page
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+// Format identifies a page codec. Pages are self-describing: the codec
+// of an image is recoverable from its header, so relations of different
+// formats coexist on one device.
+type Format uint8
+
+const (
+	// FormatV1 is the classic slotted layout: a slot array of
+	// offset/length pairs and raw tuple records growing from the page
+	// end. The default.
+	FormatV1 Format = 1
+	// FormatV2 is the compressed layout: delta-encoded intervals
+	// against a per-page base chronon plus a per-page dictionary for
+	// repeated values.
+	FormatV2 Format = 2
+)
+
+// Valid reports whether f names a known codec.
+func (f Format) Valid() bool { return f == FormatV1 || f == FormatV2 }
+
+func (f Format) String() string {
+	switch f {
+	case FormatV1:
+		return "v1"
+	case FormatV2:
+		return "v2"
+	}
+	return fmt.Sprintf("format(%d)", uint8(f))
+}
+
+// ParseFormat parses the spelling used by the -page-format flags.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "v1", "1":
+		return FormatV1, nil
+	case "v2", "2":
+		return FormatV2, nil
+	}
+	return 0, fmt.Errorf("page: unknown page format %q (want v1 or v2)", s)
+}
+
+const (
+	v2Marker       = 2  // stored in the v1 freeEnd field; v1 freeEnd >= headerSize always
+	v2HeaderSize   = 22 // count, marker, checksum, base, dict count/length, stream length
+	v2BaseOff      = 8
+	v2DictCountOff = 16
+	v2DictLenOff   = 18
+	v2StreamLenOff = 20
+
+	// dictRefTag opens a dictionary reference in the record stream.
+	// Value kind tags are small (0..6), so this byte can never begin an
+	// inline value encoding.
+	dictRefTag = 0xF7
+
+	// v2MinRecordBytes bounds the record count during decoding: every
+	// record needs at least a start delta, a length, and an attribute
+	// count byte.
+	v2MinRecordBytes = 3
+)
+
+// CorruptError reports a structurally invalid page image: a v2
+// dictionary, delta stream, or header bound that fails validation, a v1
+// slot table that does not tile the record heap, or an unrecognized
+// format marker. The storage layer's checksum normally catches
+// corruption before the codec sees it; CorruptError is the typed
+// backstop for images that were never stamped or were damaged in
+// memory. Decoding never panics on arbitrary bytes.
+type CorruptError struct {
+	Format Format // zero when the format itself is unrecognizable
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Format == 0 {
+		return fmt.Sprintf("page: corrupt image: %s", e.Reason)
+	}
+	return fmt.Sprintf("page: corrupt %s image: %s", e.Format, e.Reason)
+}
+
+func corruptf(f Format, format string, args ...any) error {
+	return &CorruptError{Format: f, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Overhead returns the fixed per-page header bytes of format f.
+// Consumers estimating page capacity subtract it, plus TupleFootprint
+// per stored tuple.
+func Overhead(f Format) int {
+	if f == FormatV2 {
+		return v2HeaderSize
+	}
+	return headerSize
+}
+
+// TupleFootprint estimates the page bytes one tuple occupies under
+// format f: exact for v1 (the encoded record plus its slot entry); for
+// v2 a plain-encoding estimate — a near-base start delta, no
+// dictionary sharing — kept deliberately independent of page state so
+// buffer budgets stay separable per tuple.
+func TupleFootprint(f Format, t tuple.Tuple) int {
+	if f == FormatV2 {
+		n := 1 + uvarintLen(uint64(t.V.End)-uint64(t.V.Start)) + uvarintLen(uint64(len(t.Values)))
+		for _, v := range t.Values {
+			n += v.EncodedSize()
+		}
+		return n
+	}
+	return t.EncodedSize() + slotSize
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// refSize is the stream cost of one dictionary reference to slot idx.
+func refSize(idx int) int { return 1 + uvarintLen(uint64(idx)) }
+
+// dictPays reports whether promoting a value with the given encoded
+// length to dictionary slot idx shrinks the page: the reference must be
+// at most half the inline encoding, so with two occurrences the entry
+// has already paid for itself.
+func dictPays(encLen, idx int) bool { return encLen > 2*refSize(idx) }
+
+// dictStat tracks one distinct value seen by a v2 writer.
+type dictStat struct {
+	enc   []byte // value-codec encoding (also the stats map key)
+	count int
+	idx   int // dictionary index; -1 while stored inline
+}
+
+// v2Writer stages tuples for a v2 page with exact byte accounting, so
+// fit checks are precise even though the dictionary makes the encoded
+// size of a tuple depend on what the page already holds. The staged
+// tuples are authoritative while the writer is live; the image buffer
+// is synchronized lazily by serialize.
+type v2Writer struct {
+	pageSize int
+	base     chronon.Chronon
+	tuples   []tuple.Tuple
+	stats    map[string]*dictStat
+	dict     []*dictStat // promoted entries, in index order
+	size     int         // exact serialized image size (header + dict + stream)
+	scratch  []byte
+}
+
+func newV2Writer(pageSize int) *v2Writer {
+	return &v2Writer{
+		pageSize: pageSize,
+		stats:    make(map[string]*dictStat),
+		size:     v2HeaderSize,
+	}
+}
+
+// reset empties the writer, keeping allocations for reuse.
+func (w *v2Writer) reset() {
+	w.base = 0
+	w.tuples = w.tuples[:0]
+	clear(w.stats)
+	w.dict = w.dict[:0]
+	w.size = v2HeaderSize
+}
+
+// v2Pending is the per-value outcome of costing one candidate tuple.
+type v2Pending struct {
+	key     string
+	encLen  int
+	promote bool
+}
+
+// v2Overlay tracks in-tuple occurrences while costing, so a rejected
+// tuple leaves the writer untouched and a value repeated within one
+// tuple still promotes correctly.
+type v2Overlay struct {
+	count int
+	idx   int // index promoted during this tuple, -1 otherwise
+}
+
+// append stages t. It returns false when the tuple does not fit the
+// remaining space, and an error only when the tuple can never be stored
+// (null timestamp, or larger than an empty page of this size).
+func (w *v2Writer) append(t tuple.Tuple) (bool, error) {
+	if t.V.IsNull() {
+		return false, fmt.Errorf("tuple: cannot encode null timestamp")
+	}
+	base := w.base
+	if len(w.tuples) == 0 {
+		base = t.V.Start
+	}
+	add := tuple.IntervalDeltaSize(t.V, base) + uvarintLen(uint64(len(t.Values)))
+
+	pend := make([]v2Pending, 0, len(t.Values))
+	var overlay map[string]*v2Overlay
+	nextIdx := len(w.dict)
+	for _, v := range t.Values {
+		w.scratch = v.Append(w.scratch[:0])
+		encLen := len(w.scratch)
+		st := w.stats[string(w.scratch)]
+		ov := overlay[string(w.scratch)]
+		idx := -1
+		if st != nil && st.idx >= 0 {
+			idx = st.idx
+		}
+		if ov != nil && ov.idx >= 0 {
+			idx = ov.idx
+		}
+		prior := 0
+		if st != nil {
+			prior += st.count
+		}
+		if ov != nil {
+			prior += ov.count
+		}
+		promote := false
+		switch {
+		case idx >= 0:
+			add += refSize(idx)
+		case prior >= 1 && dictPays(encLen, nextIdx):
+			// Promote: the dictionary gains the entry, this occurrence
+			// becomes a reference, and the prior inline occurrences are
+			// re-encoded as references.
+			idx = nextIdx
+			nextIdx++
+			promote = true
+			r := refSize(idx)
+			add += encLen + r + prior*(r-encLen)
+		default:
+			add += encLen
+		}
+		key := string(w.scratch)
+		if ov == nil {
+			if overlay == nil {
+				overlay = make(map[string]*v2Overlay, len(t.Values))
+			}
+			ov = &v2Overlay{idx: -1}
+			overlay[key] = ov
+		}
+		ov.count++
+		if promote {
+			ov.idx = idx
+		}
+		pend = append(pend, v2Pending{key: key, encLen: encLen, promote: promote})
+	}
+
+	newSize := w.size + add
+	if newSize > w.pageSize {
+		if len(w.tuples) == 0 {
+			return false, fmt.Errorf("page: tuple of %d encoded bytes can never fit a %d-byte v2 page", add, w.pageSize)
+		}
+		return false, nil
+	}
+
+	// Commit the overlay into the real dictionary state.
+	if len(w.tuples) == 0 {
+		w.base = t.V.Start
+	}
+	for _, pd := range pend {
+		st := w.stats[pd.key]
+		if st == nil {
+			st = &dictStat{enc: []byte(pd.key), idx: -1}
+			w.stats[pd.key] = st
+		}
+		st.count++
+		if pd.promote {
+			st.idx = len(w.dict)
+			w.dict = append(w.dict, st)
+		}
+	}
+	w.tuples = append(w.tuples, t.Clone())
+	w.size = newSize
+	return true, nil
+}
+
+// serialize writes the staged state into buf as a v2 image. The byte
+// accounting maintained by append is an internal invariant: drift is a
+// bug, and surfaces as a panic rather than a silently corrupt page.
+func (w *v2Writer) serialize(buf []byte) {
+	if len(buf) != w.pageSize {
+		panic(fmt.Sprintf("page: v2 serialize into %d-byte buffer, writer sized for %d", len(buf), w.pageSize))
+	}
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(len(w.tuples)))
+	binary.LittleEndian.PutUint16(buf[2:4], v2Marker)
+	binary.LittleEndian.PutUint32(buf[checksumOff:checksumEnd], 0) // stamped at the storage boundary
+	binary.LittleEndian.PutUint64(buf[v2BaseOff:], uint64(w.base))
+	binary.LittleEndian.PutUint16(buf[v2DictCountOff:], uint16(len(w.dict)))
+	b := buf[:v2HeaderSize]
+	for _, st := range w.dict {
+		b = append(b, st.enc...)
+	}
+	binary.LittleEndian.PutUint16(buf[v2DictLenOff:], uint16(len(b)-v2HeaderSize))
+	streamStart := len(b)
+	for _, t := range w.tuples {
+		b = tuple.AppendIntervalDelta(b, t.V, w.base)
+		b = binary.AppendUvarint(b, uint64(len(t.Values)))
+		for _, v := range t.Values {
+			w.scratch = v.Append(w.scratch[:0])
+			if st := w.stats[string(w.scratch)]; st != nil && st.idx >= 0 {
+				b = append(b, dictRefTag)
+				b = binary.AppendUvarint(b, uint64(st.idx))
+			} else {
+				b = append(b, w.scratch...)
+			}
+		}
+	}
+	binary.LittleEndian.PutUint16(buf[v2StreamLenOff:], uint16(len(b)-streamStart))
+	if len(b) != w.size {
+		panic(fmt.Sprintf("page: v2 size accounting drift: wrote %d bytes, accounted %d", len(b), w.size))
+	}
+	for i := len(b); i < len(buf); i++ {
+		buf[i] = 0
+	}
+}
+
+// decodeV2 decodes a v2 image. Every bound is validated; arbitrary
+// bytes produce a *CorruptError, never a panic (fuzz-enforced).
+func decodeV2(buf []byte) ([]tuple.Tuple, error) {
+	n := int(binary.LittleEndian.Uint16(buf[0:2]))
+	dictCount := int(binary.LittleEndian.Uint16(buf[v2DictCountOff:]))
+	dictLen := int(binary.LittleEndian.Uint16(buf[v2DictLenOff:]))
+	if v2HeaderSize+dictLen > len(buf) {
+		return nil, corruptf(FormatV2, "dictionary length %d exceeds the page", dictLen)
+	}
+	if dictCount > dictLen {
+		return nil, corruptf(FormatV2, "dictionary count %d exceeds its %d blob bytes", dictCount, dictLen)
+	}
+	base := chronon.Chronon(binary.LittleEndian.Uint64(buf[v2BaseOff:]))
+	dict := make([]value.Value, 0, dictCount)
+	blob := buf[v2HeaderSize : v2HeaderSize+dictLen]
+	off := 0
+	for i := 0; i < dictCount; i++ {
+		v, used, err := value.Decode(blob[off:])
+		if err != nil {
+			return nil, corruptf(FormatV2, "dictionary entry %d: %v", i, err)
+		}
+		dict = append(dict, v)
+		off += used
+	}
+	if off != dictLen {
+		return nil, corruptf(FormatV2, "dictionary blob has %d trailing bytes", dictLen-off)
+	}
+	streamLen := int(binary.LittleEndian.Uint16(buf[v2StreamLenOff:]))
+	if v2HeaderSize+dictLen+streamLen > len(buf) {
+		return nil, corruptf(FormatV2, "stream length %d exceeds the page", streamLen)
+	}
+	stream := buf[v2HeaderSize+dictLen : v2HeaderSize+dictLen+streamLen]
+	if n*v2MinRecordBytes > len(stream) {
+		return nil, corruptf(FormatV2, "record count %d exceeds stream capacity", n)
+	}
+	out := make([]tuple.Tuple, 0, n)
+	soff := 0
+	for i := 0; i < n; i++ {
+		iv, used, err := tuple.DecodeIntervalDelta(stream[soff:], base)
+		if err != nil {
+			return nil, corruptf(FormatV2, "record %d: %v", i, err)
+		}
+		soff += used
+		nv, w := binary.Uvarint(stream[soff:])
+		if w <= 0 {
+			return nil, corruptf(FormatV2, "record %d: bad attribute count", i)
+		}
+		soff += w
+		if nv > uint64(len(stream)) { // each attribute is >= 1 byte
+			return nil, corruptf(FormatV2, "record %d: attribute count %d exceeds the stream", i, nv)
+		}
+		vals := make([]value.Value, 0, nv)
+		for j := uint64(0); j < nv; j++ {
+			if soff >= len(stream) {
+				return nil, corruptf(FormatV2, "record %d: truncated at attribute %d", i, j)
+			}
+			if stream[soff] == dictRefTag {
+				idx, rw := binary.Uvarint(stream[soff+1:])
+				if rw <= 0 {
+					return nil, corruptf(FormatV2, "record %d: bad dictionary reference", i)
+				}
+				if idx >= uint64(len(dict)) {
+					return nil, corruptf(FormatV2, "record %d references dictionary entry %d of %d", i, idx, len(dict))
+				}
+				vals = append(vals, dict[idx])
+				soff += 1 + rw
+			} else {
+				v, used, err := value.Decode(stream[soff:])
+				if err != nil {
+					return nil, corruptf(FormatV2, "record %d attribute %d: %v", i, j, err)
+				}
+				vals = append(vals, v)
+				soff += used
+			}
+		}
+		out = append(out, tuple.Tuple{Values: vals, V: iv})
+	}
+	if soff != len(stream) {
+		return nil, corruptf(FormatV2, "record stream has %d trailing bytes", len(stream)-soff)
+	}
+	return out, nil
+}

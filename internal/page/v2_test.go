@@ -1,0 +1,380 @@
+package page
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+func v2TestTuple(start, length int64, vals ...value.Value) tuple.Tuple {
+	return tuple.New(chronon.New(chronon.Chronon(start), chronon.Chronon(start+length)), vals...)
+}
+
+// fillV2 appends tuples until the page refuses one, returning how many
+// were stored.
+func fillV2(t *testing.T, p *Page, gen func(i int) tuple.Tuple) int {
+	t.Helper()
+	for i := 0; ; i++ {
+		ok, err := p.AppendTuple(gen(i))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if !ok {
+			return i
+		}
+	}
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	p := MustNewFormat(512, FormatV2)
+	want := []tuple.Tuple{
+		v2TestTuple(1000, 5, value.Int(1), value.String_("alpha")),
+		v2TestTuple(990, 100, value.Int(2), value.String_("alpha")),
+		v2TestTuple(1010, 0, value.Int(3), value.String_("alpha")),
+		tuple.New(chronon.New(40, chronon.Forever), value.Int(4), value.Null()),
+	}
+	for i, tp := range want {
+		ok, err := p.AppendTuple(tp)
+		if err != nil || !ok {
+			t.Fatalf("append %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if got := p.StoredFormat(); got != FormatV2 {
+		t.Fatalf("stored format %v, want v2", got)
+	}
+	img := make([]byte, p.Size())
+	copy(img, p.Bytes())
+	q, err := FromBytes(img)
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	if q.StoredFormat() != FormatV2 || q.DefaultFormat() != FormatV2 {
+		t.Fatalf("reloaded page formats: stored %v default %v", q.StoredFormat(), q.DefaultFormat())
+	}
+	got, err := q.Tuples()
+	if err != nil {
+		t.Fatalf("Tuples: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip kept %d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("tuple %d changed across round trip:\n got %v\nwant %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestV2DictionaryPromotion(t *testing.T) {
+	// A large value repeated on every tuple must be stored once: the
+	// page holds far more tuples than the plain encoding allows.
+	pad := bytes.Repeat([]byte{0xCD}, 100)
+	gen := func(i int) tuple.Tuple {
+		return v2TestTuple(int64(1000+i), 3, value.Int(int64(i)), value.Bytes(pad))
+	}
+	v2 := MustNewFormat(1024, FormatV2)
+	n2 := fillV2(t, v2, gen)
+	v1 := MustNewFormat(1024, FormatV1)
+	n1 := fillV2(t, v1, gen)
+	if n2 < 2*n1 {
+		t.Errorf("v2 stored %d tuples vs v1's %d; the dictionary should at least double occupancy here", n2, n1)
+	}
+	img := v2.Bytes()
+	if dc := binary.LittleEndian.Uint16(img[v2DictCountOff:]); dc == 0 {
+		t.Error("repeated 100-byte value never promoted to the dictionary")
+	}
+	// And the round trip must still reproduce every tuple.
+	q, err := FromBytes(append([]byte(nil), img...))
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	for i := 0; i < n2; i++ {
+		got, err := q.Tuple(i)
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		if !got.Equal(gen(i)) {
+			t.Fatalf("tuple %d corrupted by dictionary encoding", i)
+		}
+	}
+}
+
+func TestV2DictionaryFallback(t *testing.T) {
+	// Unique random payloads: nothing repeats, so the dictionary must
+	// stay empty (plain encoding) and the page still round-trips.
+	rng := rand.New(rand.NewSource(8))
+	p := MustNewFormat(1024, FormatV2)
+	n := fillV2(t, p, func(i int) tuple.Tuple {
+		pad := make([]byte, 40)
+		rng.Read(pad)
+		return v2TestTuple(int64(5000+i*7), int64(i%9), value.Int(int64(i)), value.Bytes(pad))
+	})
+	if n == 0 {
+		t.Fatal("no tuples fit")
+	}
+	img := p.Bytes()
+	if dc := binary.LittleEndian.Uint16(img[v2DictCountOff:]); dc != 0 {
+		t.Errorf("dictionary has %d entries on an incompressible page, want 0", dc)
+	}
+}
+
+func TestV2SmallValuesStayInline(t *testing.T) {
+	// A repeated encoding no larger than twice the reference size is
+	// never cheaper in the dictionary; it must not be promoted.
+	small := value.String_("ab")
+	if small.EncodedSize() > 4 {
+		t.Fatalf("test value encodes to %d bytes, too large to pin the inline rule", small.EncodedSize())
+	}
+	p := MustNewFormat(512, FormatV2)
+	fillV2(t, p, func(i int) tuple.Tuple {
+		return v2TestTuple(int64(100+i), 1, small)
+	})
+	if dc := binary.LittleEndian.Uint16(p.Bytes()[v2DictCountOff:]); dc != 0 {
+		t.Errorf("%d-byte value promoted to dictionary (%d entries); references cannot pay", small.EncodedSize(), dc)
+	}
+}
+
+func TestV2AppendToLoadedImage(t *testing.T) {
+	// Appending to a page reloaded from disk replays the image through
+	// the writer; the combined page must round-trip exactly.
+	pad := bytes.Repeat([]byte{0x5A}, 60)
+	gen := func(i int) tuple.Tuple {
+		return v2TestTuple(int64(2000+i*3), 10, value.Int(int64(i)), value.Bytes(pad))
+	}
+	p := MustNewFormat(1024, FormatV2)
+	for i := 0; i < 4; i++ {
+		if ok, err := p.AppendTuple(gen(i)); err != nil || !ok {
+			t.Fatalf("append %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	q, err := FromBytes(append([]byte(nil), p.Bytes()...))
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	for i := 4; i < 8; i++ {
+		if ok, err := q.AppendTuple(gen(i)); err != nil || !ok {
+			t.Fatalf("append %d to loaded image: ok=%v err=%v", i, ok, err)
+		}
+	}
+	r, err := FromBytes(append([]byte(nil), q.Bytes()...))
+	if err != nil {
+		t.Fatalf("FromBytes after replay: %v", err)
+	}
+	ts, err := r.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 8 {
+		t.Fatalf("got %d tuples, want 8", len(ts))
+	}
+	for i, got := range ts {
+		if !got.Equal(gen(i)) {
+			t.Errorf("tuple %d diverged after append-to-loaded-image", i)
+		}
+	}
+}
+
+func TestV2FreeSpaceAndInsert(t *testing.T) {
+	p := MustNewFormat(256, FormatV2)
+	if p.Insert([]byte("raw")) {
+		t.Error("raw v1 Insert succeeded on a v2 page")
+	}
+	last := p.FreeSpace()
+	if last != 256-v2HeaderSize {
+		t.Fatalf("empty v2 page free space %d, want %d", last, 256-v2HeaderSize)
+	}
+	for i := 0; ; i++ {
+		ok, err := p.AppendTuple(v2TestTuple(int64(10+i), 2, value.Int(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		free := p.FreeSpace()
+		if free >= last {
+			t.Fatalf("free space did not shrink: %d -> %d", last, free)
+		}
+		last = free
+	}
+}
+
+func TestV2CorruptImages(t *testing.T) {
+	// Build a healthy dictionary-bearing image, then damage it in every
+	// structured way. Each mutation must yield a *CorruptError (from
+	// FromBytes or from decoding), never a panic.
+	pad := bytes.Repeat([]byte{0x77}, 50)
+	p := MustNewFormat(512, FormatV2)
+	for i := 0; i < 3; i++ {
+		if ok, err := p.AppendTuple(v2TestTuple(int64(100+i), 5, value.Int(int64(i)), value.Bytes(pad))); err != nil || !ok {
+			t.Fatalf("append %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	healthy := append([]byte(nil), p.Bytes()...)
+	if _, err := FromBytes(append([]byte(nil), healthy...)); err != nil {
+		t.Fatalf("healthy image rejected: %v", err)
+	}
+	dictLen := int(binary.LittleEndian.Uint16(healthy[v2DictLenOff:]))
+	if dictLen == 0 {
+		t.Fatal("test image has no dictionary")
+	}
+
+	cases := map[string]func(img []byte){
+		"unknown format marker": func(img []byte) {
+			binary.LittleEndian.PutUint16(img[2:4], 5)
+		},
+		"dictionary length beyond page": func(img []byte) {
+			binary.LittleEndian.PutUint16(img[v2DictLenOff:], 0xFFFF)
+		},
+		"dictionary count beyond blob": func(img []byte) {
+			binary.LittleEndian.PutUint16(img[v2DictCountOff:], uint16(dictLen+1))
+		},
+		"dictionary entry kind garbage": func(img []byte) {
+			img[v2HeaderSize] = 0xEE // first dict entry's kind tag
+		},
+		"record count beyond stream": func(img []byte) {
+			binary.LittleEndian.PutUint16(img[0:2], 0xFFFF)
+		},
+		"truncated delta stream": func(img []byte) {
+			// One more record than the stream holds: the decoder must
+			// hit the zero padding and reject, not run off the end.
+			n := binary.LittleEndian.Uint16(img[0:2])
+			binary.LittleEndian.PutUint16(img[0:2], n+1)
+		},
+		"dictionary reference out of range": func(img []byte) {
+			binary.LittleEndian.PutUint16(img[v2DictCountOff:], 0)
+			binary.LittleEndian.PutUint16(img[v2DictLenOff:], 0)
+		},
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			img := append([]byte(nil), healthy...)
+			mutate(img)
+			pg, err := FromBytes(img)
+			if err == nil {
+				// Some damage is only visible when tuples decode.
+				_, err = pg.Tuples()
+			}
+			if err == nil {
+				t.Fatal("corrupt image accepted")
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("got %T (%v), want *CorruptError", err, err)
+			}
+		})
+	}
+}
+
+// TestFromBytesRejectsOverlappingSlots pins the satellite fix: a v1
+// image whose slot table points two slots at overlapping or duplicate
+// record ranges must be rejected, not silently accepted.
+func TestFromBytesRejectsOverlappingSlots(t *testing.T) {
+	build := func() *Page {
+		p := MustNew(128)
+		if !p.Insert([]byte("abcdefgh")) || !p.Insert([]byte("ijklmnop")) {
+			t.Fatal("setup inserts failed")
+		}
+		return p
+	}
+
+	t.Run("healthy tiling accepted", func(t *testing.T) {
+		if _, err := FromBytes(append([]byte(nil), build().Bytes()...)); err != nil {
+			t.Fatalf("valid image rejected: %v", err)
+		}
+	})
+	corrupt := map[string]func(img []byte){
+		"duplicate slot range": func(img []byte) {
+			// Point slot 1 at slot 0's range.
+			copy(img[headerSize+slotSize:headerSize+2*slotSize], img[headerSize:headerSize+slotSize])
+		},
+		"overlapping slot range": func(img []byte) {
+			off := binary.LittleEndian.Uint16(img[headerSize+slotSize:])
+			binary.LittleEndian.PutUint16(img[headerSize+slotSize:], off+3)
+		},
+		"gap between records": func(img []byte) {
+			length := binary.LittleEndian.Uint16(img[headerSize+2:])
+			binary.LittleEndian.PutUint16(img[headerSize+2:], length-2)
+		},
+		"heap top disagrees with freeEnd": func(img []byte) {
+			freeEnd := binary.LittleEndian.Uint16(img[2:4])
+			binary.LittleEndian.PutUint16(img[2:4], freeEnd-1)
+		},
+	}
+	for name, mutate := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			img := append([]byte(nil), build().Bytes()...)
+			mutate(img)
+			_, err := FromBytes(img)
+			if err == nil {
+				t.Fatal("corrupt slot table accepted")
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("got %T (%v), want *CorruptError", err, err)
+			}
+		})
+	}
+}
+
+func TestV2CopyRecordBetweenFormats(t *testing.T) {
+	// Records must transplant across any format pairing through
+	// CopyRecordTo, re-encoding as needed.
+	pad := bytes.Repeat([]byte{0x33}, 30)
+	gen := func(i int) tuple.Tuple {
+		return v2TestTuple(int64(700+i), 4, value.Int(int64(i)), value.Bytes(pad))
+	}
+	for _, src := range []Format{FormatV1, FormatV2} {
+		for _, dst := range []Format{FormatV1, FormatV2} {
+			t.Run(fmt.Sprintf("%s_to_%s", src, dst), func(t *testing.T) {
+				from := MustNewFormat(512, src)
+				for i := 0; i < 3; i++ {
+					if ok, err := from.AppendTuple(gen(i)); err != nil || !ok {
+						t.Fatalf("append %d: ok=%v err=%v", i, ok, err)
+					}
+				}
+				to := MustNewFormat(512, dst)
+				for i := 0; i < 3; i++ {
+					iv, err := from.RecordInterval(i)
+					if err != nil {
+						t.Fatalf("interval %d: %v", i, err)
+					}
+					if iv != gen(i).V {
+						t.Fatalf("interval %d read as %v, want %v", i, iv, gen(i).V)
+					}
+					if ok, err := from.CopyRecordTo(i, to); err != nil || !ok {
+						t.Fatalf("copy %d: ok=%v err=%v", i, ok, err)
+					}
+				}
+				for i := 0; i < 3; i++ {
+					got, err := to.Tuple(i)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !got.Equal(gen(i)) {
+						t.Errorf("tuple %d changed crossing %s -> %s", i, src, dst)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{"v1": FormatV1, "1": FormatV1, "v2": FormatV2, "2": FormatV2} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("v3"); err == nil {
+		t.Error("ParseFormat accepted v3")
+	}
+}

@@ -22,6 +22,7 @@ type Partitioned struct {
 	Schema *schema.Schema
 
 	d      *disk.Disk
+	format page.Format // page codec of the partition files (inherited from the source relation)
 	files  []disk.FileID
 	pages  []int
 	tuples []int64
@@ -105,6 +106,7 @@ func newPartitioned(r *relation.Relation, part Partitioning) *Partitioned {
 		Part:     part,
 		Schema:   r.Schema(),
 		d:        d,
+		format:   r.Format(),
 		files:    make([]disk.FileID, n),
 		pages:    make([]int, n),
 		tuples:   make([]int64, n),
@@ -129,7 +131,7 @@ func (p *Partitioned) fill(ctx context.Context, r *relation.Relation) error {
 	n := p.Part.N()
 	buckets := make([]*page.Page, n)
 	for i := range buckets {
-		buckets[i] = page.MustNew(d.PageSize())
+		buckets[i] = page.MustNewFormat(d.PageSize(), p.format)
 	}
 	in := page.MustNew(d.PageSize())
 	ps := r.ScanPages()
@@ -145,21 +147,23 @@ func (p *Partitioned) fill(ctx context.Context, r *relation.Relation) error {
 			break
 		}
 		for s := 0; s < in.Count(); s++ {
-			rec, err := in.Record(s)
-			if err != nil {
-				return err
-			}
-			iv, err := tuple.PeekInterval(rec)
+			iv, err := in.RecordInterval(s)
 			if err != nil {
 				return fmt.Errorf("partition: page record %d: %w", s, err)
 			}
 			i := p.Part.Last(iv)
-			if !buckets[i].Insert(rec) {
+			ok, err := in.CopyRecordTo(s, buckets[i])
+			if err != nil {
+				return err
+			}
+			if !ok {
 				if err := p.flushBucket(i, buckets[i]); err != nil {
 					return err
 				}
-				if !buckets[i].Insert(rec) {
-					return fmt.Errorf("partition: record of %d bytes does not fit an empty page", len(rec))
+				if ok, err = in.CopyRecordTo(s, buckets[i]); err != nil {
+					return err
+				} else if !ok {
+					return fmt.Errorf("partition: record %d does not fit an empty page", s)
 				}
 			}
 			p.tuples[i]++
@@ -189,6 +193,10 @@ func (p *Partitioned) flushBucket(i int, b *page.Page) error {
 
 // N returns the number of partitions.
 func (p *Partitioned) N() int { return len(p.files) }
+
+// Format returns the page codec of the partition files (inherited from
+// the source relation at partitioning time).
+func (p *Partitioned) Format() page.Format { return p.format }
 
 // Pages returns the number of disk pages in partition i.
 func (p *Partitioned) Pages(i int) int { return p.pages[i] }
@@ -251,7 +259,7 @@ func (p *Partitioned) Insert(t tuple.Tuple) error {
 		return err
 	}
 	i := p.Part.Last(t.V)
-	pg := page.MustNew(p.d.PageSize())
+	pg := page.MustNewFormat(p.d.PageSize(), p.format)
 	if p.pages[i] > 0 {
 		last := p.pages[i] - 1
 		if err := p.d.Read(p.files[i], last, pg); err != nil {

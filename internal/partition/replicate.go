@@ -7,7 +7,6 @@ import (
 	"vtjoin/internal/disk"
 	"vtjoin/internal/page"
 	"vtjoin/internal/relation"
-	"vtjoin/internal/tuple"
 )
 
 // DoPartitioningReplicated partitions r by replicating every tuple
@@ -31,6 +30,7 @@ func DoPartitioningReplicated(r *relation.Relation, part Partitioning) (*Partiti
 		Part:     part,
 		Schema:   r.Schema(),
 		d:        d,
+		format:   r.Format(),
 		files:    make([]disk.FileID, n),
 		pages:    make([]int, n),
 		tuples:   make([]int64, n),
@@ -42,7 +42,7 @@ func DoPartitioningReplicated(r *relation.Relation, part Partitioning) (*Partiti
 	buckets := make([]*page.Page, n)
 	for i := range p.files {
 		p.files[i] = d.Create()
-		buckets[i] = page.MustNew(d.PageSize())
+		buckets[i] = page.MustNewFormat(d.PageSize(), p.format)
 	}
 	in := page.MustNew(d.PageSize())
 	ps := r.ScanPages()
@@ -55,22 +55,24 @@ func DoPartitioningReplicated(r *relation.Relation, part Partitioning) (*Partiti
 			break
 		}
 		for s := 0; s < in.Count(); s++ {
-			rec, err := in.Record(s)
-			if err != nil {
-				return nil, err
-			}
-			iv, err := tuple.PeekInterval(rec)
+			iv, err := in.RecordInterval(s)
 			if err != nil {
 				return nil, fmt.Errorf("partition: page record %d: %w", s, err)
 			}
 			first, last := part.Range(iv)
 			for i := first; i <= last; i++ {
-				if !buckets[i].Insert(rec) {
+				ok, err := in.CopyRecordTo(s, buckets[i])
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
 					if err := p.flushBucket(i, buckets[i]); err != nil {
 						return nil, err
 					}
-					if !buckets[i].Insert(rec) {
-						return nil, fmt.Errorf("partition: record of %d bytes does not fit an empty page", len(rec))
+					if ok, err = in.CopyRecordTo(s, buckets[i]); err != nil {
+						return nil, err
+					} else if !ok {
+						return nil, fmt.Errorf("partition: record %d does not fit an empty page", s)
 					}
 				}
 				p.tuples[i]++

@@ -23,6 +23,7 @@ type Relation struct {
 	d        *disk.Disk
 	file     disk.FileID
 	schema   *schema.Schema
+	format   page.Format // codec new pages of this relation are written in
 	tuples   int64
 	lifespan chronon.Interval // hull of all tuple timestamps; null if empty
 	// pageStarts[i] is the ordinal of the first tuple stored on page i;
@@ -35,10 +36,20 @@ type Relation struct {
 	stored     int64
 }
 
-// Create allocates a new empty relation with the given schema on d.
+// Create allocates a new empty relation with the given schema on d,
+// written in the device's default page format.
 func Create(d *disk.Disk, s *schema.Schema) *Relation {
-	return &Relation{d: d, file: d.Create(), schema: s}
+	return CreateFormat(d, s, d.PageFormat())
 }
+
+// CreateFormat allocates a new empty relation written in an explicit
+// page format, regardless of the device default.
+func CreateFormat(d *disk.Disk, s *schema.Schema, f page.Format) *Relation {
+	return &Relation{d: d, file: d.Create(), schema: s, format: f}
+}
+
+// Format returns the page codec this relation's pages are written in.
+func (r *Relation) Format() page.Format { return r.format }
 
 // Disk returns the device holding the relation.
 func (r *Relation) Disk() *disk.Disk { return r.d }
@@ -107,7 +118,7 @@ type Builder struct {
 // Flush()ed to persist the trailing partial page. Appending to a
 // relation that already has pages continues after them.
 func (r *Relation) NewBuilder() *Builder {
-	return &Builder{r: r, cur: page.MustNew(r.d.PageSize())}
+	return &Builder{r: r, cur: page.MustNewFormat(r.d.PageSize(), r.format)}
 }
 
 // Append validates t against the relation schema and adds it.

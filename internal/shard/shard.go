@@ -233,6 +233,8 @@ func Join(algo Algorithm, r, s *relation.Relation, sink relation.Sink, cfg Confi
 			d = cfg.NewDevice(j)
 		} else {
 			d = disk.New(pageSize)
+			// Shard-local temporaries default to the parent device's codec.
+			d.SetPageFormat(global.PageFormat())
 		}
 		if d == nil || d.PageSize() != pageSize {
 			return nil, nil, fmt.Errorf("shard: device %d must use the input page size %d", j, pageSize)

@@ -49,7 +49,7 @@ func Project(r *relation.Relation, columns ...string) (*relation.Relation, error
 // Select materializes the tuples of r satisfying pred, preserving
 // storage order (a sequential scan).
 func Select(r *relation.Relation, pred func(tuple.Tuple) bool) (*relation.Relation, error) {
-	out := relation.Create(r.Disk(), r.Schema())
+	out := relation.CreateFormat(r.Disk(), r.Schema(), r.Format())
 	b := out.NewBuilder()
 	sc := r.Scan()
 	for {

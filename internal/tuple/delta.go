@@ -1,0 +1,63 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vtjoin/internal/chronon"
+)
+
+// Columnar-ish interval codec: the timestamp column of a page can be
+// stored apart from the attribute payload as deltas against a shared
+// base chronon. Append writes 16 fixed bytes per tuple for [Vs, Ve];
+// against a per-page base the same information is typically 2-4 bytes —
+// a zigzag uvarint for Vs-base plus a uvarint for the interval length.
+//
+// All arithmetic is wrapping (mod 2^64): Vs-base and Ve-Vs can exceed
+// the int64 range (base and Vs are arbitrary chronons), but the final
+// reconstructed endpoints are int64, so wrap-around differences
+// round-trip exactly.
+
+// IntervalDeltaSize returns the number of bytes AppendIntervalDelta
+// writes for iv against base.
+func IntervalDeltaSize(iv chronon.Interval, base chronon.Chronon) int {
+	d := uint64(iv.Start) - uint64(base)
+	return uvarintLen(zigzag(d)) + uvarintLen(uint64(iv.End)-uint64(iv.Start))
+}
+
+// AppendIntervalDelta serializes iv onto buf as a delta against base:
+// zigzag-uvarint(Vs-base), then uvarint(Ve-Vs).
+func AppendIntervalDelta(buf []byte, iv chronon.Interval, base chronon.Chronon) []byte {
+	d := uint64(iv.Start) - uint64(base)
+	buf = binary.AppendUvarint(buf, zigzag(d))
+	buf = binary.AppendUvarint(buf, uint64(iv.End)-uint64(iv.Start))
+	return buf
+}
+
+// DecodeIntervalDelta reads one delta-encoded interval from buf,
+// returning it and the number of bytes consumed. The reconstructed
+// interval is validated (Start <= End); any malformed prefix is an
+// error, never a panic.
+func DecodeIntervalDelta(buf []byte, base chronon.Chronon) (chronon.Interval, int, error) {
+	zd, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return chronon.Interval{}, 0, fmt.Errorf("tuple: bad interval start delta")
+	}
+	start := chronon.Chronon(uint64(base) + unzigzag(zd))
+	length, w2 := binary.Uvarint(buf[w:])
+	if w2 <= 0 {
+		return chronon.Interval{}, 0, fmt.Errorf("tuple: bad interval length")
+	}
+	end := chronon.Chronon(uint64(start) + length)
+	iv, err := chronon.NewChecked(start, end)
+	if err != nil {
+		return chronon.Interval{}, 0, fmt.Errorf("tuple: %w", err)
+	}
+	return iv, w + w2, nil
+}
+
+// zigzag maps a wrapping difference to the uvarint-friendly encoding
+// where small magnitudes of either sign become small numbers.
+func zigzag(d uint64) uint64 { return (d << 1) ^ uint64(int64(d)>>63) }
+
+func unzigzag(z uint64) uint64 { return (z >> 1) ^ -(z & 1) }

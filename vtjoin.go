@@ -98,13 +98,24 @@ type DB struct {
 type Option func(*config)
 
 type config struct {
-	pageSize int
+	pageSize   int
+	pageFormat PageFormat
 }
 
 // WithPageSize sets the device page size in bytes (default 4096, the
 // configuration of the paper's experiments).
 func WithPageSize(bytes int) Option {
 	return func(c *config) { c.pageSize = bytes }
+}
+
+// WithPageFormat sets the page codec newly created relations are
+// written in (default PageFormatV1, the classic slotted layout).
+// PageFormatV2 delta-encodes timestamps against a per-page base
+// chronon and dictionary-compresses repeated attribute values; both
+// formats are self-describing, so v1 and v2 pages coexist on one
+// device and every reader handles either.
+func WithPageFormat(f PageFormat) Option {
+	return func(c *config) { c.pageFormat = f }
 }
 
 // Open creates an empty in-memory database. It panics if a configured
@@ -117,7 +128,14 @@ func Open(opts ...Option) *DB {
 	if c.pageSize < page.MinSize || c.pageSize > 65535 {
 		panic(fmt.Sprintf("vtjoin: page size %d outside [%d, 65535]", c.pageSize, page.MinSize))
 	}
-	return &DB{d: disk.New(c.pageSize)}
+	if c.pageFormat != 0 && !c.pageFormat.Valid() {
+		panic(fmt.Sprintf("vtjoin: invalid page format %d", c.pageFormat))
+	}
+	db := &DB{d: disk.New(c.pageSize)}
+	if c.pageFormat != 0 {
+		db.d.SetPageFormat(c.pageFormat)
+	}
+	return db
 }
 
 // OpenDir creates a database whose pages persist as real files under
@@ -131,9 +149,15 @@ func OpenDir(dir string, opts ...Option) (*DB, error) {
 	if c.pageSize < page.MinSize || c.pageSize > 65535 {
 		return nil, fmt.Errorf("vtjoin: page size %d outside [%d, 65535]", c.pageSize, page.MinSize)
 	}
+	if c.pageFormat != 0 && !c.pageFormat.Valid() {
+		return nil, fmt.Errorf("vtjoin: invalid page format %d", c.pageFormat)
+	}
 	d, err := disk.NewFileBacked(c.pageSize, dir)
 	if err != nil {
 		return nil, err
+	}
+	if c.pageFormat != 0 {
+		d.SetPageFormat(c.pageFormat)
 	}
 	return &DB{d: d}, nil
 }
@@ -143,6 +167,28 @@ func (db *DB) Close() error { return db.d.Close() }
 
 // PageSize returns the device page size in bytes.
 func (db *DB) PageSize() int { return db.d.PageSize() }
+
+// PageFormat identifies a page codec. Pages are self-describing, so
+// the format only governs how new pages are written.
+type PageFormat = page.Format
+
+// Page codecs selectable via WithPageFormat / ParsePageFormat.
+const (
+	// PageFormatV1 is the classic slotted-page layout: an explicit slot
+	// directory, records encoded verbatim.
+	PageFormatV1 = page.FormatV1
+	// PageFormatV2 delta-encodes tuple timestamps against a per-page
+	// base chronon and deduplicates repeated attribute values through a
+	// per-page dictionary, falling back to plain encoding per value
+	// when the dictionary does not pay.
+	PageFormatV2 = page.FormatV2
+)
+
+// ParsePageFormat parses "v1"/"1" or "v2"/"2".
+func ParsePageFormat(s string) (PageFormat, error) { return page.ParseFormat(s) }
+
+// PageFormat returns the codec newly created relations default to.
+func (db *DB) PageFormat() PageFormat { return db.d.PageFormat() }
 
 // ResetIOCounters zeroes the device's I/O counters, excluding all
 // prior work (e.g. data loading) from subsequent cost reports.
@@ -157,6 +203,7 @@ func (db *DB) IOCounters() IOCounters {
 		RandomWrites:     c.RandWrites,
 		SequentialWrites: c.SeqWrites,
 		Retries:          c.Retries,
+		BytesMoved:       c.BytesMoved,
 	}
 }
 
@@ -170,6 +217,11 @@ type IOCounters struct {
 	RandomWrites     int64
 	SequentialWrites int64
 	Retries          int64
+	// BytesMoved is the page bytes transferred by the counted accesses
+	// (page size times attempts, retries included). Page counts measure
+	// the paper's cost model; bytes expose what a compressed codec
+	// saves when the same tuples occupy fewer pages.
+	BytesMoved int64
 }
 
 // PageDamage reports one page that failed checksum verification or
