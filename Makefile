@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare explain-smoke chaos-smoke shard-smoke codec-smoke
+.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare explain-smoke chaos-smoke shard-smoke codec-smoke serve-smoke
 
 all: check
 
@@ -99,3 +99,48 @@ explain-smoke:
 		$(GO) run ./cmd/vtjoin -algo $$algo -memory 32 -explain -audit \
 			-trace $$tmp/$$algo.json -o /dev/null $$tmp/left.csv $$tmp/right.csv || exit 1; \
 	done
+
+# Query service smoke: unit suites for the language, planner, executor
+# and server under the race detector, then a real server process
+# driven through a scripted client session — load, a verified query, a
+# deliberately cancelled query (1 ms server-side timeout on a heavy
+# nested-loop join), stats — and a SIGTERM drain. The server verifies
+# its own shutdown invariants (buffer pool balanced, zero leaked
+# files) and prints the "clean shutdown" line this target greps; a
+# missing line or a non-zero exit fails the smoke.
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/query/ ./internal/plan2/ ./internal/serve/
+	@tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/vtserve ./cmd/vtserve || exit 1; \
+	seq 0 2999 | awk -F, '{i=$$1; printf "%d,%d,%d,%d\n", i%997, i%997+50, i%37, i}' \
+		| { echo "vs,ve,key:int,a:int"; cat; } > $$tmp/r.csv; \
+	seq 0 2999 | awk -F, '{i=$$1; printf "%d,%d,%d,%d\n", (i*7)%997, (i*7)%997+50, i%37, i}' \
+		| { echo "vs,ve,key:int,b:int"; cat; } > $$tmp/s.csv; \
+	$$tmp/vtserve -addr 127.0.0.1:7497 -memory 256 -query-memory 16 \
+		-load r=$$tmp/r.csv -load s=$$tmp/s.csv 2> $$tmp/server.log & \
+	pid=$$!; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		if $$tmp/vtserve client -addr http://127.0.0.1:7497 -stats >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ $$up -ne 1 ]; then echo "server never came up"; cat $$tmp/server.log; exit 1; fi; \
+	$$tmp/vtserve client -addr http://127.0.0.1:7497 \
+		-q "scan r | join scan s using partition memory 32" > $$tmp/out.csv \
+		|| { echo "query session failed"; cat $$tmp/server.log; exit 1; }; \
+	rows=$$(($$(wc -l < $$tmp/out.csv) - 1)); \
+	if [ $$rows -lt 1 ]; then echo "served join produced no rows"; exit 1; fi; \
+	$$tmp/vtserve client -addr http://127.0.0.1:7497 -timeout-ms 1 -expect-status aborted \
+		-q "scan r | join scan s using nestedloop memory 16" > /dev/null \
+		|| { echo "cancelled query did not abort cleanly"; cat $$tmp/server.log; exit 1; }; \
+	$$tmp/vtserve client -addr http://127.0.0.1:7497 -stats | grep -q '"aborted": *1' \
+		|| { echo "stats do not count the aborted query"; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid; code=$$?; \
+	if [ $$code -ne 0 ]; then \
+		echo "server exited $$code after SIGTERM, want 0"; cat $$tmp/server.log; exit 1; \
+	fi; \
+	grep -q "clean shutdown: pool balanced" $$tmp/server.log \
+		|| { echo "no clean-shutdown verification in server log:"; cat $$tmp/server.log; exit 1; }; \
+	echo "serve-smoke: $$rows rows served, cancelled query aborted, clean shutdown verified"

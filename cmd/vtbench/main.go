@@ -36,15 +36,12 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"syscall"
 	"time"
 
 	"vtjoin/internal/execctx"
@@ -53,34 +50,34 @@ import (
 	"vtjoin/internal/page"
 )
 
-// exitAborted is the exit code for a run cut short by -timeout or a
-// termination signal — distinct from usage (2) and runtime failure (1).
-const exitAborted = 3
-
 func main() {
-	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations, all, kernels, shards, or codec (timing-based, excluded from all)")
+	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations, all, kernels, shards, codec, or serve (timing-based, excluded from all)")
 	scale := flag.Int("scale", 16, "scale divisor on tuple counts and memory (1 = paper scale)")
 	seed := flag.Int64("seed", 1994, "base RNG seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent figure data points (1 = sequential; output is identical at any setting)")
 	audit := flag.Bool("audit", false, "run every join under the trace invariant audits (figures are identical; violations fail the run)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); exits 3 on expiry")
-	benchjson := flag.String("benchjson", "", "with -figure kernels, shards or codec: also write the results as JSON to this file (codec default: BENCH_pr8.json)")
+	benchjson := flag.String("benchjson", "", "with -figure kernels, shards, codec or serve: also write the results as JSON to this file (codec default: BENCH_pr8.json, serve default: BENCH_pr9.json)")
 	pageFormat := flag.String("page-format", "v1", "page codec relations are written in: v1 (slotted) or v2 (delta intervals + per-page dictionaries); -figure codec sweeps both and ignores this")
 	shards := flag.Int("shards", 8, "with -figure shards: largest shard count in the K sweep")
+	sessions := flag.Int("sessions", 120, "with -figure serve: concurrent client sessions to replay")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	switch *figure {
-	case "4", "5", "6", "7", "8", "ablations", "all", "kernels", "shards", "codec":
+	case "4", "5", "6", "7", "8", "ablations", "all", "kernels", "shards", "codec", "serve":
 	default:
-		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations, all, kernels, shards or codec)", *figure))
+		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations, all, kernels, shards, codec or serve)", *figure))
 	}
-	if *benchjson != "" && *figure != "kernels" && *figure != "shards" && *figure != "codec" {
-		usage(fmt.Errorf("-benchjson requires -figure kernels, shards or codec"))
+	if *benchjson != "" && *figure != "kernels" && *figure != "shards" && *figure != "codec" && *figure != "serve" {
+		usage(fmt.Errorf("-benchjson requires -figure kernels, shards, codec or serve"))
 	}
 	if *shards < 1 {
 		usage(fmt.Errorf("-shards must be >= 1, got %d", *shards))
+	}
+	if *sessions < 1 {
+		usage(fmt.Errorf("-sessions must be >= 1, got %d", *sessions))
 	}
 	if *workers < 1 {
 		usage(fmt.Errorf("-workers must be >= 1, got %d", *workers))
@@ -97,13 +94,8 @@ func main() {
 		usage(err)
 	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := execctx.Bootstrap(*timeout)
 	defer cancel()
-	if *timeout > 0 {
-		var cancelTimeout context.CancelFunc
-		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
-		defer cancelTimeout()
-	}
 	p.Ctx = ctx
 
 	if *cpuprofile != "" {
@@ -119,9 +111,10 @@ func main() {
 	}
 
 	run := func(name string, f func() error) {
-		// "kernels" and "shards" are timing-based and opt-in only:
-		// "all" must stay byte-identical across runs and worker counts.
-		if *figure != name && (*figure != "all" || name == "kernels" || name == "shards") {
+		// "kernels", "shards" and "serve" are timing-based and opt-in
+		// only: "all" must stay byte-identical across runs and worker
+		// counts.
+		if *figure != name && (*figure != "all" || name == "kernels" || name == "shards" || name == "serve") {
 			return
 		}
 		start := time.Now()
@@ -215,6 +208,22 @@ func main() {
 		fmt.Printf("\n[codec comparison written to %s]\n", out)
 		return nil
 	})
+	run("serve", func() error {
+		res, err := experiments.RunFigureServe(p, *sessions)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigureServe(res))
+		out := *benchjson
+		if out == "" {
+			out = "BENCH_pr9.json"
+		}
+		if err := writeServeJSON(out, p, *sessions, res); err != nil {
+			return err
+		}
+		fmt.Printf("\n[serve load figure written to %s]\n", out)
+		return nil
+	})
 	run("ablations", func() error {
 		repl, err := experiments.RunAblationReplication(p)
 		if err != nil {
@@ -261,15 +270,13 @@ func writeBenchJSON(path string, p experiments.Params, rows []join.KernelBenchRe
 		CPUMS     float64 `json:"cpu_ms"`
 	}
 	doc := struct {
-		Description string               `json:"description"`
-		Host        experiments.HostInfo `json:"host"`
-		Command     string               `json:"command"`
-		Micro       []jsonMicro          `json:"kernel_microbenchmarks"`
-		Phases      []jsonPhase          `json:"algorithm_phases"`
+		experiments.BenchHeader
+		Micro  []jsonMicro `json:"kernel_microbenchmarks"`
+		Phases []jsonPhase `json:"algorithm_phases"`
 	}{
-		Description: "Scan vs sweep matching-kernel comparison: in-memory microbenchmarks (pair counts differentially verified) and full sort-merge / partition-join runs with per-phase CPU time. Per-phase I/O is asserted identical across kernels.",
-		Host:        experiments.Host(),
-		Command:     fmt.Sprintf("vtbench -figure kernels -scale %d -seed %d", p.Scale, p.Seed),
+		BenchHeader: experiments.NewBenchHeader(
+			"Scan vs sweep matching-kernel comparison: in-memory microbenchmarks (pair counts differentially verified) and full sort-merge / partition-join runs with per-phase CPU time. Per-phase I/O is asserted identical across kernels.",
+			fmt.Sprintf("vtbench -figure kernels -scale %d -seed %d", p.Scale, p.Seed)),
 	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	for _, r := range rows {
@@ -309,14 +316,12 @@ func writeShardsJSON(path string, p experiments.Params, maxShards int, rows []ex
 		Speedup         float64 `json:"speedup"`
 	}
 	doc := struct {
-		Description string               `json:"description"`
-		Host        experiments.HostInfo `json:"host"`
-		Command     string               `json:"command"`
-		Rows        []jsonRow            `json:"shard_scaling"`
+		experiments.BenchHeader
+		Rows []jsonRow `json:"shard_scaling"`
 	}{
-		Description: "Time-sharded partition join, multi-core scaling: per-shard pipelines over private devices with a deterministic merge. Checksums are order-insensitive over the result multiset and asserted identical across every row, so speedups are measured against a verified-equal answer.",
-		Host:        experiments.Host(),
-		Command:     fmt.Sprintf("vtbench -figure shards -scale %d -seed %d -shards %d", p.Scale, p.Seed, maxShards),
+		BenchHeader: experiments.NewBenchHeader(
+			"Time-sharded partition join, multi-core scaling: per-shard pipelines over private devices with a deterministic merge. Checksums are order-insensitive over the result multiset and asserted identical across every row, so speedups are measured against a verified-equal answer.",
+			fmt.Sprintf("vtbench -figure shards -scale %d -seed %d -shards %d", p.Scale, p.Seed, maxShards)),
 	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	for _, r := range rows {
@@ -373,15 +378,13 @@ func writeCodecJSON(path string, p experiments.Params, rows []experiments.CodecR
 		PageReductionPct   float64 `json:"page_reduction_pct"`
 	}
 	doc := struct {
-		Description string               `json:"description"`
-		Host        experiments.HostInfo `json:"host"`
-		Command     string               `json:"command"`
-		Rows        []jsonRow            `json:"codec_comparison"`
-		Summaries   []jsonSummary        `json:"summaries"`
+		experiments.BenchHeader
+		Rows      []jsonRow     `json:"codec_comparison"`
+		Summaries []jsonSummary `json:"summaries"`
 	}{
-		Description: "Page codec comparison: v1 slotted pages vs v2 (delta-encoded intervals + per-page value dictionaries) over high-overlap keyed, time-join and sparse workloads. Result checksums are order-insensitive over the result multiset and asserted identical across formats; the sparse workload asserts the dictionary fallback causes no page-count regression.",
-		Host:        experiments.Host(),
-		Command:     fmt.Sprintf("vtbench -figure codec -scale %d -seed %d", p.Scale, p.Seed),
+		BenchHeader: experiments.NewBenchHeader(
+			"Page codec comparison: v1 slotted pages vs v2 (delta-encoded intervals + per-page value dictionaries) over high-overlap keyed, time-join and sparse workloads. Result checksums are order-insensitive over the result multiset and asserted identical across formats; the sparse workload asserts the dictionary fallback causes no page-count regression.",
+			fmt.Sprintf("vtbench -figure codec -scale %d -seed %d", p.Scale, p.Seed)),
 	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	for _, r := range rows {
@@ -416,20 +419,61 @@ func writeCodecJSON(path string, p experiments.Params, rows []experiments.CodecR
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
-// fatal reports a runtime failure (experiment execution) and exits 1 —
-// or exitAborted when the failure is a cancellation or expired deadline.
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vtbench:", err)
-	if execctx.IsAbort(err) {
-		os.Exit(exitAborted)
+// writeServeJSON records the serve load figure in the BENCH_*.json
+// format the repo tracks across performance PRs: service throughput,
+// latency percentiles and admission behaviour under concurrent
+// sessions. Every counted query was checksum-verified against a direct
+// execution before this is written.
+func writeServeJSON(path string, p experiments.Params, sessions int, res *experiments.ServeResult) error {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	doc := struct {
+		experiments.BenchHeader
+		Load struct {
+			Sessions          int     `json:"sessions"`
+			QueriesPerSession int     `json:"queries_per_session"`
+			PoolPages         int     `json:"pool_pages"`
+			QueryPages        int     `json:"query_pages"`
+			VerifiedQueries   int64   `json:"verified_queries"`
+			Rows              int64   `json:"rows"`
+			AdmissionRejects  int64   `json:"admission_rejects"`
+			WallMS            float64 `json:"wall_ms"`
+			QueriesPerSec     float64 `json:"queries_per_sec"`
+			P50MS             float64 `json:"p50_ms"`
+			P99MS             float64 `json:"p99_ms"`
+			CacheHits         int64   `json:"plan_cache_hits"`
+			CacheMisses       int64   `json:"plan_cache_misses"`
+		} `json:"serve_load"`
+	}{
+		BenchHeader: experiments.NewBenchHeader(
+			"Query service under concurrent load: client sessions replay a mixed query script over HTTP against an in-process vtserve with a deliberately small admission pool. Rejected queries back off and retry; every counted query's response is checksum-verified against a direct (serverless) execution of the same plan.",
+			fmt.Sprintf("vtbench -figure serve -scale %d -seed %d -sessions %d", p.Scale, p.Seed, sessions)),
 	}
-	os.Exit(1)
+	doc.Load.Sessions = res.Sessions
+	doc.Load.QueriesPerSession = res.PerSession
+	doc.Load.PoolPages = res.PoolPages
+	doc.Load.QueryPages = res.QueryPages
+	doc.Load.VerifiedQueries = res.Queries
+	doc.Load.Rows = res.Rows
+	doc.Load.AdmissionRejects = res.Rejects
+	doc.Load.WallMS = ms(res.Wall)
+	doc.Load.QueriesPerSec = res.Throughput
+	doc.Load.P50MS = ms(res.P50)
+	doc.Load.P99MS = ms(res.P99)
+	doc.Load.CacheHits = res.CacheHits
+	doc.Load.CacheMisses = res.CacheMiss
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
-// usage reports a command-line mistake and exits 2, matching the flag
-// package's exit code for unparseable flags.
+// fatal reports a runtime failure (experiment execution) and exits 1 —
+// or 3 when the failure is a cancellation or expired deadline.
+func fatal(err error) { execctx.Fatal("vtbench", err) }
+
+// usage reports a command-line mistake and exits 2.
 func usage(err error) {
-	fmt.Fprintln(os.Stderr, "vtbench:", err)
-	fmt.Fprintln(os.Stderr, "usage: vtbench [-figure 4|5|6|7|8|ablations|all|kernels|shards|codec] [-scale N] [-seed S] [-workers W] [-page-format v1|v2] [-benchjson F] [-cpuprofile F] [-memprofile F]")
-	os.Exit(2)
+	execctx.Usage("vtbench", err,
+		"vtbench [-figure 4|5|6|7|8|ablations|all|kernels|shards|codec|serve] [-scale N] [-seed S] [-workers W] [-page-format v1|v2] [-benchjson F] [-cpuprofile F] [-memprofile F]")
 }

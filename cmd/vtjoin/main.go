@@ -43,12 +43,9 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	vtjoin "vtjoin"
 	"vtjoin/internal/cost"
@@ -57,11 +54,6 @@ import (
 	"vtjoin/internal/execctx"
 	"vtjoin/internal/trace"
 )
-
-// exitAborted is the exit code for a run cut short by -timeout or a
-// termination signal — distinct from usage (2) and runtime failure (1)
-// so scripts can tell "too slow / interrupted" from "wrong".
-const exitAborted = 3
 
 func main() {
 	algoFlag := flag.String("algo", "partition", "algorithm: partition, sortmerge or nestedloop")
@@ -136,13 +128,8 @@ func main() {
 		usage(fmt.Errorf("unknown predicate %q", *predFlag))
 	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := execctx.Bootstrap(*timeout)
 	defer cancel()
-	if *timeout > 0 {
-		var cancelTimeout context.CancelFunc
-		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
-		defer cancelTimeout()
-	}
 
 	format, err := vtjoin.ParsePageFormat(*pageFormat)
 	if err != nil {
@@ -288,19 +275,8 @@ func writeCSV(w *os.File, r *vtjoin.Relation) error {
 }
 
 // fatal reports a runtime failure (I/O, join evaluation) and exits 1 —
-// or exitAborted when the failure is a cancellation or expired deadline.
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vtjoin:", err)
-	if execctx.IsAbort(err) {
-		os.Exit(exitAborted)
-	}
-	os.Exit(1)
-}
+// or 3 when the failure is a cancellation or expired deadline.
+func fatal(err error) { execctx.Fatal("vtjoin", err) }
 
-// usage reports a command-line mistake and exits 2, matching the flag
-// package's exit code for unparseable flags.
-func usage(err error) {
-	fmt.Fprintln(os.Stderr, "vtjoin:", err)
-	fmt.Fprintln(os.Stderr, "usage: vtjoin [flags] left.csv right.csv (see -h)")
-	os.Exit(2)
-}
+// usage reports a command-line mistake and exits 2.
+func usage(err error) { execctx.Usage("vtjoin", err, "vtjoin [flags] left.csv right.csv (see -h)") }

@@ -1,0 +1,313 @@
+// Command vtserve serves the temporal query language over HTTP.
+//
+// Server usage:
+//
+//	vtserve [-addr host:port] [-load name=file.csv ...]
+//	        [-memory pages] [-query-memory pages] [-cache entries]
+//	        [-ratio R] [-seed S] [-page-size bytes] [-page-format v1|v2]
+//	        [-drain-timeout d]
+//
+// The server owns an in-memory device, loads the -load relations into
+// its catalog, and listens for:
+//
+//	POST /query            query text in the body (or ?q=); the result
+//	                       streams back as CSV. ?timeout_ms=N bounds the
+//	                       query. The X-Vtserve-Status trailer is "ok",
+//	                       "aborted" or an error text, so a truncated
+//	                       stream is detectable; X-Vtserve-Rows carries
+//	                       the row count.
+//	GET  /stats            JSON counters: queries, rows, admission
+//	                       rejects, plan-cache hit rate, buffer-pool
+//	                       usage, device I/O, recent queries.
+//	GET  /healthz          200 ok, or 503 once draining.
+//	GET  /relations        catalog listing.
+//	PUT  /relations/{name} load a CSV relation.
+//	DELETE /relations/{name} drop a relation.
+//
+// Queries are admitted against a shared buffer pool of -memory pages:
+// each query reserves -query-memory pages (or its largest "memory"
+// hint) for its whole run, and a query that does not fit is rejected
+// with 503 rather than queued or overcommitted. Plans are cached (LRU,
+// keyed on normalized query text) and invalidated when a relation they
+// read is dropped or reloaded.
+//
+// On SIGINT/SIGTERM the server drains: new queries are rejected,
+// in-flight queries run to completion (bounded by -drain-timeout), and
+// the process verifies the buffer pool balanced and no temporary files
+// leaked before exiting 0.
+//
+// Client usage (a scripted session against a running server):
+//
+//	vtserve client [-addr url] -q "scan r | ..." [-timeout-ms N] [-expect-status s]
+//	vtserve client [-addr url] -put name -file data.csv
+//	vtserve client [-addr url] -drop name
+//	vtserve client [-addr url] -stats
+//
+// The client writes result CSV to stdout and the status trailer to
+// stderr. Exit codes (both modes): 0 success, 1 runtime failure,
+// 2 usage error, 3 aborted (drain timeout, interrupted, or an aborted
+// query without a matching -expect-status).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"vtjoin/internal/csvio"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/execctx"
+	"vtjoin/internal/page"
+	"vtjoin/internal/serve"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "client" {
+		clientMain(os.Args[2:])
+		return
+	}
+	serverMain(os.Args[1:])
+}
+
+func serverMain(args []string) {
+	fs := flag.NewFlagSet("vtserve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7474", "listen address")
+	memory := fs.Int("memory", 1024, "shared buffer pool in pages (admission budget)")
+	queryMemory := fs.Int("query-memory", 64, "default per-query reservation in pages")
+	cacheEntries := fs.Int("cache", 64, "plan cache capacity in entries")
+	ratio := fs.Float64("ratio", 5, "random:sequential access cost ratio")
+	seed := fs.Int64("seed", 1, "sampling seed (partition join)")
+	pageSize := fs.Int("page-size", 4096, "device page size in bytes")
+	pageFormat := fs.String("page-format", "v1", "page codec: v1 (slotted) or v2 (compressed)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight queries at shutdown")
+	var loads []string
+	fs.Func("load", "name=file.csv relation to load at startup (repeatable)", func(v string) error {
+		loads = append(loads, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		usage(err)
+	}
+	if fs.NArg() != 0 {
+		usage(fmt.Errorf("unexpected arguments %v", fs.Args()))
+	}
+
+	format, err := page.ParseFormat(*pageFormat)
+	if err != nil {
+		usage(err)
+	}
+	d := disk.New(*pageSize)
+	d.SetPageFormat(format)
+
+	srv, err := serve.NewServer(serve.Config{
+		Disk:             d,
+		TotalMemoryPages: *memory,
+		QueryMemoryPages: *queryMemory,
+		CacheEntries:     *cacheEntries,
+		RandomCost:       *ratio,
+		Seed:             *seed,
+	})
+	if err != nil {
+		usage(err)
+	}
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			usage(fmt.Errorf("-load %q is not name=file.csv", spec))
+		}
+		if err := loadRelation(srv, d, name, path); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vtserve: loaded %q from %s\n", name, path)
+	}
+
+	ctx, stop := execctx.Bootstrap(0)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "vtserve: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: reject new queries, let in-flight ones finish,
+	// then stop the listener. A second signal or an expired grace
+	// period aborts (exit 3).
+	fmt.Fprintln(os.Stderr, "vtserve: draining")
+	stop() // restore default signal behaviour: a second ^C kills hard
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "vtserve:", err)
+		os.Exit(execctx.ExitAborted)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "vtserve: shutdown:", err)
+		os.Exit(execctx.ExitAborted)
+	}
+
+	// Clean-shutdown verification: every query released its buffer
+	// reservation and dropped its temporaries; only catalog relations
+	// may still own files.
+	st := srv.Stats()
+	leaked := len(d.LiveFiles()) - len(st.Relations)
+	if st.PoolUsed != 0 || leaked != 0 {
+		fatal(fmt.Errorf("unclean shutdown: %d pool pages still reserved, %d leaked files",
+			st.PoolUsed, leaked))
+	}
+	fmt.Fprintf(os.Stderr,
+		"vtserve: clean shutdown: pool balanced, %d relations, 0 leaked files, %d goroutines, %d queries served\n",
+		len(st.Relations), runtime.NumGoroutine(), st.Queries)
+}
+
+func loadRelation(srv *serve.Server, d *disk.Disk, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rel, err := csvio.Read(f, d)
+	if err != nil {
+		return fmt.Errorf("load %q: %w", name, err)
+	}
+	srv.Catalog().Register(name, rel)
+	return nil
+}
+
+func fatal(err error) { execctx.Fatal("vtserve", err) }
+
+func usage(err error) {
+	execctx.Usage("vtserve", err,
+		"vtserve [-addr host:port] [-load name=file.csv] [flags]  |  vtserve client [flags] (see -h)")
+}
+
+func clientMain(args []string) {
+	fs := flag.NewFlagSet("vtserve client", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7474", "server base URL")
+	q := fs.String("q", "", "query to run")
+	timeoutMS := fs.Int("timeout-ms", 0, "server-side query timeout in milliseconds")
+	expect := fs.String("expect-status", "", "fail unless the X-Vtserve-Status trailer equals this (e.g. ok, aborted)")
+	put := fs.String("put", "", "load -file as this relation name")
+	file := fs.String("file", "", "CSV file for -put")
+	drop := fs.String("drop", "", "drop this relation")
+	stats := fs.Bool("stats", false, "fetch /stats")
+	if err := fs.Parse(args); err != nil {
+		usage(err)
+	}
+	if fs.NArg() != 0 {
+		usage(fmt.Errorf("unexpected arguments %v", fs.Args()))
+	}
+
+	switch {
+	case *q != "":
+		status, err := runQuery(*addr, *q, *timeoutMS)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vtserve client: status %s\n", status)
+		if *expect != "" {
+			if status != *expect {
+				fatal(fmt.Errorf("status %q, expected %q", status, *expect))
+			}
+			return
+		}
+		switch status {
+		case "ok":
+		case "aborted":
+			fmt.Fprintln(os.Stderr, "vtserve client: query aborted")
+			os.Exit(execctx.ExitAborted)
+		default:
+			fatal(errors.New(status))
+		}
+	case *put != "":
+		if *file == "" {
+			usage(errors.New("-put needs -file"))
+		}
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		req, err := http.NewRequest(http.MethodPut, *addr+"/relations/"+*put, f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := doSimple(req); err != nil {
+			fatal(err)
+		}
+	case *drop != "":
+		req, err := http.NewRequest(http.MethodDelete, *addr+"/relations/"+*drop, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if err := doSimple(req); err != nil {
+			fatal(err)
+		}
+	case *stats:
+		resp, err := http.Get(*addr + "/stats")
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+			fatal(err)
+		}
+	default:
+		usage(errors.New("one of -q, -put, -drop or -stats is required"))
+	}
+}
+
+// runQuery posts the query, streams the CSV body to stdout, and returns
+// the status trailer.
+func runQuery(addr, q string, timeoutMS int) (string, error) {
+	url := addr + "/query"
+	if timeoutMS > 0 {
+		url = fmt.Sprintf("%s?timeout_ms=%d", url, timeoutMS)
+	}
+	resp, err := http.Post(url, "text/plain", strings.NewReader(q))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return "", err
+	}
+	return resp.Trailer.Get("X-Vtserve-Status"), nil
+}
+
+func doSimple(req *http.Request) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if s := strings.TrimSpace(string(body)); s != "" {
+		fmt.Fprintln(os.Stderr, "vtserve client:", s)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package execctx
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Process exit codes shared by every command in this repository, so
+// scripts can tell outcomes apart uniformly:
+//
+//	0 — success
+//	1 — runtime failure (I/O, evaluation, network)
+//	2 — usage error (bad flags or arguments)
+//	3 — aborted: deadline expired or the process was interrupted
+const (
+	ExitOK      = 0
+	ExitFailure = 1
+	ExitUsage   = 2
+	ExitAborted = 3
+)
+
+// Bootstrap builds the standard command context: cancelled by SIGINT or
+// SIGTERM, and — when timeout is positive — by a deadline. The returned
+// stop function releases both; defer it in main.
+func Bootstrap(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stopSignals
+	}
+	ctx, cancelTimeout := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancelTimeout()
+		stopSignals()
+	}
+}
+
+// Fatal reports a runtime failure as "prog: err" and exits ExitFailure
+// — or ExitAborted when the failure is a cancellation or expired
+// deadline, so "too slow / interrupted" stays distinguishable from
+// "wrong".
+func Fatal(prog string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	if IsAbort(err) {
+		os.Exit(ExitAborted)
+	}
+	os.Exit(ExitFailure)
+}
+
+// Usage reports a command-line mistake plus a one-line usage hint and
+// exits ExitUsage, matching the flag package's exit code for
+// unparseable flags.
+func Usage(prog string, err error, usageLine string) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	fmt.Fprintf(os.Stderr, "usage: %s\n", usageLine)
+	os.Exit(ExitUsage)
+}

@@ -28,3 +28,18 @@ func Host() HostInfo {
 		SingleCoreHost: runtime.NumCPU() < 2 || procs < 2,
 	}
 }
+
+// BenchHeader is the shared preamble of every BENCH_*.json document:
+// what was measured, the host it ran on, and the command that
+// regenerates it. Figure writers embed it so the host block is built
+// in exactly one place instead of re-declared per figure.
+type BenchHeader struct {
+	Description string   `json:"description"`
+	Host        HostInfo `json:"host"`
+	Command     string   `json:"command"`
+}
+
+// NewBenchHeader snapshots the current host into a header.
+func NewBenchHeader(description, command string) BenchHeader {
+	return BenchHeader{Description: description, Host: Host(), Command: command}
+}

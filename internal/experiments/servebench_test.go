@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestRunFigureServeSmall exercises the full load harness at a small
+// scale: every query verified, the pool balanced, and the latency
+// ordering sane. Admission rejects are load-dependent and not asserted
+// here (the serve package tests rejection deterministically).
+func TestRunFigureServeSmall(t *testing.T) {
+	p, err := Scaled(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed = 7
+	sessions := 12
+	res, err := RunFigureServe(p, sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(sessions * res.PerSession); res.Queries != want {
+		t.Fatalf("verified %d queries, want %d", res.Queries, want)
+	}
+	if res.Rows == 0 {
+		t.Fatal("no rows streamed; the mix does not exercise the join")
+	}
+	if res.P50 > res.P99 {
+		t.Fatalf("p50 %v > p99 %v", res.P50, res.P99)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput %v", res.Throughput)
+	}
+	if res.CacheHits == 0 {
+		t.Fatal("no plan-cache hits across repeated sessions")
+	}
+	out := RenderFigureServe(res)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}

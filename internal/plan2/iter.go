@@ -1,0 +1,157 @@
+package plan2
+
+import (
+	"context"
+
+	"vtjoin/internal/execctx"
+	"vtjoin/internal/page"
+	"vtjoin/internal/relation"
+	"vtjoin/internal/tuple"
+)
+
+// Iterator is the executor's lazy pull contract: operators are
+// composed functionally (each wraps its input's next function in a
+// closure), tuples flow one at a time on demand, and Close releases
+// whatever the pipeline holds — producer goroutines, temporary
+// relations — however far consumption got.
+//
+// The tuple returned by Next is owned by the caller until the next
+// call; retain it beyond that only after Clone.
+type Iterator struct {
+	next  func() (tuple.Tuple, bool, error)
+	close func() error
+}
+
+// Next returns the next tuple; ok is false at end of stream. After an
+// error or the end of the stream, further calls return the same
+// outcome.
+func (it *Iterator) Next() (tuple.Tuple, bool, error) { return it.next() }
+
+// Close releases the pipeline's resources. It is idempotent and must
+// be called even after a completed or failed stream.
+func (it *Iterator) Close() error {
+	if it.close == nil {
+		return nil
+	}
+	fn := it.close
+	it.close = nil
+	return fn()
+}
+
+// done wraps next so that after the first error or end-of-stream every
+// subsequent call repeats it, keeping operator closures single-shot.
+func done(next func() (tuple.Tuple, bool, error)) func() (tuple.Tuple, bool, error) {
+	finished := false
+	var ferr error
+	return func() (tuple.Tuple, bool, error) {
+		if finished {
+			return tuple.Tuple{}, false, ferr
+		}
+		t, ok, err := next()
+		if err != nil || !ok {
+			finished, ferr = true, err
+			return tuple.Tuple{}, false, err
+		}
+		return t, true, nil
+	}
+}
+
+// scanIter streams a relation in storage order, checking the context
+// once per page — the executor's page-granular cancellation boundary.
+func scanIter(ctx context.Context, rel *relation.Relation) *Iterator {
+	ps := rel.ScanPages()
+	pg, err := page.New(rel.Disk().PageSize())
+	slot, cnt := 0, 0
+	next := func() (tuple.Tuple, bool, error) {
+		if err != nil {
+			return tuple.Tuple{}, false, err
+		}
+		for {
+			if slot < cnt {
+				t, terr := pg.Tuple(slot)
+				if terr != nil {
+					return tuple.Tuple{}, false, terr
+				}
+				slot++
+				return t, true, nil
+			}
+			if cerr := execctx.Check(ctx, "exec: scan"); cerr != nil {
+				return tuple.Tuple{}, false, cerr
+			}
+			more, perr := ps.Next(pg)
+			if perr != nil {
+				return tuple.Tuple{}, false, perr
+			}
+			if !more {
+				return tuple.Tuple{}, false, nil
+			}
+			slot, cnt = 0, pg.Count()
+		}
+	}
+	return &Iterator{next: done(next)}
+}
+
+// filterIter lazily keeps the input tuples satisfying pred.
+func filterIter(in *Iterator, pred Pred) *Iterator {
+	next := func() (tuple.Tuple, bool, error) {
+		for {
+			t, ok, err := in.Next()
+			if err != nil || !ok {
+				return tuple.Tuple{}, false, err
+			}
+			if pred.Eval(t) {
+				return t, true, nil
+			}
+		}
+	}
+	return &Iterator{next: done(next), close: in.Close}
+}
+
+// mapIter lazily rewrites each input tuple.
+func mapIter(in *Iterator, fn func(tuple.Tuple) tuple.Tuple) *Iterator {
+	next := func() (tuple.Tuple, bool, error) {
+		t, ok, err := in.Next()
+		if err != nil || !ok {
+			return tuple.Tuple{}, false, err
+		}
+		return fn(t), true, nil
+	}
+	return &Iterator{next: done(next), close: in.Close}
+}
+
+// sliceIter streams a materialized tuple slice.
+func sliceIter(ts []tuple.Tuple, close func() error) *Iterator {
+	i := 0
+	next := func() (tuple.Tuple, bool, error) {
+		if i >= len(ts) {
+			return tuple.Tuple{}, false, nil
+		}
+		t := ts[i]
+		i++
+		return t, true, nil
+	}
+	return &Iterator{next: done(next), close: close}
+}
+
+// errIter is an iterator that fails immediately — used to surface
+// open-time errors through the uniform pull interface.
+func errIter(err error) *Iterator {
+	return &Iterator{next: func() (tuple.Tuple, bool, error) { return tuple.Tuple{}, false, err }}
+}
+
+// closers composes cleanup functions; every one runs, the first error
+// wins.
+func closers(fns ...func() error) func() error {
+	return func() error {
+		var first error
+		for _, fn := range fns {
+			if fn == nil {
+				continue
+			}
+			if err := fn(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+}

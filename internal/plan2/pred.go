@@ -1,0 +1,197 @@
+package plan2
+
+import (
+	"fmt"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/query"
+	"vtjoin/internal/schema"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+// Pred is a typed, bound selection predicate.
+type Pred interface {
+	// Eval decides the tuple. Bound predicates never error at
+	// evaluation time: every name and type was checked at bind time.
+	Eval(t tuple.Tuple) bool
+}
+
+type andPred struct{ l, r Pred }
+
+func (p andPred) Eval(t tuple.Tuple) bool { return p.l.Eval(t) && p.r.Eval(t) }
+
+type orPred struct{ l, r Pred }
+
+func (p orPred) Eval(t tuple.Tuple) bool { return p.l.Eval(t) || p.r.Eval(t) }
+
+type notPred struct{ e Pred }
+
+func (p notPred) Eval(t tuple.Tuple) bool { return !p.e.Eval(t) }
+
+// cmpOp encodes which comparison outcomes satisfy the operator:
+// bit 0 = less, bit 1 = equal, bit 2 = greater.
+type cmpOp uint8
+
+const (
+	cmpLess    cmpOp = 1
+	cmpEqual   cmpOp = 2
+	cmpGreater cmpOp = 4
+)
+
+var cmpOps = map[string]cmpOp{
+	"=":  cmpEqual,
+	"!=": cmpLess | cmpGreater,
+	"<":  cmpLess,
+	"<=": cmpLess | cmpEqual,
+	">":  cmpGreater,
+	">=": cmpGreater | cmpEqual,
+}
+
+// cmpPred compares one column against a typed literal.
+type cmpPred struct {
+	col int
+	op  cmpOp
+	lit value.Value
+}
+
+func (p cmpPred) Eval(t tuple.Tuple) bool {
+	v := t.Values[p.col]
+	if v.IsNull() {
+		// SQL three-valued logic collapsed to boolean: a comparison
+		// against null is not satisfied (use "= null" to test nulls).
+		return false
+	}
+	switch c := v.Compare(p.lit); {
+	case c < 0:
+		return p.op&cmpLess != 0
+	case c > 0:
+		return p.op&cmpGreater != 0
+	default:
+		return p.op&cmpEqual != 0
+	}
+}
+
+// nullPred tests a column for null ("col = null" / "col != null").
+type nullPred struct {
+	col  int
+	want bool
+}
+
+func (p nullPred) Eval(t tuple.Tuple) bool { return t.Values[p.col].IsNull() == p.want }
+
+// timePred constrains the tuple's valid-time interval against a
+// literal interval.
+type timePred struct {
+	op  string
+	ivl chronon.Interval
+}
+
+func (p timePred) Eval(t tuple.Tuple) bool {
+	switch p.op {
+	case "overlaps":
+		return t.V.Overlaps(p.ivl)
+	case "contains":
+		return t.V.ContainsInterval(p.ivl)
+	case "during":
+		return p.ivl.ContainsInterval(t.V)
+	default: // "equals"
+		return t.V.Equal(p.ivl)
+	}
+}
+
+// bindPred types a parsed predicate against a schema.
+func bindPred(e query.Expr, s *schema.Schema) (Pred, error) {
+	switch x := e.(type) {
+	case *query.LogicExpr:
+		l, err := bindPred(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindPred(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "and" {
+			return andPred{l, r}, nil
+		}
+		return orPred{l, r}, nil
+
+	case *query.NotExpr:
+		inner, err := bindPred(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		return notPred{inner}, nil
+
+	case *query.TimeExpr:
+		return timePred{op: x.Op, ivl: x.Ivl}, nil
+
+	case *query.CompareExpr:
+		return bindCompare(x, s)
+	}
+	return nil, fmt.Errorf("plan2: unknown predicate type %T", e)
+}
+
+func bindCompare(x *query.CompareExpr, s *schema.Schema) (Pred, error) {
+	fail := func(format string, args ...any) error {
+		return &query.Error{Line: x.Line, Col: x.Col, Msg: fmt.Sprintf(format, args...)}
+	}
+	i := s.Index(x.Column)
+	if i < 0 {
+		return nil, fail("select: no column %q in %v", x.Column, s)
+	}
+	kind := s.Column(i).Kind
+	op, ok := cmpOps[x.Op]
+	if !ok {
+		return nil, fail("select: unknown operator %q", x.Op)
+	}
+
+	if x.Lit.Kind == query.LitNull {
+		switch x.Op {
+		case "=":
+			return nullPred{col: i, want: true}, nil
+		case "!=":
+			return nullPred{col: i, want: false}, nil
+		}
+		return nil, fail("select: null supports only = and !=, not %q", x.Op)
+	}
+
+	// Type the literal to the column's kind; an int literal promotes to
+	// a float column, everything else must match exactly.
+	var lit value.Value
+	switch kind {
+	case value.KindInt:
+		if x.Lit.Kind != query.LitInt {
+			return nil, fail("select: column %q is int, literal %s is not", x.Column, x.Lit)
+		}
+		lit = value.Int(x.Lit.Int)
+	case value.KindFloat:
+		switch x.Lit.Kind {
+		case query.LitFloat:
+			lit = value.Float(x.Lit.Float)
+		case query.LitInt:
+			lit = value.Float(float64(x.Lit.Int))
+		default:
+			return nil, fail("select: column %q is float, literal %s is not numeric", x.Column, x.Lit)
+		}
+	case value.KindString:
+		if x.Lit.Kind != query.LitString {
+			return nil, fail("select: column %q is string, literal %s is not", x.Column, x.Lit)
+		}
+		lit = value.String_(x.Lit.Str)
+	case value.KindBool:
+		if x.Lit.Kind != query.LitBool {
+			return nil, fail("select: column %q is bool, literal %s is not", x.Column, x.Lit)
+		}
+		if x.Op != "=" && x.Op != "!=" {
+			return nil, fail("select: bool column %q supports only = and !=", x.Column)
+		}
+		lit = value.Bool(x.Lit.Bool)
+	case value.KindBytes:
+		return nil, fail("select: bytes column %q is only comparable to null", x.Column)
+	default:
+		return nil, fail("select: column %q has unsupported kind %v", x.Column, kind)
+	}
+	return cmpPred{col: i, op: op, lit: lit}, nil
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"vtjoin/internal/plan2"
+	"vtjoin/internal/relation"
+)
+
+// PlanCache is an LRU cache of bound plans keyed on normalized query
+// text. A hit is only returned when every base relation the plan bound
+// against is still registered at the same version epoch — dropping or
+// re-registering a relation (reload, page-format change) silently
+// invalidates the plans that read it.
+//
+// Plans are immutable after binding (see plan2), so a cached plan can
+// be handed to any number of concurrent executions.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits          int64
+	misses        int64
+	evictions     int64
+	invalidations int64
+}
+
+type cacheEntry struct {
+	key  string
+	root plan2.Node
+	deps map[string]planDep
+}
+
+// planDep is one base relation the plan bound against, pinned at its
+// bind-time version.
+type planDep struct {
+	rel     *relation.Relation
+	version uint64
+}
+
+// NewPlanCache returns a cache holding at most capacity plans
+// (capacity <= 0 disables caching: every Get misses, Put discards).
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached plan for key if present and still valid
+// against cat. Invalid entries are removed and counted as misses.
+func (pc *PlanCache) Get(key string, cat *Catalog) (plan2.Node, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.entries[key]
+	if !ok {
+		pc.misses++
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	for name, dep := range ent.deps {
+		v, live := cat.Version(name)
+		if !live || v != dep.version {
+			pc.removeLocked(el)
+			pc.invalidations++
+			pc.misses++
+			return nil, false
+		}
+	}
+	pc.order.MoveToFront(el)
+	pc.hits++
+	return ent.root, true
+}
+
+// Put inserts the bound plan under key, recording each base relation's
+// current catalog version as the entry's validity condition. Plans
+// whose relations were re-registered between bind and Put simply fail
+// validation on the next Get.
+func (pc *PlanCache) Put(key string, root plan2.Node, cat *Catalog) {
+	if pc.cap <= 0 {
+		return
+	}
+	rels := map[string]*relation.Relation{}
+	plan2.BaseRelations(root, rels)
+	deps := make(map[string]planDep, len(rels))
+	for name, rel := range rels {
+		v, ok := cat.Version(name)
+		if !ok {
+			return // relation dropped mid-bind: not cacheable
+		}
+		deps[name] = planDep{rel: rel, version: v}
+	}
+
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.entries[key]; ok {
+		el.Value = &cacheEntry{key: key, root: root, deps: deps}
+		pc.order.MoveToFront(el)
+		return
+	}
+	pc.entries[key] = pc.order.PushFront(&cacheEntry{key: key, root: root, deps: deps})
+	for pc.order.Len() > pc.cap {
+		pc.evictions++
+		pc.removeLocked(pc.order.Back())
+	}
+}
+
+func (pc *PlanCache) removeLocked(el *list.Element) {
+	pc.order.Remove(el)
+	delete(pc.entries, el.Value.(*cacheEntry).key)
+}
+
+// Len returns the number of cached plans.
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.order.Len()
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries       int   `json:"entries"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+// Stats snapshots the cache counters.
+func (pc *PlanCache) Stats() CacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return CacheStats{
+		Entries:       pc.order.Len(),
+		Hits:          pc.hits,
+		Misses:        pc.misses,
+		Evictions:     pc.evictions,
+		Invalidations: pc.invalidations,
+	}
+}

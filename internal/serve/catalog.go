@@ -1,0 +1,90 @@
+// Package serve is the network query service: a versioned catalog of
+// named relations, an LRU cache of bound plans keyed on normalized
+// query text, and an HTTP server that parses, admits (against a shared
+// buffer-pool budget), executes and streams queries over the plan2
+// executor.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vtjoin/internal/relation"
+)
+
+// Catalog maps relation names to relations, with a version epoch per
+// binding. Re-registering a name (reload, page-format change) or
+// dropping it bumps the epoch, which is what invalidates cached plans
+// that bound against the old relation.
+//
+// Catalog is safe for concurrent use; it implements plan2.Catalog.
+type Catalog struct {
+	mu    sync.RWMutex
+	epoch uint64
+	rels  map[string]catEntry
+}
+
+type catEntry struct {
+	rel     *relation.Relation
+	version uint64
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: make(map[string]catEntry)}
+}
+
+// Register binds name to rel, replacing any previous binding. The new
+// binding gets a fresh version epoch.
+func (c *Catalog) Register(name string, rel *relation.Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	c.rels[name] = catEntry{rel: rel, version: c.epoch}
+}
+
+// Drop removes the binding and returns the detached relation (the
+// caller decides whether to drop its storage).
+func (c *Catalog) Drop(name string) (*relation.Relation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("no relation %q", name)
+	}
+	delete(c.rels, name)
+	return e.rel, nil
+}
+
+// Lookup implements plan2.Catalog.
+func (c *Catalog) Lookup(name string) (*relation.Relation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("no relation %q", name)
+	}
+	return e.rel, nil
+}
+
+// Version returns the current version epoch of name, or ok=false when
+// the name is not bound.
+func (c *Catalog) Version(name string) (uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.rels[name]
+	return e.version, ok
+}
+
+// Names lists the bound relation names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,515 @@
+package serve
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vtjoin/internal/buffer"
+	"vtjoin/internal/cost"
+	"vtjoin/internal/csvio"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/execctx"
+	"vtjoin/internal/plan2"
+	"vtjoin/internal/query"
+	"vtjoin/internal/tuple"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Disk is the storage device the catalog's relations live on and
+	// temporaries are created on.
+	Disk *disk.Disk
+	// Catalog resolves relation names; NewServer creates an empty one
+	// when nil.
+	Catalog *Catalog
+	// TotalMemoryPages is the shared buffer pool all concurrent queries
+	// carve their budgets from (default 1024).
+	TotalMemoryPages int
+	// QueryMemoryPages is the buffer reservation of a query that does
+	// not hint a larger join memory (default 64).
+	QueryMemoryPages int
+	// CacheEntries bounds the plan cache (default 64; <0 disables).
+	CacheEntries int
+	// RandomCost and Seed parameterize the partition join exactly as in
+	// the CLI (defaults 5 and 1).
+	RandomCost float64
+	Seed       int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Catalog == nil {
+		c.Catalog = NewCatalog()
+	}
+	if c.TotalMemoryPages == 0 {
+		c.TotalMemoryPages = 1024
+	}
+	if c.QueryMemoryPages == 0 {
+		c.QueryMemoryPages = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+	return c
+}
+
+// BusyError reports an admission rejection: the shared buffer pool
+// cannot currently fit the query's reservation. It is a backpressure
+// signal, not a failure — the client should retry.
+type BusyError struct {
+	Need int // pages the query asked for
+	Free int // pages currently free in the pool
+}
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("serve: busy: query needs %d pages, pool has %d free", e.Need, e.Free)
+}
+
+// Server executes queries against a catalog with per-query admission
+// control over a shared buffer pool. Use Handler for the HTTP surface;
+// Execute runs a query in process (the load harness path).
+type Server struct {
+	cfg   Config
+	cache *PlanCache
+
+	bmu    sync.Mutex // guards pool (buffer.Budget is not thread-safe)
+	pool   *buffer.Budget
+	seq    uint64 // region name counter, under bmu
+	cpu0   time.Duration
+	start  time.Time
+	mux    *http.ServeMux
+	drain  chan struct{} // closed when draining
+	wg     sync.WaitGroup
+	closed sync.Once
+
+	smu     sync.Mutex // guards the counters below
+	queries int64
+	rows    int64
+	errs    int64
+	aborted int64
+	rejects int64
+	wallNS  int64
+	cpuNS   int64
+	recent  []QueryStat
+}
+
+// QueryStat describes one completed query, kept in a bounded recent-
+// queries ring for /stats.
+type QueryStat struct {
+	Query  string `json:"query"`
+	Rows   int64  `json:"rows"`
+	WallNS int64  `json:"wallNs"`
+	Cached bool   `json:"cached"`
+	Status string `json:"status"` // "ok", "aborted" or the error text
+}
+
+const recentQueries = 32
+
+// NewServer builds a server over the configured device and catalog.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Disk == nil {
+		return nil, fmt.Errorf("serve: Config.Disk is nil")
+	}
+	if cfg.QueryMemoryPages > cfg.TotalMemoryPages {
+		return nil, fmt.Errorf("serve: per-query pages %d exceed the pool (%d)",
+			cfg.QueryMemoryPages, cfg.TotalMemoryPages)
+	}
+	pool, err := buffer.NewBudget(cfg.TotalMemoryPages)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: NewPlanCache(cfg.CacheEntries),
+		pool:  pool,
+		cpu0:  cost.ProcessCPUTime(),
+		start: time.Now(),
+		drain: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /relations", s.handleRelations)
+	s.mux.HandleFunc("PUT /relations/{name}", s.handleLoad)
+	s.mux.HandleFunc("DELETE /relations/{name}", s.handleDrop)
+	return s, nil
+}
+
+// Catalog returns the server's catalog.
+func (s *Server) Catalog() *Catalog { return s.cfg.Catalog }
+
+// Cache returns the server's plan cache.
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain puts the server into draining mode — new queries are rejected
+// with 503 — and waits for in-flight queries to finish or ctx to
+// expire. It is the SIGTERM path; safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.closed.Do(func() { close(s.drain) })
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+func (s *Server) draining() bool {
+	select {
+	case <-s.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// admit reserves the query's buffer pages from the shared pool,
+// returning a BusyError when they do not fit. The returned release
+// function must be called exactly once.
+func (s *Server) admit(pages int) (release func(), err error) {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	s.seq++
+	region, err := s.pool.Reserve(fmt.Sprintf("q%d", s.seq), pages)
+	if err != nil {
+		return nil, &BusyError{Need: pages, Free: s.pool.Free()}
+	}
+	return func() {
+		s.bmu.Lock()
+		defer s.bmu.Unlock()
+		region.Close()
+	}, nil
+}
+
+// queryPages returns the reservation a plan needs: the configured
+// per-query budget, or the largest per-join memory hint when bigger.
+func (s *Server) queryPages(root plan2.Node) int {
+	pages := s.cfg.QueryMemoryPages
+	var walk func(plan2.Node)
+	walk = func(n plan2.Node) {
+		if jn, ok := n.(*plan2.JoinNode); ok && jn.Memory > pages {
+			pages = jn.Memory
+		}
+		for _, in := range n.Inputs() {
+			walk(in)
+		}
+	}
+	walk(root)
+	return pages
+}
+
+// plan normalizes, then resolves the query through the plan cache,
+// binding on a miss. It returns the cache key, the bound plan, and
+// whether the plan came from the cache.
+func (s *Server) plan(text string) (key string, root plan2.Node, cached bool, err error) {
+	key, err = query.Normalize(text)
+	if err != nil {
+		return "", nil, false, err
+	}
+	if root, ok := s.cache.Get(key, s.cfg.Catalog); ok {
+		return key, root, true, nil
+	}
+	pipe, err := query.Parse(key)
+	if err != nil {
+		return "", nil, false, err // unreachable: key re-parses
+	}
+	root, err = plan2.Bind(pipe, s.cfg.Catalog)
+	if err != nil {
+		return "", nil, false, err
+	}
+	s.cache.Put(key, root, s.cfg.Catalog)
+	return key, root, false, nil
+}
+
+// Execute runs one query in process, streaming result tuples to emit
+// (which must clone tuples it retains). It applies the same admission
+// control, plan cache and statistics as the HTTP path and returns the
+// row count and whether the plan was cached.
+func (s *Server) Execute(ctx context.Context, text string, emit func(tuple.Tuple) error) (rows int64, cached bool, err error) {
+	key, root, cached, err := s.plan(text)
+	if err != nil {
+		s.record(QueryStat{Query: text, Status: err.Error()})
+		return 0, false, err
+	}
+	rows, err = s.run(ctx, key, root, cached, emit)
+	return rows, cached, err
+}
+
+// acquire performs the pre-execution half of a query: the draining
+// check and the buffer-pool admission. It must happen before a single
+// response byte is written, so a rejection can still be a real 503.
+// On success the caller owns release (which also retires the query
+// from the drain wait group).
+func (s *Server) acquire(root plan2.Node) (release func(), pages int, err error) {
+	if s.draining() {
+		return nil, 0, fmt.Errorf("serve: draining")
+	}
+	s.wg.Add(1)
+	pages = s.queryPages(root)
+	rel, err := s.admit(pages)
+	if err != nil {
+		s.smu.Lock()
+		s.rejects++
+		s.smu.Unlock()
+		s.wg.Done()
+		return nil, 0, err
+	}
+	return func() { rel(); s.wg.Done() }, pages, nil
+}
+
+// run admits, executes and records one planned query.
+func (s *Server) run(ctx context.Context, key string, root plan2.Node, cached bool, emit func(tuple.Tuple) error) (rows int64, err error) {
+	release, pages, err := s.acquire(root)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return s.execute(ctx, key, root, cached, pages, emit)
+}
+
+// execute runs an admitted query and records its outcome.
+func (s *Server) execute(ctx context.Context, key string, root plan2.Node, cached bool, pages int, emit func(tuple.Tuple) error) (rows int64, err error) {
+	begin := time.Now()
+	rows, err = plan2.Run(plan2.Config{
+		Ctx:         ctx,
+		Disk:        s.cfg.Disk,
+		MemoryPages: pages,
+		RandomCost:  s.cfg.RandomCost,
+		Seed:        s.cfg.Seed,
+	}, root, emit)
+	st := QueryStat{Query: key, Rows: rows, WallNS: time.Since(begin).Nanoseconds(), Cached: cached, Status: "ok"}
+	if err != nil {
+		st.Status = err.Error()
+		if execctx.IsAbort(err) {
+			st.Status = "aborted"
+		}
+	}
+	s.record(st)
+	return rows, err
+}
+
+func (s *Server) record(st QueryStat) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	s.queries++
+	s.rows += st.Rows
+	s.wallNS += st.WallNS
+	switch st.Status {
+	case "ok":
+	case "aborted":
+		s.aborted++
+	default:
+		s.errs++
+	}
+	s.recent = append(s.recent, st)
+	if len(s.recent) > recentQueries {
+		s.recent = s.recent[len(s.recent)-recentQueries:]
+	}
+}
+
+// ---- HTTP handlers ----
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// handleQuery streams a query's result as CSV. The body (or the "q"
+// form value) is the query text; "timeout_ms" bounds execution. The
+// response uses HTTP trailers — X-Vtserve-Status is "ok", "aborted" or
+// an error text, X-Vtserve-Rows the row count — so the CSV body stays
+// a plain csvio relation even when the query dies mid-stream.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
+		return
+	}
+	text := r.URL.Query().Get("q")
+	if text == "" {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		text = string(body)
+	}
+	if strings.TrimSpace(text) == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty query"))
+		return
+	}
+
+	ctx := r.Context()
+	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+		d, err := strconv.Atoi(ms)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q", ms))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(d)*time.Millisecond)
+		defer cancel()
+	}
+
+	// The schema is known before execution starts (bind is typed), so
+	// the header always goes out; errors after that land in the trailer.
+	key, root, cached, err := s.plan(text)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		s.record(QueryStat{Query: text, Status: err.Error()})
+		return
+	}
+
+	// Admit before writing anything: an admission reject (or draining)
+	// must be a real 503, not a trailer on a 200 stream.
+	release, pages, err := s.acquire(root)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer release()
+
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Trailer", "X-Vtserve-Status, X-Vtserve-Rows")
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvio.FormatHeader(root.Schema())); err != nil {
+		return
+	}
+	rec := make([]string, 2+root.Schema().Len())
+	rows, err := s.execute(ctx, key, root, cached, pages, func(t tuple.Tuple) error {
+		rec[0] = strconv.FormatInt(int64(t.V.Start), 10)
+		rec[1] = strconv.FormatInt(int64(t.V.End), 10)
+		for i, v := range t.Values {
+			if v.IsNull() {
+				rec[2+i] = csvio.NullSentinel
+			} else {
+				rec[2+i] = v.Text()
+			}
+		}
+		return cw.Write(rec)
+	})
+	cw.Flush()
+
+	status := "ok"
+	switch {
+	case err == nil:
+	case execctx.IsAbort(err):
+		status = "aborted"
+	default:
+		status = "error: " + err.Error()
+	}
+	w.Header().Set("X-Vtserve-Status", status)
+	w.Header().Set("X-Vtserve-Rows", strconv.FormatInt(rows, 10))
+}
+
+// ServerStats is the /stats document.
+type ServerStats struct {
+	UptimeNS  int64         `json:"uptimeNs"`
+	Queries   int64         `json:"queries"`
+	Rows      int64         `json:"rows"`
+	Errors    int64         `json:"errors"`
+	Aborted   int64         `json:"aborted"`
+	Rejects   int64         `json:"admissionRejects"`
+	WallNS    int64         `json:"queryWallNs"`
+	CPUNS     int64         `json:"processCpuNs"`
+	PoolTotal int           `json:"poolTotalPages"`
+	PoolUsed  int           `json:"poolUsedPages"`
+	Draining  bool          `json:"draining"`
+	Device    disk.Counters `json:"device"`
+	Cache     CacheStats    `json:"cache"`
+	Relations []string      `json:"relations"`
+	Recent    []QueryStat   `json:"recent"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	s.bmu.Lock()
+	poolTotal, poolUsed := s.pool.Total(), s.pool.Used()
+	s.bmu.Unlock()
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return ServerStats{
+		UptimeNS:  time.Since(s.start).Nanoseconds(),
+		Queries:   s.queries,
+		Rows:      s.rows,
+		Errors:    s.errs,
+		Aborted:   s.aborted,
+		Rejects:   s.rejects,
+		WallNS:    s.wallNS,
+		CPUNS:     (cost.ProcessCPUTime() - s.cpu0).Nanoseconds(),
+		PoolTotal: poolTotal,
+		PoolUsed:  poolUsed,
+		Draining:  s.draining(),
+		Device:    s.cfg.Disk.Counters(),
+		Cache:     s.cache.Stats(),
+		Relations: s.cfg.Catalog.Names(),
+		Recent:    append([]QueryStat(nil), s.recent...),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.cfg.Catalog.Names())
+}
+
+// handleLoad ingests a CSV relation body under the path name,
+// replacing (and dropping) any previous relation of that name.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rel, err := csvio.Read(r.Body, s.cfg.Disk)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if old, err := s.cfg.Catalog.Drop(name); err == nil {
+		_ = old.Drop()
+	}
+	s.cfg.Catalog.Register(name, rel)
+	w.WriteHeader(http.StatusCreated)
+	fmt.Fprintf(w, "loaded %q: %d tuples\n", name, rel.Tuples())
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rel, err := s.cfg.Catalog.Drop(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if err := rel.Drop(); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
