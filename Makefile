@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare explain-smoke chaos-smoke shard-smoke codec-smoke serve-smoke
+.PHONY: all build test race vet fmt check fuzz bench bench-smoke bench-compare explain-smoke chaos-smoke shard-smoke codec-smoke serve-smoke subs-smoke
 
 all: check
 
@@ -144,3 +144,65 @@ serve-smoke:
 	grep -q "clean shutdown: pool balanced" $$tmp/server.log \
 		|| { echo "no clean-shutdown verification in server log:"; cat $$tmp/server.log; exit 1; }; \
 	echo "serve-smoke: $$rows rows served, cancelled query aborted, clean shutdown verified"
+
+# Subscription smoke: the incremental-view, server and steady-state
+# harness suites under the race detector, then a real server process
+# with a live subscriber — open a subscription, append a batch, assert
+# the delta rows arrive on the stream, close client-side — and a
+# SIGTERM drain whose clean-shutdown invariants (pool balanced, zero
+# leaked files, zero open subscriptions) the server verifies itself.
+subs-smoke:
+	$(GO) test -race -count=1 ./internal/incremental/ ./internal/serve/
+	$(GO) test -race -count=1 -run TestRunFigureSubsSmall ./internal/experiments/
+	@tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/vtserve ./cmd/vtserve || exit 1; \
+	seq 0 499 | awk '{i=$$1; printf "%d,%d,%d,%d\n", i%89, i%89+40, i%13, i}' \
+		| { echo "vs,ve,key:int,a:int"; cat; } > $$tmp/r.csv; \
+	seq 0 499 | awk '{i=$$1; printf "%d,%d,%d,%d\n", (i*3)%89, (i*3)%89+40, i%13, i}' \
+		| { echo "vs,ve,key:int,b:int"; cat; echo "5,now,3,8000"; } > $$tmp/s.csv; \
+	{ echo "vs,ve,key:int,a:int"; echo "0,now,3,9001"; echo "10,now,7,9002"; } > $$tmp/delta.csv; \
+	$$tmp/vtserve -addr 127.0.0.1:7498 -memory 256 -query-memory 16 \
+		-load r=$$tmp/r.csv -load s=$$tmp/s.csv 2> $$tmp/server.log & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		if $$tmp/vtserve client -addr http://127.0.0.1:7498 -stats >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ $$up -ne 1 ]; then echo "server never came up"; cat $$tmp/server.log; exit 1; fi; \
+	$$tmp/vtserve client -addr http://127.0.0.1:7498 \
+		-subscribe "scan r | join scan s using partition memory 16" \
+		-max-rows 5 -expect-status client-closed > $$tmp/sub.csv 2> $$tmp/sub.log & \
+	subpid=$$!; \
+	reg=0; \
+	for i in $$(seq 1 100); do \
+		if [ -s $$tmp/sub.csv ]; then reg=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ $$reg -ne 1 ]; then echo "subscription header never arrived"; cat $$tmp/sub.log; exit 1; fi; \
+	$$tmp/vtserve client -addr http://127.0.0.1:7498 -append r -file $$tmp/delta.csv \
+		2> $$tmp/append.log \
+		|| { echo "append failed"; cat $$tmp/append.log $$tmp/server.log; exit 1; }; \
+	grep -q '"deltaRows":' $$tmp/append.log \
+		|| { echo "append reported no delta accounting:"; cat $$tmp/append.log; exit 1; }; \
+	if wait $$subpid; then :; else \
+		echo "subscriber exited non-zero"; cat $$tmp/sub.log $$tmp/server.log; exit 1; \
+	fi; \
+	rows=$$(($$(wc -l < $$tmp/sub.csv) - 1)); \
+	if [ $$rows -lt 5 ]; then echo "subscriber got $$rows delta rows, want >= 5"; cat $$tmp/sub.csv; exit 1; fi; \
+	$$tmp/vtserve client -addr http://127.0.0.1:7498 \
+		-q "scan r | join scan s using partition memory 16" 2>/dev/null \
+		| grep -q ',now,' \
+		|| { echo "ongoing rows lost the now sentinel in served results"; exit 1; }; \
+	$$tmp/vtserve client -addr http://127.0.0.1:7498 -stats | grep -q '"subscriptionsOpened": *1' \
+		|| { echo "stats do not count the subscription"; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid; code=$$?; \
+	if [ $$code -ne 0 ]; then \
+		echo "server exited $$code after SIGTERM, want 0"; cat $$tmp/server.log; exit 1; \
+	fi; \
+	grep -q "clean shutdown: pool balanced" $$tmp/server.log \
+		|| { echo "no clean-shutdown verification in server log:"; cat $$tmp/server.log; exit 1; }; \
+	echo "subs-smoke: $$rows delta rows streamed, client-closed teardown, clean shutdown verified"

@@ -51,7 +51,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations, all, kernels, shards, codec, or serve (timing-based, excluded from all)")
+	figure := flag.String("figure", "all", "figure to regenerate: 4, 5, 6, 7, 8, ablations, all, kernels, shards, codec, serve, or subs (timing-based figures are excluded from all)")
 	scale := flag.Int("scale", 16, "scale divisor on tuple counts and memory (1 = paper scale)")
 	seed := flag.Int64("seed", 1994, "base RNG seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent figure data points (1 = sequential; output is identical at any setting)")
@@ -66,12 +66,12 @@ func main() {
 	flag.Parse()
 
 	switch *figure {
-	case "4", "5", "6", "7", "8", "ablations", "all", "kernels", "shards", "codec", "serve":
+	case "4", "5", "6", "7", "8", "ablations", "all", "kernels", "shards", "codec", "serve", "subs":
 	default:
-		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations, all, kernels, shards, codec or serve)", *figure))
+		usage(fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, ablations, all, kernels, shards, codec, serve or subs)", *figure))
 	}
-	if *benchjson != "" && *figure != "kernels" && *figure != "shards" && *figure != "codec" && *figure != "serve" {
-		usage(fmt.Errorf("-benchjson requires -figure kernels, shards, codec or serve"))
+	if *benchjson != "" && *figure != "kernels" && *figure != "shards" && *figure != "codec" && *figure != "serve" && *figure != "subs" {
+		usage(fmt.Errorf("-benchjson requires -figure kernels, shards, codec, serve or subs"))
 	}
 	if *shards < 1 {
 		usage(fmt.Errorf("-shards must be >= 1, got %d", *shards))
@@ -111,10 +111,10 @@ func main() {
 	}
 
 	run := func(name string, f func() error) {
-		// "kernels", "shards" and "serve" are timing-based and opt-in
-		// only: "all" must stay byte-identical across runs and worker
-		// counts.
-		if *figure != name && (*figure != "all" || name == "kernels" || name == "shards" || name == "serve") {
+		// "kernels", "shards", "serve" and "subs" are timing-based and
+		// opt-in only: "all" must stay byte-identical across runs and
+		// worker counts.
+		if *figure != name && (*figure != "all" || name == "kernels" || name == "shards" || name == "serve" || name == "subs") {
 			return
 		}
 		start := time.Now()
@@ -222,6 +222,23 @@ func main() {
 			return err
 		}
 		fmt.Printf("\n[serve load figure written to %s]\n", out)
+		return nil
+	})
+	run("subs", func() error {
+		fleets := []int{1, 8, 32, 120}
+		rows, err := experiments.RunFigureSubs(p, fleets)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigureSubs(rows))
+		out := *benchjson
+		if out == "" {
+			out = "BENCH_pr10.json"
+		}
+		if err := writeSubsJSON(out, p, rows); err != nil {
+			return err
+		}
+		fmt.Printf("\n[subscription figure written to %s]\n", out)
 		return nil
 	})
 	run("ablations", func() error {
@@ -468,6 +485,51 @@ func writeServeJSON(path string, p experiments.Params, sessions int, res *experi
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// writeSubsJSON records the subscription steady-state figure in the
+// BENCH_*.json format the repo tracks across performance PRs: append
+// throughput under N open subscriptions, with every delivered delta
+// checksum-verified against a full re-join before this is written.
+func writeSubsJSON(path string, p experiments.Params, rows []experiments.SubsResult) error {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	type jsonRow struct {
+		Subscribers     int     `json:"subscribers"`
+		Appends         int     `json:"appends"`
+		RowsPerBatch    int     `json:"rows_per_batch"`
+		AppendedRows    int64   `json:"appended_rows"`
+		DeltaRowsPerSub int64   `json:"delta_rows_per_subscriber"`
+		VerifiedDeltas  int64   `json:"verified_deltas"`
+		Unverified      int64   `json:"unverified"`
+		WallMS          float64 `json:"wall_ms"`
+		TuplesPerSec    float64 `json:"tuples_per_sec"`
+		DeltaRowsPerSec float64 `json:"delta_rows_per_sec"`
+		PoolPages       int     `json:"pool_pages"`
+		FinalRows       int64   `json:"final_rows"`
+		FinalChecksum   string  `json:"final_checksum"`
+	}
+	doc := struct {
+		experiments.BenchHeader
+		Rows []jsonRow `json:"subscription_load"`
+	}{
+		BenchHeader: experiments.NewBenchHeader(
+			"Steady-state append throughput under open ongoing-relation subscriptions: N subscribers hold one incremental join view each while append batches stream into both base relations. Every delivered delta segment is checksum-verified against a full in-memory re-join at that append point, and the final state is cross-checked across all three batch algorithms and both kernels.",
+			fmt.Sprintf("vtbench -figure subs -scale %d -seed %d", p.Scale, p.Seed)),
+	}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, jsonRow{
+			Subscribers: r.Subs, Appends: r.Appends, RowsPerBatch: r.BatchRows,
+			AppendedRows: r.AppendedRows, DeltaRowsPerSub: r.DeltaRowsPerSub,
+			VerifiedDeltas: r.VerifiedDeltas, Unverified: r.Unverified,
+			WallMS: ms(r.Wall), TuplesPerSec: r.TuplesPerSec, DeltaRowsPerSec: r.DeltaRowsPerSec,
+			PoolPages: r.PoolPages, FinalRows: r.FinalRows, FinalChecksum: r.FinalChecksum,
+		})
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 // fatal reports a runtime failure (experiment execution) and exits 1 —
 // or 3 when the failure is a cancellation or expired deadline.
 func fatal(err error) { execctx.Fatal("vtbench", err) }
@@ -475,5 +537,5 @@ func fatal(err error) { execctx.Fatal("vtbench", err) }
 // usage reports a command-line mistake and exits 2.
 func usage(err error) {
 	execctx.Usage("vtbench", err,
-		"vtbench [-figure 4|5|6|7|8|ablations|all|kernels|shards|codec|serve] [-scale N] [-seed S] [-workers W] [-page-format v1|v2] [-benchjson F] [-cpuprofile F] [-memprofile F]")
+		"vtbench [-figure 4|5|6|7|8|ablations|all|kernels|shards|codec|serve|subs] [-scale N] [-seed S] [-workers W] [-page-format v1|v2] [-benchjson F] [-cpuprofile F] [-memprofile F]")
 }

@@ -23,6 +23,16 @@
 //	GET  /relations        catalog listing.
 //	PUT  /relations/{name} load a CSV relation.
 //	DELETE /relations/{name} drop a relation.
+//	POST /subscribe        open an ongoing-relation subscription: the
+//	                       body is a "scan A | join scan B" query; the
+//	                       response is a long-lived CSV stream of the
+//	                       delta rows each append produces, ended by the
+//	                       usual trailer verdict. ?bind_now=N binds
+//	                       delivered ongoing rows at chronon N;
+//	                       ?initial=1 streams the current view first.
+//	POST /relations/{name}/append
+//	                       fold a CSV batch of tuples into the base
+//	                       relation and every subscription scanning it.
 //
 // Queries are admitted against a shared buffer pool of -memory pages:
 // each query reserves -query-memory pages (or its largest "memory"
@@ -39,6 +49,8 @@
 // Client usage (a scripted session against a running server):
 //
 //	vtserve client [-addr url] -q "scan r | ..." [-timeout-ms N] [-expect-status s]
+//	vtserve client [-addr url] -subscribe "scan r | join scan s" [-bind-now N] [-initial] [-max-rows N]
+//	vtserve client [-addr url] -append name -file delta.csv
 //	vtserve client [-addr url] -put name -file data.csv
 //	vtserve client [-addr url] -drop name
 //	vtserve client [-addr url] -stats
@@ -50,6 +62,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -205,9 +218,14 @@ func clientMain(args []string) {
 	timeoutMS := fs.Int("timeout-ms", 0, "server-side query timeout in milliseconds")
 	expect := fs.String("expect-status", "", "fail unless the X-Vtserve-Status trailer equals this (e.g. ok, aborted)")
 	put := fs.String("put", "", "load -file as this relation name")
-	file := fs.String("file", "", "CSV file for -put")
+	file := fs.String("file", "", "CSV file for -put or -append")
 	drop := fs.String("drop", "", "drop this relation")
 	stats := fs.Bool("stats", false, "fetch /stats")
+	subscribe := fs.String("subscribe", "", "open a subscription for this join query and stream its deltas")
+	bindNow := fs.Int64("bind-now", -1, "with -subscribe: bind delivered ongoing rows at this chronon")
+	initial := fs.Bool("initial", false, "with -subscribe: stream the view's initial contents first")
+	maxRows := fs.Int64("max-rows", 0, "with -subscribe: close the stream after this many delivered rows")
+	appendTo := fs.String("append", "", "append -file tuples to this relation (folds into subscriptions)")
 	if err := fs.Parse(args); err != nil {
 		usage(err)
 	}
@@ -269,9 +287,76 @@ func clientMain(args []string) {
 		if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
 			fatal(err)
 		}
+	case *subscribe != "":
+		status, err := runSubscribe(*addr, *subscribe, *bindNow, *initial, *maxRows)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vtserve client: status %s\n", status)
+		if *expect != "" && status != *expect {
+			fatal(fmt.Errorf("status %q, expected %q", status, *expect))
+		}
+	case *appendTo != "":
+		if *file == "" {
+			usage(errors.New("-append needs -file"))
+		}
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		req, err := http.NewRequest(http.MethodPost, *addr+"/relations/"+*appendTo+"/append", f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := doSimple(req); err != nil {
+			fatal(err)
+		}
 	default:
-		usage(errors.New("one of -q, -put, -drop or -stats is required"))
+		usage(errors.New("one of -q, -subscribe, -append, -put, -drop or -stats is required"))
 	}
+}
+
+// runSubscribe opens a subscription stream, copies delivered CSV rows
+// to stdout, and returns the terminal status trailer. With maxRows > 0
+// the client closes the stream itself once that many data rows (header
+// excluded) have arrived — the scripted-session path, where the server
+// then reports the teardown as "aborted".
+func runSubscribe(addr, q string, bindNow int64, initial bool, maxRows int64) (string, error) {
+	url := addr + "/subscribe"
+	sep := "?"
+	if bindNow >= 0 {
+		url += fmt.Sprintf("%sbind_now=%d", sep, bindNow)
+		sep = "&"
+	}
+	if initial {
+		url += sep + "initial=1"
+		sep = "&"
+	}
+	_ = sep
+	resp, err := http.Post(url, "text/plain", strings.NewReader(q))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var rows int64
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+		rows++ // first line is the header
+		if maxRows > 0 && rows > maxRows {
+			// Closing the body tears the stream down server-side; the
+			// trailer is unreadable after that, so report the local
+			// verdict.
+			resp.Body.Close()
+			return "client-closed", nil
+		}
+	}
+	return resp.Trailer.Get("X-Vtserve-Status"), nil
 }
 
 // runQuery posts the query, streams the CSV body to stdout, and returns

@@ -1,6 +1,7 @@
 package vtjoin
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -9,12 +10,14 @@ import (
 	"vtjoin/internal/partition"
 )
 
-// View is a materialized valid-time natural join maintained
-// incrementally under appends to either base relation — the
-// incremental-evaluation adaptation the paper sketches in Sections 3.1
-// and 5. The base relations are kept partitioned by valid time; an
-// inserted tuple's contribution is computed by joining the delta
-// against only the partitions that can possibly hold matches.
+// View is a materialized valid-time join maintained incrementally
+// under appends to either base relation — the incremental-evaluation
+// adaptation the paper sketches in Sections 3.1 and 5. The base
+// relations are kept partitioned by valid time; an inserted tuple's
+// contribution is computed by joining the delta against only the
+// partitions that can possibly hold matches, and each fold reports the
+// delta result rows it produced. Close the view to reclaim its backing
+// temporary files.
 type View struct {
 	db *DB
 	v  *incremental.View
@@ -33,12 +36,25 @@ type ViewOptions struct {
 	// with an equi-width partitioning of the left relation's lifespan
 	// into this many intervals.
 	Partitions int
+	// Predicate selects the temporal condition maintained pairs must
+	// satisfy (default: intersecting intervals, the natural join).
+	Predicate Predicate
+	// Kernel selects the in-memory matching kernel (default: sweep).
+	Kernel Kernel
 }
 
 // NewView materializes r ⋈V s as an incrementally maintainable view.
 // The valid-time partitioning is chosen by the paper's sampling-based
 // planner over r (or equi-width when opts.Partitions is set).
 func NewView(r, s *Relation, opts ViewOptions) (*View, error) {
+	return NewViewContext(context.Background(), r, s, opts)
+}
+
+// NewViewContext is NewView under a context: construction — the
+// partitioning passes and the initial join — is cancelled
+// cooperatively at page granularity, and on any error (including an
+// abort) every temporary created so far is dropped.
+func NewViewContext(ctx context.Context, r, s *Relation, opts ViewOptions) (*View, error) {
 	if r == nil || s == nil {
 		return nil, fmt.Errorf("vtjoin: nil relation")
 	}
@@ -53,6 +69,10 @@ func NewView(r, s *Relation, opts ViewOptions) (*View, error) {
 	}
 	if opts.Seed == 0 {
 		opts.Seed = 1
+	}
+	mask, err := opts.Predicate.mask()
+	if err != nil {
+		return nil, err
 	}
 
 	var parting partition.Partitioning
@@ -69,7 +89,6 @@ func NewView(r, s *Relation, opts ViewOptions) (*View, error) {
 			for c := int64(ls.Start) + width; c < int64(ls.End) && len(cuts) < opts.Partitions-1; c += width {
 				cuts = append(cuts, Chronon(c))
 			}
-			var err error
 			parting, err = partition.FromCuts(cuts)
 			if err != nil {
 				return nil, err
@@ -87,7 +106,11 @@ func NewView(r, s *Relation, opts ViewOptions) (*View, error) {
 		parting = plan.Partitioning
 	}
 
-	v, err := incremental.New(r.internal(), s.internal(), incremental.Config{Partitioning: parting})
+	v, err := incremental.New(ctx, r.internal(), s.internal(), incremental.Config{
+		Partitioning: parting,
+		Predicate:    mask,
+		Kernel:       opts.Kernel.internal(),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -96,18 +119,46 @@ func NewView(r, s *Relation, opts ViewOptions) (*View, error) {
 
 // InsertLeft appends a tuple to the left base relation and folds its
 // join contribution into the view.
-func (v *View) InsertLeft(t Tuple) error { return v.v.InsertLeft(t) }
+func (v *View) InsertLeft(t Tuple) error {
+	_, err := v.v.InsertLeft(nil, t)
+	return err
+}
 
 // InsertRight appends a tuple to the right base relation and folds its
 // join contribution into the view.
-func (v *View) InsertRight(t Tuple) error { return v.v.InsertRight(t) }
+func (v *View) InsertRight(t Tuple) error {
+	_, err := v.v.InsertRight(nil, t)
+	return err
+}
+
+// InsertLeftContext appends a tuple to the left base relation under a
+// context checked at page granularity and returns the delta result
+// rows this append contributed to the view (safe to retain).
+func (v *View) InsertLeftContext(ctx context.Context, t Tuple) ([]Tuple, error) {
+	return v.v.InsertLeft(ctx, t)
+}
+
+// InsertRightContext is InsertLeftContext for the right base relation.
+func (v *View) InsertRightContext(ctx context.Context, t Tuple) ([]Tuple, error) {
+	return v.v.InsertRight(ctx, t)
+}
+
+// Sync flushes the trailing partial result page to disk. Folds batch
+// result rows through an open page, so call Sync before scanning
+// Result() directly.
+func (v *View) Sync() error { return v.v.Sync() }
+
+// Close drops the view's backing structures (both partitioned base
+// copies and the materialized result). Idempotent.
+func (v *View) Close() error { return v.v.Close() }
 
 // Result returns the materialized view as a relation.
 func (v *View) Result() *Relation {
 	return &Relation{db: v.db, rel: v.v.Result()}
 }
 
-// Tuples materializes the view's contents.
+// Tuples materializes the view's contents, including rows still
+// buffered in the view's open result page.
 func (v *View) Tuples() ([]Tuple, error) { return v.v.Tuples() }
 
 func maxInt(a, b int) int {

@@ -163,10 +163,14 @@ func (iv Interval) Meets(other Interval) bool {
 	return iv.valid && other.valid && iv.End+1 == other.Start
 }
 
-// String renders the interval as "[start, end]" or "⊥" (null).
+// String renders the interval as "[start, end]" or "⊥" (null); an
+// ongoing interval renders its open end as "now".
 func (iv Interval) String() string {
 	if iv.IsNull() {
 		return "⊥"
+	}
+	if iv.IsOngoing() {
+		return fmt.Sprintf("[%d, now]", iv.Start)
 	}
 	return fmt.Sprintf("[%d, %d]", iv.Start, iv.End)
 }

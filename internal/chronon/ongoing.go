@@ -1,0 +1,66 @@
+// Ongoing (now-relative) intervals, after Mülle & Böhlen ("Query
+// Results over Ongoing Databases that Remain Valid as Time Passes By",
+// PAPERS.md): a tuple whose validity extends to the ever-advancing
+// current time carries the sentinel end chronon Now instead of a fixed
+// end. Computation proceeds symbolically — Now orders after every
+// fixed chronon, so interval arithmetic (Overlap, Hull, the Allen
+// relations) treats an ongoing interval as reaching past the end of
+// the fixed time-line, and the overlap of two ongoing intervals is
+// itself ongoing. A result that carries Now stays valid as time
+// passes; BindNow substitutes a concrete evaluation chronon when a
+// reader needs a fixed interval.
+package chronon
+
+import (
+	"fmt"
+	"math"
+)
+
+// Now is the sentinel chronon marking the open end of an ongoing
+// interval. It orders strictly after Forever (and thus after every
+// fixed chronon), so the ordinary interval algebra extends to ongoing
+// intervals unchanged: [a, Now] overlaps everything that does not end
+// before a, and overlap([a, Now], [b, Now]) = [max(a,b), Now]. Like
+// Beginning and Forever it is kept far enough inside the int64 range
+// that endpoint +1/-1 arithmetic and durations never overflow.
+const Now Chronon = math.MaxInt64 / 2
+
+// NewOngoing returns the ongoing interval [start, Now]. It panics when
+// start lies outside the fixed time-line [Beginning, Forever]; use
+// NewOngoingChecked for untrusted inputs.
+func NewOngoing(start Chronon) Interval {
+	iv, err := NewOngoingChecked(start)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// NewOngoingChecked returns the ongoing interval [start, Now], or an
+// error when start lies outside the fixed time-line.
+func NewOngoingChecked(start Chronon) (Interval, error) {
+	if start < Beginning || start > Forever {
+		return Interval{}, fmt.Errorf("chronon: ongoing interval start %d outside [Beginning, Forever]", start)
+	}
+	return Interval{Start: start, End: Now, valid: true}, nil
+}
+
+// IsOngoing reports whether the interval's end is the Now sentinel —
+// a now-relative interval whose validity grows as time passes.
+func (iv Interval) IsOngoing() bool { return iv.valid && iv.End == Now }
+
+// BindNow substitutes the evaluation chronon at for the Now sentinel:
+// an ongoing interval [s, Now] becomes the fixed interval [s, at].
+// An ongoing interval that has not yet begun at the evaluation chronon
+// (s > at) binds to the null interval — it holds no chronons yet.
+// Fixed and null intervals are returned unchanged, so BindNow may be
+// applied uniformly to a result stream.
+func (iv Interval) BindNow(at Chronon) Interval {
+	if !iv.IsOngoing() {
+		return iv
+	}
+	if iv.Start > at {
+		return Null()
+	}
+	return Interval{Start: iv.Start, End: at, valid: true}
+}

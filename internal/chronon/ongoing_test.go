@@ -1,0 +1,86 @@
+package chronon
+
+import "testing"
+
+func TestNowOrdersAfterEveryFixedChronon(t *testing.T) {
+	if Now <= Forever {
+		t.Fatalf("Now (%d) must order after Forever (%d)", Now, Forever)
+	}
+	// Endpoint arithmetic on ongoing intervals must not overflow.
+	if Now+1 <= Now {
+		t.Fatal("Now+1 overflows")
+	}
+	if d := NewOngoing(Beginning).Duration(); d <= 0 {
+		t.Fatalf("ongoing interval duration overflowed: %d", d)
+	}
+}
+
+func TestOngoingConstruction(t *testing.T) {
+	iv := NewOngoing(10)
+	if !iv.IsOngoing() || iv.Start != 10 || iv.End != Now {
+		t.Fatalf("NewOngoing(10) = %v", iv)
+	}
+	if Null().IsOngoing() {
+		t.Fatal("null interval reported ongoing")
+	}
+	if New(0, 10).IsOngoing() {
+		t.Fatal("fixed interval reported ongoing")
+	}
+	if _, err := NewOngoingChecked(Forever + 1); err == nil {
+		t.Fatal("ongoing start past Forever accepted")
+	}
+	if _, err := NewOngoingChecked(Beginning - 1); err == nil {
+		t.Fatal("ongoing start before Beginning accepted")
+	}
+}
+
+func TestOngoingAlgebra(t *testing.T) {
+	a, b := NewOngoing(10), NewOngoing(20)
+	// The overlap of two ongoing intervals is itself ongoing.
+	ov := Overlap(a, b)
+	if !ov.IsOngoing() || ov.Start != 20 {
+		t.Fatalf("overlap of ongoing intervals = %v, want [20, now]", ov)
+	}
+	// Ongoing × fixed truncates to the fixed end.
+	ov = Overlap(a, New(5, 30))
+	if ov.IsOngoing() || !ov.Equal(New(10, 30)) {
+		t.Fatalf("overlap ongoing×fixed = %v, want [10, 30]", ov)
+	}
+	// A fixed interval entirely before the ongoing start is disjoint.
+	if !Overlap(a, New(0, 9)).IsNull() {
+		t.Fatal("ongoing interval overlapped an interval ending before its start")
+	}
+	if h := Hull(New(0, 5), a); !h.IsOngoing() || h.Start != 0 {
+		t.Fatalf("hull with ongoing = %v", h)
+	}
+}
+
+func TestBindNow(t *testing.T) {
+	iv := NewOngoing(10)
+	got := iv.BindNow(25)
+	if !got.Equal(New(10, 25)) {
+		t.Fatalf("BindNow(25) = %v, want [10, 25]", got)
+	}
+	// Not yet begun at the evaluation chronon: binds to null.
+	if !iv.BindNow(9).IsNull() {
+		t.Fatal("ongoing interval beginning after the evaluation chronon must bind to null")
+	}
+	// Exactly at the start: a single chronon.
+	if got := iv.BindNow(10); !got.Equal(At(10)) {
+		t.Fatalf("BindNow(start) = %v, want [10, 10]", got)
+	}
+	// Fixed and null intervals pass through unchanged.
+	fixed := New(3, 7)
+	if got := fixed.BindNow(100); !got.Equal(fixed) {
+		t.Fatalf("BindNow changed a fixed interval: %v", got)
+	}
+	if !Null().BindNow(5).IsNull() {
+		t.Fatal("BindNow changed the null interval")
+	}
+}
+
+func TestOngoingString(t *testing.T) {
+	if s := NewOngoing(7).String(); s != "[7, now]" {
+		t.Fatalf("String() = %q", s)
+	}
+}

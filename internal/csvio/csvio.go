@@ -31,6 +31,11 @@ import (
 // NullSentinel is the CSV representation of a null value.
 const NullSentinel = "\u2400"
 
+// NowSentinel is the CSV representation of the open end of an ongoing
+// interval (chronon.Now): a "ve" field of "now" marks a tuple whose
+// validity extends to the ever-advancing current time.
+const NowSentinel = "now"
+
 // FormatHeader renders the header record for a schema.
 func FormatHeader(s *schema.Schema) []string {
 	out := []string{"vs", "ve"}
@@ -100,9 +105,21 @@ func WriteTuples(w io.Writer, s *schema.Schema, ts []tuple.Tuple) error {
 	return cw.Error()
 }
 
+// FormatRecord renders t's fields into rec, which must have
+// 2+len(t.Values) entries: vs, ve (the NowSentinel for ongoing
+// intervals), then the column values. It returns rec for convenience;
+// streaming writers (the query server) reuse one record across rows.
+func FormatRecord(rec []string, t tuple.Tuple) []string {
+	return formatRecord(rec, t)
+}
+
 func formatRecord(rec []string, t tuple.Tuple) []string {
 	rec[0] = strconv.FormatInt(int64(t.V.Start), 10)
-	rec[1] = strconv.FormatInt(int64(t.V.End), 10)
+	if t.V.IsOngoing() {
+		rec[1] = NowSentinel
+	} else {
+		rec[1] = strconv.FormatInt(int64(t.V.End), 10)
+	}
 	for i, v := range t.Values {
 		if v.IsNull() {
 			rec[2+i] = NullSentinel
@@ -153,13 +170,21 @@ func ReadTuples(rd io.Reader) (*schema.Schema, []tuple.Tuple, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("csvio: line %d: vs: %w", line, err)
 		}
-		ve, err := strconv.ParseInt(rec[1], 10, 64)
-		if err != nil {
-			return nil, nil, fmt.Errorf("csvio: line %d: ve: %w", line, err)
-		}
-		iv, err := chronon.NewChecked(chronon.Chronon(vs), chronon.Chronon(ve))
-		if err != nil {
-			return nil, nil, fmt.Errorf("csvio: line %d: %w", line, err)
+		var iv chronon.Interval
+		if rec[1] == NowSentinel {
+			iv, err = chronon.NewOngoingChecked(chronon.Chronon(vs))
+			if err != nil {
+				return nil, nil, fmt.Errorf("csvio: line %d: %w", line, err)
+			}
+		} else {
+			ve, err := strconv.ParseInt(rec[1], 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("csvio: line %d: ve: %w", line, err)
+			}
+			iv, err = chronon.NewChecked(chronon.Chronon(vs), chronon.Chronon(ve))
+			if err != nil {
+				return nil, nil, fmt.Errorf("csvio: line %d: %w", line, err)
+			}
 		}
 		vals := make([]value.Value, s.Len())
 		for i := 0; i < s.Len(); i++ {

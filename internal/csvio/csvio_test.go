@@ -177,3 +177,32 @@ func TestNullRoundTrip(t *testing.T) {
 		t.Fatal("typed value lost")
 	}
 }
+
+func TestOngoingRoundTrip(t *testing.T) {
+	s := schema.MustNew(schema.Column{Name: "k", Kind: value.KindInt})
+	ts := []tuple.Tuple{
+		tuple.New(chronon.NewOngoing(10), value.Int(1)),
+		tuple.New(chronon.New(0, 5), value.Int(2)),
+	}
+	var buf bytes.Buffer
+	if err := WriteTuples(&buf, s, ts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10,now,1") {
+		t.Fatalf("ongoing end not rendered as %q:\n%s", NowSentinel, buf.String())
+	}
+	_, got, err := ReadTuples(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].V.IsOngoing() || got[0].V.Start != 10 {
+		t.Fatalf("ongoing interval did not round-trip: %v", got)
+	}
+	if got[1].V.IsOngoing() {
+		t.Fatal("fixed interval came back ongoing")
+	}
+	// "now" in the vs field is rejected: only ends are open.
+	if _, _, err := ReadTuples(strings.NewReader("vs,ve,k:int\nnow,5,1\n")); err == nil {
+		t.Fatal("\"now\" accepted as a start chronon")
+	}
+}

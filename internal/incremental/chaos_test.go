@@ -1,0 +1,239 @@
+package incremental
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vtjoin/internal/chronon"
+	"vtjoin/internal/disk"
+	"vtjoin/internal/execctx"
+	"vtjoin/internal/page"
+	"vtjoin/internal/testutil"
+	"vtjoin/internal/trace"
+	"vtjoin/internal/tuple"
+	"vtjoin/internal/value"
+)
+
+// The view owns three on-device structures (two partitioned base
+// copies and the result relation), all created during New. These
+// chaos regressions strike construction and maintenance with
+// cancellations and permanent device faults at seeded points of the
+// I/O schedule, then diff the device's live files: an abort — wherever
+// it lands — must leave exactly the files that existed before.
+
+func wideTuple(start, end chronon.Chronon, key, id int64) tuple.Tuple {
+	return tuple.New(chronon.New(start, end), value.Int(key), value.Int(id))
+}
+
+func TestNewDropsTemporariesOnCancellation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	trig := testutil.NewTriggerCtx()
+	var ac testutil.ArmedCounter
+	d := disk.NewHooked(page.DefaultSize, func(disk.PageOp) { ac.Tick() })
+	_, lrel := buildBase(t, d, leftSchema, 800, 21)
+	_, rrel := buildBase(t, d, rightSchema, 800, 22)
+	before := d.LiveFiles()
+
+	// Strike a little into the partitioning pass, when partition files
+	// already hold pages.
+	ac.Arm(7, func() { trig.Fire(context.Canceled) })
+	v, err := New(trig, lrel, rrel, Config{Partitioning: mustCuts(t, 250, 500, 750, 1000)})
+	if err == nil {
+		v.Close()
+		t.Fatal("construction survived a cancelled context")
+	}
+	var ae *execctx.AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v (type %T) is not an *execctx.AbortError", err, err)
+	}
+	if after := d.LiveFiles(); len(after) != len(before) {
+		t.Fatalf("view temporaries leaked on aborted construction: %v -> %v", before, after)
+	}
+}
+
+func TestNewDropsTemporariesOnFault(t *testing.T) {
+	// Seed the fault against a dry run: count the I/O of loading the
+	// bases, then let the permanent write fault strike a few pages
+	// into the partitioning pass of the real run.
+	dry := disk.New(page.DefaultSize)
+	buildBase(t, dry, leftSchema, 800, 23)
+	buildBase(t, dry, rightSchema, 800, 24)
+	loadOps := int(dry.Counters().Total())
+
+	faulty, fs := disk.NewFaulty(page.DefaultSize, disk.FaultPlan{
+		Faults: []disk.Fault{{Kind: disk.FaultPermanentWrite, Page: -1, After: loadOps + 5}},
+	})
+	_, lrel := buildBase(t, faulty, leftSchema, 800, 23)
+	_, rrel := buildBase(t, faulty, rightSchema, 800, 24)
+	before := faulty.LiveFiles()
+
+	v, err := New(nil, lrel, rrel, Config{Partitioning: mustCuts(t, 250, 500, 750, 1000)})
+	if err == nil {
+		v.Close()
+		t.Fatal("construction survived a permanently failing device")
+	}
+	var ioe *disk.IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("error %v (type %T) does not wrap *disk.IOError", err, err)
+	}
+	if fs.Stats().PermanentWrites == 0 {
+		t.Fatal("fault never fired")
+	}
+	if after := faulty.LiveFiles(); len(after) != len(before) {
+		t.Fatalf("view temporaries leaked on faulted construction: %v -> %v", before, after)
+	}
+}
+
+func TestInsertCancelMidProbePoisonsAndClosesClean(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	trig := testutil.NewTriggerCtx()
+	var ac testutil.ArmedCounter
+	d := disk.NewHooked(page.DefaultSize, func(disk.PageOp) { ac.Tick() })
+	_, lrel := buildBase(t, d, leftSchema, 600, 25)
+	_, rrel := buildBase(t, d, rightSchema, 600, 26)
+	baseline := d.LiveFiles()
+
+	v, err := New(nil, lrel, rrel, Config{Partitioning: mustCuts(t, 200, 400, 600, 800, 1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A wide delta probes many right partitions; the cancel lands
+	// mid-probe, after the base insert but before the fold finishes.
+	ac.Arm(3, func() { trig.Fire(context.Canceled) })
+	_, err = v.InsertLeft(trig, wideTuple(0, 1400, 3, 777777))
+	if err == nil {
+		t.Fatal("fold survived a cancelled context")
+	}
+	var ae *execctx.AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v (type %T) is not an *execctx.AbortError", err, err)
+	}
+
+	// The base holds the tuple but the view may lack part of its
+	// delta: the view must refuse further folds.
+	if _, err := v.InsertLeft(nil, wideTuple(5, 10, 3, 777778)); err == nil {
+		t.Fatal("poisoned view accepted another fold")
+	}
+	if err := v.Sync(); err == nil {
+		t.Fatal("poisoned view accepted Sync")
+	}
+
+	// Close still works and reclaims every backing file.
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if after := d.LiveFiles(); len(after) != len(baseline) {
+		t.Fatalf("view files leaked after Close: %v -> %v", baseline, after)
+	}
+}
+
+func TestInsertFaultMidProbe(t *testing.T) {
+	// The permanent-fault twin of the cancellation case: a read fault
+	// strikes the delta probe itself. Seeded against a dry run of the
+	// identical schedule.
+	cfg := Config{Partitioning: mustCuts(t, 200, 400, 600, 800, 1000)}
+	dry := disk.New(page.DefaultSize)
+	_, dl := buildBase(t, dry, leftSchema, 600, 27)
+	_, dr := buildBase(t, dry, rightSchema, 600, 28)
+	if _, err := New(nil, dl, dr, cfg); err != nil {
+		t.Fatal(err)
+	}
+	dc := dry.Counters()
+	setupReads := int(dc.RandReads + dc.SeqReads)
+
+	faulty, fs := disk.NewFaulty(page.DefaultSize, disk.FaultPlan{
+		Faults: []disk.Fault{{Kind: disk.FaultPermanentRead, Page: -1, After: setupReads + 2}},
+	})
+	_, lrel := buildBase(t, faulty, leftSchema, 600, 27)
+	_, rrel := buildBase(t, faulty, rightSchema, 600, 28)
+	preView := len(faulty.LiveFiles())
+	v, err := New(nil, lrel, rrel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = v.InsertLeft(nil, wideTuple(0, 1400, 3, 888888))
+	if err == nil {
+		t.Fatal("fold survived a permanently failing device")
+	}
+	var ioe *disk.IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("error %v (type %T) does not wrap *disk.IOError", err, err)
+	}
+	if fs.Stats().PermanentReads == 0 {
+		t.Fatal("fault never fired")
+	}
+	if _, err := v.InsertRight(nil, wideTuple(5, 10, 3, 888889)); err == nil {
+		t.Fatal("poisoned view accepted another fold")
+	}
+	// Removals succeed on the in-memory store even after the read
+	// fault; Close must reclaim every view file.
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(faulty.LiveFiles()); after != preView {
+		t.Fatalf("Close left %d files, want the pre-view %d", after, preView)
+	}
+}
+
+func TestTraceAuditOverViewLifecycle(t *testing.T) {
+	// The PR-6 temp-file audit applied to a whole view lifecycle:
+	// every file the traced run creates must be gone by Finish, which
+	// here runs after Close. Construction phases appear as spans with
+	// exact I/O attribution.
+	d := disk.New(page.DefaultSize)
+	_, lrel := buildBase(t, d, leftSchema, 300, 31)
+	_, rrel := buildBase(t, d, rightSchema, 300, 32)
+	tr := trace.New(d, "view lifecycle", trace.Options{Audit: true})
+	v, err := New(nil, lrel, rrel, Config{
+		Partitioning: mustCuts(t, 300, 600, 900),
+		Tracer:       tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.InsertLeft(nil, wideTuple(10, 50, 2, 555)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	root, err := tr.Finish()
+	if err != nil {
+		t.Fatalf("trace audit over the view lifecycle failed: %v", err)
+	}
+	names := map[string]bool{}
+	for _, sp := range root.Children {
+		names[sp.Name] = true
+	}
+	if !names["incremental: partition"] || !names["incremental: initial join"] {
+		t.Fatalf("construction spans missing: %v", names)
+	}
+}
+
+func TestNewErrorPathPassesTraceAudit(t *testing.T) {
+	// An aborted construction must also pass the audit immediately:
+	// nothing it created may outlive the error return.
+	trig := testutil.NewTriggerCtx()
+	var ac testutil.ArmedCounter
+	d := disk.NewHooked(page.DefaultSize, func(disk.PageOp) { ac.Tick() })
+	_, lrel := buildBase(t, d, leftSchema, 400, 33)
+	_, rrel := buildBase(t, d, rightSchema, 400, 34)
+	tr := trace.New(d, "aborted construction", trace.Options{Audit: true})
+	ac.Arm(5, func() { trig.Fire(context.Canceled) })
+	if v, err := New(trig, lrel, rrel, Config{
+		Partitioning: mustCuts(t, 250, 500, 750),
+		Tracer:       tr,
+	}); err == nil {
+		v.Close()
+		t.Fatal("construction survived a cancelled context")
+	}
+	if _, err := tr.Finish(); err != nil {
+		t.Fatalf("trace audit after aborted construction failed: %v", err)
+	}
+}

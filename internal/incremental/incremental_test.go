@@ -87,7 +87,7 @@ func TestInitialEvaluationMatchesOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := New(lrel, rrel, Config{Partitioning: mustCuts(t, 200, 400, 600, 800, 1000, 1200)})
+	v, err := New(nil, lrel, rrel, Config{Partitioning: mustCuts(t, 200, 400, 600, 800, 1000, 1200)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestInsertsMaintainView(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := New(lrel, rrel, Config{Partitioning: mustCuts(t, 300, 700, 1100)})
+	v, err := New(nil, lrel, rrel, Config{Partitioning: mustCuts(t, 300, 700, 1100)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,12 +110,12 @@ func TestInsertsMaintainView(t *testing.T) {
 	for i := 0; i < 80; i++ {
 		tp := randTuple(rng, int64(900000+i))
 		if i%2 == 0 {
-			if err := v.InsertLeft(tp); err != nil {
+			if _, err := v.InsertLeft(nil, tp); err != nil {
 				t.Fatal(err)
 			}
 			lt = append(lt, tp)
 		} else {
-			if err := v.InsertRight(tp); err != nil {
+			if _, err := v.InsertRight(nil, tp); err != nil {
 				t.Fatal(err)
 			}
 			rt = append(rt, tp)
@@ -133,7 +133,7 @@ func TestInsertCostIsLocalized(t *testing.T) {
 	d := disk.New(4096)
 	_, lrel := buildBase(t, d, leftSchema, 3000, 6)
 	_, rrel := buildBase(t, d, rightSchema, 3000, 7)
-	v, err := New(lrel, rrel, Config{
+	v, err := New(nil, lrel, rrel, Config{
 		Partitioning: mustCuts(t, 150, 300, 450, 600, 750, 900, 1050, 1200, 1350, 1500),
 	})
 	if err != nil {
@@ -150,7 +150,7 @@ func TestInsertCostIsLocalized(t *testing.T) {
 	totalPages := lp + rp
 
 	before := d.Counters()
-	if err := v.InsertLeft(tuple.New(chronon.New(500, 505), value.Int(3), value.Int(123456))); err != nil {
+	if _, err := v.InsertLeft(nil, tuple.New(chronon.New(500, 505), value.Int(3), value.Int(123456))); err != nil {
 		t.Fatal(err)
 	}
 	delta := d.Counters().Sub(before)
@@ -180,12 +180,12 @@ func TestMinStartPruning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := New(lrel, rrel, Config{Partitioning: mustCuts(t, 1000, 2000, 2500, 3000)})
+	v, err := New(nil, lrel, rrel, Config{Partitioning: mustCuts(t, 1000, 2000, 2500, 3000)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := d.Counters()
-	if err := v.InsertLeft(tuple.New(chronon.New(0, 10), value.Int(1), value.Int(999))); err != nil {
+	if _, err := v.InsertLeft(nil, tuple.New(chronon.New(0, 10), value.Int(1), value.Int(999))); err != nil {
 		t.Fatal(err)
 	}
 	delta := d.Counters().Sub(before)
@@ -207,7 +207,7 @@ func TestViewRejectsCrossDevice(t *testing.T) {
 	d1, d2 := disk.New(4096), disk.New(4096)
 	_, lrel := buildBase(t, d1, leftSchema, 10, 8)
 	_, rrel := buildBase(t, d2, rightSchema, 10, 9)
-	if _, err := New(lrel, rrel, Config{Partitioning: partition.Single()}); err == nil {
+	if _, err := New(nil, lrel, rrel, Config{Partitioning: partition.Single()}); err == nil {
 		t.Fatal("cross-device view accepted")
 	}
 }
@@ -222,7 +222,7 @@ func TestViewWithManyPartitionsAndSorting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, err := New(lrel, rrel, Config{Partitioning: mustCuts(t, 500)})
+	v1, err := New(nil, lrel, rrel, Config{Partitioning: mustCuts(t, 500)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestViewWithManyPartitionsAndSorting(t *testing.T) {
 		tuple.New(chronon.At(10), value.Int(2), value.Int(778)),
 	}
 	for _, tp := range extra {
-		if err := v1.InsertRight(tp); err != nil {
+		if _, err := v1.InsertRight(nil, tp); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -289,6 +289,8 @@ func writeChronon(b *strings.Builder, c chronon.Chronon) {
 		b.WriteString("beginning")
 	case chronon.Forever:
 		b.WriteString("forever")
+	case chronon.Now:
+		b.WriteString("now")
 	default:
 		b.WriteString(strconv.FormatInt(int64(c), 10))
 	}

@@ -389,8 +389,13 @@ func (p *parser) chrononLit() (chronon.Chronon, error) {
 			return 0, err
 		}
 		return chronon.Forever, nil
+	case t.keyword() == "now":
+		if err := p.next(); err != nil {
+			return 0, err
+		}
+		return chronon.Now, nil
 	}
-	return 0, errAt(t.line, t.col, "expected a chronon (integer, beginning or forever), got %s", t.describe())
+	return 0, errAt(t.line, t.col, "expected a chronon (integer, beginning, forever or now), got %s", t.describe())
 }
 
 func (p *parser) compareExpr() (Expr, error) {

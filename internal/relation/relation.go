@@ -176,6 +176,17 @@ func (b *Builder) PageStarts() []int64 {
 	return append(out, b.written)
 }
 
+// Buffered returns the tuples of the builder's open page — appended
+// but not yet flushed to disk. Incremental consumers (the maintained
+// view's Tuples) use it to read through the buffer without sealing a
+// partial page.
+func (b *Builder) Buffered() ([]tuple.Tuple, error) {
+	if b.cur.Count() == 0 {
+		return nil, nil
+	}
+	return b.cur.Tuples()
+}
+
 // Flush writes the trailing partial page, if any.
 func (b *Builder) Flush() error {
 	if b.cur.Count() == 0 {

@@ -33,16 +33,58 @@ func CoverageSize(intervals []chronon.Interval) (int64, error) {
 	return total, nil
 }
 
+// boundOngoing clamps ongoing interval ends to the sampling horizon:
+// the largest finite endpoint present (or the largest ongoing start,
+// when every interval is ongoing). A cut chronon beyond the last
+// finite endpoint cannot separate any two tuples — every ongoing
+// tuple covers all of them alike — while counting the ~2^62 chronons
+// up to the Now sentinel would overflow CoverageSize and push every
+// equi-depth rank into empty space. Ongoing tuples are stored in the
+// final partition whatever cuts are chosen, so clamping only affects
+// where the boundaries land, never which partition holds a tuple.
+// The input is returned unchanged when nothing is ongoing.
+func boundOngoing(intervals []chronon.Interval) []chronon.Interval {
+	horizon := chronon.Beginning
+	ongoing := 0
+	for _, iv := range intervals {
+		if iv.IsNull() {
+			continue
+		}
+		if iv.IsOngoing() {
+			ongoing++
+			if iv.Start > horizon {
+				horizon = iv.Start
+			}
+		} else if iv.End > horizon {
+			horizon = iv.End
+		}
+	}
+	if ongoing == 0 {
+		return intervals
+	}
+	out := make([]chronon.Interval, len(intervals))
+	for i, iv := range intervals {
+		if iv.IsOngoing() {
+			iv = chronon.New(iv.Start, horizon)
+		}
+		out[i] = iv
+	}
+	return out
+}
+
 // CoverageQuantiles returns the k-1 equi-depth quantile chronons of the
 // covered-chronon multiset of the given intervals: the elements at
 // ranks floor(j*N/k) for j = 1..k-1, where N is the multiset size.
 // Duplicates are removed, so fewer than k-1 chronons may be returned
 // (e.g. when a few chronons dominate the coverage). An empty result
-// means the coverage cannot support more than one partition.
+// means the coverage cannot support more than one partition. Ongoing
+// intervals participate with their ends clamped to the sampling
+// horizon (see boundOngoing).
 func CoverageQuantiles(intervals []chronon.Interval, k int) ([]chronon.Chronon, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("sampling: need at least one partition, got %d", k)
 	}
+	intervals = boundOngoing(intervals)
 	n, err := CoverageSize(intervals)
 	if err != nil {
 		return nil, err
@@ -111,6 +153,7 @@ func NaiveCoverageQuantiles(intervals []chronon.Interval, k int) ([]chronon.Chro
 	if k < 1 {
 		return nil, fmt.Errorf("sampling: need at least one partition, got %d", k)
 	}
+	intervals = boundOngoing(intervals)
 	var multiset []chronon.Chronon
 	for _, iv := range intervals {
 		if iv.IsNull() {

@@ -167,3 +167,70 @@ func TestCoverageQuantilesSortedOutput(t *testing.T) {
 		}
 	}
 }
+
+// Ongoing intervals must not overflow the coverage computation: their
+// ends are clamped to the sampling horizon (the largest finite
+// endpoint), so the quantiles equal those of the explicitly clamped
+// set and stay inside the data-dense region.
+func TestCoverageQuantilesOngoing(t *testing.T) {
+	in := []chronon.Interval{
+		chronon.New(0, 99),
+		chronon.New(100, 199),
+		chronon.NewOngoing(50),
+		chronon.NewOngoing(150),
+	}
+	got, err := CoverageQuantiles(in, 4)
+	if err != nil {
+		t.Fatalf("ongoing intervals broke the sweep: %v", err)
+	}
+	want, err := CoverageQuantiles(ivs(0, 99, 100, 199, 50, 199, 150, 199), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	for _, c := range got {
+		if c > 199 {
+			t.Fatalf("cut %d beyond the finite horizon 199 (in %v)", c, got)
+		}
+	}
+	naive, err := NaiveCoverageQuantiles(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(naive) != len(got) {
+		t.Fatalf("naive %v, fast %v", naive, got)
+	}
+	for i := range naive {
+		if naive[i] != got[i] {
+			t.Fatalf("naive %v, fast %v", naive, got)
+		}
+	}
+}
+
+// When every sampled interval is ongoing the horizon is the largest
+// start: coverage degenerates to the starts' staircase and the sweep
+// still terminates with in-range cuts.
+func TestCoverageQuantilesAllOngoing(t *testing.T) {
+	in := []chronon.Interval{
+		chronon.NewOngoing(0),
+		chronon.NewOngoing(100),
+		chronon.NewOngoing(200),
+		chronon.NewOngoing(300),
+	}
+	got, err := CoverageQuantiles(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range got {
+		if c > 300 {
+			t.Fatalf("cut %d beyond the largest ongoing start (in %v)", c, got)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vtjoin/internal/buffer"
+	"vtjoin/internal/chronon"
 	"vtjoin/internal/cost"
 	"vtjoin/internal/csvio"
 	"vtjoin/internal/disk"
@@ -90,15 +91,30 @@ type Server struct {
 	wg     sync.WaitGroup
 	closed sync.Once
 
-	smu     sync.Mutex // guards the counters below
-	queries int64
-	rows    int64
-	errs    int64
-	aborted int64
-	rejects int64
-	wallNS  int64
-	cpuNS   int64
-	recent  []QueryStat
+	// catMu serializes catalog-relation mutation (appends, loads,
+	// drops, subscription folds) against query execution and view
+	// construction, which scan relation pages: writers take the write
+	// lock, executing queries the read lock.
+	catMu sync.RWMutex
+
+	subMu  sync.Mutex // guards subs/subSeq
+	subs   map[uint64]*subscription
+	subSeq uint64
+
+	smu        sync.Mutex // guards the counters below
+	queries    int64
+	rows       int64
+	errs       int64
+	aborted    int64
+	rejects    int64
+	wallNS     int64
+	cpuNS      int64
+	subsOpened int64
+	subsClosed int64
+	appends    int64
+	appendRows int64
+	deltaRows  int64
+	recent     []QueryStat
 }
 
 // QueryStat describes one completed query, kept in a bounded recent-
@@ -134,9 +150,12 @@ func NewServer(cfg Config) (*Server, error) {
 		cpu0:  cost.ProcessCPUTime(),
 		start: time.Now(),
 		drain: make(chan struct{}),
+		subs:  make(map[uint64]*subscription),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("POST /relations/{name}/append", s.handleAppend)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /relations", s.handleRelations)
@@ -154,11 +173,16 @@ func (s *Server) Cache() *PlanCache { return s.cache }
 // Handler returns the HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Drain puts the server into draining mode — new queries are rejected
-// with 503 — and waits for in-flight queries to finish or ctx to
-// expire. It is the SIGTERM path; safe to call more than once.
+// Drain puts the server into draining mode — new queries and
+// subscriptions are rejected with 503, open subscriptions are torn
+// down with a "draining" trailer verdict — and waits for in-flight
+// work to finish or ctx to expire. It is the SIGTERM path; safe to
+// call more than once.
 func (s *Server) Drain(ctx context.Context) error {
 	s.closed.Do(func() { close(s.drain) })
+	for _, sub := range s.snapshotSubs() {
+		s.closeSub(sub, "draining")
+	}
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
 	select {
@@ -285,6 +309,8 @@ func (s *Server) run(ctx context.Context, key string, root plan2.Node, cached bo
 // execute runs an admitted query and records its outcome.
 func (s *Server) execute(ctx context.Context, key string, root plan2.Node, cached bool, pages int, emit func(tuple.Tuple) error) (rows int64, err error) {
 	begin := time.Now()
+	s.catMu.RLock()
+	defer s.catMu.RUnlock()
 	rows, err = plan2.Run(plan2.Config{
 		Ctx:         ctx,
 		Disk:        s.cfg.Disk,
@@ -354,6 +380,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// as_of binds ongoing result rows — intervals still valid "now" —
+	// to fixed intervals ending at the given evaluation chronon; rows
+	// whose ongoing validity has not begun by then are withheld.
+	var asOf chronon.Chronon
+	hasAsOf := false
+	if ao := r.URL.Query().Get("as_of"); ao != "" {
+		n, err := strconv.ParseInt(ao, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad as_of %q", ao))
+			return
+		}
+		asOf, hasAsOf = chronon.Chronon(n), true
+	}
+
 	ctx := r.Context()
 	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
 		d, err := strconv.Atoi(ms)
@@ -393,16 +433,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	rec := make([]string, 2+root.Schema().Len())
 	rows, err := s.execute(ctx, key, root, cached, pages, func(t tuple.Tuple) error {
-		rec[0] = strconv.FormatInt(int64(t.V.Start), 10)
-		rec[1] = strconv.FormatInt(int64(t.V.End), 10)
-		for i, v := range t.Values {
-			if v.IsNull() {
-				rec[2+i] = csvio.NullSentinel
-			} else {
-				rec[2+i] = v.Text()
+		if hasAsOf {
+			iv := t.V.BindNow(asOf)
+			if iv.IsNull() {
+				return nil
 			}
+			t.V = iv
 		}
-		return cw.Write(rec)
+		return cw.Write(csvio.FormatRecord(rec, t))
 	})
 	cw.Flush()
 
@@ -435,6 +473,15 @@ type ServerStats struct {
 	Cache     CacheStats    `json:"cache"`
 	Relations []string      `json:"relations"`
 	Recent    []QueryStat   `json:"recent"`
+	// Subscription counters: currently open streams, lifetime
+	// opens/closes, folded append batches and tuples, and the delta
+	// result rows delivered to subscribers.
+	SubsOpen   int   `json:"subscriptionsOpen"`
+	SubsOpened int64 `json:"subscriptionsOpened"`
+	SubsClosed int64 `json:"subscriptionsClosed"`
+	Appends    int64 `json:"appends"`
+	AppendRows int64 `json:"appendRows"`
+	DeltaRows  int64 `json:"deltaRows"`
 }
 
 // Stats snapshots the server counters.
@@ -442,24 +489,33 @@ func (s *Server) Stats() ServerStats {
 	s.bmu.Lock()
 	poolTotal, poolUsed := s.pool.Total(), s.pool.Used()
 	s.bmu.Unlock()
+	s.subMu.Lock()
+	subsOpen := len(s.subs)
+	s.subMu.Unlock()
 	s.smu.Lock()
 	defer s.smu.Unlock()
 	return ServerStats{
-		UptimeNS:  time.Since(s.start).Nanoseconds(),
-		Queries:   s.queries,
-		Rows:      s.rows,
-		Errors:    s.errs,
-		Aborted:   s.aborted,
-		Rejects:   s.rejects,
-		WallNS:    s.wallNS,
-		CPUNS:     (cost.ProcessCPUTime() - s.cpu0).Nanoseconds(),
-		PoolTotal: poolTotal,
-		PoolUsed:  poolUsed,
-		Draining:  s.draining(),
-		Device:    s.cfg.Disk.Counters(),
-		Cache:     s.cache.Stats(),
-		Relations: s.cfg.Catalog.Names(),
-		Recent:    append([]QueryStat(nil), s.recent...),
+		SubsOpen:   subsOpen,
+		SubsOpened: s.subsOpened,
+		SubsClosed: s.subsClosed,
+		Appends:    s.appends,
+		AppendRows: s.appendRows,
+		DeltaRows:  s.deltaRows,
+		UptimeNS:   time.Since(s.start).Nanoseconds(),
+		Queries:    s.queries,
+		Rows:       s.rows,
+		Errors:     s.errs,
+		Aborted:    s.aborted,
+		Rejects:    s.rejects,
+		WallNS:     s.wallNS,
+		CPUNS:      (cost.ProcessCPUTime() - s.cpu0).Nanoseconds(),
+		PoolTotal:  poolTotal,
+		PoolUsed:   poolUsed,
+		Draining:   s.draining(),
+		Device:     s.cfg.Disk.Counters(),
+		Cache:      s.cache.Stats(),
+		Relations:  s.cfg.Catalog.Names(),
+		Recent:     append([]QueryStat(nil), s.recent...),
 	}
 }
 
@@ -485,6 +541,9 @@ func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
 
 // handleLoad ingests a CSV relation body under the path name,
 // replacing (and dropping) any previous relation of that name.
+// Replacing a relation bumps its catalog version, which invalidates
+// cached plans and tears down subscriptions built against the old
+// pages.
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	rel, err := csvio.Read(r.Body, s.cfg.Disk)
@@ -492,16 +551,22 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.invalidateSubs(name, fmt.Sprintf("invalidated: relation %q replaced", name))
+	s.catMu.Lock()
 	if old, err := s.cfg.Catalog.Drop(name); err == nil {
 		_ = old.Drop()
 	}
 	s.cfg.Catalog.Register(name, rel)
+	s.catMu.Unlock()
 	w.WriteHeader(http.StatusCreated)
 	fmt.Fprintf(w, "loaded %q: %d tuples\n", name, rel.Tuples())
 }
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	s.invalidateSubs(name, fmt.Sprintf("invalidated: relation %q dropped", name))
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
 	rel, err := s.cfg.Catalog.Drop(name)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
