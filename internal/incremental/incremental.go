@@ -343,15 +343,20 @@ func (v *View) Sync() error {
 	return v.sink.Flush()
 }
 
-// Result returns the materialized view relation. Rows from folds since
-// the last Sync may still be buffered; call Sync first if the consumer
-// scans pages directly.
+// Result returns the materialized view relation, or nil once the view
+// is closed. Rows from folds since the last Sync may still be
+// buffered; call Sync first if the consumer scans pages directly.
 func (v *View) Result() *relation.Relation { return v.result }
 
 // Tuples materializes the view's contents — the stored pages (a
 // counted sequential scan) plus any rows still buffered in the open
-// builder page — without forcing a flush.
+// builder page — without forcing a flush. It errors on a closed view
+// (whose backing relation is gone) or a poisoned one (whose contents
+// are a partial delta).
 func (v *View) Tuples() ([]tuple.Tuple, error) {
+	if err := v.usable(); err != nil {
+		return nil, err
+	}
 	out, err := v.result.All()
 	if err != nil {
 		return nil, err

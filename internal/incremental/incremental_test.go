@@ -127,6 +127,35 @@ func TestInsertsMaintainView(t *testing.T) {
 	viewEquals(t, v, join.Reference(plan, lt, rt))
 }
 
+// TestClosedViewRejectsOperations: Close drops the backing result
+// relation, so Tuples, Sync and the inserts on a closed view must
+// report an error instead of dereferencing the dropped state.
+func TestClosedViewRejectsOperations(t *testing.T) {
+	d := disk.New(4096)
+	_, lrel := buildBase(t, d, leftSchema, 50, 11)
+	_, rrel := buildBase(t, d, rightSchema, 50, 12)
+	v, err := New(nil, lrel, rrel, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Tuples(); err == nil {
+		t.Fatal("Tuples on a closed view succeeded")
+	}
+	if err := v.Sync(); err == nil {
+		t.Fatal("Sync on a closed view succeeded")
+	}
+	tp := randTuple(rand.New(rand.NewSource(13)), 1)
+	if _, err := v.InsertLeft(nil, tp); err == nil {
+		t.Fatal("InsertLeft on a closed view succeeded")
+	}
+	if _, err := v.InsertRight(nil, tp); err == nil {
+		t.Fatal("InsertRight on a closed view succeeded")
+	}
+}
+
 func TestInsertCostIsLocalized(t *testing.T) {
 	// A short-interval insert must read far fewer pages than a full
 	// reevaluation — the incremental advantage of Section 3.1.

@@ -551,8 +551,12 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.invalidateSubs(name, fmt.Sprintf("invalidated: relation %q replaced", name))
 	s.catMu.Lock()
+	// Invalidate under the write lock: a subscription builds and
+	// registers while holding the read lock, so by the time we are
+	// here every subscription over the old pages is visible in s.subs
+	// — none can slip through mid-construction.
+	s.invalidateSubs(name, fmt.Sprintf("invalidated: relation %q replaced", name))
 	if old, err := s.cfg.Catalog.Drop(name); err == nil {
 		_ = old.Drop()
 	}
@@ -564,9 +568,11 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.invalidateSubs(name, fmt.Sprintf("invalidated: relation %q dropped", name))
 	s.catMu.Lock()
 	defer s.catMu.Unlock()
+	// Under the write lock, as in handleLoad: concurrently-building
+	// subscriptions are registered before we get here.
+	s.invalidateSubs(name, fmt.Sprintf("invalidated: relation %q dropped", name))
 	rel, err := s.cfg.Catalog.Drop(name)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)

@@ -30,7 +30,6 @@ type subscription struct {
 	id          uint64
 	key         string // canonical query text
 	left, right string // catalog names of the two scanned relations
-	lver, rver  uint64 // catalog versions the view was built against
 	release     func() // frees the admission region; called once, by close
 	deltas      chan []tuple.Tuple
 	done        chan struct{} // closed at teardown; reason is set first
@@ -238,20 +237,37 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	release := func() { rel(); s.wg.Done() }
 
-	// Build the materialized view under the catalog read-lock: the
-	// initial evaluation scans both base relations and must not race
-	// an append.
+	// Build the materialized view, register the subscription and (for
+	// initial=1) snapshot its contents under ONE catalog read-lock
+	// acquisition. Appends, loads and drops take the write lock, so
+	// holding the read lock across all three steps closes two races:
+	// an append folding in after the view was built but before the
+	// subscription became visible in s.subs (its rows would be missing
+	// from the view and never delivered as a delta), and an append
+	// folding in between registration and the snapshot (its rows would
+	// be in the snapshot AND queued on sub.deltas — delivered twice).
+	// Loads/drops invalidate subscriptions under the same write lock,
+	// so a subscription being built here cannot escape invalidation.
 	s.catMu.RLock()
-	lver, _ := s.cfg.Catalog.Version(ln.Name)
-	rver, _ := s.cfg.Catalog.Version(rn.Name)
+	// The plan bound its scans to relation objects before we took the
+	// lock; a load/drop in between replaced (and dropped the pages of)
+	// those objects, and the view must not be built over dropped pages.
+	for _, n := range []*plan2.ScanNode{ln, rn} {
+		if cur, lookErr := s.cfg.Catalog.Lookup(n.Name); lookErr != nil || cur != n.Rel {
+			s.catMu.RUnlock()
+			release()
+			httpError(w, http.StatusConflict, fmt.Errorf("relation %q changed while planning; retry", n.Name))
+			return
+		}
+	}
 	parting := s.choosePartitioning(ln.Rel, pages)
 	view, err := incremental.New(r.Context(), ln.Rel, rn.Rel, incremental.Config{
 		Partitioning: parting,
 		Predicate:    jn.Mask,
 		Kernel:       jn.Kernel,
 	})
-	s.catMu.RUnlock()
 	if err != nil {
+		s.catMu.RUnlock()
 		release()
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -263,7 +279,6 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		id:   s.subSeq,
 		key:  key,
 		left: ln.Name, right: rn.Name,
-		lver: lver, rver: rver,
 		release: release,
 		deltas:  make(chan []tuple.Tuple, 256),
 		done:    make(chan struct{}),
@@ -272,6 +287,22 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	s.subs[sub.id] = sub
 	s.subMu.Unlock()
+
+	var snap []tuple.Tuple
+	var snapErr error
+	if initial {
+		// Drain (which does not hold catMu) may have closed us already;
+		// re-check under sub.mu so we never snapshot a closed view.
+		sub.mu.Lock()
+		if sub.closed {
+			snapErr = fmt.Errorf("subscription closed before snapshot")
+		} else {
+			snap, snapErr = view.Tuples()
+		}
+		sub.mu.Unlock()
+	}
+	s.catMu.RUnlock()
+
 	s.smu.Lock()
 	s.subsOpened++
 	s.smu.Unlock()
@@ -280,6 +311,11 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	// miss us; re-check now that we are visible.
 	if s.draining() {
 		s.closeSub(sub, "draining")
+	}
+	if snapErr != nil {
+		// The stream must not pretend initial=1 delivered the view's
+		// contents: end it with an error verdict instead.
+		s.closeSub(sub, "error: initial snapshot: "+snapErr.Error())
 	}
 
 	w.Header().Set("Content-Type", "text/csv")
@@ -309,13 +345,8 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		cw.Flush()
 		flush()
 	}
-	if initial {
-		sub.mu.Lock()
-		snap, err := view.Tuples()
-		sub.mu.Unlock()
-		if err == nil {
-			writeBatch(snap)
-		}
+	if initial && snapErr == nil {
+		writeBatch(snap)
 	}
 	flush()
 
@@ -439,9 +470,16 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		res.Subscribers++
 		res.DeltaRows += int64(len(batch))
 		if len(batch) > 0 {
+			// Never block here: we hold the catalog write lock, and a
+			// subscriber stuck writing to a slow client would stall
+			// every append, query, load and drop behind it. A full
+			// channel means the subscriber has fallen 256 batches
+			// behind; tear it down rather than wedge the server.
 			select {
 			case sub.deltas <- batch:
 			case <-sub.done:
+			default:
+				s.closeSub(sub, "overflow")
 			}
 		}
 	}

@@ -5,17 +5,20 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"vtjoin/internal/chronon"
 	"vtjoin/internal/csvio"
+	"vtjoin/internal/incremental"
 	"vtjoin/internal/relation"
 	"vtjoin/internal/schema"
 	"vtjoin/internal/tuple"
@@ -275,6 +278,120 @@ func TestSubscribeInitialSnapshot(t *testing.T) {
 	ss := openSub(t, ts.URL, "q="+url.QueryEscape(q)+"&initial=1")
 	ss.readRows(len(want))
 	equalRowSets(t, "initial snapshot", ss.tuples(), want)
+}
+
+// TestSubscribeInitialSnapshotConcurrentAppends races appends against
+// subscription establishment. With initial=1 every result row must be
+// delivered exactly once: an append folded before the snapshot appears
+// only in the snapshot, one folded after only as a delta. A delta lost
+// in the build-to-registration window shows up as a stream that never
+// reaches the reference cardinality (watchdog abort); a row delivered
+// both in the snapshot and as a delta shows up as a multiset mismatch.
+func TestSubscribeInitialSnapshotConcurrentAppends(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	const q = "scan r | join scan s"
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lo := (i * 37) % 900
+			body := fmt.Sprintf("vs,ve,key:int,a:int\n%d,%d,%d,%d\n", lo, lo+60, i%40, 20000+i)
+			resp, err := http.Post(ts.URL+"/relations/r/append", "text/csv", strings.NewReader(body))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	ss := openSub(t, ts.URL, "q="+url.QueryEscape(q)+"&initial=1")
+	time.Sleep(30 * time.Millisecond) // let appends land after the snapshot too
+	close(stop)
+	wg.Wait()
+
+	want := mustExecute(t, srv, q)
+	timer := time.AfterFunc(20*time.Second, ss.abort)
+	defer timer.Stop()
+	ss.readRows(len(want))
+	equalRowSets(t, "initial snapshot + deltas", ss.tuples(), want)
+}
+
+// TestAppendOverflowClosesSlowSubscriber: delta delivery happens under
+// the catalog write lock, so a subscriber whose channel is full — a
+// client stuck mid-write that stopped draining — must be torn down with
+// the overflow verdict rather than block every append, query, load and
+// drop behind the lock. The subscription is assembled by hand with a
+// one-slot channel and no draining goroutine to make the stall
+// deterministic.
+func TestAppendOverflowClosesSlowSubscriber(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	lrel, err := srv.Catalog().Lookup("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrel, err := srv.Catalog().Lookup("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := incremental.New(context.Background(), lrel, rrel, incremental.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := &subscription{
+		id:   99999,
+		left: "r", right: "s",
+		release: func() {},
+		deltas:  make(chan []tuple.Tuple, 1),
+		done:    make(chan struct{}),
+		view:    view,
+	}
+	srv.subMu.Lock()
+	srv.subs[sub.id] = sub
+	srv.subMu.Unlock()
+
+	// The first delta fills the only slot; the second must not block.
+	res := appendCSV(t, ts.URL, "r", "vs,ve,key:int,a:int\n0,500,3,9001\n")
+	if res.DeltaRows == 0 {
+		t.Fatal("first append produced no delta — key 3 no longer joins the base data")
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/relations/r/append", "text/csv",
+			strings.NewReader("vs,ve,key:int,a:int\n0,500,3,9002\n"))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("append blocked behind a subscriber that never drains")
+	}
+	sub.mu.Lock()
+	closed, reason := sub.closed, sub.reason
+	sub.mu.Unlock()
+	if !closed || reason != "overflow" {
+		t.Fatalf("slow subscriber closed=%v reason=%q, want overflow teardown", closed, reason)
+	}
 }
 
 // TestSubscribeBindNow exercises ongoing tuples end to end: a bound
